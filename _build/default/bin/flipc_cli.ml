@@ -1,0 +1,407 @@
+(* flipc: command-line driver for the FLIPC reproduction.
+
+   Subcommands run individual experiments with adjustable parameters —
+   useful for exploring the design space beyond the fixed settings the
+   benchmark harness (bench/main.exe) uses to mirror the paper. *)
+
+open Cmdliner
+module Config = Flipc.Config
+module Machine = Flipc.Machine
+module Pingpong = Flipc_workload.Pingpong
+module Streams = Flipc_workload.Streams
+module Rpc = Flipc_workload.Rpc
+module Summary = Flipc_stats.Summary
+module Regression = Flipc_stats.Regression
+
+(* --- shared options --- *)
+
+let payload =
+  let doc = "Application payload size in bytes." in
+  Arg.(value & opt int 120 & info [ "payload" ] ~docv:"BYTES" ~doc)
+
+let exchanges =
+  let doc = "Number of measured two-way exchanges." in
+  Arg.(value & opt int 300 & info [ "exchanges"; "n" ] ~docv:"N" ~doc)
+
+let cols = Arg.(value & opt int 4 & info [ "cols" ] ~docv:"N" ~doc:"Mesh columns.")
+let rows = Arg.(value & opt int 4 & info [ "rows" ] ~docv:"N" ~doc:"Mesh rows.")
+
+let locked =
+  let doc = "Use the test-and-set (locked) interface variant." in
+  Arg.(value & flag & info [ "locked" ] ~doc)
+
+let packed =
+  let doc = "Use the pre-tuning packed (false-sharing) buffer layout." in
+  Arg.(value & flag & info [ "packed" ] ~doc)
+
+let checks =
+  let doc = "Enable the engine's validity checks." in
+  Arg.(value & flag & info [ "checks" ] ~doc)
+
+let touch =
+  let doc = "Read/write the payload on every exchange." in
+  Arg.(value & flag & info [ "touch-payload" ] ~doc)
+
+let config_of locked packed checks =
+  {
+    Config.default with
+    Config.lock_mode = (if locked then Config.Test_and_set else Config.Lock_free);
+    layout_mode = (if packed then Config.Packed else Config.Padded);
+    validity_checks = checks;
+  }
+
+(* --- latency --- *)
+
+let latency_cmd =
+  let run payload exchanges cols rows locked packed checks touch =
+    let config = config_of locked packed checks in
+    let r =
+      Pingpong.measure ~config ~cols ~rows ~touch_payload:touch
+        ~payload_bytes:payload ~exchanges ()
+    in
+    Fmt.pr "payload %dB in %dB messages, %d exchanges, %dx%d mesh@." payload
+      r.Pingpong.message_bytes exchanges cols rows;
+    Fmt.pr "one-way latency: %a us@." Summary.pp r.Pingpong.one_way;
+    Fmt.pr "aggregate (total / 2N): %.2f us@." r.Pingpong.aggregate_one_way_us;
+    Fmt.pr "drops: %d@." r.Pingpong.drops
+  in
+  let doc = "Measure one-way message latency with a ping-pong exchange." in
+  Cmd.v
+    (Cmd.info "latency" ~doc)
+    Term.(
+      const run $ payload $ exchanges $ cols $ rows $ locked $ packed $ checks
+      $ touch)
+
+(* --- sweep (FIG4) --- *)
+
+let sweep_cmd =
+  let run exchanges locked packed checks =
+    let sizes = [ 64; 96; 128; 160; 192; 224; 256 ] in
+    let config = config_of locked packed checks in
+    let points =
+      List.map
+        (fun msg ->
+          let r =
+            Pingpong.measure ~config
+              ~payload_bytes:(msg - Config.header_bytes)
+              ~exchanges ()
+          in
+          Fmt.pr "%4dB  %.2f us  (sd %.2f)@." msg
+            r.Pingpong.aggregate_one_way_us r.Pingpong.one_way.Summary.stddev;
+          (float_of_int msg, r.Pingpong.aggregate_one_way_us))
+        sizes
+    in
+    let fit = Regression.linear points in
+    Fmt.pr "fit: %.2fus + %.3fns/B (r2=%.4f)@." fit.Regression.intercept
+      (fit.Regression.slope *. 1000.)
+      fit.Regression.r2
+  in
+  let doc = "Latency vs message size sweep (the paper's Figure 4)." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const run $ exchanges $ locked $ packed $ checks)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run payload exchanges =
+    let flipc =
+      (Pingpong.measure ~payload_bytes:payload ~exchanges ()).Pingpong
+      .aggregate_one_way_us
+    in
+    Fmt.pr "FLIPC : %6.2f us@." flipc;
+    Fmt.pr "PAM   : %6.2f us@."
+      (Flipc_baselines.Pam.one_way_latency_us ~payload_bytes:payload ~exchanges ());
+    Fmt.pr "SUNMOS: %6.2f us@."
+      (Flipc_baselines.Sunmos.one_way_latency_us ~payload_bytes:payload
+         ~exchanges ());
+    if payload <= 4096 then
+      Fmt.pr "NX    : %6.2f us@."
+        (Flipc_baselines.Nx.one_way_latency_us ~payload_bytes:payload ~exchanges ())
+  in
+  let doc = "Compare FLIPC with the NX, PAM and SUNMOS models." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ payload $ exchanges)
+
+(* --- streams --- *)
+
+let streams_cmd =
+  let high_period =
+    Arg.(
+      value & opt int 100
+      & info [ "high-period" ] ~docv:"US"
+          ~doc:"High-priority inter-message gap (us).")
+  in
+  let low_period =
+    Arg.(
+      value & opt int 10
+      & info [ "low-period" ] ~docv:"US"
+          ~doc:"Low-priority inter-message gap (us).")
+  in
+  let low_buffers =
+    Arg.(
+      value & opt int 2
+      & info [ "low-buffers" ] ~docv:"N"
+          ~doc:"Receive buffers for the low-priority endpoint.")
+  in
+  let ms =
+    Arg.(
+      value & opt int 50
+      & info [ "ms" ] ~docv:"MS" ~doc:"Virtual milliseconds to simulate.")
+  in
+  let run high_period low_period low_buffers ms =
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let horizon_ns = ms * 1_000_000 in
+    let count_for period_us = horizon_ns / (max 1 period_us * 1000) + 1 in
+    let results =
+      Streams.run ~machine ~node_src:0 ~node_dst:1
+        ~until:(Flipc_sim.Vtime.ms ms)
+        [
+          Streams.make ~name:"high" ~priority:10
+            ~period_ns:(high_period * 1000)
+            ~count:(count_for high_period) ~recv_buffers:8 ~consume_ns:8_000 ();
+          Streams.make ~name:"low" ~priority:1 ~period_ns:(low_period * 1000)
+            ~count:(count_for low_period) ~recv_buffers:low_buffers
+            ~consume_ns:80_000 ();
+        ]
+    in
+    List.iter
+      (fun (r : Streams.stream_result) ->
+        Fmt.pr "%-5s sent=%6d delivered=%6d dropped=%6d %a@." r.Streams.name
+          r.Streams.sent r.Streams.delivered r.Streams.dropped
+          (Fmt.option Summary.pp) r.Streams.latency)
+      results
+  in
+  let doc = "Two priority streams with per-endpoint resource isolation." in
+  Cmd.v
+    (Cmd.info "streams" ~doc)
+    Term.(const run $ high_period $ low_period $ low_buffers $ ms)
+
+(* --- rpc --- *)
+
+let rpc_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Client count.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let run clients requests =
+    let side = 4 in
+    let machine = Machine.create (Machine.Mesh { cols = side; rows = side }) () in
+    let nodes = side * side in
+    let client_nodes = List.init clients (fun i -> ((i + 1) mod (nodes - 1)) + 1) in
+    let r =
+      Rpc.run ~machine ~server_node:0 ~client_nodes ~requests_per_client:requests
+        ~server_work_ns:2_000 ()
+    in
+    Fmt.pr "requests=%d replies=%d drops=%d@." r.Rpc.requests r.Rpc.replies
+      r.Rpc.server_drops;
+    Fmt.pr "round trip: %a us@." Summary.pp r.Rpc.latency
+  in
+  let doc = "Closed-loop RPC with statically provisioned server buffers." in
+  Cmd.v (Cmd.info "rpc" ~doc) Term.(const run $ clients $ requests)
+
+(* --- kkt --- *)
+
+let kkt_cmd =
+  let fabric =
+    let fabric_conv =
+      Arg.enum [ ("mesh", `Mesh); ("ethernet", `Ethernet); ("scsi", `Scsi) ]
+    in
+    Arg.(
+      value & opt fabric_conv `Mesh
+      & info [ "fabric" ] ~docv:"FABRIC"
+          ~doc:"Underlying fabric: mesh, ethernet or scsi.")
+  in
+  let run fabric payload exchanges =
+    let kind, cost =
+      match fabric with
+      | `Mesh ->
+          (Machine.Mesh { cols = 2; rows = 1 }, Flipc_memsim.Cost_model.paragon)
+      | `Ethernet ->
+          (Machine.Ethernet { nodes = 2 }, Flipc_memsim.Cost_model.pc_cluster)
+      | `Scsi -> (Machine.Scsi { nodes = 2 }, Flipc_memsim.Cost_model.pc_cluster)
+    in
+    let machine = Flipc_kkt.Kkt_flipc.machine ~cost kind () in
+    let r =
+      Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:payload
+        ~exchanges ()
+    in
+    Fmt.pr "FLIPC over KKT: one-way %.2f us (payload %dB)@."
+      r.Pingpong.aggregate_one_way_us payload
+  in
+  let doc = "FLIPC with the portable KKT (RPC-per-message) engine." in
+  Cmd.v (Cmd.info "kkt" ~doc) Term.(const run $ fabric $ payload $ exchanges)
+
+(* --- throughput --- *)
+
+let throughput_cmd =
+  let msgs =
+    Arg.(value & opt int 500 & info [ "messages" ] ~docv:"N"
+           ~doc:"Messages to stream.")
+  in
+  let run payload msgs =
+    let r =
+      Flipc_workload.Throughput.measure ~payload_bytes:payload ~messages:msgs ()
+    in
+    Fmt.pr "%d x %dB messages in %.1fus@." r.Flipc_workload.Throughput.messages
+      payload r.Flipc_workload.Throughput.elapsed_us;
+    Fmt.pr "rate: %.0f kmsg/s, %.1f MB/s payload, drops=%d@."
+      (r.Flipc_workload.Throughput.msgs_per_sec /. 1000.)
+      r.Flipc_workload.Throughput.mb_per_sec r.Flipc_workload.Throughput.drops
+  in
+  let doc = "Streaming message-throughput measurement." in
+  Cmd.v (Cmd.info "throughput" ~doc) Term.(const run $ payload $ msgs)
+
+(* --- bulk --- *)
+
+let bulk_cmd =
+  let bytes =
+    Arg.(value & opt int 65536 & info [ "bytes" ] ~docv:"N"
+           ~doc:"Transfer size in bytes.")
+  in
+  let run bytes =
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let bulk = Flipc_bulk.Bulk.create machine in
+    let region = Flipc_bulk.Bulk.export bulk ~node:1 ~len:bytes in
+    let sim = Machine.sim machine in
+    let put_us = ref 0. and get_us = ref 0. in
+    Machine.spawn_app machine ~node:0 (fun _api ->
+        let t0 = Flipc_sim.Engine.now sim in
+        Flipc_bulk.Bulk.put bulk ~from:0 region (Bytes.create bytes);
+        let t1 = Flipc_sim.Engine.now sim in
+        ignore (Flipc_bulk.Bulk.get bulk ~into:0 region ~len:bytes : Bytes.t);
+        let t2 = Flipc_sim.Engine.now sim in
+        put_us := float_of_int (t1 - t0) /. 1000.;
+        get_us := float_of_int (t2 - t1) /. 1000.);
+    Machine.run machine;
+    Machine.stop_engines machine;
+    Machine.run machine;
+    Fmt.pr "put %dB: %.1fus (%.0f MB/s)@." bytes !put_us
+      (float_of_int bytes /. !put_us);
+    Fmt.pr "get %dB: %.1fus (%.0f MB/s)@." bytes !get_us
+      (float_of_int bytes /. !get_us)
+  in
+  let doc = "One-sided bulk put/get of a remote-memory region." in
+  Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ bytes)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let msgs =
+    Arg.(value & opt int 3 & info [ "messages" ] ~docv:"N"
+           ~doc:"Messages to trace.")
+  in
+  let run msgs =
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let tr = Flipc_sim.Trace.create ~enabled:true () in
+    for i = 0 to 1 do
+      Flipc.Msg_engine.set_trace
+        (Machine.msg_engine (Machine.node machine i))
+        tr
+    done;
+    let ns = Machine.names machine in
+    let ok = Result.get_ok in
+    Machine.spawn_app machine ~node:1 (fun api ->
+        let ep = ok (Flipc.Api.allocate_endpoint api ~kind:Flipc.Endpoint_kind.Recv ()) in
+        for _ = 1 to 4 do
+          ok (Flipc.Api.post_receive api ep (ok (Flipc.Api.allocate_buffer api)))
+        done;
+        Flipc.Nameservice.register ns "rx" (Flipc.Api.address api ep);
+        for _ = 1 to msgs do
+          let rec poll () =
+            match Flipc.Api.receive api ep with
+            | Some b -> b
+            | None ->
+                Flipc_memsim.Mem_port.instr (Flipc.Api.port api) 5;
+                poll ()
+          in
+          let b = poll () in
+          ok (Flipc.Api.post_receive api ep b)
+        done);
+    Machine.spawn_app machine ~node:0 (fun api ->
+        let ep = ok (Flipc.Api.allocate_endpoint api ~kind:Flipc.Endpoint_kind.Send ()) in
+        Flipc.Api.connect api ep (Flipc.Nameservice.lookup ns "rx");
+        let buf = ok (Flipc.Api.allocate_buffer api) in
+        for _ = 1 to msgs do
+          ok (Flipc.Api.send api ep buf);
+          let rec reclaim () =
+            match Flipc.Api.reclaim api ep with
+            | Some _ -> ()
+            | None ->
+                Flipc_memsim.Mem_port.instr (Flipc.Api.port api) 5;
+                reclaim ()
+          in
+          reclaim ();
+          Flipc_sim.Engine.delay (Flipc_sim.Vtime.us 50)
+        done);
+    Machine.run machine;
+    Machine.stop_engines machine;
+    Machine.run machine;
+    Fmt.pr "%a" Flipc_sim.Trace.dump tr
+  in
+  let doc = "Dump the messaging engines' event timeline for a few messages." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ msgs)
+
+(* --- info --- *)
+
+let field_name = function
+  | Flipc.Layout.Ep_type -> "Ep_type"
+  | Flipc.Layout.Queue_base -> "Queue_base"
+  | Flipc.Layout.Queue_capacity -> "Queue_capacity"
+  | Flipc.Layout.Sem_flag -> "Sem_flag"
+  | Flipc.Layout.Priority -> "Priority"
+  | Flipc.Layout.Burst -> "Burst"
+  | Flipc.Layout.Allowed_node -> "Allowed_node"
+  | Flipc.Layout.Dest_addr -> "Dest_addr"
+  | Flipc.Layout.Release -> "Release"
+  | Flipc.Layout.Acquire -> "Acquire"
+  | Flipc.Layout.Drop_read -> "Drop_read"
+  | Flipc.Layout.Lock -> "Lock"
+  | Flipc.Layout.Process -> "Process"
+  | Flipc.Layout.Drop_count -> "Drop_count"
+  | Flipc.Layout.Scan_stamp -> "Scan_stamp"
+
+let info_cmd =
+  let run locked packed checks =
+    let config = config_of locked packed checks in
+    let layout = Flipc.Layout.compute config in
+    Fmt.pr "configuration: %a@." Config.pp config;
+    Fmt.pr "message: %dB total, %dB header, %dB payload@."
+      config.Config.message_bytes Config.header_bytes
+      (Config.payload_bytes config);
+    Fmt.pr "communication buffer: %d bytes total@."
+      (Flipc.Layout.total_bytes layout);
+    let clo, chi = Flipc.Layout.control_region layout in
+    let blo, bhi = Flipc.Layout.buffer_region layout in
+    Fmt.pr "  control region: [%d, %d)@." clo chi;
+    Fmt.pr "  buffer region:  [%d, %d)@." blo bhi;
+    Fmt.pr "endpoint 0 field addresses (32B cache lines):@.";
+    List.iter
+      (fun f ->
+        let writer =
+          match Flipc.Layout.writer_of_field f with
+          | Flipc.Layout.App -> "app"
+          | Flipc.Layout.Engine -> "engine"
+          | Flipc.Layout.Setup -> "setup"
+        in
+        let addr = Flipc.Layout.ep_field layout ~ep:0 f in
+        Fmt.pr "  %-16s %5d  line %3d  (%s-written)@." (field_name f) addr
+          (addr / 32) writer)
+      Flipc.Layout.all_fields
+  in
+  let doc = "Print configuration and communication-buffer layout details." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ locked $ packed $ checks)
+
+let () =
+  let doc = "FLIPC low-latency messaging system reproduction" in
+  let info = Cmd.info "flipc" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
+            throughput_cmd; bulk_cmd; trace_cmd; info_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/factory_floor.ml: Bytes Flipc Flipc_flow Flipc_memsim Flipc_sim Fmt Int32

@@ -1,0 +1,1 @@
+examples/factory_floor.mli:

@@ -1,0 +1,1 @@
+examples/hiperd_demo.ml: Bytes Flipc Flipc_bulk Flipc_memsim Flipc_rt Flipc_sim Flipc_stats Fmt Int32 Int64 List Queue

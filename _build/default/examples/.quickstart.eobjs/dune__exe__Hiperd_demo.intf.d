@@ -1,0 +1,1 @@
+examples/hiperd_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Flipc Flipc_memsim Flipc_sim Fmt

@@ -1,0 +1,1 @@
+examples/radar_tracker.ml: Flipc Flipc_sim Flipc_stats Flipc_workload Fmt List

@@ -1,0 +1,1 @@
+examples/radar_tracker.mli:

@@ -1,0 +1,1 @@
+examples/rpc_workers.ml: Bytes Flipc Flipc_flow Flipc_memsim Flipc_rt Flipc_sim Flipc_stats Fmt Int32 List Queue

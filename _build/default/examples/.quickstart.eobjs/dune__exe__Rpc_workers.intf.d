@@ -1,0 +1,1 @@
+examples/rpc_workers.mli:

@@ -1,0 +1,1 @@
+examples/telemetry_snapshot.ml: Bytes Char Flipc Flipc_bulk Flipc_memsim Flipc_sim Fmt Int32 Option

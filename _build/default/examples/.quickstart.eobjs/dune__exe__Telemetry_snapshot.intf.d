@@ -1,0 +1,1 @@
+examples/telemetry_snapshot.mli:

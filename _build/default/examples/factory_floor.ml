@@ -1,0 +1,114 @@
+(* Factory floor: strictly periodic control traffic with static buffer
+   provisioning — the paper's second worked example of removing runtime
+   flow control ("an application made up of strictly periodic components
+   can often determine its worst case buffering needs in advance").
+
+   Run with: dune exec examples/factory_floor.exe
+
+   Four production cells each report status to a line controller once per
+   millisecond. The controller drains its endpoint every period. The
+   worst-case queue depth is therefore bounded and computed by
+   Flipc_flow.Provision.periodic_buffers; with that many buffers posted,
+   the optimistic transport can never discard — no window protocol, no
+   credits, no runtime overhead. *)
+
+module Sim = Flipc_sim.Engine
+module Vtime = Flipc_sim.Vtime
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Config = Flipc.Config
+module Endpoint_kind = Flipc.Endpoint_kind
+module Provision = Flipc_flow.Provision
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Api.error_to_string e)
+
+let cells = 4
+let period = Vtime.us 1000
+let reports_per_cell_per_period = 1
+let periods = 40
+
+let () =
+  (* Static analysis: worst-case buffering for the controller endpoint. *)
+  let buffers =
+    Provision.periodic_buffers ~senders:cells
+      ~messages_per_period:reports_per_cell_per_period
+  in
+  let config = Provision.config_for ~base:Config.default ~buffers in
+  Fmt.pr "factory floor: %d cells, %d report(s)/cell/period, period=%a@." cells
+    reports_per_cell_per_period Vtime.pp period;
+  Fmt.pr "static provisioning: %d receive buffers (queue capacity %d)@." buffers
+    config.Config.queue_capacity;
+
+  (* Node 0 is the line controller; nodes 1..cells are production cells. *)
+  let machine =
+    Machine.create ~config (Machine.Mesh { cols = cells + 1; rows = 1 }) ()
+  in
+  let name_service = Mailbox.create () in
+  let received = ref 0 in
+  let drops = ref 0 in
+  let expected = cells * reports_per_cell_per_period * periods in
+
+  Machine.spawn_app ~name:"controller" machine ~node:0 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      for _ = 1 to buffers do
+        ok (Api.post_receive api ep (ok (Api.allocate_buffer api)))
+      done;
+      for _ = 1 to cells do
+        Mailbox.put name_service (Api.address api ep)
+      done;
+      (* Periodic drain: once per period, consume everything queued. *)
+      while !received < expected do
+        Sim.delay (Vtime.to_ns period);
+        let rec drain () =
+          match Api.receive api ep with
+          | Some buf ->
+              incr received;
+              (* Parse the report (cell id in the first payload word). *)
+              ignore (Api.read_payload api buf 4 : Bytes.t);
+              Mem_port.instr (Api.port api) 50;
+              ok (Api.post_receive api ep buf);
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        drops := !drops + Api.drops_read_and_reset api ep
+      done);
+
+  for cell = 1 to cells do
+    Machine.spawn_app ~name:(Fmt.str "cell-%d" cell) machine ~node:cell
+      (fun api ->
+        let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        Api.connect api ep (Mailbox.take name_service);
+        (* Cells are phase-shifted within the period, as on a real line. *)
+        Sim.delay (cell * 137_000 mod Vtime.to_ns period);
+        let buf = ok (Api.allocate_buffer api) in
+        let report = Bytes.create 4 in
+        Bytes.set_int32_le report 0 (Int32.of_int cell);
+        for _ = 1 to periods do
+          Api.write_payload api buf report;
+          ok (Api.send api ep buf);
+          let rec reclaim () =
+            match Api.reclaim api ep with
+            | Some _ -> ()
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                reclaim ()
+          in
+          reclaim ();
+          Sim.delay (Vtime.to_ns period)
+        done)
+  done;
+
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  Fmt.pr "after %d periods: received=%d/%d, discarded=%d@." periods !received
+    expected !drops;
+  if !drops = 0 && !received = expected then
+    Fmt.pr "=> zero discards: the static worst-case bound held, with no@.\
+           \   runtime flow control on the message path.@."
+  else Fmt.pr "=> UNEXPECTED: provisioning bound violated!@."

@@ -1,0 +1,70 @@
+(* Radar tracker: the event-driven command-and-control scenario that
+   motivates FLIPC (AEGIS/AWACS-style systems in the paper's introduction).
+
+   Run with: dune exec examples/radar_tracker.exe
+
+   A sensor node sends two classes of traffic to a control node:
+
+   - "track" events — detections of incoming objects. Medium-sized
+     (a 96-byte track record), high importance, must be processed with
+     low, predictable latency.
+   - "maintenance" telemetry — preventive-maintenance chatter. High
+     volume, low importance.
+
+   The paper's requirement: the system "must not only process a message
+   announcing detection of an incoming missile in preference to a message
+   indicating that it is time for preventative maintenance, but must also
+   ensure that the latter message does not consume resources required to
+   handle the former."
+
+   FLIPC's answer, demonstrated here:
+   - each class gets its own endpoint, so buffer resources are separate;
+   - the maintenance endpoint is given few buffers: when its consumer
+     falls behind, the optimistic transport discards (and counts) excess
+     maintenance messages instead of letting them queue without bound;
+   - receivers are real-time threads woken through endpoint semaphores,
+     with the track thread at higher priority — the scheduler, not an
+     interrupting upcall, decides who runs. *)
+
+module Vtime = Flipc_sim.Vtime
+module Machine = Flipc.Machine
+module Streams = Flipc_workload.Streams
+module Summary = Flipc_stats.Summary
+
+let () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  Fmt.pr "radar tracker: sensor=node 0, control=node 1@.";
+  Fmt.pr "  track:       one 96B event every 100us, 8 buffers, priority 10@.";
+  Fmt.pr "  maintenance: one record every 10us (overload), 2 buffers, priority 1@.";
+  Fmt.pr "running 50ms of virtual time...@.";
+  let results =
+    Streams.run ~machine ~node_src:0 ~node_dst:1 ~until:(Vtime.ms 50)
+      [
+        (* Track events arrive as a Poisson process (detections are
+           random), mean 100us; maintenance chatters periodically. *)
+        Streams.make ~name:"track" ~priority:10
+          ~arrival:(Flipc_workload.Arrivals.poisson ~mean_ns:100_000 ~seed:11)
+          ~count:400 ~recv_buffers:8 ~consume_ns:8_000 ~deadline_ns:100_000 ();
+        Streams.make ~name:"maintenance" ~priority:1 ~period_ns:10_000
+          ~count:4_000 ~recv_buffers:2 ~consume_ns:80_000 ();
+      ]
+  in
+  List.iter
+    (fun (r : Streams.stream_result) ->
+      Fmt.pr "@.stream %-12s sent=%5d delivered=%5d discarded=%5d misses=%d@."
+        r.name r.sent r.delivered r.dropped r.deadline_misses;
+      match r.latency with
+      | Some l ->
+          Fmt.pr "  latency: mean=%.1fus p95=%.1fus max=%.1fus@." l.Summary.mean
+            l.Summary.p95 l.Summary.max
+      | None -> Fmt.pr "  (nothing delivered)@.")
+    results;
+  (match results with
+  | [ track; maintenance ] ->
+      Fmt.pr "@.=> track stream: %d/%d delivered, %d drops — unaffected by the@."
+        track.Streams.delivered track.Streams.sent track.Streams.dropped;
+      Fmt.pr "   maintenance overload (%d discards confined to its own endpoint).@."
+        maintenance.Streams.dropped
+  | _ -> ());
+  Fmt.pr "@.resource isolation: discarding is per-endpoint, priorities are@.";
+  Fmt.pr "enforced by the scheduler via FLIPC's real-time semaphore wakeup.@."

@@ -1,0 +1,1 @@
+lib/baselines/express.ml: Array Bytes Flipc_net Flipc_sim Flipc_stats Float

@@ -1,0 +1,1 @@
+lib/baselines/harness.ml: Array Flipc_net Flipc_sim Flipc_stats List

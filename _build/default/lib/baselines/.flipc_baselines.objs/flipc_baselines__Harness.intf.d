@@ -1,0 +1,1 @@
+lib/baselines/harness.mli: Flipc_net Flipc_sim

@@ -1,0 +1,1 @@
+lib/baselines/nx.ml: Bytes Flipc_net Flipc_sim Float Harness

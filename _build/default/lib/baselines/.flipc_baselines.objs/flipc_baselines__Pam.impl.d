@@ -1,0 +1,1 @@
+lib/baselines/pam.ml: Bytes Flipc_net Flipc_sim Harness

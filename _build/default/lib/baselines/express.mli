@@ -1,0 +1,49 @@
+(** Model of Express Messages (Lee, UW TR 93-12-06), the medium-message
+    system on the iPSC/2 hypercube that the paper credits as its closest
+    ancestor: it "recognized the distinction among small, medium, and
+    large messages, and also used an aggressive optimistic transfer
+    protocol for medium messages".
+
+    The paper names three structural differences from FLIPC, each modelled
+    here as a knob so the enhancement FLIPC made can be quantified:
+
+    - fixed-size buffers managed "via page mapping techniques instead of a
+      shared memory buffer", with "system calls ... used for buffer
+      management in contrast to the shared data structure implementation
+      in FLIPC" — [buffer_mgmt] selects a kernel trap per buffer
+      operation ([`Syscall]) or the FLIPC-style wait-free shared
+      structure ([`Shared]);
+    - "a shared control bit was used [to] switch between polling and
+      interrupt-based message delivery" — [delivery];
+    - user-level threading with an interrupt/critical-section handoff
+      (FLIPC instead delivers to kernel threads) — folded into the
+      interrupt delivery cost.
+
+    The iPSC/2 is a 16 MHz 80386 machine with 2.8 MB/s links; no directly
+    comparable numbers appear in the FLIPC paper, so this model is
+    calibrated only to era magnitudes and used for {e internal}
+    comparisons (which knob costs what), never against the Paragon
+    numbers. *)
+
+type config = {
+  user_op_ns : int;  (** user-level queue manipulation *)
+  syscall_ns : int;  (** one kernel crossing on a 16 MHz 386 *)
+  protocol_ns : int;  (** per-message protocol work per side *)
+  poll_detect_ns : int;  (** mean polling delay at the receiver *)
+  interrupt_ns : int;
+      (** interrupt delivery + user-level thread handoff at the receiver *)
+  copy_ns_per_byte : float;
+}
+
+val default_config : config
+
+(** [one_way_latency_us ~buffer_mgmt ~delivery ~payload_bytes ~exchanges ()]
+    measures a ping-pong over the iPSC/2 hypercube fabric. *)
+val one_way_latency_us :
+  ?config:config ->
+  buffer_mgmt:[ `Syscall | `Shared ] ->
+  delivery:[ `Polling | `Interrupt ] ->
+  payload_bytes:int ->
+  exchanges:int ->
+  unit ->
+  float

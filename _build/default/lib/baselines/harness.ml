@@ -1,0 +1,42 @@
+module Sim = Flipc_sim.Engine
+module Topology = Flipc_net.Topology
+module Mesh = Flipc_net.Mesh
+module Fabric = Flipc_net.Fabric
+module Nic = Flipc_net.Nic
+
+type env = { sim : Sim.t; fabric : Fabric.t; nics : Nic.t array }
+
+let mesh_env ?(cols = 4) ?(rows = 4) ?(mesh_config = Mesh.paragon_config) () =
+  let sim = Sim.create () in
+  let topology = Topology.create ~cols ~rows in
+  let fabric = Mesh.create ~engine:sim ~topology ~config:mesh_config in
+  let nics =
+    Array.init (Topology.node_count topology) (fun node ->
+        Nic.create ~engine:sim ~fabric ~node)
+  in
+  { sim; fabric; nics }
+
+let pingpong ~env ~node_a ~node_b ~exchanges ~warmup ~send ~receive =
+  let samples = ref [] in
+  let rounds = warmup + exchanges in
+  Sim.spawn ~name:"baseline-echo" env.sim (fun () ->
+      let nic = env.nics.(node_b) in
+      for _ = 1 to rounds do
+        receive nic;
+        send nic ~dst:node_a
+      done);
+  Sim.spawn ~name:"baseline-client" env.sim (fun () ->
+      let nic = env.nics.(node_a) in
+      for round = 1 to rounds do
+        let t0 = Sim.now env.sim in
+        send nic ~dst:node_b;
+        receive nic;
+        let t1 = Sim.now env.sim in
+        if round > warmup then
+          samples := float_of_int (t1 - t0) /. 1000. :: !samples
+      done);
+  Sim.run env.sim;
+  List.rev !samples
+
+let one_way_us samples =
+  Flipc_stats.Summary.mean samples /. 2.

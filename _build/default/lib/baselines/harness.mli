@@ -1,0 +1,38 @@
+(** Shared plumbing for the baseline messaging-system models.
+
+    Each baseline (NX, PAM, SUNMOS) is a protocol-structure model: real
+    packets over the same simulated mesh as FLIPC, with the protocol's CPU
+    costs (traps, copies, kernel paths, handler dispatch) charged
+    explicitly. The numbers therefore emerge from protocol structure plus
+    one small calibration record per system, rather than being hard-coded
+    paper values. *)
+
+type env = {
+  sim : Flipc_sim.Engine.t;
+  fabric : Flipc_net.Fabric.t;
+  nics : Flipc_net.Nic.t array;
+}
+
+(** [mesh_env ()] builds a Paragon-like mesh with one NIC per node. *)
+val mesh_env :
+  ?cols:int -> ?rows:int -> ?mesh_config:Flipc_net.Mesh.config -> unit -> env
+
+(** [pingpong ~env ~node_a ~node_b ~exchanges ~warmup ~send ~receive] runs
+    the standard two-way exchange measurement: [send nic ~dst] performs one
+    message send from the calling process (charging its sender-side costs);
+    [receive nic] blocks until one full message has arrived and been handed
+    to the application (charging receiver-side costs). Returns per-exchange
+    round-trip times in microseconds. *)
+val pingpong :
+  env:env ->
+  node_a:int ->
+  node_b:int ->
+  exchanges:int ->
+  warmup:int ->
+  send:(Flipc_net.Nic.t -> dst:int -> unit) ->
+  receive:(Flipc_net.Nic.t -> unit) ->
+  float list
+
+(** [one_way_us samples] is the mean one-way latency from round-trip
+    samples. *)
+val one_way_us : float list -> float

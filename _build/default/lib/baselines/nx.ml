@@ -1,0 +1,65 @@
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Nic = Flipc_net.Nic
+module Packet = Flipc_net.Packet
+
+type config = {
+  trap_ns : int;
+  copy_ns_per_byte : float;
+  kernel_send_ns : int;
+  kernel_recv_ns : int;
+  rendezvous_threshold : int;
+  rendezvous_setup_ns : int;
+  stream_ns_per_byte : float;
+}
+
+let default_config =
+  {
+    trap_ns = 2_000;
+    copy_ns_per_byte = 15.0;
+    kernel_send_ns = 18_500;
+    kernel_recv_ns = 18_500;
+    rendezvous_threshold = 4_096;
+    rendezvous_setup_ns = 60_000;
+    stream_ns_per_byte = 7.14;
+  }
+
+let copy_ns config len =
+  int_of_float (Float.round (float_of_int len *. config.copy_ns_per_byte))
+
+let send config payload_bytes nic ~dst =
+  (* csend: trap, user->kernel copy, kernel/coprocessor protocol path. The
+     trap out of the kernel overlaps the wire and is off the latency
+     path. *)
+  Sim.delay config.trap_ns;
+  Sim.delay (copy_ns config payload_bytes);
+  Sim.delay config.kernel_send_ns;
+  Nic.send nic
+    (Packet.make ~src:(Nic.node nic) ~dst ~protocol:Packet.Nx
+       (Bytes.create payload_bytes))
+
+let receive config nic =
+  (* crecv: block for arrival, then interrupt/kernel path, kernel->user
+     copy, and the trap back out to the application. *)
+  let p = Mailbox.take (Nic.rx_queue nic Packet.Nx) in
+  Sim.delay config.kernel_recv_ns;
+  Sim.delay (copy_ns config (Bytes.length p.Packet.payload));
+  Sim.delay config.trap_ns
+
+let one_way_latency_us ?(config = default_config) ~payload_bytes ~exchanges () =
+  if payload_bytes > config.rendezvous_threshold then
+    invalid_arg "Nx.one_way_latency_us: use bandwidth_mb_s for large messages";
+  let env = Harness.mesh_env () in
+  let samples =
+    Harness.pingpong ~env ~node_a:0 ~node_b:1 ~exchanges ~warmup:2
+      ~send:(send config payload_bytes)
+      ~receive:(receive config)
+  in
+  Harness.one_way_us samples
+
+let bandwidth_mb_s ?(config = default_config) ~bytes () =
+  let ns =
+    float_of_int config.rendezvous_setup_ns
+    +. (float_of_int bytes *. config.stream_ns_per_byte)
+  in
+  float_of_int bytes /. ns *. 1000.

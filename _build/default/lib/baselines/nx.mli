@@ -1,0 +1,30 @@
+(** Model of NX, the Paragon's native message-passing system (Pierce &
+    Regnier), as shipped with Paragon OS R1.3.2.
+
+    Structure: fully kernel-mediated csend/crecv. A send traps into the
+    kernel, copies the user buffer into a kernel buffer, and runs the
+    kernel/coprocessor protocol path; the receive side mirrors this. Large
+    messages switch to a rendezvous protocol that streams via DMA at high
+    bandwidth — NX is "optimized for bandwidth on large messages", which is
+    exactly why its medium-message latency (46 us at 120 bytes, per the
+    paper) is poor. *)
+
+type config = {
+  trap_ns : int;  (** one kernel boundary crossing *)
+  copy_ns_per_byte : float;  (** user/kernel buffer copy *)
+  kernel_send_ns : int;  (** kernel + coprocessor protocol, send side *)
+  kernel_recv_ns : int;  (** interrupt + kernel + wakeup, receive side *)
+  rendezvous_threshold : int;  (** bytes; larger messages use rendezvous *)
+  rendezvous_setup_ns : int;
+  stream_ns_per_byte : float;  (** 7.14 ns/B = 140 MB/s peak *)
+}
+
+val default_config : config
+
+(** [one_way_latency_us ?config ~payload_bytes ~exchanges ()] runs the
+    ping-pong measurement. *)
+val one_way_latency_us :
+  ?config:config -> payload_bytes:int -> exchanges:int -> unit -> float
+
+(** [bandwidth_mb_s ?config ~bytes] is the large-transfer data rate. *)
+val bandwidth_mb_s : ?config:config -> bytes:int -> unit -> float

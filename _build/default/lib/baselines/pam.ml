@@ -1,0 +1,77 @@
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Nic = Flipc_net.Nic
+module Packet = Flipc_net.Packet
+
+type config = {
+  frag_payload : int;
+  frame_bytes : int;
+  sender_per_frag_ns : int;
+  handler_per_frag_ns : int;
+  poll_detect_ns : int;
+  deliver_ns : int;
+  window : int;
+  credit_rtt_ns : int;
+  bulk_setup_ns : int;
+  bulk_ns_per_byte : float;
+}
+
+let default_config =
+  {
+    frag_payload = 20;
+    frame_bytes = 28;
+    sender_per_frag_ns = 1_000;
+    handler_per_frag_ns = 3_300;
+    poll_detect_ns = 4_000;
+    deliver_ns = 600;
+    window = 4;
+    credit_rtt_ns = 2_000;
+    bulk_setup_ns = 15_000;
+    bulk_ns_per_byte = 5.7;
+  }
+
+let fragments config payload_bytes =
+  max 1 ((payload_bytes + config.frag_payload - 1) / config.frag_payload)
+
+let send config payload_bytes nic ~dst =
+  let frags = fragments config payload_bytes in
+  for i = 0 to frags - 1 do
+    (* Window flow control: after each full window, stall for the credit
+       return before injecting more. *)
+    if i > 0 && i mod config.window = 0 then Sim.delay config.credit_rtt_ns;
+    Sim.delay config.sender_per_frag_ns;
+    Nic.send nic
+      (Packet.make ~src:(Nic.node nic) ~dst ~protocol:Packet.Pam ~seq:i
+         ~tag:frags
+         (Bytes.create (config.frame_bytes - Packet.header_bytes)))
+  done
+
+let receive config nic =
+  let queue = Nic.rx_queue nic Packet.Pam in
+  let first = Mailbox.take queue in
+  (* Polling discovers the first fragment after (on average) half a poll
+     loop; the handler then runs once per fragment. *)
+  Sim.delay config.poll_detect_ns;
+  Sim.delay config.handler_per_frag_ns;
+  let total = first.Packet.tag in
+  for _ = 2 to total do
+    let _ = Mailbox.take queue in
+    Sim.delay config.handler_per_frag_ns
+  done;
+  Sim.delay config.deliver_ns
+
+let one_way_latency_us ?(config = default_config) ~payload_bytes ~exchanges () =
+  let env = Harness.mesh_env () in
+  let samples =
+    Harness.pingpong ~env ~node_a:0 ~node_b:1 ~exchanges ~warmup:2
+      ~send:(send config payload_bytes)
+      ~receive:(receive config)
+  in
+  Harness.one_way_us samples
+
+let bulk_bandwidth_mb_s ?(config = default_config) ~bytes () =
+  let ns =
+    float_of_int config.bulk_setup_ns
+    +. (float_of_int bytes *. config.bulk_ns_per_byte)
+  in
+  float_of_int bytes /. ns *. 1000.

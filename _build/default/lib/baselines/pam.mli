@@ -1,0 +1,39 @@
+(** Model of Paragon Active Messages (Brewer et al., "Remote Queues").
+
+    Structure: a user-level active-messages facility carrying fixed 28-byte
+    packets (8 bytes of header, 20 of application payload), delivered by
+    polling and dispatched to a handler whose address rides in the message;
+    plus a complementary bulk transport doing direct remote-memory reads
+    and writes. Optimized for very small messages: a 20-byte message is
+    copied to/from internal structures at almost zero cost and needs no
+    application buffer management.
+
+    Payloads larger than 20 bytes must be fragmented, one handler dispatch
+    per fragment — which is why PAM's 120-byte latency (26 us in the
+    paper's comparison) loses to FLIPC's 16.2 despite winning at 20 bytes.
+    A credit window (as in PAM's window-based flow control) throttles
+    fragment trains. *)
+
+type config = {
+  frag_payload : int;  (** application bytes per packet (20) *)
+  frame_bytes : int;  (** fixed wire packet size (28) *)
+  sender_per_frag_ns : int;  (** user-level injection cost per fragment *)
+  handler_per_frag_ns : int;  (** handler dispatch + run per fragment *)
+  poll_detect_ns : int;  (** mean polling delay detecting first fragment *)
+  deliver_ns : int;  (** final hand-off to application code *)
+  window : int;  (** credit window (fragments in flight) *)
+  credit_rtt_ns : int;  (** stall per window turn-around *)
+  bulk_setup_ns : int;  (** bulk remote-memory transfer setup *)
+  bulk_ns_per_byte : float;  (** 5.7 ns/B = 175 MB/s *)
+}
+
+val default_config : config
+
+(** Fragments needed for a payload. *)
+val fragments : config -> int -> int
+
+val one_way_latency_us :
+  ?config:config -> payload_bytes:int -> exchanges:int -> unit -> float
+
+(** Bulk (remote-memory) transfer data rate. *)
+val bulk_bandwidth_mb_s : ?config:config -> bytes:int -> unit -> float

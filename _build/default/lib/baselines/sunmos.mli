@@ -1,0 +1,24 @@
+(** Model of SUNMOS (Sandia/UNM OS; Wheat et al., PUMA).
+
+    Structure: a single-application operating system that optimizes large
+    messages (and zero-length messages) for numerical computing. Its basic
+    protocol sends even multi-megabyte messages as a {e single packet},
+    occupying the interconnect path for the whole transfer — great for
+    bandwidth (approaching 160 MB/s, the best software throughput on the
+    Paragon), poor for medium-message latency (28 us at 120 bytes) and a
+    responsiveness hazard in a real-time setting, both of which the paper
+    points out. *)
+
+type config = {
+  sender_fixed_ns : int;
+  receiver_fixed_ns : int;
+  per_byte_ns : float;  (** software per-byte cost on top of the wire *)
+  zero_len_fixed_ns : int;  (** special-cased zero-length messages *)
+}
+
+val default_config : config
+
+val one_way_latency_us :
+  ?config:config -> payload_bytes:int -> exchanges:int -> unit -> float
+
+val bandwidth_mb_s : ?config:config -> bytes:int -> unit -> float

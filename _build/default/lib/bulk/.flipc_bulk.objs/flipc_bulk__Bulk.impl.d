@@ -1,0 +1,1 @@
+lib/bulk/bulk.ml: Bytes Flipc Flipc_memsim Flipc_net Flipc_sim Float Hashtbl Int32

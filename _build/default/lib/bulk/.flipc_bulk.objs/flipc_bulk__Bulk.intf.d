@@ -1,0 +1,1 @@
+lib/bulk/bulk.mli: Bytes Flipc

@@ -1,0 +1,302 @@
+module Sim = Flipc_sim.Engine
+module Condvar = Flipc_sim.Sync.Condvar
+module Shared_mem = Flipc_memsim.Shared_mem
+module Machine = Flipc.Machine
+module Nic = Flipc_net.Nic
+module Dma = Flipc_net.Dma
+module Packet = Flipc_net.Packet
+
+type config = {
+  max_fragment : int;
+  setup_ns : int;
+  per_fragment_ns : int;
+  sender_ns_per_byte : float;
+}
+
+let default_config =
+  {
+    max_fragment = 4096;
+    setup_ns = 16_000;
+    per_fragment_ns = 2_000;
+    sender_ns_per_byte = 5.3;
+  }
+
+type region = { r_id : int; r_node : int; r_base : int; r_len : int }
+
+type stats = {
+  mutable puts : int;
+  mutable gets : int;
+  mutable data_bytes : int;
+  mutable fragments : int;
+  mutable rejected : int;
+}
+
+type put_wait = { mutable put_status : int option; put_cv : Condvar.t }
+
+type get_wait = {
+  g_buf : Bytes.t;
+  mutable g_received : int;
+  mutable g_failed : bool;
+  g_cv : Condvar.t;
+}
+
+type rx_progress = { mutable remaining : int }
+
+type t = {
+  machine : Machine.t;
+  config : config;
+  regions : (int, region) Hashtbl.t;
+  put_waits : (int, put_wait) Hashtbl.t;
+  get_waits : (int, get_wait) Hashtbl.t;
+  rx_puts : (int, rx_progress) Hashtbl.t;  (* transfer id -> progress *)
+  mutable next_region : int;
+  mutable next_transfer : int;
+  stats : stats;
+}
+
+(* Opcodes in Packet.tag. *)
+let op_put_data = 0
+let op_put_ack = 1
+let op_get_req = 2
+let op_get_data = 3
+
+let get_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
+
+let set_i32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let stats t = t.stats
+
+let stream_cost config frag_bytes =
+  config.per_fragment_ns
+  + int_of_float (Float.round (float_of_int frag_bytes *. config.sender_ns_per_byte))
+
+let send_packet t ~src ~dst ~op ~transfer payload =
+  Nic.send
+    (Machine.nic (Machine.node t.machine src))
+    (Packet.make ~src ~dst ~protocol:Packet.Bulk ~tag:op ~seq:transfer payload)
+
+(* --- receive-side handlers (run as fresh processes per packet) --- *)
+
+let reject_put t (p : Packet.t) =
+  t.stats.rejected <- t.stats.rejected + 1;
+  send_packet t ~src:p.Packet.dst ~dst:p.Packet.src ~op:op_put_ack
+    ~transfer:p.Packet.seq
+    (let b = Bytes.create 4 in
+     set_i32 b 0 1;
+     b)
+
+let handle_put_data t (p : Packet.t) =
+  let payload = p.Packet.payload in
+  if Bytes.length payload < 12 then reject_put t p
+  else
+    let handle = get_i32 payload 0 in
+    let offset = get_i32 payload 4 in
+    let total = get_i32 payload 8 in
+    let data_len = Bytes.length payload - 12 in
+    match Hashtbl.find_opt t.regions handle with
+    | Some r
+      when r.r_node = p.Packet.dst
+           && offset >= 0 && total >= 0
+           && offset + data_len <= r.r_len ->
+        let node = Machine.node t.machine p.Packet.dst in
+        let data = Bytes.sub payload 12 data_len in
+        Dma.write (Machine.dma node) ~pos:(r.r_base + offset) data;
+        t.stats.fragments <- t.stats.fragments + 1;
+        let progress =
+          match Hashtbl.find_opt t.rx_puts p.Packet.seq with
+          | Some pr -> pr
+          | None ->
+              let pr = { remaining = total } in
+              Hashtbl.replace t.rx_puts p.Packet.seq pr;
+              pr
+        in
+        progress.remaining <- progress.remaining - data_len;
+        if progress.remaining <= 0 then begin
+          Hashtbl.remove t.rx_puts p.Packet.seq;
+          send_packet t ~src:p.Packet.dst ~dst:p.Packet.src ~op:op_put_ack
+            ~transfer:p.Packet.seq
+            (let b = Bytes.create 4 in
+             set_i32 b 0 0;
+             b)
+        end
+    | Some _ | None -> reject_put t p
+
+let handle_put_ack t (p : Packet.t) =
+  match Hashtbl.find_opt t.put_waits p.Packet.seq with
+  | None -> ()
+  | Some w ->
+      w.put_status <- Some (get_i32 p.Packet.payload 0);
+      Condvar.broadcast w.put_cv
+
+(* Serve a get by streaming the window back; this runs on the exporting
+   node, so the per-byte cost is charged there (it is the data source). *)
+let handle_get_req t (p : Packet.t) =
+  let payload = p.Packet.payload in
+  let handle = get_i32 payload 0 in
+  let offset = get_i32 payload 4 in
+  let len = get_i32 payload 8 in
+  match Hashtbl.find_opt t.regions handle with
+  | Some r
+    when r.r_node = p.Packet.dst
+         && offset >= 0 && len >= 0
+         && offset + len <= r.r_len ->
+      let node = Machine.node t.machine p.Packet.dst in
+      let pos = ref 0 in
+      while !pos < len do
+        let frag = min t.config.max_fragment (len - !pos) in
+        Sim.delay (stream_cost t.config frag);
+        let data =
+          Shared_mem.read_bytes (Machine.mem node) ~pos:(r.r_base + offset + !pos)
+            ~len:frag
+        in
+        let out = Bytes.create (4 + frag) in
+        set_i32 out 0 !pos;
+        Bytes.blit data 0 out 4 frag;
+        t.stats.fragments <- t.stats.fragments + 1;
+        send_packet t ~src:p.Packet.dst ~dst:p.Packet.src ~op:op_get_data
+          ~transfer:p.Packet.seq out;
+        pos := !pos + frag
+      done
+  | Some _ | None -> (
+      t.stats.rejected <- t.stats.rejected + 1;
+      (* A zero-length data fragment with offset -1 signals failure. *)
+      let out = Bytes.create 4 in
+      set_i32 out 0 0x3FFFFFFF;
+      send_packet t ~src:p.Packet.dst ~dst:p.Packet.src ~op:op_get_data
+        ~transfer:p.Packet.seq out)
+
+let handle_get_data t (p : Packet.t) =
+  match Hashtbl.find_opt t.get_waits p.Packet.seq with
+  | None -> ()
+  | Some w ->
+      let payload = p.Packet.payload in
+      let offset = get_i32 payload 0 in
+      if offset = 0x3FFFFFFF then begin
+        w.g_failed <- true;
+        Condvar.broadcast w.g_cv
+      end
+      else begin
+        let frag = Bytes.length payload - 4 in
+        Bytes.blit payload 4 w.g_buf offset frag;
+        w.g_received <- w.g_received + frag;
+        if w.g_received >= Bytes.length w.g_buf then Condvar.broadcast w.g_cv
+      end
+
+let create ?(config = default_config) machine =
+  if config.max_fragment <= 0 then invalid_arg "Bulk.create: bad max_fragment";
+  let t =
+    {
+      machine;
+      config;
+      regions = Hashtbl.create 16;
+      put_waits = Hashtbl.create 16;
+      get_waits = Hashtbl.create 16;
+      rx_puts = Hashtbl.create 16;
+      next_region = 0;
+      next_transfer = 0;
+      stats = { puts = 0; gets = 0; data_bytes = 0; fragments = 0; rejected = 0 };
+    }
+  in
+  for node = 0 to Machine.node_count machine - 1 do
+    Nic.set_callback
+      (Machine.nic (Machine.node machine node))
+      Packet.Bulk
+      (fun p ->
+        if p.Packet.tag = op_put_data then handle_put_data t p
+        else if p.Packet.tag = op_put_ack then handle_put_ack t p
+        else if p.Packet.tag = op_get_req then handle_get_req t p
+        else if p.Packet.tag = op_get_data then handle_get_data t p)
+  done;
+  t
+
+let export_at t ~node ~base ~len =
+  if len <= 0 then invalid_arg "Bulk.export_at: len <= 0";
+  let mem = Machine.mem (Machine.node t.machine node) in
+  if base < 0 || base + len > Shared_mem.size mem then
+    invalid_arg "Bulk.export_at: range outside node memory";
+  t.next_region <- t.next_region + 1;
+  let r = { r_id = t.next_region; r_node = node; r_base = base; r_len = len } in
+  Hashtbl.replace t.regions r.r_id r;
+  r
+
+let export t ~node ~len =
+  let base = Machine.alloc_heap (Machine.node t.machine node) len in
+  export_at t ~node ~base ~len
+
+let region_node r = r.r_node
+let region_len r = r.r_len
+let region_base r = r.r_base
+let handle r = r.r_id
+let region_of_handle t id = Hashtbl.find_opt t.regions id
+
+let fresh_transfer t =
+  t.next_transfer <- t.next_transfer + 1;
+  t.next_transfer
+
+let put t ~from ?(at = 0) region data =
+  let len = Bytes.length data in
+  if at < 0 || at + len > region.r_len then
+    invalid_arg "Bulk.put: range outside region";
+  let id = fresh_transfer t in
+  let wait = { put_status = None; put_cv = Condvar.create () } in
+  Hashtbl.replace t.put_waits id wait;
+  t.stats.puts <- t.stats.puts + 1;
+  t.stats.data_bytes <- t.stats.data_bytes + len;
+  Sim.delay t.config.setup_ns;
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let frag = min t.config.max_fragment (len - !pos) in
+    Sim.delay (stream_cost t.config frag);
+    let out = Bytes.create (12 + frag) in
+    set_i32 out 0 region.r_id;
+    set_i32 out 4 (at + !pos);
+    set_i32 out 8 len;
+    Bytes.blit data !pos out 12 frag;
+    send_packet t ~src:from ~dst:region.r_node ~op:op_put_data ~transfer:id out;
+    pos := !pos + frag;
+    if !pos >= len then continue := false
+  done;
+  let rec await () =
+    match wait.put_status with
+    | Some status -> status
+    | None ->
+        Condvar.wait wait.put_cv;
+        await ()
+  in
+  let status = await () in
+  Hashtbl.remove t.put_waits id;
+  if status <> 0 then invalid_arg "Bulk.put: rejected by the owning node"
+
+let get t ~into ?(at = 0) region ~len =
+  if at < 0 || len <= 0 || at + len > region.r_len then
+    invalid_arg "Bulk.get: range outside region";
+  let id = fresh_transfer t in
+  let wait =
+    { g_buf = Bytes.create len; g_received = 0; g_failed = false;
+      g_cv = Condvar.create () }
+  in
+  Hashtbl.replace t.get_waits id wait;
+  t.stats.gets <- t.stats.gets + 1;
+  t.stats.data_bytes <- t.stats.data_bytes + len;
+  Sim.delay t.config.setup_ns;
+  let req = Bytes.create 12 in
+  set_i32 req 0 region.r_id;
+  set_i32 req 4 at;
+  set_i32 req 8 len;
+  send_packet t ~src:into ~dst:region.r_node ~op:op_get_req ~transfer:id req;
+  let rec await () =
+    if wait.g_failed then begin
+      Hashtbl.remove t.get_waits id;
+      invalid_arg "Bulk.get: rejected by the owning node"
+    end
+    else if wait.g_received >= len then begin
+      Hashtbl.remove t.get_waits id;
+      wait.g_buf
+    end
+    else begin
+      Condvar.wait wait.g_cv;
+      await ()
+    end
+  in
+  await ()

@@ -1,0 +1,1 @@
+lib/core/api.ml: Address Buffer_queue Comm_buffer Config Drop_counter Endpoint_kind Flipc_memsim Flipc_rt Fun Layout Msg_buffer Msg_engine

@@ -1,0 +1,1 @@
+lib/core/api.mli: Address Bytes Comm_buffer Config Endpoint_kind Flipc_memsim Flipc_rt Layout Msg_engine

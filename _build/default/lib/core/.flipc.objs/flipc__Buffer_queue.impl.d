@@ -1,0 +1,1 @@
+lib/core/buffer_queue.ml: Config Flipc_memsim Layout

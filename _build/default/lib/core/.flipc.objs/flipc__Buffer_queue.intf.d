@@ -1,0 +1,1 @@
+lib/core/buffer_queue.mli: Flipc_memsim Layout

@@ -1,0 +1,1 @@
+lib/core/channel.ml: Api Bytes Endpoint_kind Flipc_memsim Flipc_rt Int32 Queue

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Address Api Bytes Flipc_rt

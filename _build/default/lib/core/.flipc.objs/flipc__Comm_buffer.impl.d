@@ -1,0 +1,1 @@
+lib/core/comm_buffer.ml: Array Config Flipc_memsim Flipc_rt Fun Layout List

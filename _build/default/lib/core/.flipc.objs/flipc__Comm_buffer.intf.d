@@ -1,0 +1,1 @@
+lib/core/comm_buffer.mli: Config Flipc_memsim Flipc_rt Layout

@@ -1,0 +1,1 @@
+lib/core/drop_counter.ml: Flipc_memsim Layout

@@ -1,0 +1,1 @@
+lib/core/drop_counter.mli: Flipc_memsim Layout

@@ -1,0 +1,1 @@
+lib/core/endpoint_group.ml: Api Array Endpoint_kind Flipc_rt List

@@ -1,0 +1,1 @@
+lib/core/endpoint_group.mli: Api Flipc_rt

@@ -1,0 +1,1 @@
+lib/core/endpoint_kind.ml: Fmt

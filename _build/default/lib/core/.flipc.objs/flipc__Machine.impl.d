@@ -1,0 +1,1 @@
+lib/core/machine.ml: Address Api Array Bytes Comm_buffer Config Flipc_memsim Flipc_net Flipc_rt Flipc_sim Layout Msg_engine Nameservice Printf

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Api Bytes Comm_buffer Config Flipc_memsim Flipc_net Flipc_rt Flipc_sim Msg_engine Nameservice

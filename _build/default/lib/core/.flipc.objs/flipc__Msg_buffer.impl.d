@@ -1,0 +1,1 @@
+lib/core/msg_buffer.ml: Address Bytes Config Flipc_memsim Int32 Layout

@@ -1,0 +1,1 @@
+lib/core/msg_buffer.mli: Address Bytes Flipc_memsim Layout

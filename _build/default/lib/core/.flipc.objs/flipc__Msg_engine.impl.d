@@ -1,0 +1,1 @@
+lib/core/msg_engine.ml: Address Array Buffer_queue Bytes Comm_buffer Config Drop_counter Endpoint_kind Flipc_memsim Flipc_net Flipc_sim Fmt Int Layout List Msg_buffer Printf Queue

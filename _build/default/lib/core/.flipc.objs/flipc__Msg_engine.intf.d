@@ -1,0 +1,1 @@
+lib/core/msg_engine.mli: Address Bytes Comm_buffer Flipc_memsim Flipc_net Flipc_sim

@@ -1,0 +1,1 @@
+lib/core/nameservice.ml: Address Flipc_sim Hashtbl

@@ -1,0 +1,1 @@
+lib/core/nameservice.mli: Address

@@ -1,0 +1,221 @@
+module Mem_port = Flipc_memsim.Mem_port
+module Sched = Flipc_rt.Sched
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+
+type t = {
+  comm : Comm_buffer.t;
+  port : Mem_port.t;
+  engine : Msg_engine.t;
+  config : Config.t;
+  layout : Layout.t;
+}
+
+type endpoint = {
+  index : int;
+  ep_kind : Endpoint_kind.t;
+  sem : Rt_semaphore.t option;
+}
+
+type buffer = int
+
+type error = [ `No_resources | `Full | `Wrong_kind | `No_destination ]
+
+let error_to_string = function
+  | `No_resources -> "no resources"
+  | `Full -> "endpoint queue full"
+  | `Wrong_kind -> "wrong endpoint kind"
+  | `No_destination -> "no destination connected"
+
+let attach ~comm ~port ~engine =
+  {
+    comm;
+    port;
+    engine;
+    config = Comm_buffer.config comm;
+    layout = Comm_buffer.layout comm;
+  }
+
+let config t = t.config
+let layout t = t.layout
+let port t = t.port
+let comm t = t.comm
+let payload_bytes t = Config.payload_bytes t.config
+
+(* Mutual exclusion among application threads per the configured interface
+   variant. The lock word is a test-and-set spinlock with no cache
+   residency; spinning backs off by a few instruction times so a simulated
+   contender cannot livelock the clock. *)
+let with_lock t ~ep f =
+  match t.config.Config.lock_mode with
+  | Config.Lock_free -> f ()
+  | Config.Test_and_set ->
+      let lock_addr = Layout.ep_field t.layout ~ep Layout.Lock in
+      while not (Mem_port.test_and_set t.port lock_addr) do
+        Mem_port.instr t.port 10
+      done;
+      Fun.protect ~finally:(fun () -> Mem_port.clear t.port lock_addr) f
+
+let ep_field t ~ep field = Layout.ep_field t.layout ~ep field
+
+let allocate_endpoint t ~kind ?semaphore ?(priority = 0) ?(burst = 0)
+    ?allowed_node () =
+  if priority < 0 then invalid_arg "Api.allocate_endpoint: negative priority";
+  if burst < 0 then invalid_arg "Api.allocate_endpoint: negative burst";
+  (match allowed_node with
+  | Some n when n < 0 -> invalid_arg "Api.allocate_endpoint: bad allowed_node"
+  | _ -> ());
+  match Comm_buffer.alloc_endpoint t.comm with
+  | None -> Error `No_resources
+  | Some ep ->
+      Mem_port.instr t.port 12;
+      Buffer_queue.init t.port t.layout ~ep;
+      Mem_port.store t.port (ep_field t ~ep Layout.Priority) priority;
+      Mem_port.store t.port (ep_field t ~ep Layout.Burst) burst;
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Allowed_node)
+        (match allowed_node with Some n -> n + 1 | None -> 0);
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Queue_base)
+        (Layout.slot_addr t.layout ~ep ~slot:0);
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Queue_capacity)
+        t.config.Config.queue_capacity;
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Sem_flag)
+        (match semaphore with Some _ -> 1 | None -> 0);
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Dest_addr)
+        (Address.to_word Address.null);
+      Mem_port.store t.port (ep_field t ~ep Layout.Drop_read) 0;
+      Mem_port.store t.port (ep_field t ~ep Layout.Drop_count) 0;
+      Mem_port.store t.port (ep_field t ~ep Layout.Lock) 0;
+      (* The type word last: the engine ignores the endpoint until it is
+         typed, so a partially initialized endpoint is never scanned. *)
+      Mem_port.store t.port
+        (ep_field t ~ep Layout.Ep_type)
+        (Endpoint_kind.to_word kind);
+      Comm_buffer.set_semaphore t.comm ~ep semaphore;
+      Ok { index = ep; ep_kind = kind; sem = semaphore }
+
+let free_endpoint t ep =
+  Mem_port.store t.port
+    (ep_field t ~ep:ep.index Layout.Ep_type)
+    Endpoint_kind.free_word;
+  Comm_buffer.set_semaphore t.comm ~ep:ep.index None;
+  Comm_buffer.free_endpoint t.comm ep.index
+
+let address t ep =
+  (* Addresses carry node-global endpoint indices so the engine can
+     demultiplex across multiple communication buffers. *)
+  Address.make ~node:(Msg_engine.node t.engine)
+    ~endpoint:(Comm_buffer.ep_offset t.comm + ep.index)
+let endpoint_index ep = ep.index
+let kind ep = ep.ep_kind
+let semaphore ep = ep.sem
+
+let connect t ep addr =
+  Mem_port.store t.port
+    (ep_field t ~ep:ep.index Layout.Dest_addr)
+    (Address.to_word addr)
+
+let allocate_buffer t =
+  match Comm_buffer.alloc_buffer t.comm with
+  | None -> Error `No_resources
+  | Some buf ->
+      Mem_port.instr t.port 6;
+      Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
+      Ok buf
+
+let free_buffer t buf = Comm_buffer.free_buffer t.comm buf
+let buffer_index buf = buf
+
+let buffer_of_index t i =
+  if i < 0 || i >= t.config.Config.total_buffers then
+    invalid_arg "Api.buffer_of_index: out of range";
+  i
+
+let write_payload t buf ?at data =
+  Msg_buffer.write_payload t.port t.layout ~buf ?at data
+
+let read_payload t buf ?at len =
+  Msg_buffer.read_payload t.port t.layout ~buf ?at len
+
+let buffer_complete t buf =
+  match Msg_buffer.state t.port t.layout ~buf with
+  | Some Msg_buffer.Complete -> true
+  | Some Msg_buffer.Idle | None -> false
+
+let release_on t ~ep ~buf =
+  let buf_addr = Layout.buffer_addr t.layout buf in
+  match Buffer_queue.app_release t.port t.layout ~ep ~buf_addr with
+  | Ok () ->
+      Msg_engine.poke t.engine;
+      Ok ()
+  | Error `Full -> Error `Full
+
+let send_with_dest t ep buf dest =
+  if ep.ep_kind <> Endpoint_kind.Send then Error `Wrong_kind
+  else if Address.is_null dest then Error `No_destination
+  else
+    with_lock t ~ep:ep.index (fun () ->
+        Mem_port.instr t.port 6;
+        Msg_buffer.set_dest t.port t.layout ~buf dest;
+        Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
+        release_on t ~ep:ep.index ~buf)
+
+let send t ep buf =
+  let dest =
+    Address.of_word
+      (Mem_port.load t.port (ep_field t ~ep:ep.index Layout.Dest_addr))
+  in
+  send_with_dest t ep buf dest
+
+let send_to t ep buf dest = send_with_dest t ep buf dest
+
+let post_receive t ep buf =
+  if ep.ep_kind <> Endpoint_kind.Recv then Error `Wrong_kind
+  else
+    with_lock t ~ep:ep.index (fun () ->
+        Mem_port.instr t.port 4;
+        Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
+        release_on t ~ep:ep.index ~buf)
+
+let acquire_any t ep =
+  with_lock t ~ep:ep.index (fun () ->
+      match Buffer_queue.app_acquire t.port t.layout ~ep:ep.index with
+      | None -> None
+      | Some buf_addr -> (
+          match Layout.buffer_of_addr t.layout buf_addr with
+          | Some buf -> Some buf
+          | None ->
+              (* Only the application writes slots, so a bad pointer here is
+                 its own corruption; surface it loudly. *)
+              invalid_arg "Api: corrupt buffer pointer in own queue"))
+
+let receive t ep =
+  if ep.ep_kind <> Endpoint_kind.Recv then
+    invalid_arg "Api.receive: not a receive endpoint"
+  else acquire_any t ep
+
+let reclaim t ep =
+  if ep.ep_kind <> Endpoint_kind.Send then
+    invalid_arg "Api.reclaim: not a send endpoint"
+  else acquire_any t ep
+
+let receive_wait t ep thr =
+  match ep.sem with
+  | None -> invalid_arg "Api.receive_wait: endpoint has no semaphore"
+  | Some sem ->
+      let rec loop () =
+        match receive t ep with
+        | Some buf -> buf
+        | None ->
+            Rt_semaphore.wait sem thr;
+            loop ()
+      in
+      loop ()
+
+let drops t ep = Drop_counter.read t.port t.layout ~ep:ep.index
+
+let drops_read_and_reset t ep =
+  Drop_counter.read_and_reset t.port t.layout ~ep:ep.index

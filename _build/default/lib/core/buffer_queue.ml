@@ -1,0 +1,86 @@
+module Mem_port = Flipc_memsim.Mem_port
+
+let init port layout ~ep =
+  Mem_port.store port (Layout.ep_field layout ~ep Layout.Release) 0;
+  Mem_port.store port (Layout.ep_field layout ~ep Layout.Acquire) 0;
+  Mem_port.store port (Layout.ep_field layout ~ep Layout.Process) 0
+
+let capacity layout = (Layout.config layout).Config.queue_capacity
+
+let next layout cursor = (cursor + 1) mod capacity layout
+
+(* The application reads [Process]/its own cursors, writes slots and its own
+   cursors; it never writes [Process]. Symmetrically for the engine. Each
+   operation reads the remote cursor once, giving the lock-free algorithm
+   its single point of linearization per side. *)
+
+let app_release port layout ~ep ~buf_addr =
+  Mem_port.instr port 4;
+  let release_addr = Layout.ep_field layout ~ep Layout.Release in
+  let release = Mem_port.load port release_addr in
+  let acquire =
+    Mem_port.load port (Layout.ep_field layout ~ep Layout.Acquire)
+  in
+  let next_release = next layout release in
+  if next_release = acquire then Error `Full
+  else begin
+    Mem_port.store port (Layout.slot_addr layout ~ep ~slot:release) buf_addr;
+    (* The slot must be globally visible before the cursor moves; on the
+       simulated in-order memory system program order suffices. *)
+    Mem_port.store port release_addr next_release;
+    Ok ()
+  end
+
+let app_acquire port layout ~ep =
+  Mem_port.instr port 4;
+  let acquire_addr = Layout.ep_field layout ~ep Layout.Acquire in
+  let acquire = Mem_port.load port acquire_addr in
+  let process = Mem_port.load port (Layout.ep_field layout ~ep Layout.Process) in
+  if acquire = process then None
+  else begin
+    let buf_addr = Mem_port.load port (Layout.slot_addr layout ~ep ~slot:acquire) in
+    Mem_port.store port acquire_addr (next layout acquire);
+    Some buf_addr
+  end
+
+let engine_peek port layout ~ep =
+  Mem_port.instr port 3;
+  let process = Mem_port.load port (Layout.ep_field layout ~ep Layout.Process) in
+  let release = Mem_port.load port (Layout.ep_field layout ~ep Layout.Release) in
+  if process = release then None
+  else
+    let buf_addr =
+      Mem_port.load port (Layout.slot_addr layout ~ep ~slot:process)
+    in
+    Some (buf_addr, process)
+
+let engine_advance port layout ~ep ~cursor =
+  Mem_port.store port
+    (Layout.ep_field layout ~ep Layout.Process)
+    (next layout cursor)
+
+type snapshot = {
+  release : int;
+  process : int;
+  acquire : int;
+  capacity : int;
+}
+
+let snapshot port layout ~ep =
+  {
+    release = Mem_port.peek port (Layout.ep_field layout ~ep Layout.Release);
+    process = Mem_port.peek port (Layout.ep_field layout ~ep Layout.Process);
+    acquire = Mem_port.peek port (Layout.ep_field layout ~ep Layout.Acquire);
+    capacity = capacity layout;
+  }
+
+let ring_distance s a b = (b - a + s.capacity) mod s.capacity
+let to_process s = ring_distance s s.process s.release
+let to_acquire s = ring_distance s s.acquire s.process
+let occupancy s = ring_distance s s.acquire s.release
+
+let well_formed s =
+  let in_range c = c >= 0 && c < s.capacity in
+  in_range s.release && in_range s.process && in_range s.acquire
+  && to_process s + to_acquire s = occupancy s
+  && occupancy s < s.capacity

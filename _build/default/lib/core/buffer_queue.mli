@@ -1,0 +1,74 @@
+(** The wait-free endpoint buffer queue (Figure 3 of the paper).
+
+    A circular array of buffer pointers with three cursors that chase each
+    other in one direction:
+
+    - [Release] (head): the application inserts buffers here — message
+      buffers to transmit on a send endpoint, empty buffers to fill on a
+      receive endpoint.
+    - [Process] (middle): the messaging engine follows the head, sending
+      from or receiving into each buffer it passes.
+    - [Acquire] (tail): the application reclaims processed buffers here —
+      transmitted buffers for reuse, or filled buffers to consume.
+
+    Synchronization is wait-free with only atomic loads and stores:
+    [Release], [Acquire] and the slot words are written exclusively by the
+    application; [Process] exclusively by the engine. The queue is empty
+    when all three cursors coincide; "nothing to process" when
+    [Process = Release]; "nothing to acquire" when [Acquire = Process].
+    One slot is kept empty to distinguish full from empty, so a queue of
+    capacity [c] holds at most [c - 1] buffers.
+
+    All operations are timed through the caller's {!Flipc_memsim.Mem_port}
+    and must run inside a simulation process. *)
+
+module Mem_port = Flipc_memsim.Mem_port
+
+(** [init port layout ~ep] zeroes the three cursors (allocation time). *)
+val init : Mem_port.t -> Layout.t -> ep:int -> unit
+
+(** {1 Application side} *)
+
+(** [app_release port layout ~ep ~buf_addr] inserts a buffer pointer at the
+    head. [Error `Full] if the ring is full — the application has
+    oversubscribed its own resources, a condition FLIPC reports rather
+    than blocks on. *)
+val app_release :
+  Mem_port.t -> Layout.t -> ep:int -> buf_addr:int -> (unit, [ `Full ]) result
+
+(** [app_acquire port layout ~ep] reclaims the oldest processed buffer, or
+    [None] if none is ready. *)
+val app_acquire : Mem_port.t -> Layout.t -> ep:int -> int option
+
+(** {1 Engine side} *)
+
+(** [engine_peek port layout ~ep] is the next buffer to process, with the
+    current process cursor, without advancing. *)
+val engine_peek : Mem_port.t -> Layout.t -> ep:int -> (int * int) option
+
+(** [engine_advance port layout ~ep ~cursor] moves the process cursor past
+    the slot returned by [engine_peek]. *)
+val engine_advance : Mem_port.t -> Layout.t -> ep:int -> cursor:int -> unit
+
+(** {1 Untimed introspection (tests and assertions only)} *)
+
+type snapshot = {
+  release : int;
+  process : int;
+  acquire : int;
+  capacity : int;
+}
+
+val snapshot : Mem_port.t -> Layout.t -> ep:int -> snapshot
+
+(** Number of buffers awaiting engine processing. *)
+val to_process : snapshot -> int
+
+(** Number of processed buffers awaiting application acquire. *)
+val to_acquire : snapshot -> int
+
+(** Total buffers held in the ring. *)
+val occupancy : snapshot -> int
+
+(** Cursor sanity: all three in range and orderable on the ring. *)
+val well_formed : snapshot -> bool

@@ -1,0 +1,69 @@
+module Shared_mem = Flipc_memsim.Shared_mem
+
+let magic = 0x0F11C
+
+type t = {
+  config : Config.t;
+  layout : Layout.t;
+  mem : Shared_mem.t;
+  ep_offset : int;
+  mutable free_endpoints : int list;
+  mutable free_buffers : int list;
+  semaphores : Flipc_rt.Rt_semaphore.t option array;
+}
+
+let create ?(base = 0) ?(ep_offset = 0) config mem =
+  let config = Config.validate_exn config in
+  let layout = Layout.compute ~base config in
+  if base + Layout.total_bytes layout > Shared_mem.size mem then
+    invalid_arg "Comm_buffer.create: region does not fit in node memory";
+  let set g v = Shared_mem.store_int mem (Layout.global_addr layout g) v in
+  set Layout.Magic magic;
+  set Layout.G_message_bytes config.Config.message_bytes;
+  set Layout.G_endpoints config.Config.endpoints;
+  set Layout.G_queue_capacity config.Config.queue_capacity;
+  set Layout.G_total_buffers config.Config.total_buffers;
+  let upto n = List.init n Fun.id in
+  {
+    config;
+    layout;
+    mem;
+    ep_offset;
+    free_endpoints = upto config.Config.endpoints;
+    free_buffers = upto config.Config.total_buffers;
+    semaphores = Array.make config.Config.endpoints None;
+  }
+
+let config t = t.config
+let layout t = t.layout
+let mem t = t.mem
+let ep_offset t = t.ep_offset
+
+let alloc_endpoint t =
+  match t.free_endpoints with
+  | [] -> None
+  | ep :: rest ->
+      t.free_endpoints <- rest;
+      Some ep
+
+let free_endpoint t ep =
+  if List.mem ep t.free_endpoints then
+    invalid_arg "Comm_buffer.free_endpoint: double free";
+  t.free_endpoints <- ep :: t.free_endpoints
+
+let alloc_buffer t =
+  match t.free_buffers with
+  | [] -> None
+  | buf :: rest ->
+      t.free_buffers <- rest;
+      Some buf
+
+let free_buffer t buf =
+  if List.mem buf t.free_buffers then
+    invalid_arg "Comm_buffer.free_buffer: double free";
+  t.free_buffers <- buf :: t.free_buffers
+
+let free_buffer_count t = List.length t.free_buffers
+let free_endpoint_count t = List.length t.free_endpoints
+let set_semaphore t ~ep sem = t.semaphores.(ep) <- sem
+let semaphore t ~ep = t.semaphores.(ep)

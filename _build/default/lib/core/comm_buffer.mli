@@ -1,0 +1,52 @@
+(** The communication buffer: allocation state and boot-time initialization
+    for one node's shared messaging region.
+
+    The region itself lives at offset 0 of the node's {!Flipc_memsim.Shared_mem};
+    this module holds the {e library-side} bookkeeping — the endpoint and
+    message-buffer free lists — which in the real system lives in the
+    application library's address space, shared by all applications
+    attached to the node's buffer. *)
+
+type t
+
+(** [create ?base ?ep_offset config mem] validates the configuration,
+    checks the region fits in [mem] at byte [base] (default 0), writes the
+    global header words (boot time, untimed) and returns a fresh allocator
+    with all endpoints and buffers free.
+
+    [ep_offset] is this buffer's first {e global} endpoint number on the
+    node: with several communication buffers per node (mutually
+    untrusting applications), addresses carry a node-global endpoint
+    index, and the engine demultiplexes it to (buffer, local endpoint). *)
+val create :
+  ?base:int -> ?ep_offset:int -> Config.t -> Flipc_memsim.Shared_mem.t -> t
+
+val config : t -> Config.t
+val layout : t -> Layout.t
+val mem : t -> Flipc_memsim.Shared_mem.t
+
+(** First global endpoint index of this buffer on its node. *)
+val ep_offset : t -> int
+
+(** {1 Allocation}
+
+    These manipulate library-side free lists only; marking the endpoint
+    type word in shared memory is done by the caller ({!Api}) through its
+    timed port. *)
+
+val alloc_endpoint : t -> int option
+val free_endpoint : t -> int -> unit
+val alloc_buffer : t -> int option
+val free_buffer : t -> int -> unit
+val free_buffer_count : t -> int
+val free_endpoint_count : t -> int
+
+(** {1 Wakeup-semaphore registry}
+
+    Library-side table mapping endpoints to their optional real-time
+    semaphores. The messaging engine's wakeup hook consults it on message
+    deposit (the "real time semaphore option": the awakened thread is
+    presented to the scheduler rather than run as an upcall). *)
+
+val set_semaphore : t -> ep:int -> Flipc_rt.Rt_semaphore.t option -> unit
+val semaphore : t -> ep:int -> Flipc_rt.Rt_semaphore.t option

@@ -1,0 +1,72 @@
+type lock_mode = Lock_free | Test_and_set
+type layout_mode = Padded | Packed
+
+type t = {
+  message_bytes : int;
+  endpoints : int;
+  queue_capacity : int;
+  total_buffers : int;
+  lock_mode : lock_mode;
+  layout_mode : layout_mode;
+  validity_checks : bool;
+  engine_poll_ns : int;
+  engine_poll_jitter : float;
+  engine_park_after : int;
+  validity_check_instrs : int;
+  dma_setup_ns : int;
+  dma_ns_per_byte : float;
+}
+
+let header_bytes = 8
+let payload_bytes t = t.message_bytes - header_bytes
+
+let default =
+  {
+    message_bytes = 128;
+    endpoints = 8;
+    queue_capacity = 9;
+    total_buffers = 64;
+    lock_mode = Lock_free;
+    layout_mode = Padded;
+    validity_checks = false;
+    engine_poll_ns = 600;
+    engine_poll_jitter = 0.25;
+    engine_park_after = 64;
+    validity_check_instrs = 50;
+    dma_setup_ns = 550;
+    dma_ns_per_byte = 0.625;
+  }
+
+let round_up n multiple = (n + multiple - 1) / multiple * multiple
+
+let with_message_bytes t n =
+  { t with message_bytes = max 64 (round_up n 32) }
+
+let for_payload t n = with_message_bytes t (n + header_bytes)
+
+let validate t =
+  if t.message_bytes < 64 then Error "message_bytes must be at least 64"
+  else if t.message_bytes mod 32 <> 0 then
+    Error "message_bytes must be a multiple of 32"
+  else if t.endpoints <= 0 then Error "endpoints must be positive"
+  else if t.endpoints > 0xFFFF then Error "endpoints must fit in 16 bits"
+  else if t.queue_capacity < 2 then
+    Error "queue_capacity must be at least 2 (one-slot-empty ring)"
+  else if t.total_buffers <= 0 then Error "total_buffers must be positive"
+  else if t.engine_poll_ns < 0 then Error "engine_poll_ns must be >= 0"
+  else if t.engine_poll_jitter < 0. || t.engine_poll_jitter > 1. then
+    Error "engine_poll_jitter must be in [0, 1]"
+  else if t.engine_park_after < 1 then Error "engine_park_after must be >= 1"
+  else if t.dma_setup_ns < 0 || t.dma_ns_per_byte < 0. then
+    Error "DMA costs must be >= 0"
+  else Ok t
+
+let validate_exn t =
+  match validate t with Ok t -> t | Error m -> invalid_arg ("Config: " ^ m)
+
+let pp fmt t =
+  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s checks=%b}" t.message_bytes
+    t.endpoints t.queue_capacity t.total_buffers
+    (match t.lock_mode with Lock_free -> "lock-free" | Test_and_set -> "locked")
+    (match t.layout_mode with Padded -> "padded" | Packed -> "packed")
+    t.validity_checks

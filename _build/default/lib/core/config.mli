@@ -1,0 +1,72 @@
+(** FLIPC configuration, fixed at boot time.
+
+    The paper fixes the message size when the system boots: "Transfer of
+    messages larger than the fixed size selected at boot time is not
+    supported." On the Paragon the DMA hardware requires messages of at
+    least 64 bytes, in multiples of 32; FLIPC reserves 8 bytes of every
+    message for internal addressing and synchronization, so the minimum
+    application payload is 56 bytes.
+
+    [lock_mode] and [layout_mode] correspond to the two cache optimizations
+    of the paper's tuning section and exist so the ablation experiment can
+    run both variants:
+    - [Test_and_set] guards each endpoint operation with a multiprocessor
+      lock (no cache residency on the Paragon — very slow); [Lock_free]
+      is the optimized interface requiring at most one thread per endpoint.
+    - [Packed] lays endpoint fields out contiguously so application-written
+      and engine-written words share 32-byte cache lines (false sharing);
+      [Padded] segregates fields by writer into distinct lines. *)
+
+type lock_mode = Lock_free | Test_and_set
+type layout_mode = Padded | Packed
+
+type t = {
+  message_bytes : int;  (** full message incl. 8-byte header; >= 64, mult. of 32 *)
+  endpoints : int;  (** endpoint table size per node *)
+  queue_capacity : int;  (** ring slots per endpoint (usable depth is one less) *)
+  total_buffers : int;  (** message buffers in the communication buffer *)
+  lock_mode : lock_mode;
+  layout_mode : layout_mode;
+  validity_checks : bool;
+      (** engine-side checks protecting the messaging engine from a corrupt
+          communication buffer; the paper reports they cost ~2 us *)
+  engine_poll_ns : int;  (** mean cost of one messaging-engine loop iteration *)
+  engine_poll_jitter : float;
+      (** relative jitter on the poll interval (0.25 = +/-25%); models the
+          variable per-iteration work of the coprocessor's protocol
+          framework and keeps the deterministic simulator from phase-
+          locking rhythmic workloads to the engine's scan cadence *)
+  engine_park_after : int;
+      (** idle iterations before the simulated engine parks; a simulation
+          artifact so runs terminate — see {!Msg_engine} *)
+  validity_check_instrs : int;  (** per-message instruction cost of checks *)
+  dma_setup_ns : int;
+  dma_ns_per_byte : float;
+}
+
+(** 8 bytes: destination-address word + state word. *)
+val header_bytes : int
+
+val payload_bytes : t -> int
+
+(** Paragon-calibrated defaults: 128-byte messages, 8 endpoints, depth-8
+    queues, 64 buffers, lock-free, padded, checks off. The nanosecond
+    constants are calibrated so the FIG4 sweep reproduces the paper's
+    latency line; see DESIGN.md. *)
+val default : t
+
+(** [with_message_bytes t n] rounds [n] up to a legal message size. *)
+val with_message_bytes : t -> int -> t
+
+(** [for_payload t n] configures the smallest legal message size carrying an
+    [n]-byte application payload. *)
+val for_payload : t -> int -> t
+
+(** [validate t] checks the size/alignment rules above plus basic sanity
+    (positive counts, queues at least 2 slots). *)
+val validate : t -> (t, string) result
+
+(** [validate_exn t] raises [Invalid_argument] on a bad configuration. *)
+val validate_exn : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+module Mem_port = Flipc_memsim.Mem_port
+
+let modulus = 0x40000000
+
+let engine_increment port layout ~ep =
+  let addr = Layout.ep_field layout ~ep Layout.Drop_count in
+  let v = Mem_port.load port addr in
+  Mem_port.store port addr ((v + 1) mod modulus)
+
+let diff count snapshot = (count - snapshot + modulus) mod modulus
+
+let read port layout ~ep =
+  let count = Mem_port.load port (Layout.ep_field layout ~ep Layout.Drop_count) in
+  let snapshot =
+    Mem_port.load port (Layout.ep_field layout ~ep Layout.Drop_read)
+  in
+  diff count snapshot
+
+let read_and_reset port layout ~ep =
+  let count = Mem_port.load port (Layout.ep_field layout ~ep Layout.Drop_count) in
+  let snap_addr = Layout.ep_field layout ~ep Layout.Drop_read in
+  let snapshot = Mem_port.load port snap_addr in
+  Mem_port.store port snap_addr count;
+  diff count snapshot

@@ -1,0 +1,28 @@
+(** Wait-free "read-and-reset" discarded-message counter.
+
+    A single memory location cannot implement a resettable counter with
+    only atomic loads and stores: a drop occurring between the read and
+    the resetting write would be lost. FLIPC instead uses two locations —
+    [Drop_count], incremented only by the messaging engine, and
+    [Drop_read], written only by the application to snapshot the count at
+    its last reset. The current value is the (modular) difference, and
+    reset is a copy, so no increment can ever be lost and no location has
+    two writers. This is the paper's worked example of its wait-free
+    design style. *)
+
+module Mem_port = Flipc_memsim.Mem_port
+
+(** Counters wrap modulo this (2^30, the storable word range). *)
+val modulus : int
+
+(** [engine_increment port layout ~ep] records one discarded message.
+    Engine side. *)
+val engine_increment : Mem_port.t -> Layout.t -> ep:int -> unit
+
+(** [read port layout ~ep] is the number of drops since the last reset.
+    Application side; does not reset. *)
+val read : Mem_port.t -> Layout.t -> ep:int -> int
+
+(** [read_and_reset port layout ~ep] atomically (with respect to lost
+    drops) returns the count since the last reset and starts a new epoch. *)
+val read_and_reset : Mem_port.t -> Layout.t -> ep:int -> int

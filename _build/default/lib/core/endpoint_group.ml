@@ -1,0 +1,73 @@
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+
+type t = {
+  api : Api.t;
+  sem : Rt_semaphore.t option;
+  mutable members : Api.endpoint array;
+  mutable next : int;
+}
+
+let create ?semaphore api = { api; sem = semaphore; members = [||]; next = 0 }
+let semaphore t = t.sem
+
+let add t ep =
+  if Api.kind ep <> Endpoint_kind.Recv then
+    invalid_arg "Endpoint_group.add: not a receive endpoint";
+  if
+    Array.exists
+      (fun e -> Api.endpoint_index e = Api.endpoint_index ep)
+      t.members
+  then invalid_arg "Endpoint_group.add: duplicate member";
+  (* Physical equality is deliberate: the engine must post exactly the
+     group's semaphore for blocking receives to be woken. *)
+  (match t.sem with
+  | Some sem -> (
+      match Api.semaphore ep with
+      | Some s when s == sem -> ()
+      | Some _ | None ->
+          invalid_arg
+            "Endpoint_group.add: member must share the group's semaphore")
+  | None -> ());
+  t.members <- Array.append t.members [| ep |]
+
+let remove t ep =
+  t.members <-
+    Array.of_list
+      (List.filter
+         (fun e -> Api.endpoint_index e <> Api.endpoint_index ep)
+         (Array.to_list t.members));
+  if t.next >= Array.length t.members then t.next <- 0
+
+let members t = Array.to_list t.members
+let size t = Array.length t.members
+
+let receive_any t =
+  let n = Array.length t.members in
+  let rec scan i =
+    if i >= n then None
+    else
+      let idx = (t.next + i) mod n in
+      let ep = t.members.(idx) in
+      match Api.receive t.api ep with
+      | Some buf ->
+          t.next <- (idx + 1) mod n;
+          Some (ep, buf)
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let receive_any_wait t thr =
+  match t.sem with
+  | None -> invalid_arg "Endpoint_group.receive_any_wait: no group semaphore"
+  | Some sem ->
+      let rec loop () =
+        match receive_any t with
+        | Some r -> r
+        | None ->
+            Rt_semaphore.wait sem thr;
+            loop ()
+      in
+      loop ()
+
+let drops t =
+  Array.fold_left (fun acc ep -> acc + Api.drops t.api ep) 0 t.members

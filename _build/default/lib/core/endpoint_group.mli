@@ -1,0 +1,38 @@
+(** Endpoint groups: receive from any of several endpoints.
+
+    Per the paper, the group abstraction is implemented {e entirely in the
+    library}: the resource-control model ties buffers to endpoints, so the
+    per-endpoint queues cannot be merged. [receive_any] therefore scans
+    member endpoints round-robin (rotating the start point for fairness),
+    and the blocking variant relies on every member sharing the group's
+    real-time semaphore, which the engine posts on each deposit. *)
+
+type t
+
+(** [create api ()] makes an empty group. [semaphore] enables
+    [receive_any_wait]; member endpoints must then be allocated with this
+    same semaphore. *)
+val create : ?semaphore:Flipc_rt.Rt_semaphore.t -> Api.t -> t
+
+val semaphore : t -> Flipc_rt.Rt_semaphore.t option
+
+(** [add t ep] adds a receive endpoint. Raises [Invalid_argument] on a
+    send endpoint, a duplicate, or (if the group blocks) an endpoint whose
+    semaphore differs from the group's. *)
+val add : t -> Api.endpoint -> unit
+
+val remove : t -> Api.endpoint -> unit
+val members : t -> Api.endpoint list
+val size : t -> int
+
+(** [receive_any t] polls members round-robin; the scan starts after the
+    last successful endpoint so heavy traffic on one member cannot starve
+    the others. *)
+val receive_any : t -> (Api.endpoint * Api.buffer) option
+
+(** [receive_any_wait t thr] blocks [thr] on the group semaphore until some
+    member has a message. *)
+val receive_any_wait : t -> Flipc_rt.Sched.thread -> Api.endpoint * Api.buffer
+
+(** Total drops across members (non-resetting). *)
+val drops : t -> int

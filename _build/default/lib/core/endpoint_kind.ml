@@ -1,0 +1,6 @@
+type t = Send | Recv
+
+let to_word = function Send -> 1 | Recv -> 2
+let of_word = function 1 -> Some Send | 2 -> Some Recv | _ -> None
+let free_word = 0
+let pp fmt t = Fmt.string fmt (match t with Send -> "send" | Recv -> "recv")

@@ -1,0 +1,13 @@
+(** Endpoint kinds and their encoding in the [Ep_type] word. *)
+
+type t = Send | Recv
+
+val to_word : t -> int
+
+(** [of_word w] is [None] for the free marker (0) or garbage. *)
+val of_word : int -> t option
+
+(** Word value marking an unallocated endpoint. *)
+val free_word : int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,207 @@
+type field =
+  | Ep_type
+  | Queue_base
+  | Queue_capacity
+  | Sem_flag
+  | Priority
+  | Burst
+  | Allowed_node
+  | Dest_addr
+  | Release
+  | Acquire
+  | Drop_read
+  | Lock
+  | Process
+  | Drop_count
+  | Scan_stamp
+
+type global =
+  | Magic
+  | G_message_bytes
+  | G_endpoints
+  | G_queue_capacity
+  | G_total_buffers
+  | Engine_iterations
+  | Engine_sends
+  | Engine_recvs
+  | Engine_drops
+  | Engine_rejects
+
+type writer = App | Engine | Setup
+
+let writer_of_field = function
+  | Ep_type | Queue_base | Queue_capacity | Sem_flag | Priority | Burst
+  | Allowed_node ->
+      Setup
+  | Dest_addr | Release | Acquire | Drop_read | Lock -> App
+  | Process | Drop_count | Scan_stamp -> Engine
+
+let all_fields =
+  [
+    Ep_type;
+    Queue_base;
+    Queue_capacity;
+    Sem_flag;
+    Priority;
+    Burst;
+    Allowed_node;
+    Dest_addr;
+    Release;
+    Acquire;
+    Drop_read;
+    Lock;
+    Process;
+    Drop_count;
+    Scan_stamp;
+  ]
+
+let cache_line_bytes = 32
+
+type t = {
+  config : Config.t;
+  base : int;
+  ep_table_off : int;
+  ep_stride : int;
+  slots_off : int;
+  slots_stride : int;
+  buffers_off : int;
+  total : int;
+}
+
+let round_up n m = (n + m - 1) / m * m
+
+(* Field offsets within an endpoint record.
+
+   Padded: three writer-segregated cache lines.
+   Packed: eleven contiguous words (44-byte stride), the pre-tuning layout. *)
+let field_off mode field =
+  match (mode : Config.layout_mode) with
+  | Config.Padded -> (
+      match field with
+      | Ep_type -> 0
+      | Queue_base -> 4
+      | Queue_capacity -> 8
+      | Sem_flag -> 12
+      | Priority -> 16
+      | Burst -> 20
+      | Allowed_node -> 24
+      | Release -> 32
+      | Acquire -> 36
+      | Drop_read -> 40
+      | Dest_addr -> 44
+      | Process -> 64
+      | Drop_count -> 68
+      | Scan_stamp -> 72
+      | Lock -> 96)
+  | Config.Packed -> (
+      match field with
+      | Ep_type -> 0
+      | Queue_base -> 4
+      | Queue_capacity -> 8
+      | Sem_flag -> 12
+      | Priority -> 16
+      | Burst -> 20
+      | Allowed_node -> 24
+      | Dest_addr -> 28
+      | Release -> 32
+      | Acquire -> 36
+      | Drop_read -> 40
+      | Lock -> 44
+      | Process -> 48
+      | Drop_count -> 52
+      | Scan_stamp -> 56)
+
+let compute ?(base = 0) config =
+  let config = Config.validate_exn config in
+  if base < 0 || base mod cache_line_bytes <> 0 then
+    invalid_arg "Layout.compute: base must be a non-negative line multiple";
+  let globals_bytes, ep_stride =
+    match config.Config.layout_mode with
+    | Config.Padded -> (64, 128)
+    | Config.Packed -> (40, 60)
+  in
+  let ep_table_off = base + globals_bytes in
+  let slots_off = ep_table_off + (config.Config.endpoints * ep_stride) in
+  let slots_bytes = config.Config.queue_capacity * 4 in
+  let slots_stride =
+    match config.Config.layout_mode with
+    | Config.Padded -> round_up slots_bytes cache_line_bytes
+    | Config.Packed -> slots_bytes
+  in
+  let slots_end = slots_off + (config.Config.endpoints * slots_stride) in
+  let buffers_off = round_up slots_end cache_line_bytes in
+  let total =
+    buffers_off + (config.Config.total_buffers * config.Config.message_bytes)
+    - base
+  in
+  {
+    config;
+    base;
+    ep_table_off;
+    ep_stride;
+    slots_off;
+    slots_stride;
+    buffers_off;
+    total;
+  }
+
+let config t = t.config
+let base t = t.base
+let total_bytes t = t.total
+
+(* In the padded layout the engine statistics live in their own line. In
+   the packed layout they are appended right before the endpoint table, so
+   the highest-frequency engine write (the iteration counter) lands in the
+   same 32-byte line as endpoint 0's application-written fields — exactly
+   the engine/application false sharing the paper's tuning eliminated. *)
+let global_addr t g =
+  let stats_base =
+    match t.config.Config.layout_mode with Config.Padded -> 32 | Config.Packed -> 20
+  in
+  match g with
+  | Magic -> t.base
+  | G_message_bytes -> t.base + 4
+  | G_endpoints -> t.base + 8
+  | G_queue_capacity -> t.base + 12
+  | G_total_buffers -> t.base + 16
+  | Engine_drops -> t.base + stats_base
+  | Engine_rejects -> t.base + stats_base + 4
+  | Engine_sends -> t.base + stats_base + 8
+  | Engine_recvs -> t.base + stats_base + 12
+  | Engine_iterations -> t.base + stats_base + 16
+
+let check_ep t ep =
+  if ep < 0 || ep >= t.config.Config.endpoints then
+    invalid_arg "Layout: endpoint index out of range"
+
+let ep_field t ~ep field =
+  check_ep t ep;
+  t.ep_table_off + (ep * t.ep_stride)
+  + field_off t.config.Config.layout_mode field
+
+let slot_addr t ~ep ~slot =
+  check_ep t ep;
+  if slot < 0 || slot >= t.config.Config.queue_capacity then
+    invalid_arg "Layout: slot index out of range";
+  t.slots_off + (ep * t.slots_stride) + (slot * 4)
+
+let buffer_addr t i =
+  if i < 0 || i >= t.config.Config.total_buffers then
+    invalid_arg "Layout: buffer index out of range";
+  t.buffers_off + (i * t.config.Config.message_bytes)
+
+let buffer_of_addr t addr =
+  let msg = t.config.Config.message_bytes in
+  if addr < t.buffers_off then None
+  else
+    let rel = addr - t.buffers_off in
+    if rel mod msg <> 0 then None
+    else
+      let i = rel / msg in
+      if i < t.config.Config.total_buffers then Some i else None
+
+let buf_dest_off = 0
+let buf_state_off = 4
+let buf_payload_off = Config.header_bytes
+let control_region t = (t.ep_table_off, t.buffers_off)
+let buffer_region t = (t.buffers_off, t.base + t.total)

@@ -1,0 +1,128 @@
+(** Address map of the communication buffer.
+
+    The communication buffer is a fixed-size shared region containing
+    {e all} memory resources used for messaging: a global header, the
+    endpoint table, the per-endpoint buffer-queue slot arrays, and the
+    message buffers themselves. This module computes every field's byte
+    offset for a given {!Config.t}.
+
+    Two layouts are provided, matching the paper's false-sharing tuning:
+
+    - {b Padded}: each endpoint's fields are segregated by writer into
+      three distinct 32-byte cache lines (setup-time constants /
+      application-written / engine-written), and each slot array starts on
+      a line boundary. Concurrent writes from the application and the
+      engine can then never land in the same line.
+    - {b Packed}: an endpoint's fields are laid out contiguously with a
+      44-byte stride, so application- and engine-written words share lines
+      within and across endpoints — the layout the paper started from,
+      whose false sharing caused "excessive numbers of cache
+      invalidations".
+
+    Message buffers are always 32-byte aligned (the Paragon DMA
+    requirement), in both layouts. *)
+
+(** Per-endpoint fields. *)
+type field =
+  | Ep_type  (** 0 free, 1 send, 2 receive; written at allocation *)
+  | Queue_base  (** slot-array offset; written at allocation *)
+  | Queue_capacity  (** ring size in slots; written at allocation *)
+  | Sem_flag  (** 1 if a wakeup semaphore is attached; written at allocation *)
+  | Priority
+      (** send-endpoint transport priority (higher scanned first by the
+          engine); written at allocation. Part of the real-time transport
+          prioritization extension (the paper's future work) *)
+  | Burst
+      (** capacity control: maximum messages the engine transmits from
+          this endpoint per loop iteration (0 = unlimited); written at
+          allocation *)
+  | Allowed_node
+      (** protection: 0 = messages may go anywhere; [n+1] = endpoint may
+          only send to node [n]; written at allocation and enforced by the
+          engine — the "restrict where messages can be sent" extension *)
+  | Dest_addr  (** default destination ({!Address}); application-written *)
+  | Release  (** ring head: next slot the application fills *)
+  | Acquire  (** ring tail: next slot the application reclaims *)
+  | Drop_read  (** drop-counter snapshot; application-written *)
+  | Lock  (** test-and-set word for the locked interface variants *)
+  | Process  (** ring middle: next slot the engine processes; engine-written *)
+  | Drop_count  (** messages discarded; engine-written *)
+  | Scan_stamp
+      (** engine loop-progress bookkeeping, written on every scan of an
+          allocated endpoint. In the padded layout it lives in the
+          engine-only line; in the packed layout it sits inside the
+          endpoint record, so the engine's polling loop continuously
+          invalidates the application's cached copy of the endpoint — the
+          "excessive numbers of cache invalidations" of the paper's second
+          tuning problem *)
+
+(** Global (per-buffer) fields. *)
+type global =
+  | Magic
+  | G_message_bytes
+  | G_endpoints
+  | G_queue_capacity
+  | G_total_buffers
+  | Engine_iterations  (** engine-written statistics *)
+  | Engine_sends
+  | Engine_recvs
+  | Engine_drops
+  | Engine_rejects  (** messages rejected by validity checks *)
+
+(** Who writes a field during steady-state operation; drives the
+    no-concurrent-writers and line-disjointness property tests. *)
+type writer = App | Engine | Setup
+
+val writer_of_field : field -> writer
+
+val all_fields : field list
+
+type t
+
+(** [compute ?base config] lays the region out starting at byte [base] of
+    the node's memory (default 0; must be cache-line aligned). Several
+    communication buffers can coexist on one node at different bases — the
+    multi-application extension. *)
+val compute : ?base:int -> Config.t -> t
+
+val config : t -> Config.t
+
+(** Starting byte of the region. *)
+val base : t -> int
+
+(** Total bytes of the communication buffer region (excluding [base]). *)
+val total_bytes : t -> int
+
+val cache_line_bytes : int
+
+(** {1 Addresses} *)
+
+val global_addr : t -> global -> int
+val ep_field : t -> ep:int -> field -> int
+val slot_addr : t -> ep:int -> slot:int -> int
+
+(** [buffer_addr t i] is the byte offset of message buffer [i]. *)
+val buffer_addr : t -> int -> int
+
+(** [buffer_of_addr t addr] is the buffer index iff [addr] is exactly a
+    buffer start; the engine's validity check. *)
+val buffer_of_addr : t -> int -> int option
+
+(** {1 Message-buffer internal offsets (relative to [buffer_addr])} *)
+
+(** Word 0: destination address. *)
+val buf_dest_off : int
+
+(** Word 1: processing state. *)
+val buf_state_off : int
+
+(** First payload byte (= {!Config.header_bytes}). *)
+val buf_payload_off : int
+
+(** {1 Introspection for tests} *)
+
+(** Byte range [(lo, hi)] of the endpoint table + slot arrays. *)
+val control_region : t -> int * int
+
+(** Byte range of the message buffers. *)
+val buffer_region : t -> int * int

@@ -1,0 +1,235 @@
+module Sim = Flipc_sim.Engine
+module Cost_model = Flipc_memsim.Cost_model
+module Shared_mem = Flipc_memsim.Shared_mem
+module Cache = Flipc_memsim.Cache
+module Bus = Flipc_memsim.Bus
+module Mem_port = Flipc_memsim.Mem_port
+module Topology = Flipc_net.Topology
+module Mesh = Flipc_net.Mesh
+module Ethernet = Flipc_net.Ethernet
+module Scsi_bus = Flipc_net.Scsi_bus
+module Fabric = Flipc_net.Fabric
+module Nic = Flipc_net.Nic
+module Dma = Flipc_net.Dma
+module Packet = Flipc_net.Packet
+module Sched = Flipc_rt.Sched
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+
+type fabric_kind =
+  | Mesh of { cols : int; rows : int }
+  | Ethernet of { nodes : int }
+  | Scsi of { nodes : int }
+
+type transport_maker =
+  node:int ->
+  nic:Nic.t ->
+  node_count:int ->
+  deliver:(Bytes.t -> unit) ->
+  Msg_engine.transport
+
+(* The native optimistic transport: transmit is a one-way packet send; the
+   NIC's FLIPC-protocol callback hands arriving images straight to the
+   engine (waking it if parked). *)
+let native_transport ~node ~nic ~node_count ~deliver =
+  Nic.set_callback nic Packet.Flipc (fun p -> deliver p.Packet.payload);
+  {
+    Msg_engine.tname = "native";
+    transmit =
+      (fun ~dst image ->
+        if Address.is_null dst then Error `Bad_dest
+        else
+          let dnode = Address.node dst in
+          if dnode < 0 || dnode >= node_count then Error `Bad_dest
+          else begin
+            Nic.send nic
+              (Packet.make ~src:node ~dst:dnode ~protocol:Packet.Flipc
+                 ~tag:(Address.endpoint dst) image);
+            Ok ()
+          end);
+  }
+
+type node = {
+  id : int;
+  mem : Shared_mem.t;
+  bus : Bus.t;
+  cpu_ports : Mem_port.t array;
+  coproc_port : Mem_port.t;
+  comms : Comm_buffer.t array;
+  engine : Msg_engine.t;
+  nic : Nic.t;
+  dma : Dma.t;
+  sched : Sched.t;
+  apis : Api.t option array array;  (* indexed [comm].(cpu) *)
+  heap_base : int;
+  mutable heap_next : int;
+  heap_end : int;
+}
+
+type t = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  config : Config.t;
+  nodes : node array;
+  names : Nameservice.t;
+}
+
+let round_up n m = (n + m - 1) / m * m
+
+let make_node ~sim ~fabric ~config ~cost ~app_cpus ~transport_maker
+    ~heap_bytes ~comm_buffers id =
+  let layout = Layout.compute config in
+  let region_stride = round_up (Layout.total_bytes layout) 4096 in
+  let mem_bytes = max 4096 (comm_buffers * region_stride) + heap_bytes in
+  let mem = Shared_mem.create ~size:mem_bytes in
+  let bus = Bus.create ~cost () in
+  let make_port name =
+    let cache = Cache.create ~name () in
+    Mem_port.create ~engine:sim ~mem ~bus ~cache ~name
+  in
+  let cpu_ports =
+    Array.init app_cpus (fun cpu -> make_port (Printf.sprintf "n%d-cpu%d" id cpu))
+  in
+  let coproc_port = make_port (Printf.sprintf "n%d-coproc" id) in
+  let comms =
+    Array.init comm_buffers (fun k ->
+        Comm_buffer.create ~base:(k * region_stride)
+          ~ep_offset:(k * config.Config.endpoints)
+          config mem)
+  in
+  let nic = Nic.create ~engine:sim ~fabric ~node:id in
+  let dma =
+    Dma.create ~engine:sim ~mem ~bus ~setup_ns:config.Config.dma_setup_ns
+      ~ns_per_byte:config.Config.dma_ns_per_byte
+  in
+  let node_count = fabric.Fabric.node_count in
+  (* The transport maker needs a delivery path before the engine exists;
+     break the cycle with a forward reference. *)
+  let engine_ref = ref None in
+  let deliver image =
+    match !engine_ref with
+    | Some engine -> Msg_engine.deliver engine image
+    | None -> ()
+  in
+  let transport = transport_maker ~node:id ~nic ~node_count ~deliver in
+  let engine =
+    Msg_engine.create ~sim ~node:id ~comms:(Array.to_list comms)
+      ~port:coproc_port ~dma ~transport
+  in
+  engine_ref := Some engine;
+  Msg_engine.set_wakeup_hook engine (fun ~ep ->
+      (* The hook receives a node-global endpoint index. *)
+      let eps = config.Config.endpoints in
+      let comm = comms.(ep / eps) in
+      match Comm_buffer.semaphore comm ~ep:(ep mod eps) with
+      | Some sem -> Rt_semaphore.post sem
+      | None -> ());
+  let sched = Sched.create ~engine:sim ~cpus:app_cpus in
+  {
+    id;
+    mem;
+    bus;
+    cpu_ports;
+    coproc_port;
+    comms;
+    engine;
+    nic;
+    dma;
+    sched;
+    apis = Array.init comm_buffers (fun _ -> Array.make app_cpus None);
+    heap_base = mem_bytes - heap_bytes;
+    heap_next = mem_bytes - heap_bytes;
+    heap_end = mem_bytes;
+  }
+
+let create ?(config = Config.default) ?(cost = Cost_model.paragon)
+    ?(mesh_config = Mesh.paragon_config) ?(app_cpus = 2)
+    ?(transport = native_transport) ?(heap_bytes = 256 * 1024)
+    ?(comm_buffers = 1) kind () =
+  if comm_buffers < 1 then invalid_arg "Machine.create: comm_buffers < 1";
+  let config = Config.validate_exn config in
+  let sim = Sim.create () in
+  let fabric =
+    match kind with
+    | Mesh { cols; rows } ->
+        Mesh.create ~engine:sim ~topology:(Topology.create ~cols ~rows)
+          ~config:mesh_config
+    | Ethernet { nodes } ->
+        Ethernet.create ~engine:sim ~node_count:nodes
+          ~config:Ethernet.default_config
+    | Scsi { nodes } ->
+        Scsi_bus.create ~engine:sim ~node_count:nodes
+          ~config:Scsi_bus.default_config
+  in
+  let nodes =
+    Array.init fabric.Fabric.node_count
+      (make_node ~sim ~fabric ~config ~cost ~app_cpus
+         ~transport_maker:transport ~heap_bytes ~comm_buffers)
+  in
+  Array.iter (fun n -> Msg_engine.start n.engine) nodes;
+  { sim; fabric; config; nodes; names = Nameservice.create () }
+
+let sim t = t.sim
+let names t = t.names
+let fabric t = t.fabric
+let config t = t.config
+let node_count t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Machine.node: bad id";
+  t.nodes.(i)
+
+let node_id n = n.id
+let mem n = n.mem
+let dma n = n.dma
+let comm n = n.comms.(0)
+let comm_buffers n = Array.length n.comms
+
+let comm_at n k =
+  if k < 0 || k >= Array.length n.comms then
+    invalid_arg "Machine.comm_at: bad communication buffer index";
+  n.comms.(k)
+
+(* Bump allocation from the node's application heap (the memory above the
+   communication buffer), 32-byte aligned for DMA friendliness. *)
+let alloc_heap n bytes =
+  if bytes <= 0 then invalid_arg "Machine.alloc_heap: bytes <= 0";
+  let base = round_up n.heap_next 32 in
+  if base + bytes > n.heap_end then failwith "Machine.alloc_heap: heap exhausted";
+  n.heap_next <- base + bytes;
+  base
+
+let heap_remaining n = n.heap_end - round_up n.heap_next 32
+let msg_engine n = n.engine
+let nic n = n.nic
+let bus n = n.bus
+let sched n = n.sched
+let app_cpus n = Array.length n.cpu_ports
+
+let app_port n ~cpu =
+  if cpu < 0 || cpu >= Array.length n.cpu_ports then
+    invalid_arg "Machine.app_port: bad cpu";
+  n.cpu_ports.(cpu)
+
+let api t ~node:i ?(cpu = 0) ?(comm = 0) () =
+  let n = node t i in
+  let c = comm_at n comm in
+  match n.apis.(comm).(cpu) with
+  | Some api -> api
+  | None ->
+      let api =
+        Api.attach ~comm:c ~port:(app_port n ~cpu) ~engine:n.engine
+      in
+      n.apis.(comm).(cpu) <- Some api;
+      api
+
+let spawn_app ?name ?(cpu = 0) ?(comm = 0) t ~node:i f =
+  let a = api t ~node:i ~cpu ~comm () in
+  Sim.spawn ?name t.sim (fun () -> f a)
+
+let spawn_thread ?name ?(comm = 0) t ~node:i ~priority f =
+  let n = node t i in
+  let a = api t ~node:i ~cpu:0 ~comm () in
+  Sched.spawn ?name n.sched ~priority (fun thr -> f thr a)
+
+let run ?until t = Sim.run ?until t.sim
+let stop_engines t = Array.iter (fun n -> Msg_engine.stop n.engine) t.nodes

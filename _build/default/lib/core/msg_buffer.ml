@@ -1,0 +1,51 @@
+module Mem_port = Flipc_memsim.Mem_port
+
+type state = Idle | Complete
+
+let state_to_word = function Idle -> 0 | Complete -> 2
+let state_of_word = function 0 -> Some Idle | 2 -> Some Complete | _ -> None
+
+let set_dest port layout ~buf addr =
+  Mem_port.store port
+    (Layout.buffer_addr layout buf + Layout.buf_dest_off)
+    (Address.to_word addr)
+
+let dest port layout ~buf =
+  Address.of_word
+    (Mem_port.load port (Layout.buffer_addr layout buf + Layout.buf_dest_off))
+
+let set_state port layout ~buf s =
+  Mem_port.store port
+    (Layout.buffer_addr layout buf + Layout.buf_state_off)
+    (state_to_word s)
+
+let state port layout ~buf =
+  state_of_word
+    (Mem_port.load port (Layout.buffer_addr layout buf + Layout.buf_state_off))
+
+let payload_bytes layout = Config.payload_bytes (Layout.config layout)
+
+let check_payload_range layout ~at ~len =
+  if at < 0 || len < 0 || at + len > payload_bytes layout then
+    invalid_arg "Msg_buffer: payload range overruns fixed message size"
+
+let write_payload port layout ~buf ?(at = 0) data =
+  check_payload_range layout ~at ~len:(Bytes.length data);
+  let pos = Layout.buffer_addr layout buf + Layout.buf_payload_off + at in
+  Mem_port.write_bytes port ~pos data
+
+let read_payload port layout ~buf ?(at = 0) len =
+  check_payload_range layout ~at ~len;
+  let pos = Layout.buffer_addr layout buf + Layout.buf_payload_off + at in
+  Mem_port.read_bytes port ~pos ~len
+
+let region layout ~buf =
+  ( Layout.buffer_addr layout buf,
+    (Layout.config layout).Config.message_bytes )
+
+let dest_of_image bytes =
+  if Bytes.length bytes < 4 then invalid_arg "Msg_buffer.dest_of_image: short";
+  Address.of_word (Int32.to_int (Bytes.get_int32_le bytes 0))
+
+let peek_state port layout ~buf =
+  Mem_port.peek port (Layout.buffer_addr layout buf + Layout.buf_state_off)

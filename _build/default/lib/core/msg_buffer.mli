@@ -1,0 +1,53 @@
+(** Message buffers inside the communication buffer.
+
+    Every buffer is [Config.message_bytes] long and 32-byte aligned; FLIPC
+    internalizes all buffers so applications never face alignment rules.
+    The first 8 bytes are FLIPC's: word 0 holds the destination address
+    (written by the application library on send; carried across the wire),
+    word 1 holds the processing state. The remaining bytes are application
+    payload.
+
+    The state word is written by whichever side currently owns the buffer
+    (the queue cursors serialize ownership), never concurrently:
+    the application resets it to [idle] when queueing, the engine sets
+    [complete] when it has sent from or received into the buffer. *)
+
+module Mem_port = Flipc_memsim.Mem_port
+
+type state = Idle | Complete
+
+val state_to_word : state -> int
+val state_of_word : int -> state option
+
+(** {1 Timed accessors (application or engine side)} *)
+
+val set_dest : Mem_port.t -> Layout.t -> buf:int -> Address.t -> unit
+val dest : Mem_port.t -> Layout.t -> buf:int -> Address.t
+val set_state : Mem_port.t -> Layout.t -> buf:int -> state -> unit
+val state : Mem_port.t -> Layout.t -> buf:int -> state option
+
+(** [write_payload port layout ~buf ?at data] writes [data] into the
+    payload area at byte offset [at] (default 0). Raises
+    [Invalid_argument] if it would overrun the payload. *)
+val write_payload :
+  Mem_port.t -> Layout.t -> buf:int -> ?at:int -> Bytes.t -> unit
+
+(** [read_payload port layout ~buf ?at len] reads [len] payload bytes. *)
+val read_payload : Mem_port.t -> Layout.t -> buf:int -> ?at:int -> int -> Bytes.t
+
+(** {1 Wire image}
+
+    The engine DMAs the whole buffer (header + payload) to and from the
+    network, so the destination address travels in the message itself —
+    the "8 bytes of each message for internal addressing and
+    synchronization". *)
+
+(** [(pos, len)] of the full buffer for DMA. *)
+val region : Layout.t -> buf:int -> int * int
+
+(** [dest_of_image bytes] decodes word 0 of a wire image. *)
+val dest_of_image : Bytes.t -> Address.t
+
+(** {1 Untimed introspection (tests only)} *)
+
+val peek_state : Mem_port.t -> Layout.t -> buf:int -> int

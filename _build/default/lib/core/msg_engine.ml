@@ -1,0 +1,331 @@
+module Sim = Flipc_sim.Engine
+module Prng = Flipc_sim.Prng
+module Mem_port = Flipc_memsim.Mem_port
+module Dma = Flipc_net.Dma
+
+type transport = {
+  tname : string;
+  transmit : dst:Address.t -> Bytes.t -> (unit, [ `Bad_dest ]) result;
+}
+
+type stats = {
+  mutable iterations : int;
+  mutable sends : int;
+  mutable recvs : int;
+  mutable drops : int;
+  mutable rejects : int;
+  mutable bad_dest : int;
+  mutable forbidden : int;
+  mutable parks : int;
+}
+
+type t = {
+  sim : Sim.t;
+  node : int;
+  layouts : Layout.t array;  (* one communication buffer per element *)
+  config : Config.t;
+  port : Mem_port.t;
+  dma : Dma.t;
+  transport : transport;
+  incoming : Bytes.t Queue.t;
+  mutable running : bool;
+  mutable started : bool;
+  mutable parked : (unit -> unit) option;
+  mutable idle : int;
+  prng : Prng.t;
+  stats : stats;
+  mutable wakeup_hook : (ep:int -> unit) option;
+  mutable trace : Flipc_sim.Trace.t option;
+}
+
+let create ~sim ~node ~comms ~port ~dma ~transport =
+  (match comms with
+  | [] -> invalid_arg "Msg_engine.create: need at least one comm buffer"
+  | first :: rest ->
+      let c0 = Comm_buffer.config first in
+      List.iter
+        (fun c ->
+          if Comm_buffer.config c <> c0 then
+            invalid_arg
+              "Msg_engine.create: all comm buffers must share one config")
+        rest);
+  {
+    sim;
+    node;
+    layouts = Array.of_list (List.map Comm_buffer.layout comms);
+    config = Comm_buffer.config (List.hd comms);
+    port;
+    dma;
+    transport;
+    incoming = Queue.create ();
+    running = false;
+    started = false;
+    parked = None;
+    idle = 0;
+    prng = Prng.create ~seed:(0x5EED + node);
+    trace = None;
+    stats =
+      {
+        iterations = 0;
+        sends = 0;
+        recvs = 0;
+        drops = 0;
+        rejects = 0;
+        bad_dest = 0;
+        forbidden = 0;
+        parks = 0;
+      };
+    wakeup_hook = None;
+  }
+
+let node t = t.node
+let stats t = t.stats
+let set_wakeup_hook t f = t.wakeup_hook <- Some f
+let set_trace t trace = t.trace <- Some trace
+
+let trace t fmt =
+  match t.trace with
+  | Some tr ->
+      Flipc_sim.Trace.recordf tr ~now:(Sim.now t.sim)
+        ~tag:(Printf.sprintf "engine-%d" t.node)
+        fmt
+  | None -> Fmt.kstr (fun _ -> ()) fmt
+
+let poke t =
+  match t.parked with
+  | Some resume ->
+      t.parked <- None;
+      resume ()
+  | None -> ()
+
+let deliver t image =
+  Queue.push image t.incoming;
+  poke t
+
+let stop t =
+  t.running <- false;
+  poke t
+
+let running t = t.running
+
+(* Node-global endpoint index -> (communication buffer, local index). *)
+let resolve t global_ep =
+  let eps = t.config.Config.endpoints in
+  let idx = global_ep / eps in
+  if global_ep < 0 || idx >= Array.length t.layouts then None
+  else Some (t.layouts.(idx), global_ep mod eps)
+
+let bump_global t layout g =
+  let addr = Layout.global_addr layout g in
+  Mem_port.store t.port addr (Mem_port.peek t.port addr + 1)
+
+let reject t layout =
+  t.stats.rejects <- t.stats.rejects + 1;
+  bump_global t layout Layout.Engine_rejects
+
+let charge_validity t =
+  if t.config.Config.validity_checks then
+    Mem_port.instr t.port t.config.Config.validity_check_instrs
+
+(* An arriving message: demultiplex to its receive endpoint and deposit it
+   in the next posted buffer, or discard it and count the drop. The
+   receiving node is thereby always prepared to accept from the
+   interconnect, which is what makes the optimistic protocol deadlock-free
+   on a reliable fabric. *)
+let handle_incoming t image =
+  (* Demultiplex + protocol-framework dispatch on the coprocessor. *)
+  Mem_port.instr t.port 15;
+  let dest = Msg_buffer.dest_of_image image in
+  charge_validity t;
+  if Address.is_null dest then reject t t.layouts.(0)
+  else
+    let global_ep = Address.endpoint dest in
+    match resolve t global_ep with
+    | None -> reject t t.layouts.(0)
+    | Some (layout, ep) -> (
+        let kind_word =
+          Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
+        in
+        match Endpoint_kind.of_word kind_word with
+        | Some Endpoint_kind.Recv -> (
+            match Buffer_queue.engine_peek t.port layout ~ep with
+            | None ->
+                Drop_counter.engine_increment t.port layout ~ep;
+                t.stats.drops <- t.stats.drops + 1;
+                trace t "discard: no posted buffer on ep %d" global_ep;
+                bump_global t layout Layout.Engine_drops
+            | Some (buf_addr, cursor) -> (
+                match Layout.buffer_of_addr layout buf_addr with
+                | None ->
+                    (* The application queued a corrupt pointer (or one
+                       aimed at another application's region). Skip the
+                       slot so the queue cannot wedge the engine, and
+                       discard the message. *)
+                    reject t layout;
+                    Buffer_queue.engine_advance t.port layout ~ep ~cursor
+                | Some buf ->
+                    Dma.write t.dma ~pos:buf_addr image;
+                    Msg_buffer.set_state t.port layout ~buf Msg_buffer.Complete;
+                    Buffer_queue.engine_advance t.port layout ~ep ~cursor;
+                    t.stats.recvs <- t.stats.recvs + 1;
+                    trace t "deposit: ep %d buffer %d" global_ep buf;
+                    bump_global t layout Layout.Engine_recvs;
+                    let sem =
+                      Mem_port.load t.port
+                        (Layout.ep_field layout ~ep Layout.Sem_flag)
+                    in
+                    if sem = 1 then begin
+                      Mem_port.instr t.port 8;
+                      match t.wakeup_hook with
+                      | Some hook -> hook ~ep:global_ep
+                      | None -> ()
+                    end))
+        | Some Endpoint_kind.Send | None -> reject t layout)
+
+(* Protection check: an endpoint may be restricted to one destination
+   node ("restrict where messages can be sent"). 0 means unrestricted. *)
+let destination_allowed t layout ~ep ~dest =
+  let allowed =
+    Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Allowed_node)
+  in
+  allowed = 0 || (not (Address.is_null dest) && Address.node dest = allowed - 1)
+
+(* Transmit messages the application has released on one send endpoint,
+   at most [burst] per call; with no configured burst the cap is the ring
+   capacity. An uncapped drain loop would let one saturating producer
+   starve every other endpoint and the receive path: the producer can
+   refill the ring as fast as the engine empties it, so the engine's
+   non-preemptible loop must bound its work per endpoint per iteration.
+   Returns true if any work was done. *)
+let process_sends t layout ~ep ~burst =
+  let limit =
+    if burst > 0 then burst else t.config.Config.queue_capacity - 1
+  in
+  let progressed = ref false in
+  let transmitted = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if !transmitted >= limit then continue := false
+    else
+      match Buffer_queue.engine_peek t.port layout ~ep with
+      | None -> continue := false
+      | Some (buf_addr, cursor) -> (
+          progressed := true;
+          incr transmitted;
+          Mem_port.instr t.port 12;
+          charge_validity t;
+          match Layout.buffer_of_addr layout buf_addr with
+          | None ->
+              (* Corrupt, or pointing into another application's region:
+                 either way the engine refuses to touch it. *)
+              reject t layout;
+              Buffer_queue.engine_advance t.port layout ~ep ~cursor
+          | Some buf ->
+              let dest = Msg_buffer.dest t.port layout ~buf in
+              (if not (destination_allowed t layout ~ep ~dest) then begin
+                 t.stats.forbidden <- t.stats.forbidden + 1;
+                 bump_global t layout Layout.Engine_rejects
+               end
+               else begin
+                 let pos, len = Msg_buffer.region layout ~buf in
+                 let image = Dma.read t.dma ~pos ~len in
+                 match t.transport.transmit ~dst:dest image with
+                 | Ok () ->
+                     t.stats.sends <- t.stats.sends + 1;
+                     trace t "transmit: ep %d -> %s" ep
+                       (Fmt.str "%a" Address.pp dest);
+                     bump_global t layout Layout.Engine_sends
+                 | Error `Bad_dest -> t.stats.bad_dest <- t.stats.bad_dest + 1
+               end);
+              (* Buffer recovery must not depend on delivery: mark it
+                 processed either way. *)
+              Msg_buffer.set_state t.port layout ~buf Msg_buffer.Complete;
+              Buffer_queue.engine_advance t.port layout ~ep ~cursor)
+  done;
+  !progressed
+
+let park t =
+  t.stats.parks <- t.stats.parks + 1;
+  trace t "park after %d idle iterations" t.idle;
+  Sim.suspend (fun resume -> t.parked <- Some resume);
+  t.parked <- None;
+  trace t "wake";
+  t.idle <- 0
+
+let poll_delay t =
+  let base = t.config.Config.engine_poll_ns in
+  let jitter = t.config.Config.engine_poll_jitter in
+  if jitter = 0. then base
+  else
+    let span = float_of_int base *. jitter in
+    let offset = Prng.float t.prng (2. *. span) -. span in
+    max 0 (base + int_of_float offset)
+
+let iteration t =
+  t.stats.iterations <- t.stats.iterations + 1;
+  Sim.delay (poll_delay t);
+  bump_global t t.layouts.(0) Layout.Engine_iterations;
+  let did_work = ref false in
+  while not (Queue.is_empty t.incoming) do
+    did_work := true;
+    handle_incoming t (Queue.pop t.incoming)
+  done;
+  (* Scan every communication buffer's allocated endpoints, collecting
+     send endpoints with their transport priorities; transmit in priority
+     order (real-time prioritization of the basic transport), respecting
+     per-endpoint bursts (capacity control). Priority is global across
+     buffers, so one application cannot starve another's urgent traffic
+     by local priority inflation alone — but the table is the trust
+     boundary, so co-operating applications should agree on a policy. *)
+  let sends = ref [] in
+  Array.iteri
+    (fun li layout ->
+      for ep = 0 to t.config.Config.endpoints - 1 do
+        let kind_word =
+          Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
+        in
+        if kind_word <> Endpoint_kind.free_word then begin
+          (* Record scan progress for this endpoint (engine bookkeeping). *)
+          Mem_port.store t.port
+            (Layout.ep_field layout ~ep Layout.Scan_stamp)
+            (t.stats.iterations land 0x3FFFFFFF);
+          if kind_word = Endpoint_kind.to_word Endpoint_kind.Send then begin
+            let priority =
+              Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Priority)
+            in
+            let burst =
+              Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Burst)
+            in
+            sends := (priority, (li * t.config.Config.endpoints) + ep, burst) :: !sends
+          end
+        end
+      done)
+    t.layouts;
+  let ordered =
+    List.sort (fun (pa, ea, _) (pb, eb, _) ->
+        match Int.compare pb pa with 0 -> Int.compare ea eb | c -> c)
+      !sends
+  in
+  List.iter
+    (fun (_, global_ep, burst) ->
+      match resolve t global_ep with
+      | Some (layout, ep) ->
+          if process_sends t layout ~ep ~burst then did_work := true
+      | None -> ())
+    ordered;
+  !did_work
+
+let start t =
+  if t.started then invalid_arg "Msg_engine.start: already started";
+  t.started <- true;
+  t.running <- true;
+  let name = Printf.sprintf "msg-engine-%d" t.node in
+  Sim.spawn ~name t.sim (fun () ->
+      while t.running do
+        if iteration t then t.idle <- 0
+        else begin
+          t.idle <- t.idle + 1;
+          if t.running && t.idle >= t.config.Config.engine_park_after then
+            park t
+        end
+      done)

@@ -1,0 +1,85 @@
+(** The FLIPC messaging engine.
+
+    An independently executing component that moves messages between the
+    communication buffer and the interconnect. On the modelled Paragon it
+    runs on the dedicated message coprocessor: it shares the node's
+    memory-coherence domain with the application CPUs (its [port]), and is
+    structured as a non-preemptible event loop. Per the paper's protection
+    argument, nothing the application does can block it: all shared-state
+    interaction is through the wait-free queue and counter structures.
+
+    Each loop iteration costs {!Config.engine_poll_ns} plus the memory
+    traffic of scanning endpoint cursors; this polling cost is a real part
+    of message latency and is visible in the FIG4 reproduction.
+
+    {b Parking.} A real engine spins forever. So that simulations
+    terminate, an engine with no work for [engine_park_after] consecutive
+    iterations suspends until {!poke}d (by the NIC on packet arrival or by
+    the application library after queueing work). Parking only ever skips
+    time in which nothing could happen; the one distortion is that the
+    first message after an idle period sees no polling-discovery delay —
+    a cold-start effect the TRANSIENT experiment documents. *)
+
+type transport = {
+  tname : string;
+  transmit : dst:Address.t -> Bytes.t -> (unit, [ `Bad_dest ]) result;
+      (** Called in engine-process context with the full wire image. The
+          native mesh transport is asynchronous; the KKT transport blocks
+          for an RPC round trip (the mismatch the paper calls out). *)
+}
+
+type stats = {
+  mutable iterations : int;
+  mutable sends : int;
+  mutable recvs : int;
+  mutable drops : int;  (** messages discarded: no posted receive buffer *)
+  mutable rejects : int;  (** messages rejected by validity checks *)
+  mutable bad_dest : int;  (** sends with an undeliverable destination *)
+  mutable forbidden : int;
+      (** sends refused by the endpoint's destination restriction *)
+  mutable parks : int;
+}
+
+type t
+
+(** [create ~comms ...] builds an engine serving one or more communication
+    buffers (all sharing one {!Config.t}); several buffers support multiple
+    mutually untrusting applications per node. Addresses carry node-global
+    endpoint indices ([buffer_index * Config.endpoints + local]). *)
+val create :
+  sim:Flipc_sim.Engine.t ->
+  node:int ->
+  comms:Comm_buffer.t list ->
+  port:Flipc_memsim.Mem_port.t ->
+  dma:Flipc_net.Dma.t ->
+  transport:transport ->
+  t
+
+val node : t -> int
+val stats : t -> stats
+
+(** [deliver t image] hands an arriving wire image to the engine (called by
+    transport receive paths) and pokes it. *)
+val deliver : t -> Bytes.t -> unit
+
+(** [poke t] wakes a parked engine; idempotent. *)
+val poke : t -> unit
+
+(** [start t] spawns the engine loop as a simulation process. *)
+val start : t -> unit
+
+(** [stop t] makes the loop exit at its next iteration. *)
+val stop : t -> unit
+
+val running : t -> bool
+
+(** [set_wakeup_hook t f] installs the message-arrival notification used
+    for the real-time semaphore option: [f ~ep] (node-global index) runs
+    (in engine context) after a message is deposited on an endpoint whose
+    [Sem_flag] is set. *)
+val set_wakeup_hook : t -> (ep:int -> unit) -> unit
+
+(** [set_trace t trace] attaches an event trace: the engine records sends,
+    deposits, discards, rejects, parks and wakes with virtual timestamps.
+    Tracing is off (and free) by default. *)
+val set_trace : t -> Flipc_sim.Trace.t -> unit

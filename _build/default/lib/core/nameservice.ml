@@ -1,0 +1,22 @@
+module Condvar = Flipc_sim.Sync.Condvar
+
+type t = { names : (string, Address.t) Hashtbl.t; changed : Condvar.t }
+
+let create () = { names = Hashtbl.create 16; changed = Condvar.create () }
+
+let register t name addr =
+  if Hashtbl.mem t.names name then
+    invalid_arg ("Nameservice.register: duplicate name " ^ name);
+  Hashtbl.replace t.names name addr;
+  Condvar.broadcast t.changed
+
+let try_lookup t name = Hashtbl.find_opt t.names name
+
+let rec lookup t name =
+  match Hashtbl.find_opt t.names name with
+  | Some addr -> addr
+  | None ->
+      Condvar.wait t.changed;
+      lookup t name
+
+let size t = Hashtbl.length t.names

@@ -1,0 +1,28 @@
+(** Minimal endpoint name service.
+
+    FLIPC addresses are opaque and system-assigned: "receivers obtain
+    endpoint addresses of endpoints they have allocated from FLIPC and
+    pass those addresses to senders. FLIPC does not contain a nameservice
+    of its own, but assumes that one is available for this purpose."
+
+    This is that assumed external service, for simulations: a map from
+    string names to addresses with blocking lookup, so applications can
+    rendezvous without hand-rolled mailboxes. One instance is attached to
+    every {!Machine}. *)
+
+type t
+
+val create : unit -> t
+
+(** [register t name addr] publishes a name. Re-registering a name is an
+    error ([Invalid_argument]): names are single-assignment. *)
+val register : t -> string -> Address.t -> unit
+
+(** [lookup t name] blocks (simulation process) until the name appears. *)
+val lookup : t -> string -> Address.t
+
+(** [try_lookup t name] is non-blocking. *)
+val try_lookup : t -> string -> Address.t option
+
+(** Registered name count (tests). *)
+val size : t -> int

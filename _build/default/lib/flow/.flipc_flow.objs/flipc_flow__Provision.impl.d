@@ -1,0 +1,1 @@
+lib/flow/provision.ml: Flipc

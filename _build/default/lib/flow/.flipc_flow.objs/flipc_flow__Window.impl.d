@@ -1,0 +1,1 @@
+lib/flow/window.ml: Bytes Flipc Flipc_memsim Int32

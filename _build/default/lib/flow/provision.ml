@@ -1,0 +1,21 @@
+let rpc_buffers ~clients ~outstanding_per_client =
+  if clients < 0 || outstanding_per_client < 0 then
+    invalid_arg "Provision.rpc_buffers: negative";
+  clients * outstanding_per_client
+
+let periodic_buffers ~senders ~messages_per_period =
+  if senders < 0 || messages_per_period < 0 then
+    invalid_arg "Provision.periodic_buffers: negative";
+  2 * senders * messages_per_period
+
+let queue_capacity_for ~buffers =
+  if buffers < 1 then invalid_arg "Provision.queue_capacity_for: < 1";
+  buffers + 1
+
+let config_for ~base ~buffers =
+  let open Flipc.Config in
+  {
+    base with
+    queue_capacity = max base.queue_capacity (queue_capacity_for ~buffers);
+    total_buffers = max base.total_buffers (2 * buffers);
+  }

@@ -1,0 +1,27 @@
+(** Static buffer provisioning.
+
+    FLIPC vests flow control in the layers above the transport; in many
+    real-time systems "static properties of the application structure may
+    remove the need for runtime flow control". This module implements the
+    paper's two worked examples as checkable sizing rules. *)
+
+(** [rpc_buffers ~clients ~outstanding_per_client] — an RPC server with a
+    fixed client population needs one receive buffer per possible
+    outstanding request: no request can ever be discarded, with no runtime
+    flow control. *)
+val rpc_buffers : clients:int -> outstanding_per_client:int -> int
+
+(** [periodic_buffers ~senders ~messages_per_period] — a strictly periodic
+    consumer that drains its endpoint every period can see at most one
+    period's arrivals queued while the current period's arrivals land:
+    worst case is two periods' worth. *)
+val periodic_buffers : senders:int -> messages_per_period:int -> int
+
+(** [queue_capacity_for ~buffers] — ring slots needed to hold [buffers]
+    (one slot is kept empty to distinguish full from empty). *)
+val queue_capacity_for : buffers:int -> int
+
+(** [config_for ~base ~buffers] adjusts a FLIPC configuration so one
+    endpoint can hold [buffers] posted buffers (and the pool can supply
+    them). *)
+val config_for : base:Flipc.Config.t -> buffers:int -> Flipc.Config.t

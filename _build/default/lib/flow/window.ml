@@ -1,0 +1,114 @@
+module Api = Flipc.Api
+module Mem_port = Flipc_memsim.Mem_port
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Window: " ^ Api.error_to_string e)
+
+(* Credit messages carry the grant count in their first payload word. *)
+let encode_count count =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int count);
+  b
+
+let decode_count b = Int32.to_int (Bytes.get_int32_le b 0)
+
+type receiver = {
+  r_api : Api.t;
+  data_ep : Api.endpoint;
+  credit_ep : Api.endpoint;
+  grant_every : int;
+  mutable pending_grants : int;
+  mutable received : int;
+}
+
+let create_receiver api ~data_ep ~credit_ep ~window ?grant_every () =
+  if window < 1 then invalid_arg "Window.create_receiver: window < 1";
+  let grant_every =
+    match grant_every with Some g -> max 1 g | None -> max 1 (window / 2)
+  in
+  for _ = 1 to window do
+    let buf = ok (Api.allocate_buffer api) in
+    ok (Api.post_receive api data_ep buf)
+  done;
+  { r_api = api; data_ep; credit_ep; grant_every; pending_grants = 0; received = 0 }
+
+let recv r =
+  match Api.receive r.r_api r.data_ep with
+  | None -> None
+  | Some buf ->
+      r.received <- r.received + 1;
+      Some buf
+
+let send_credit r count =
+  (* Reuse a reclaimed credit buffer when available so the credit channel
+     needs only a couple of buffers in steady state. *)
+  let buf =
+    match Api.reclaim r.r_api r.credit_ep with
+    | Some buf -> buf
+    | None -> ok (Api.allocate_buffer r.r_api)
+  in
+  Api.write_payload r.r_api buf (encode_count count);
+  ok (Api.send r.r_api r.credit_ep buf)
+
+let consumed r buf =
+  ok (Api.post_receive r.r_api r.data_ep buf);
+  r.pending_grants <- r.pending_grants + 1;
+  if r.pending_grants >= r.grant_every then begin
+    send_credit r r.pending_grants;
+    r.pending_grants <- 0
+  end
+
+let messages_received r = r.received
+
+type sender = {
+  s_api : Api.t;
+  s_data_ep : Api.endpoint;
+  credit_recv_ep : Api.endpoint;
+  mutable credits : int;
+  mutable sent : int;
+}
+
+let create_sender api ~data_ep ~credit_recv_ep ~window () =
+  if window < 1 then invalid_arg "Window.create_sender: window < 1";
+  (* Post buffers to absorb incoming credit messages. *)
+  for _ = 1 to 4 do
+    let buf = ok (Api.allocate_buffer api) in
+    ok (Api.post_receive api credit_recv_ep buf)
+  done;
+  { s_api = api; s_data_ep = data_ep; credit_recv_ep; credits = window; sent = 0 }
+
+let absorb_credits s =
+  let rec loop () =
+    match Api.receive s.s_api s.credit_recv_ep with
+    | None -> ()
+    | Some buf ->
+        s.credits <- s.credits + decode_count (Api.read_payload s.s_api buf 4);
+        ok (Api.post_receive s.s_api s.credit_recv_ep buf);
+        loop ()
+  in
+  loop ()
+
+let do_send s buf =
+  ok (Api.send s.s_api s.s_data_ep buf);
+  s.credits <- s.credits - 1;
+  s.sent <- s.sent + 1
+
+let send s buf =
+  absorb_credits s;
+  while s.credits <= 0 do
+    Mem_port.instr (Api.port s.s_api) 10;
+    absorb_credits s
+  done;
+  do_send s buf
+
+let try_send s buf =
+  absorb_credits s;
+  if s.credits > 0 then begin
+    do_send s buf;
+    true
+  end
+  else false
+
+let credits_available s = s.credits
+let messages_sent s = s.sent

@@ -1,0 +1,69 @@
+(** Credit-window flow control layered above FLIPC.
+
+    FLIPC's optimistic transport discards messages that find no posted
+    receive buffer; applications that cannot statically provision
+    ({!Provision}) run a library like this one between themselves and
+    FLIPC — the structure the paper prescribes ("flow control to avoid
+    discarded messages can be provided either by applications or by
+    libraries designed to fit between applications and FLIPC"), and the
+    same window scheme PAM's active-message facility uses.
+
+    A flow-controlled link uses two endpoint pairs: a data channel
+    (sender -> receiver) and a credit channel (receiver -> sender). The
+    receiver posts [window] buffers and returns credits as the application
+    consumes; the sender never has more than [window] messages in flight,
+    so the transport never discards. Credits are batched ([grant_every])
+    to amortize the reverse traffic, and each credit message carries its
+    grant count in its payload. *)
+
+type sender
+type receiver
+
+(** {1 Receiver} *)
+
+(** [create_receiver api ~data_ep ~credit_ep ~window ()] allocates and
+    posts [window] receive buffers on [data_ep] (a receive endpoint) and
+    prepares to grant credits through [credit_ep] (a send endpoint already
+    connected to the sender's credit receive endpoint).
+    [grant_every] defaults to [max 1 (window / 2)]. *)
+val create_receiver :
+  Flipc.Api.t ->
+  data_ep:Flipc.Api.endpoint ->
+  credit_ep:Flipc.Api.endpoint ->
+  window:int ->
+  ?grant_every:int ->
+  unit ->
+  receiver
+
+(** [recv r] polls for a delivered message; the caller consumes the
+    payload and must then call [consumed]. *)
+val recv : receiver -> Flipc.Api.buffer option
+
+(** [consumed r buf] reposts the buffer and grants credit (batched). *)
+val consumed : receiver -> Flipc.Api.buffer -> unit
+
+val messages_received : receiver -> int
+
+(** {1 Sender} *)
+
+(** [create_sender api ~data_ep ~credit_recv_ep ~window ()] wraps a
+    connected send endpoint. [credit_recv_ep] is a receive endpoint the
+    peer's credit channel targets; credit buffers are posted here. *)
+val create_sender :
+  Flipc.Api.t ->
+  data_ep:Flipc.Api.endpoint ->
+  credit_recv_ep:Flipc.Api.endpoint ->
+  window:int ->
+  unit ->
+  sender
+
+(** [send s buf] transmits when a credit is available, polling for credit
+    return if the window is exhausted. Never causes a transport discard. *)
+val send : sender -> Flipc.Api.buffer -> unit
+
+(** [try_send s buf] is [false] instead of blocking when no credit is
+    available. *)
+val try_send : sender -> Flipc.Api.buffer -> bool
+
+val credits_available : sender -> int
+val messages_sent : sender -> int

@@ -1,0 +1,1 @@
+lib/kkt/kkt.ml: Bytes Flipc_net Flipc_sim Float Hashtbl Printf

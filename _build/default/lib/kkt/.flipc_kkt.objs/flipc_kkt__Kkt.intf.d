@@ -1,0 +1,1 @@
+lib/kkt/kkt.mli: Bytes Flipc_net Flipc_sim

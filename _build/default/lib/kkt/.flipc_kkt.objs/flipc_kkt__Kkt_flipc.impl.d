@@ -1,0 +1,1 @@
+lib/kkt/kkt_flipc.ml: Bytes Flipc Flipc_net Kkt

@@ -1,0 +1,1 @@
+lib/kkt/kkt_flipc.mli: Flipc Flipc_memsim Kkt

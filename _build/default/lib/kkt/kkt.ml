@@ -1,0 +1,103 @@
+module Sim = Flipc_sim.Engine
+module Condvar = Flipc_sim.Sync.Condvar
+module Nic = Flipc_net.Nic
+module Packet = Flipc_net.Packet
+
+type config = {
+  trap_ns : int;
+  marshal_ns_per_byte : float;
+  dispatch_ns : int;
+}
+
+let default_config =
+  { trap_ns = 2_500; marshal_ns_per_byte = 10.0; dispatch_ns = 6_000 }
+
+let tag_request = 0
+let tag_reply = 1
+
+type pending = { mutable reply : Bytes.t option; cv : Condvar.t }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  nics : (int, Nic.t) Hashtbl.t;
+  handlers : (int, Bytes.t -> Bytes.t) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;  (* call id -> waiter *)
+  mutable next_id : int;
+  mutable completed : int;
+}
+
+let create ?(config = default_config) ~sim () =
+  {
+    sim;
+    config;
+    nics = Hashtbl.create 16;
+    handlers = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    next_id = 0;
+    completed = 0;
+  }
+
+let marshal_ns t len =
+  int_of_float (Float.round (float_of_int len *. t.config.marshal_ns_per_byte))
+
+let nic_of t node =
+  match Hashtbl.find_opt t.nics node with
+  | Some nic -> nic
+  | None -> invalid_arg (Printf.sprintf "Kkt: node %d not attached" node)
+
+let handle_request t (p : Packet.t) =
+  (* Remote kernel: interrupt, dispatch, run the handler, send the reply. *)
+  Sim.delay t.config.dispatch_ns;
+  let reply =
+    match Hashtbl.find_opt t.handlers p.Packet.dst with
+    | Some handler -> handler p.Packet.payload
+    | None -> Bytes.create 0
+  in
+  Sim.delay (marshal_ns t (Bytes.length reply));
+  Nic.send (nic_of t p.Packet.dst)
+    (Packet.make ~src:p.Packet.dst ~dst:p.Packet.src ~protocol:Packet.Kkt
+       ~tag:tag_reply ~seq:p.Packet.seq reply)
+
+let handle_reply t (p : Packet.t) =
+  match Hashtbl.find_opt t.pending p.Packet.seq with
+  | None -> ()
+  | Some waiter ->
+      Hashtbl.remove t.pending p.Packet.seq;
+      waiter.reply <- Some p.Packet.payload;
+      Condvar.broadcast waiter.cv
+
+let attach t ~nic =
+  Hashtbl.replace t.nics (Nic.node nic) nic;
+  Nic.set_callback nic Packet.Kkt (fun p ->
+      if p.Packet.tag = tag_request then handle_request t p
+      else handle_reply t p)
+
+let serve t ~node handler = Hashtbl.replace t.handlers node handler
+
+let call t ~src ~dst payload =
+  let src_nic = nic_of t src in
+  ignore (nic_of t dst);
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let waiter = { reply = None; cv = Condvar.create () } in
+  Hashtbl.replace t.pending id waiter;
+  (* Client kernel: trap in, marshal, transmit, block for the reply. *)
+  Sim.delay t.config.trap_ns;
+  Sim.delay (marshal_ns t (Bytes.length payload));
+  Nic.send src_nic
+    (Packet.make ~src ~dst ~protocol:Packet.Kkt ~tag:tag_request ~seq:id
+       payload);
+  let rec wait () =
+    match waiter.reply with
+    | Some reply -> reply
+    | None ->
+        Condvar.wait waiter.cv;
+        wait ()
+  in
+  let reply = wait () in
+  Sim.delay t.config.trap_ns;
+  t.completed <- t.completed + 1;
+  reply
+
+let calls_completed t = t.completed

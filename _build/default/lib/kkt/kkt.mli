@@ -1,0 +1,43 @@
+(** Kernel-to-Kernel Transport (KKT): RPC-style message delivery.
+
+    KKT is the kernel transport interface the FLIPC project used for its
+    portable development path: it "uses an RPC to deliver each message",
+    which the paper notes "is not a good match to the one way messages used
+    by FLIPC" — but it ran unchanged on the Ethernet cluster, the SCSI
+    cluster and the Paragon, letting the platform-independent parts of
+    FLIPC be debugged without scarce Paragon time.
+
+    Model: a [call] traps into the kernel, marshals the payload, sends a
+    request packet, and blocks until the remote kernel's handler runs and
+    its reply packet returns. Each node may register one server handler. *)
+
+type config = {
+  trap_ns : int;  (** kernel entry/exit, charged twice per side *)
+  marshal_ns_per_byte : float;
+  dispatch_ns : int;  (** remote interrupt + kernel dispatch *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ~sim ~config ()] makes an empty transport domain; nodes join
+    via [attach]. *)
+val create : ?config:config -> sim:Flipc_sim.Engine.t -> unit -> t
+
+(** [attach t ~nic] joins a node, claiming the NIC's KKT protocol
+    callback. Must be called once per node before [call]s involving it. *)
+val attach : t -> nic:Flipc_net.Nic.t -> unit
+
+(** [serve t ~node handler] registers the node's request handler. The
+    handler runs in kernel context (a fresh simulation process) and its
+    return value is the RPC reply. *)
+val serve : t -> node:int -> (Bytes.t -> Bytes.t) -> unit
+
+(** [call t ~src ~dst payload] performs a blocking RPC from node [src] to
+    node [dst]. Must run inside a simulation process. Raises
+    [Invalid_argument] if either node is not attached. *)
+val call : t -> src:int -> dst:int -> Bytes.t -> Bytes.t
+
+(** Completed calls (for tests). *)
+val calls_completed : t -> int

@@ -1,0 +1,46 @@
+module Machine = Flipc.Machine
+module Address = Flipc.Address
+module Msg_engine = Flipc.Msg_engine
+module Nic = Flipc_net.Nic
+
+let transport kkt ~node ~nic ~node_count ~deliver =
+  Kkt.attach kkt ~nic;
+  Kkt.serve kkt ~node (fun image ->
+      deliver image;
+      Bytes.create 0);
+  {
+    Msg_engine.tname = "kkt";
+    transmit =
+      (fun ~dst image ->
+        if Address.is_null dst then Error `Bad_dest
+        else
+          let dnode = Address.node dst in
+          if dnode < 0 || dnode >= node_count then Error `Bad_dest
+          else begin
+            (* One RPC per message: the engine blocks until the remote
+               kernel acknowledges — the structural mismatch the paper
+               reports for one-way messaging over KKT. *)
+            ignore (Kkt.call kkt ~src:node ~dst:dnode image : Bytes.t);
+            Ok ()
+          end);
+  }
+
+let machine ?config ?cost ?kkt_config ?app_cpus kind () =
+  (* The KKT domain needs the simulation engine, which Machine.create
+     builds; create our own and rely on the maker being called during
+     boot. We therefore construct the domain lazily at first maker call. *)
+  let domain = ref None in
+  let maker ~node ~nic ~node_count ~deliver =
+    let kkt =
+      match !domain with
+      | Some kkt -> kkt
+      | None ->
+          let kkt =
+            Kkt.create ?config:kkt_config ~sim:(Nic.engine nic) ()
+          in
+          domain := Some kkt;
+          kkt
+    in
+    transport kkt ~node ~nic ~node_count ~deliver
+  in
+  Machine.create ?config ?cost ?app_cpus ~transport:maker kind ()

@@ -1,0 +1,1 @@
+lib/memsim/bus.ml: Array Cache Cost_model Hashtbl Int List Option

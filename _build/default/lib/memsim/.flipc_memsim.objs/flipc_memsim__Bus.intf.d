@@ -1,0 +1,1 @@
+lib/memsim/bus.mli: Cache Cost_model

@@ -1,0 +1,1 @@
+lib/memsim/cost_model.mli: Format

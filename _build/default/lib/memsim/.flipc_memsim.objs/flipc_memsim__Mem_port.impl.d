@@ -1,0 +1,1 @@
+lib/memsim/mem_port.ml: Bus Bytes Cache Cost_model Flipc_sim Shared_mem

@@ -1,0 +1,1 @@
+lib/memsim/mem_port.mli: Bus Bytes Cache Flipc_sim Shared_mem

@@ -1,0 +1,1 @@
+lib/memsim/shared_mem.mli: Bytes

@@ -1,0 +1,185 @@
+type port = int
+
+type t = {
+  cost : Cost_model.t;
+  mutable caches : Cache.t array;
+  line_invalidations : (int, int) Hashtbl.t;
+}
+
+let create ~cost () =
+  { cost; caches = [||]; line_invalidations = Hashtbl.create 64 }
+
+let cost_model t = t.cost
+
+let attach t cache =
+  (match t.caches with
+  | [||] -> ()
+  | cs ->
+      if Cache.line_bytes cs.(0) <> Cache.line_bytes cache then
+        invalid_arg "Bus.attach: mismatched line sizes");
+  t.caches <- Array.append t.caches [| cache |];
+  Array.length t.caches - 1
+
+let caches t = Array.to_list t.caches
+
+let cache t port =
+  if port < 0 || port >= Array.length t.caches then
+    invalid_arg "Bus: bad port";
+  t.caches.(port)
+
+let count_invalidation t line =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.line_invalidations line) in
+  Hashtbl.replace t.line_invalidations line (n + 1)
+
+(* Invalidate [line] in every cache except [port]; returns the number of
+   remote copies dropped and whether any was Modified. *)
+let invalidate_others t ~port ~line =
+  let dropped = ref 0 and dirty = ref false in
+  Array.iteri
+    (fun i c ->
+      if i <> port then
+        match Cache.invalidate c ~line with
+        | None -> ()
+        | Some prior ->
+            incr dropped;
+            count_invalidation t line;
+            (Cache.stats c).invalidations_received <-
+              (Cache.stats c).invalidations_received + 1;
+            if prior = Modified then dirty := true)
+    t.caches;
+  (!dropped, !dirty)
+
+(* Downgrade remote Exclusive/Modified copies to Shared; true if a remote
+   Modified copy had to be written back. *)
+let downgrade_others t ~port ~line =
+  let was_dirty = ref false in
+  Array.iteri
+    (fun i c ->
+      if i <> port then
+        match Cache.find c ~line with
+        | Some Modified ->
+            was_dirty := true;
+            (Cache.stats c).writebacks <- (Cache.stats c).writebacks + 1;
+            Cache.set_state c ~line Shared
+        | Some Exclusive -> Cache.set_state c ~line Shared
+        | Some (Shared | Invalid) | None -> ())
+    t.caches;
+  !was_dirty
+
+let any_other_holds t ~port ~line =
+  let held = ref false in
+  Array.iteri
+    (fun i c -> if i <> port then if Cache.find c ~line <> None then held := true)
+    t.caches;
+  !held
+
+let eviction_cost t = function
+  | Some (_, Cache.Modified) -> t.cost.Cost_model.writeback_ns
+  | Some _ | None -> 0
+
+let read t ~port ~addr =
+  let c = cache t port in
+  let line = Cache.line_addr c addr in
+  let stats = Cache.stats c in
+  match Cache.find c ~line with
+  | Some (Shared | Exclusive | Modified) ->
+      stats.hits <- stats.hits + 1;
+      t.cost.Cost_model.cache_hit_ns
+  | Some Invalid | None ->
+      stats.misses <- stats.misses + 1;
+      let remote_dirty = downgrade_others t ~port ~line in
+      let shared = any_other_holds t ~port ~line in
+      let state = if shared then Cache.Shared else Cache.Exclusive in
+      let evicted = Cache.insert c ~line state in
+      let base =
+        if remote_dirty then t.cost.Cost_model.remote_dirty_ns
+        else t.cost.Cost_model.cache_miss_ns
+      in
+      base + eviction_cost t evicted
+
+let write t ~port ~addr =
+  let c = cache t port in
+  let line = Cache.line_addr c addr in
+  let stats = Cache.stats c in
+  match Cache.find c ~line with
+  | Some Modified ->
+      stats.hits <- stats.hits + 1;
+      t.cost.Cost_model.cache_hit_ns
+  | Some Exclusive ->
+      stats.hits <- stats.hits + 1;
+      Cache.set_state c ~line Modified;
+      t.cost.Cost_model.cache_hit_ns
+  | Some Shared ->
+      stats.hits <- stats.hits + 1;
+      let dropped, _ = invalidate_others t ~port ~line in
+      stats.invalidations_caused <- stats.invalidations_caused + dropped;
+      Cache.set_state c ~line Modified;
+      t.cost.Cost_model.cache_hit_ns
+      + (dropped * t.cost.Cost_model.invalidate_ns)
+  | Some Invalid | None ->
+      stats.misses <- stats.misses + 1;
+      let dropped, remote_dirty = invalidate_others t ~port ~line in
+      stats.invalidations_caused <- stats.invalidations_caused + dropped;
+      let evicted = Cache.insert c ~line Modified in
+      let base =
+        if remote_dirty then t.cost.Cost_model.remote_dirty_ns
+        else t.cost.Cost_model.cache_miss_ns
+      in
+      base
+      + (dropped * t.cost.Cost_model.invalidate_ns)
+      + eviction_cost t evicted
+
+let locked_rmw t ~port ~addr =
+  let c = cache t port in
+  let line = Cache.line_addr c addr in
+  let stats = Cache.stats c in
+  stats.locked_rmws <- stats.locked_rmws + 1;
+  (* No cache residency for locks: drop every cached copy, including our
+     own, and go straight to memory with the bus locked. *)
+  let dropped, _remote_dirty = invalidate_others t ~port ~line in
+  stats.invalidations_caused <- stats.invalidations_caused + dropped;
+  (match Cache.invalidate c ~line with
+  | Some _ -> count_invalidation t line
+  | None -> ());
+  t.cost.Cost_model.bus_locked_rmw_ns
+
+let dma_access t ~write ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    match t.caches with
+    | [||] -> 0
+    | cs ->
+        let line_bytes = Cache.line_bytes cs.(0) in
+        let first = addr land lnot (line_bytes - 1) in
+        let stall = ref 0 in
+        let line = ref first in
+        while !line < addr + len do
+          if write then begin
+            let dropped, dirty = invalidate_others t ~port:(-1) ~line:!line in
+            ignore dropped;
+            if dirty then stall := !stall + t.cost.Cost_model.writeback_ns
+          end
+          else if downgrade_others t ~port:(-1) ~line:!line then
+            stall := !stall + t.cost.Cost_model.writeback_ns;
+          line := !line + line_bytes
+        done;
+        !stall
+  end
+
+let invalidations_in t ~lo ~hi =
+  Hashtbl.fold
+    (fun line n acc -> if line >= lo && line < hi then acc + n else acc)
+    t.line_invalidations 0
+
+let hot_lines t ~limit =
+  let all =
+    Hashtbl.fold (fun line n acc -> (line, n) :: acc) t.line_invalidations []
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) all in
+  List.filteri (fun i _ -> i < limit) sorted
+
+let flush_all t = Array.iter (fun c -> ignore (Cache.flush c)) t.caches
+
+let reset_stats t =
+  Array.iter Cache.reset_stats t.caches;
+  Hashtbl.reset t.line_invalidations

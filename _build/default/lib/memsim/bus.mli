@@ -1,0 +1,53 @@
+(** Bus-based MESI coherence domain tying together the caches of one node.
+
+    Every timed memory access from a processor goes through [read], [write]
+    or [locked_rmw], which update the MESI state of all attached caches and
+    return the access's cost in nanoseconds. DMA engines use [dma_access],
+    which keeps caches coherent (snooping) without charging any processor.
+
+    Per-line invalidation counts are kept so tests and benches can observe
+    false sharing directly. *)
+
+type t
+type port = int
+
+val create : cost:Cost_model.t -> unit -> t
+val cost_model : t -> Cost_model.t
+
+(** [attach t cache] adds a processor cache to the domain. *)
+val attach : t -> Cache.t -> port
+
+val caches : t -> Cache.t list
+
+(** {1 Timed accesses}
+
+    Each returns the nanosecond cost of the access; the caller (normally
+    {!Mem_port}) is responsible for advancing virtual time. *)
+
+val read : t -> port:port -> addr:int -> int
+val write : t -> port:port -> addr:int -> int
+
+(** Bus-locked read-modify-write (test-and-set). On the modelled hardware
+    this bypasses the caches entirely and locks the bus. *)
+val locked_rmw : t -> port:port -> addr:int -> int
+
+(** [dma_access t ~write ~addr ~len] makes a DMA transfer coherent: snoops
+    Modified lines on reads, invalidates cached copies on writes. Returns the
+    extra nanoseconds the DMA engine must stall for writebacks. *)
+val dma_access : t -> write:bool -> addr:int -> len:int -> int
+
+(** {1 Observation} *)
+
+(** [invalidations_in t ~lo ~hi] sums, over lines intersecting the byte
+    range [\[lo, hi)], the number of invalidations that hit them; the direct
+    measure of (true or false) sharing traffic on a data structure. *)
+val invalidations_in : t -> lo:int -> hi:int -> int
+
+(** [hot_lines t ~limit] is the [limit] most-invalidated lines with their
+    counts, sorted descending. *)
+val hot_lines : t -> limit:int -> (int * int) list
+
+(** [flush_all t] empties every cache (models a cold start). *)
+val flush_all : t -> unit
+
+val reset_stats : t -> unit

@@ -1,0 +1,148 @@
+type state = Invalid | Shared | Exclusive | Modified
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations_received : int;
+  mutable invalidations_caused : int;
+  mutable writebacks : int;
+  mutable evictions : int;
+  mutable locked_rmws : int;
+}
+
+type way = { mutable tag : int; mutable state : state; mutable last_use : int }
+
+type t = {
+  name : string;
+  line_bytes : int;
+  sets : way array array;
+  mutable clock : int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    hits = 0;
+    misses = 0;
+    invalidations_received = 0;
+    invalidations_caused = 0;
+    writebacks = 0;
+    evictions = 0;
+    locked_rmws = 0;
+  }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(size_bytes = 16 * 1024) ?(line_bytes = 32) ?(assoc = 2) ~name () =
+  if not (is_power_of_two line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  if size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of line_bytes * assoc";
+  let n_sets = size_bytes / (line_bytes * assoc) in
+  let make_way _ = { tag = -1; state = Invalid; last_use = 0 } in
+  {
+    name;
+    line_bytes;
+    sets = Array.init n_sets (fun _ -> Array.init assoc make_way);
+    clock = 0;
+    stats = fresh_stats ();
+  }
+
+let name t = t.name
+let line_bytes t = t.line_bytes
+let line_addr t addr = addr land lnot (t.line_bytes - 1)
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.hits <- 0;
+  s.misses <- 0;
+  s.invalidations_received <- 0;
+  s.invalidations_caused <- 0;
+  s.writebacks <- 0;
+  s.evictions <- 0;
+  s.locked_rmws <- 0
+
+let set_of t line = t.sets.((line / t.line_bytes) mod Array.length t.sets)
+
+let find_way t line =
+  let set = set_of t line in
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).state <> Invalid && set.(i).tag = line then Some set.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let touch t way =
+  t.clock <- t.clock + 1;
+  way.last_use <- t.clock
+
+let find t ~line =
+  match find_way t line with
+  | None -> None
+  | Some way ->
+      touch t way;
+      Some way.state
+
+let set_state t ~line state =
+  if state = Invalid then invalid_arg "Cache.set_state: use invalidate";
+  match find_way t line with
+  | None -> invalid_arg "Cache.set_state: line not present"
+  | Some way ->
+      touch t way;
+      way.state <- state
+
+let insert t ~line state =
+  if state = Invalid then invalid_arg "Cache.insert: Invalid state";
+  match find_way t line with
+  | Some way ->
+      touch t way;
+      way.state <- state;
+      None
+  | None ->
+      let set = set_of t line in
+      (* Prefer an invalid way; otherwise evict the LRU way. *)
+      let victim = ref set.(0) in
+      Array.iter
+        (fun w ->
+          if !victim.state <> Invalid
+             && (w.state = Invalid || w.last_use < !victim.last_use)
+          then victim := w)
+        set;
+      let evicted =
+        if !victim.state = Invalid then None
+        else begin
+          t.stats.evictions <- t.stats.evictions + 1;
+          if !victim.state = Modified then
+            t.stats.writebacks <- t.stats.writebacks + 1;
+          Some (!victim.tag, !victim.state)
+        end
+      in
+      !victim.tag <- line;
+      !victim.state <- state;
+      touch t !victim;
+      evicted
+
+let invalidate t ~line =
+  match find_way t line with
+  | None -> None
+  | Some way ->
+      let prior = way.state in
+      way.state <- Invalid;
+      way.tag <- -1;
+      Some prior
+
+let flush t =
+  let dirty = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun way ->
+          if way.state = Modified then incr dirty;
+          way.state <- Invalid;
+          way.tag <- -1)
+        set)
+    t.sets;
+  !dirty

@@ -1,0 +1,57 @@
+(** Per-processor cache model: set-associative, write-back, MESI states.
+
+    The cache holds no data, only tags and states; data always lives in
+    {!Shared_mem}. Coherence actions between caches are coordinated by
+    {!Bus}; this module is the per-cache tag store plus statistics. *)
+
+type state = Invalid | Shared | Exclusive | Modified
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations_received : int;
+      (** lines knocked out of this cache by another processor's write *)
+  mutable invalidations_caused : int;
+      (** remote copies this processor's writes knocked out *)
+  mutable writebacks : int;
+  mutable evictions : int;
+  mutable locked_rmws : int;
+}
+
+type t
+
+(** [create ~name ()] builds a cache. Defaults model the i860: 16 KB,
+    32-byte lines, 2-way set associative. [size_bytes] must be a multiple
+    of [line_bytes * assoc], and [line_bytes] a power of two. *)
+val create :
+  ?size_bytes:int -> ?line_bytes:int -> ?assoc:int -> name:string -> unit -> t
+
+val name : t -> string
+val line_bytes : t -> int
+
+(** [line_addr t addr] is the address of the start of [addr]'s line. *)
+val line_addr : t -> int -> int
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** {1 Tag-store operations (used by {!Bus})} *)
+
+(** [find t ~line] is the state of [line] if present (never [Invalid]). *)
+val find : t -> line:int -> state option
+
+(** [set_state t ~line s] updates a present line's state; raises if the line
+    is absent or [s] is [Invalid] (use {!invalidate}). *)
+val set_state : t -> line:int -> state -> unit
+
+(** [insert t ~line s] brings a line in with state [s], evicting the LRU way
+    of its set if needed. Returns the evicted line and state, if any. *)
+val insert : t -> line:int -> state -> (int * state) option
+
+(** [invalidate t ~line] drops the line; returns its prior state if it was
+    present. *)
+val invalidate : t -> line:int -> state option
+
+(** [flush t] invalidates everything (cold cache); returns the number of
+    Modified lines dropped. Statistics are preserved. *)
+val flush : t -> int

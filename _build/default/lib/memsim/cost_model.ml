@@ -1,0 +1,37 @@
+type t = {
+  instr_ns : int;
+  cache_hit_ns : int;
+  cache_miss_ns : int;
+  remote_dirty_ns : int;
+  invalidate_ns : int;
+  bus_locked_rmw_ns : int;
+  writeback_ns : int;
+}
+
+let paragon =
+  {
+    instr_ns = 20;
+    cache_hit_ns = 20;
+    cache_miss_ns = 400;
+    remote_dirty_ns = 1200;
+    invalidate_ns = 250;
+    bus_locked_rmw_ns = 2800;
+    writeback_ns = 300;
+  }
+
+let pc_cluster =
+  {
+    instr_ns = 30;
+    cache_hit_ns = 30;
+    cache_miss_ns = 500;
+    remote_dirty_ns = 900;
+    invalidate_ns = 150;
+    bus_locked_rmw_ns = 900;
+    writeback_ns = 300;
+  }
+
+let pp fmt t =
+  Fmt.pf fmt
+    "{instr=%dns hit=%dns miss=%dns dirty=%dns inval=%dns rmw=%dns wb=%dns}"
+    t.instr_ns t.cache_hit_ns t.cache_miss_ns t.remote_dirty_ns t.invalidate_ns
+    t.bus_locked_rmw_ns t.writeback_ns

@@ -1,0 +1,36 @@
+(** Timing cost model for simulated memory and processors.
+
+    All FLIPC-visible performance numbers derive from these constants plus
+    the network model. They are set in one place so that calibration cannot
+    silently diverge between experiments: the [paragon] preset is tuned so
+    the FIG4 reproduction lands near the paper's 15.45 us + 6.25 ns/byte
+    line, and every other experiment (ablations, baselines) uses the same
+    values. *)
+
+type t = {
+  instr_ns : int;  (** one ordinary instruction on the application CPU *)
+  cache_hit_ns : int;  (** load/store hitting in the local cache *)
+  cache_miss_ns : int;  (** line fill from memory *)
+  remote_dirty_ns : int;
+      (** line fill when another cache holds the line Modified (implies a
+          writeback on the owner's side) *)
+  invalidate_ns : int;
+      (** charged to a writer per remote copy invalidated *)
+  bus_locked_rmw_ns : int;
+      (** test-and-set with the bus locked; on the Paragon locks have no
+          cache residency, so this is dramatically slower than a cached
+          store (the first cache problem reported in the paper) *)
+  writeback_ns : int;  (** eviction of a Modified line *)
+}
+
+(** 50 MHz i860 Paragon MP3 node: 16 KB caches, 32-byte lines, no L2,
+    bus-based coherence among the two application processors and the
+    message coprocessor. *)
+val paragon : t
+
+(** i486-class PC-cluster node used on the Ethernet/SCSI development
+    platforms. Slower CPU, but cache behaviour matters less there because
+    the wire dominates. *)
+val pc_cluster : t
+
+val pp : Format.formatter -> t -> unit

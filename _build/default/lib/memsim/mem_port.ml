@@ -1,0 +1,63 @@
+module Engine = Flipc_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  mem : Shared_mem.t;
+  bus : Bus.t;
+  cache : Cache.t;
+  port : Bus.port;
+  name : string;
+}
+
+let create ~engine ~mem ~bus ~cache ~name =
+  let port = Bus.attach bus cache in
+  { engine; mem; bus; cache; port; name }
+
+let name t = t.name
+let engine t = t.engine
+let mem t = t.mem
+let bus t = t.bus
+let cache t = t.cache
+
+let load t addr =
+  Engine.delay (Bus.read t.bus ~port:t.port ~addr);
+  Shared_mem.load_int t.mem addr
+
+let store t addr v =
+  Engine.delay (Bus.write t.bus ~port:t.port ~addr);
+  Shared_mem.store_int t.mem addr v
+
+let test_and_set t addr =
+  Engine.delay (Bus.locked_rmw t.bus ~port:t.port ~addr);
+  let old = Shared_mem.load_int t.mem addr in
+  Shared_mem.store_int t.mem addr 1;
+  old = 0
+
+let clear t addr = store t addr 0
+
+let lines_cost t ~pos ~len ~write =
+  let line_bytes = Cache.line_bytes t.cache in
+  let first = pos land lnot (line_bytes - 1) in
+  let cost = ref 0 in
+  let line = ref first in
+  while !line < pos + len do
+    let access = if write then Bus.write else Bus.read in
+    cost := !cost + access t.bus ~port:t.port ~addr:!line;
+    line := !line + line_bytes
+  done;
+  !cost
+
+let read_bytes t ~pos ~len =
+  Engine.delay (lines_cost t ~pos ~len ~write:false);
+  Shared_mem.read_bytes t.mem ~pos ~len
+
+let write_bytes t ~pos b =
+  Engine.delay (lines_cost t ~pos ~len:(Bytes.length b) ~write:true);
+  Shared_mem.write_bytes t.mem ~pos b
+
+let instr t n =
+  if n > 0 then
+    Engine.delay (n * (Bus.cost_model t.bus).Cost_model.instr_ns)
+
+let peek t addr = Shared_mem.load_int t.mem addr
+let poke t addr v = Shared_mem.store_int t.mem addr v

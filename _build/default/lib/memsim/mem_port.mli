@@ -1,0 +1,59 @@
+(** Timed, coherent memory access for one simulated processor.
+
+    A [Mem_port.t] binds a processor's cache to a node's memory, bus and the
+    simulation clock. Every operation advances virtual time by the cost the
+    coherence model returns, then performs the real data access on the
+    backing {!Shared_mem}. All operations must therefore be called from
+    inside a simulation process.
+
+    FLIPC's wait-free structures rely on single-word loads and stores being
+    atomic; the simulator guarantees this because a process is never
+    preempted between suspension points, and every timed operation delays
+    {e before} touching memory, so the data access itself is atomic. *)
+
+type t
+
+val create :
+  engine:Flipc_sim.Engine.t ->
+  mem:Shared_mem.t ->
+  bus:Bus.t ->
+  cache:Cache.t ->
+  name:string ->
+  t
+
+val name : t -> string
+val engine : t -> Flipc_sim.Engine.t
+val mem : t -> Shared_mem.t
+val bus : t -> Bus.t
+val cache : t -> Cache.t
+
+(** {1 Timed operations (call from a simulation process)} *)
+
+(** [load t addr] reads a 32-bit word as a non-negative int. *)
+val load : t -> int -> int
+
+(** [store t addr v] writes a 32-bit word. *)
+val store : t -> int -> int -> unit
+
+(** [test_and_set t addr] atomically sets the word at [addr] to 1 and
+    returns [true] iff it was 0 (lock acquired). Bus-locked: very slow on
+    the Paragon model. *)
+val test_and_set : t -> int -> bool
+
+(** [clear t addr] releases a test-and-set lock with an ordinary store. *)
+val clear : t -> int -> unit
+
+(** [read_bytes]/[write_bytes] move payload-sized blocks, charged one cache
+    access per line touched. *)
+val read_bytes : t -> pos:int -> len:int -> Bytes.t
+
+val write_bytes : t -> pos:int -> Bytes.t -> unit
+
+(** [instr t n] charges [n] ordinary instructions of CPU time; used to model
+    the non-memory part of library code paths. *)
+val instr : t -> int -> unit
+
+(** {1 Untimed operations (test setup and inspection only)} *)
+
+val peek : t -> int -> int
+val poke : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/net/dma.ml: Bytes Flipc_memsim Flipc_sim Float

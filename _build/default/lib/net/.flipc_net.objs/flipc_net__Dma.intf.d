@@ -1,0 +1,1 @@
+lib/net/dma.mli: Bytes Flipc_memsim Flipc_sim

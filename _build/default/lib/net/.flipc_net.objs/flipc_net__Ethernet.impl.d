@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Array Fabric Flipc_sim Float Lazy Packet

@@ -1,0 +1,1 @@
+lib/net/ethernet.mli: Fabric Flipc_sim

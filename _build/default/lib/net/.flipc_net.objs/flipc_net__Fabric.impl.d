@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Packet

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Packet

@@ -1,0 +1,1 @@
+lib/net/hypercube.ml: Array Fabric Flipc_sim Float Hashtbl Lazy List Option Packet

@@ -1,0 +1,1 @@
+lib/net/hypercube.mli: Fabric Flipc_sim

@@ -1,0 +1,1 @@
+lib/net/mesh.mli: Fabric Flipc_sim Topology

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Array Fabric Flipc_sim Packet

@@ -1,0 +1,1 @@
+lib/net/nic.mli: Fabric Flipc_sim Packet

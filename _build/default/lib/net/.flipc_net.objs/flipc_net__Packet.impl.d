@@ -1,0 +1,1 @@
+lib/net/packet.ml: Bytes Fmt

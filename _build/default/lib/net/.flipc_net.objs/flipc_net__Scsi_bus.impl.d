@@ -1,0 +1,1 @@
+lib/net/scsi_bus.ml: Array Fabric Flipc_sim Float Lazy Packet

@@ -1,0 +1,1 @@
+lib/net/scsi_bus.mli: Fabric Flipc_sim

@@ -1,0 +1,49 @@
+module Engine = Flipc_sim.Engine
+module Shared_mem = Flipc_memsim.Shared_mem
+module Bus = Flipc_memsim.Bus
+
+type stats = {
+  mutable transfers : int;
+  mutable bytes : int;
+  mutable hidden_stall_ns : int;
+}
+
+type t = {
+  engine : Engine.t;
+  mem : Shared_mem.t;
+  bus : Bus.t;
+  setup_ns : int;
+  ns_per_byte : float;
+  stats : stats;
+}
+
+let create ~engine ~mem ~bus ~setup_ns ~ns_per_byte =
+  {
+    engine;
+    mem;
+    bus;
+    setup_ns;
+    ns_per_byte;
+    stats = { transfers = 0; bytes = 0; hidden_stall_ns = 0 };
+  }
+
+let stats t = t.stats
+
+let charge t len =
+  t.stats.transfers <- t.stats.transfers + 1;
+  t.stats.bytes <- t.stats.bytes + len;
+  Engine.delay
+    (t.setup_ns + int_of_float (Float.round (float_of_int len *. t.ns_per_byte)))
+
+let read t ~pos ~len =
+  charge t len;
+  let stall = Bus.dma_access t.bus ~write:false ~addr:pos ~len in
+  t.stats.hidden_stall_ns <- t.stats.hidden_stall_ns + stall;
+  Shared_mem.read_bytes t.mem ~pos ~len
+
+let write t ~pos data =
+  let len = Bytes.length data in
+  charge t len;
+  let stall = Bus.dma_access t.bus ~write:true ~addr:pos ~len in
+  t.stats.hidden_stall_ns <- t.stats.hidden_stall_ns + stall;
+  Shared_mem.write_bytes t.mem ~pos data

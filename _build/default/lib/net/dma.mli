@@ -1,0 +1,37 @@
+(** Node-local DMA engine moving data between node memory and the network
+    interface.
+
+    The cost model charges [setup_ns] plus [ns_per_byte] of latency per
+    transfer to the caller (the messaging engine). Cache coherence is
+    maintained through {!Flipc_memsim.Bus.dma_access}: reads snoop Modified
+    lines, writes invalidate cached copies. Writeback stalls are counted in
+    the returned statistics but are {e not} added to latency — the modelled
+    hardware streams write-backs concurrently with wire transmission, so
+    they hide under the per-byte serialization already charged by the
+    fabric. This overlap is what lets the reproduction hit the paper's
+    6.25 ns/byte aggregate slope; see DESIGN.md. *)
+
+type stats = {
+  mutable transfers : int;
+  mutable bytes : int;
+  mutable hidden_stall_ns : int;  (** coherence stalls overlapped with wire *)
+}
+
+type t
+
+val create :
+  engine:Flipc_sim.Engine.t ->
+  mem:Flipc_memsim.Shared_mem.t ->
+  bus:Flipc_memsim.Bus.t ->
+  setup_ns:int ->
+  ns_per_byte:float ->
+  t
+
+val stats : t -> stats
+
+(** [read t ~pos ~len] pulls [len] bytes out of node memory (timed). *)
+val read : t -> pos:int -> len:int -> Bytes.t
+
+(** [write t ~pos data] deposits [data] into node memory (timed), e.g.
+    directly into an application's posted receive buffer. *)
+val write : t -> pos:int -> Bytes.t -> unit

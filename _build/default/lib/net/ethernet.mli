@@ -1,0 +1,19 @@
+(** Shared-medium Ethernet segment, modelling the mid-90s 10 Mb/s
+    development cluster.
+
+    One packet occupies the whole medium at a time; senders queue FIFO for
+    the wire. Collisions are not modelled explicitly — the arbitration gap
+    stands in for the average cost of deference/backoff on a lightly loaded
+    segment. *)
+
+type config = {
+  wire_ns_per_byte : float;  (** 800.0 = 10 Mb/s *)
+  min_frame_bytes : int;  (** Ethernet minimum frame, 64 B *)
+  preamble_ns : int;  (** preamble + interframe gap + arbitration *)
+  adapter_ns : int;  (** per-packet adapter processing at each end *)
+}
+
+val default_config : config
+
+val create :
+  engine:Flipc_sim.Engine.t -> node_count:int -> config:config -> Fabric.t

@@ -1,0 +1,21 @@
+type stats = {
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable total_wire_ns : int;
+}
+
+type t = {
+  name : string;
+  node_count : int;
+  send : Packet.t -> unit;
+  set_handler : int -> (Packet.t -> unit) -> unit;
+  stats : stats;
+}
+
+let fresh_stats () = { packets_sent = 0; bytes_sent = 0; total_wire_ns = 0 }
+
+let check_send t (p : Packet.t) =
+  if p.Packet.src < 0 || p.Packet.src >= t.node_count then
+    invalid_arg "Fabric.send: bad source node";
+  if p.Packet.dst < 0 || p.Packet.dst >= t.node_count then
+    invalid_arg "Fabric.send: bad destination node"

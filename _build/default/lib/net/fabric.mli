@@ -1,0 +1,32 @@
+(** Abstract interconnect fabric.
+
+    A fabric connects [node_count] nodes; each node registers one delivery
+    handler. [send] is asynchronous and reliable: the packet is delivered to
+    the destination handler after the fabric's modelled latency, in a fresh
+    simulation process. Ordering between a given source and destination is
+    preserved (all fabrics here model FIFO channels, matching the paper's
+    reliable ordered transport assumption).
+
+    Concrete fabrics: {!Mesh} (Paragon), {!Ethernet} and {!Scsi_bus}
+    (development clusters). *)
+
+type stats = {
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable total_wire_ns : int;
+      (** accumulated serialization time, for utilization reports *)
+}
+
+type t = {
+  name : string;
+  node_count : int;
+  send : Packet.t -> unit;
+  set_handler : int -> (Packet.t -> unit) -> unit;
+  stats : stats;
+}
+
+val fresh_stats : unit -> stats
+
+(** [check_send t packet] validates source/destination node ids; concrete
+    fabrics call it from [send]. *)
+val check_send : t -> Packet.t -> unit

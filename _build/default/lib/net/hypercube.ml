@@ -1,0 +1,102 @@
+module Engine = Flipc_sim.Engine
+
+type t = { dims : int }
+
+let create ~dims =
+  if dims < 1 || dims > 16 then invalid_arg "Hypercube.create: dims in [1,16]";
+  { dims }
+
+let dims t = t.dims
+let node_count t = 1 lsl t.dims
+
+let check_node t n =
+  if n < 0 || n >= node_count t then invalid_arg "Hypercube: bad node"
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let hops t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  popcount (src lxor dst)
+
+(* E-cube: correct differing bits from dimension 0 upward. *)
+let route t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  let rec go cur dim acc =
+    if cur = dst then List.rev acc
+    else if dim >= t.dims then assert false
+    else if (cur lxor dst) land (1 lsl dim) <> 0 then
+      let next = cur lxor (1 lsl dim) in
+      go next (dim + 1) (next :: acc)
+    else go cur (dim + 1) acc
+  in
+  go src 0 [ src ]
+
+type config = {
+  hop_ns : int;
+  route_setup_ns : int;
+  wire_ns_per_byte : float;
+  min_frame_bytes : int;
+}
+
+let ipsc2_config =
+  {
+    hop_ns = 500;
+    route_setup_ns = 5_000;
+    wire_ns_per_byte = 357.0;
+    min_frame_bytes = 32;
+  }
+
+let frame_bytes config p = max config.min_frame_bytes (Packet.wire_bytes p)
+
+let serialization_ns config p =
+  int_of_float
+    (Float.round (float_of_int (frame_bytes config p) *. config.wire_ns_per_byte))
+
+let fabric ~engine ~topology ~config =
+  let node_count = node_count topology in
+  let handlers : (Packet.t -> unit) option array = Array.make node_count None in
+  let tx_free_at = Array.make node_count 0 in
+  let link_free_at : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let stats = Fabric.fresh_stats () in
+  let rec fabric_v =
+    lazy
+      {
+        Fabric.name = "hypercube";
+        node_count;
+        send;
+        set_handler = (fun node h -> handlers.(node) <- Some h);
+        stats;
+      }
+  and send p =
+    Fabric.check_send (Lazy.force fabric_v) p;
+    let now = Engine.now engine in
+    let ser = serialization_ns config p in
+    let start = max now tx_free_at.(p.Packet.src) in
+    tx_free_at.(p.Packet.src) <- start + ser;
+    let head = ref (start + config.route_setup_ns) in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+          let advance = !head + config.hop_ns in
+          let free =
+            Option.value ~default:0 (Hashtbl.find_opt link_free_at (a, b))
+          in
+          head := max advance free;
+          Hashtbl.replace link_free_at (a, b) (!head + ser);
+          walk rest
+      | _ -> ()
+    in
+    walk (route topology ~src:p.Packet.src ~dst:p.Packet.dst);
+    let arrival = !head + ser in
+    stats.Fabric.packets_sent <- stats.Fabric.packets_sent + 1;
+    stats.Fabric.bytes_sent <- stats.Fabric.bytes_sent + frame_bytes config p;
+    stats.Fabric.total_wire_ns <- stats.Fabric.total_wire_ns + ser;
+    Engine.spawn_at ~name:"cube-delivery" engine arrival (fun () ->
+        match handlers.(p.Packet.dst) with
+        | Some h -> h p
+        | None -> ())
+  in
+  Lazy.force fabric_v

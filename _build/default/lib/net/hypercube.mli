@@ -1,0 +1,35 @@
+(** Hypercube topology and fabric, as in the iPSC/2 — the machine Express
+    Messages (the paper's closest ancestor) ran on.
+
+    Nodes are numbered 0..2^dims-1; two nodes are adjacent iff their ids
+    differ in exactly one bit. Routing is e-cube (dimension order: correct
+    the lowest differing bit first), deadlock-free like the mesh's
+    dimension-order routing. The fabric reuses the cut-through contention
+    model: per-directed-link occupancy, one serialization per packet. *)
+
+type t
+
+(** [create ~dims] builds a [2^dims]-node cube. [dims] in [1, 16]. *)
+val create : dims:int -> t
+
+val dims : t -> int
+val node_count : t -> int
+
+(** [hops t ~src ~dst] is the Hamming distance. *)
+val hops : t -> src:int -> dst:int -> int
+
+(** [route t ~src ~dst] is the e-cube node sequence, inclusive. *)
+val route : t -> src:int -> dst:int -> int list
+
+type config = {
+  hop_ns : int;  (** per-router latency *)
+  route_setup_ns : int;
+  wire_ns_per_byte : float;  (** 357.0 = the iPSC/2's 2.8 MB/s links *)
+  min_frame_bytes : int;
+}
+
+(** iPSC/2 Direct-Connect-ish numbers. *)
+val ipsc2_config : config
+
+val fabric :
+  engine:Flipc_sim.Engine.t -> topology:t -> config:config -> Fabric.t

@@ -1,0 +1,87 @@
+module Engine = Flipc_sim.Engine
+
+type config = {
+  hop_ns : int;
+  route_setup_ns : int;
+  wire_ns_per_byte : float;
+  min_frame_bytes : int;
+}
+
+let paragon_config =
+  { hop_ns = 40; route_setup_ns = 200; wire_ns_per_byte = 5.0; min_frame_bytes = 64 }
+
+let frame_bytes config p = max config.min_frame_bytes (Packet.wire_bytes p)
+
+let serialization_ns config p =
+  int_of_float (Float.round (float_of_int (frame_bytes config p) *. config.wire_ns_per_byte))
+
+let latency_estimate ~config ~topology ~src ~dst ~bytes =
+  let hops = Topology.hops topology ~src ~dst in
+  let frame = max config.min_frame_bytes (bytes + Packet.header_bytes) in
+  config.route_setup_ns
+  + (hops * config.hop_ns)
+  + int_of_float (Float.round (float_of_int frame *. config.wire_ns_per_byte))
+
+(* Contention-stall accounting is keyed on the fabric's stats record,
+   compared by physical identity (the record is mutable, so it cannot be a
+   hash key). Meshes live as long as their machines; the list stays tiny. *)
+let stall_table : (Fabric.stats * int ref) list ref = ref []
+
+let contention_stall_ns (fabric : Fabric.t) =
+  match
+    List.find_opt (fun (stats, _) -> stats == fabric.Fabric.stats) !stall_table
+  with
+  | Some (_, r) -> !r
+  | None -> 0
+
+let create ~engine ~topology ~config =
+  let node_count = Topology.node_count topology in
+  let handlers : (Packet.t -> unit) option array = Array.make node_count None in
+  let tx_free_at = Array.make node_count 0 in
+  (* Directed router-to-router links, keyed (from, to). *)
+  let link_free_at : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let stats = Fabric.fresh_stats () in
+  let stalls = ref 0 in
+  stall_table := (stats, stalls) :: !stall_table;
+  let rec fabric =
+    lazy
+      {
+        Fabric.name = "mesh";
+        node_count;
+        send;
+        set_handler = (fun node h -> handlers.(node) <- Some h);
+        stats;
+      }
+  and send p =
+    Fabric.check_send (Lazy.force fabric) p;
+    let now = Engine.now engine in
+    let ser = serialization_ns config p in
+    (* Injection link: one packet at a time per source node. *)
+    let start = max now tx_free_at.(p.Packet.src) in
+    tx_free_at.(p.Packet.src) <- start + ser;
+    (* Cut-through along the dimension-order route: the head advances one
+       hop per link, stalling while a link is occupied; each traversed
+       link is then busy for the serialization time. *)
+    let route = Topology.route topology ~src:p.Packet.src ~dst:p.Packet.dst in
+    let head = ref (start + config.route_setup_ns) in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+          let advance = !head + config.hop_ns in
+          let free = Option.value ~default:0 (Hashtbl.find_opt link_free_at (a, b)) in
+          if free > advance then stalls := !stalls + (free - advance);
+          head := max advance free;
+          Hashtbl.replace link_free_at (a, b) (!head + ser);
+          walk rest
+      | _ -> ()
+    in
+    walk route;
+    let arrival = !head + ser in
+    stats.Fabric.packets_sent <- stats.Fabric.packets_sent + 1;
+    stats.Fabric.bytes_sent <- stats.Fabric.bytes_sent + frame_bytes config p;
+    stats.Fabric.total_wire_ns <- stats.Fabric.total_wire_ns + ser;
+    Engine.spawn_at ~name:"mesh-delivery" engine arrival (fun () ->
+        match handlers.(p.Packet.dst) with
+        | Some h -> h p
+        | None -> ())
+  in
+  Lazy.force fabric

@@ -1,0 +1,38 @@
+(** Paragon-style 2-D mesh fabric with per-link contention.
+
+    Timing model (virtual cut-through): a packet first serializes on its
+    source's injection link, then advances one [hop_ns] per router; each
+    directed link on the dimension-order route is occupied for the packet's
+    serialization time and a packet stalls at a busy link until it frees.
+    Uncontended delivery time is therefore
+
+    {v start + route_setup + hops * hop_ns + wire_bytes * wire_ns_per_byte v}
+
+    (one serialization term — the pipeline property of cut-through
+    switching), while crossing flows serialize on exactly the links they
+    share. Per-link buffering is assumed sufficient (no back-pressure
+    deadlock modelling), which matches the paper's reliable-interconnect
+    assumption. *)
+
+type config = {
+  hop_ns : int;  (** per-router-hop latency *)
+  route_setup_ns : int;  (** header creation/injection fixed cost *)
+  wire_ns_per_byte : float;  (** 5.0 = 200 MB/s links *)
+  min_frame_bytes : int;
+      (** minimum wire occupancy per packet (Paragon DMA wants >= 64 B) *)
+}
+
+(** 200 MB/s links, 40 ns per hop. *)
+val paragon_config : config
+
+val create :
+  engine:Flipc_sim.Engine.t -> topology:Topology.t -> config:config -> Fabric.t
+
+(** [latency_estimate ~config ~topology ~src ~dst ~bytes] is the contention-
+    free one-way wire latency; exposed for tests and analytical checks. *)
+val latency_estimate :
+  config:config -> topology:Topology.t -> src:int -> dst:int -> bytes:int -> int
+
+(** Total packet-stall time accumulated at busy links (a congestion
+    indicator for tests and benches). *)
+val contention_stall_ns : Fabric.t -> int

@@ -1,0 +1,53 @@
+module Engine = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+
+let protocol_index = function
+  | Packet.Flipc -> 0
+  | Packet.Kkt -> 1
+  | Packet.Pam -> 2
+  | Packet.Nx -> 3
+  | Packet.Sunmos -> 4
+  | Packet.Bulk -> 5
+  | Packet.Raw -> 6
+
+let protocol_count = 7
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  node : int;
+  queues : Packet.t Mailbox.t array;
+  callbacks : (Packet.t -> unit) option array;
+  counts : int array;
+}
+
+let create ~engine ~fabric ~node =
+  let t =
+    {
+      engine;
+      fabric;
+      node;
+      queues = Array.init protocol_count (fun _ -> Mailbox.create ());
+      callbacks = Array.make protocol_count None;
+      counts = Array.make protocol_count 0;
+    }
+  in
+  fabric.Fabric.set_handler node (fun p ->
+      let i = protocol_index p.Packet.protocol in
+      t.counts.(i) <- t.counts.(i) + 1;
+      match t.callbacks.(i) with
+      | Some f -> Engine.spawn ~name:"nic-callback" engine (fun () -> f p)
+      | None -> Mailbox.put t.queues.(i) p);
+  t
+
+let node t = t.node
+let engine t = t.engine
+
+let send t p =
+  if p.Packet.src <> t.node then invalid_arg "Nic.send: wrong source node";
+  t.fabric.Fabric.send p
+
+let rx_queue t protocol = t.queues.(protocol_index protocol)
+let set_callback t protocol f = t.callbacks.(protocol_index protocol) <- Some f
+let received t = Array.fold_left ( + ) 0 t.counts
+let received_for t protocol = t.counts.(protocol_index protocol)

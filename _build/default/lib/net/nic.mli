@@ -1,0 +1,30 @@
+(** Per-node network interface: binds a node id to a fabric and queues
+    received packets for the node's protocol handlers.
+
+    Incoming packets are demultiplexed by {!Packet.protocol}: each protocol
+    registers its own receive queue (or callback), so FLIPC's optimistic
+    protocol coexists with KKT and the baseline protocols on the same
+    interface — the "multiple protocols simultaneously" property the paper
+    requires of the Paragon protocol framework. *)
+
+type t
+
+val create : engine:Flipc_sim.Engine.t -> fabric:Fabric.t -> node:int -> t
+val node : t -> int
+val engine : t -> Flipc_sim.Engine.t
+
+(** [send t packet] injects a packet into the fabric (asynchronous). *)
+val send : t -> Packet.t -> unit
+
+(** [rx_queue t protocol] is the receive queue for [protocol]; packets with
+    no registered consumer wait in their protocol's queue. *)
+val rx_queue : t -> Packet.protocol -> Packet.t Flipc_sim.Sync.Mailbox.t
+
+(** [set_callback t protocol f] bypasses the queue: [f] runs (in a fresh
+    process) on each arrival. Used by interrupt-driven protocols (KKT, NX). *)
+val set_callback : t -> Packet.protocol -> (Packet.t -> unit) -> unit
+
+(** Packets received so far, per protocol and total. *)
+val received : t -> int
+
+val received_for : t -> Packet.protocol -> int

@@ -1,0 +1,29 @@
+type protocol = Flipc | Kkt | Pam | Nx | Sunmos | Bulk | Raw
+
+type t = {
+  src : int;
+  dst : int;
+  protocol : protocol;
+  tag : int;
+  seq : int;
+  payload : Bytes.t;
+}
+
+let make ~src ~dst ~protocol ?(tag = 0) ?(seq = 0) payload =
+  { src; dst; protocol; tag; seq; payload }
+
+let header_bytes = 8
+let wire_bytes t = header_bytes + Bytes.length t.payload
+
+let protocol_name = function
+  | Flipc -> "flipc"
+  | Kkt -> "kkt"
+  | Pam -> "pam"
+  | Nx -> "nx"
+  | Sunmos -> "sunmos"
+  | Bulk -> "bulk"
+  | Raw -> "raw"
+
+let pp fmt t =
+  Fmt.pf fmt "%s[%d->%d tag=%d seq=%d %dB]" (protocol_name t.protocol) t.src
+    t.dst t.tag t.seq (Bytes.length t.payload)

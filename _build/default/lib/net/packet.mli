@@ -1,0 +1,35 @@
+(** Network packets exchanged between simulated nodes.
+
+    A packet is the unit the interconnect moves; protocols above (FLIPC
+    native, KKT, the baseline systems) are distinguished by [protocol] and
+    demultiplexed by the receiving node. *)
+
+type protocol =
+  | Flipc  (** native FLIPC optimistic transport *)
+  | Kkt  (** kernel-to-kernel RPC transport *)
+  | Pam  (** Paragon Active Messages model *)
+  | Nx  (** NX model *)
+  | Sunmos  (** SUNMOS model *)
+  | Bulk  (** rendezvous bulk-transfer protocol (large messages) *)
+  | Raw  (** tests and ad-hoc traffic *)
+
+type t = {
+  src : int;  (** source node id *)
+  dst : int;  (** destination node id *)
+  protocol : protocol;
+  tag : int;  (** protocol-specific demux key (e.g. destination endpoint) *)
+  seq : int;  (** protocol-specific sequence / request id *)
+  payload : Bytes.t;
+}
+
+val make :
+  src:int -> dst:int -> protocol:protocol -> ?tag:int -> ?seq:int -> Bytes.t -> t
+
+(** Link-level header bytes added to every packet on the wire. *)
+val header_bytes : int
+
+(** [wire_bytes t] is the packet's size on the wire including the header. *)
+val wire_bytes : t -> int
+
+val protocol_name : protocol -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+module Engine = Flipc_sim.Engine
+
+type config = {
+  wire_ns_per_byte : float;
+  arbitration_ns : int;
+  adapter_ns : int;
+}
+
+let default_config =
+  { wire_ns_per_byte = 100.0; arbitration_ns = 12_000; adapter_ns = 15_000 }
+
+let create ~engine ~node_count ~config =
+  let handlers : (Packet.t -> unit) option array = Array.make node_count None in
+  let bus_free_at = ref 0 in
+  let stats = Fabric.fresh_stats () in
+  let rec fabric =
+    lazy
+      {
+        Fabric.name = "scsi";
+        node_count;
+        send;
+        set_handler = (fun node h -> handlers.(node) <- Some h);
+        stats;
+      }
+  and send p =
+    Fabric.check_send (Lazy.force fabric) p;
+    let now = Engine.now engine in
+    let bytes = Packet.wire_bytes p in
+    let ser =
+      config.arbitration_ns
+      + int_of_float (Float.round (float_of_int bytes *. config.wire_ns_per_byte))
+    in
+    let start = max (now + config.adapter_ns) !bus_free_at in
+    bus_free_at := start + ser;
+    let arrival = start + ser + config.adapter_ns in
+    stats.Fabric.packets_sent <- stats.Fabric.packets_sent + 1;
+    stats.Fabric.bytes_sent <- stats.Fabric.bytes_sent + bytes;
+    stats.Fabric.total_wire_ns <- stats.Fabric.total_wire_ns + ser;
+    Engine.spawn_at ~name:"scsi-delivery" engine arrival (fun () ->
+        match handlers.(p.Packet.dst) with
+        | Some h -> h p
+        | None -> ())
+  in
+  Lazy.force fabric

@@ -1,0 +1,19 @@
+(** SCSI bus used for host-to-host communication, the second development
+    platform reported in the paper (see its reference to "SCSI for Host to
+    Host Communication", OSF RI).
+
+    A single parallel bus shared by all hosts: each transfer needs
+    arbitration and selection phases before data moves at the bus rate.
+    Considerably faster than the Ethernet segment but with a high fixed
+    per-transfer cost. *)
+
+type config = {
+  wire_ns_per_byte : float;  (** 100.0 = 10 MB/s fast SCSI *)
+  arbitration_ns : int;  (** arbitration + selection + command phase *)
+  adapter_ns : int;  (** host adapter processing at each end *)
+}
+
+val default_config : config
+
+val create :
+  engine:Flipc_sim.Engine.t -> node_count:int -> config:config -> Fabric.t

@@ -1,0 +1,34 @@
+type t = { cols : int; rows : int }
+
+let create ~cols ~rows =
+  if cols <= 0 || rows <= 0 then
+    invalid_arg "Topology.create: dimensions must be positive";
+  { cols; rows }
+
+let cols t = t.cols
+let rows t = t.rows
+let node_count t = t.cols * t.rows
+
+let coords t node =
+  if node < 0 || node >= node_count t then
+    invalid_arg "Topology.coords: bad node";
+  (node mod t.cols, node / t.cols)
+
+let node_at t ~x ~y =
+  if x < 0 || x >= t.cols || y < 0 || y >= t.rows then
+    invalid_arg "Topology.node_at: out of range";
+  (y * t.cols) + x
+
+let hops t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  abs (dx - sx) + abs (dy - sy)
+
+let route t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  let step a b = if a < b then a + 1 else a - 1 in
+  let rec go x y acc =
+    if x <> dx then go (step x dx) y (node_at t ~x:(step x dx) ~y :: acc)
+    else if y <> dy then go x (step y dy) (node_at t ~x ~y:(step y dy) :: acc)
+    else List.rev acc
+  in
+  go sx sy [ node_at t ~x:sx ~y:sy ]

@@ -1,0 +1,25 @@
+(** 2-D mesh topology with dimension-order (X then Y) routing, as used by
+    the Paragon's backplane. Node ids are assigned row-major. *)
+
+type t
+
+(** [create ~cols ~rows] builds a [cols] x [rows] mesh. *)
+val create : cols:int -> rows:int -> t
+
+val cols : t -> int
+val rows : t -> int
+val node_count : t -> int
+
+(** [coords t node] is the [(x, y)] position of [node]. *)
+val coords : t -> int -> int * int
+
+(** [node_at t ~x ~y] is the inverse of [coords]. *)
+val node_at : t -> x:int -> y:int -> int
+
+(** [hops t ~src ~dst] is the number of router-to-router links a packet
+    crosses under dimension-order routing (the Manhattan distance). *)
+val hops : t -> src:int -> dst:int -> int
+
+(** [route t ~src ~dst] is the full node sequence visited, inclusive of both
+    endpoints, X dimension first. *)
+val route : t -> src:int -> dst:int -> int list

@@ -1,0 +1,1 @@
+lib/rt/rt_semaphore.ml: Flipc_sim Int Sched

@@ -1,0 +1,1 @@
+lib/rt/rt_semaphore.mli: Sched

@@ -1,0 +1,1 @@
+lib/rt/sched.ml: Flipc_sim Fun Int Option Printf

@@ -1,0 +1,1 @@
+lib/rt/sched.mli: Flipc_sim

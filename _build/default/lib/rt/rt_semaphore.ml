@@ -1,0 +1,46 @@
+module Heap = Flipc_sim.Heap
+
+type key = { neg_priority : int; kseq : int }
+
+type t = {
+  sched : Sched.t;
+  mutable value : int;
+  waiting : (key, Sched.thread) Heap.t;
+  mutable seq : int;
+}
+
+let compare_key a b =
+  match Int.compare a.neg_priority b.neg_priority with
+  | 0 -> Int.compare a.kseq b.kseq
+  | c -> c
+
+let create ?(initial = 0) sched =
+  if initial < 0 then invalid_arg "Rt_semaphore.create: negative";
+  { sched; value = initial; waiting = Heap.create ~cmp:compare_key (); seq = 0 }
+
+let value t = t.value
+let waiters t = Heap.size t.waiting
+
+let rec wait t thr =
+  if t.value > 0 then t.value <- t.value - 1
+  else begin
+    t.seq <- t.seq + 1;
+    Heap.push t.waiting { neg_priority = -Sched.priority thr; kseq = t.seq } thr;
+    Sched.block thr;
+    (* The post incremented the value; recheck, as another thread may have
+       consumed it first (classic Mesa-style semantics). *)
+    wait t thr
+  end
+
+let try_wait t =
+  if t.value > 0 then begin
+    t.value <- t.value - 1;
+    true
+  end
+  else false
+
+let post t =
+  t.value <- t.value + 1;
+  match Heap.pop_min t.waiting with
+  | Some (_, thr) -> Sched.make_ready thr
+  | None -> ()

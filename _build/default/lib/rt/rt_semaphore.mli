@@ -1,0 +1,24 @@
+(** Real-time counting semaphore with priority-ordered wakeup.
+
+    This is FLIPC's "real time semaphore option": the messaging engine
+    posts the semaphore when a message arrives, and the awakened thread is
+    presented to the scheduler — which runs it according to priority —
+    rather than being executed as an interrupting upcall. [post] is
+    callable from any simulation process; [wait] only from a scheduler
+    thread. *)
+
+type t
+
+val create : ?initial:int -> Sched.t -> t
+val value : t -> int
+val waiters : t -> int
+
+(** [wait t thr] decrements, blocking [thr] while the value is zero.
+    Waiters are released highest-priority first, FIFO within a priority. *)
+val wait : t -> Sched.thread -> unit
+
+(** [try_wait t] is a non-blocking [wait]. *)
+val try_wait : t -> bool
+
+(** [post t] increments and wakes the best waiter, if any. *)
+val post : t -> unit

@@ -1,0 +1,59 @@
+(** Priority scheduler for application threads on a simulated node.
+
+    Models the kernel thread support FLIPC relies on: threads have fixed
+    priorities, a node has a small number of application CPUs, and the
+    highest-priority runnable threads hold the CPUs. Scheduling is
+    cooperative at the simulation level — a thread gives up its CPU only at
+    scheduling points ([yield], [sleep], [block] and anything built on them)
+    — which matches the paper's design point that message arrival never
+    interrupts a thread asynchronously: the awakened thread is presented to
+    the scheduler, which decides when it runs.
+
+    Ties within a priority are FIFO. Higher numbers are higher priority. *)
+
+type t
+type thread
+
+val create : engine:Flipc_sim.Engine.t -> cpus:int -> t
+val engine : t -> Flipc_sim.Engine.t
+val cpus : t -> int
+
+(** Threads currently holding a CPU. *)
+val running : t -> int
+
+(** Dispatches performed so far (a context-switch count). *)
+val dispatches : t -> int
+
+(** [spawn t ~priority body] creates a thread; [body] receives its own
+    handle. The thread first contends for a CPU, then runs. *)
+val spawn : ?name:string -> t -> priority:int -> (thread -> unit) -> thread
+
+val name : thread -> string
+val priority : thread -> int
+val set_priority : thread -> int -> unit
+val is_done : thread -> bool
+
+(** {1 Scheduling points (call from the thread itself)} *)
+
+(** [yield thr] releases the CPU and re-contends, letting
+    equal-or-higher-priority ready threads run first. *)
+val yield : thread -> unit
+
+(** [sleep thr d] releases the CPU for at least [d] of virtual time, then
+    re-contends. *)
+val sleep : thread -> Flipc_sim.Vtime.t -> unit
+
+(** {1 Blocking-primitive building blocks}
+
+    [block] and [make_ready] implement the sleep/wakeup protocol used by
+    {!Rt_semaphore}. A wakeup arriving before the thread blocks is
+    remembered ([block] then returns immediately), so the pair is free of
+    lost-wakeup races. *)
+
+(** [block thr] releases the CPU and suspends until [make_ready]. *)
+val block : thread -> unit
+
+(** [make_ready thr] marks a blocked thread runnable; it then contends for
+    a CPU at its priority. Callable from any simulation process (e.g. the
+    messaging engine). *)
+val make_ready : thread -> unit

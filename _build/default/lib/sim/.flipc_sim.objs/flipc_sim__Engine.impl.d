@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Heap Int Printexc Printf

@@ -1,0 +1,1 @@
+lib/sim/vtime.ml: Float Fmt Int Stdlib

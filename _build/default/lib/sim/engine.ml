@@ -1,0 +1,110 @@
+type key = { time : int; seq : int }
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  queue : (key, unit -> unit) Heap.t;
+  mutable live : int;
+  mutable steps : int;
+  mutable failure : (string * exn) option;
+}
+
+exception Process_failure of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure (name, e) ->
+        Some
+          (Printf.sprintf "Process_failure(%S, %s)" name (Printexc.to_string e))
+    | _ -> None)
+
+type _ Effect.t +=
+  | Delay : int -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let compare_key a b =
+  match Int.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create () =
+  {
+    now = 0;
+    seq = 0;
+    queue = Heap.create ~cmp:compare_key ();
+    live = 0;
+    steps = 0;
+    failure = None;
+  }
+
+let now t = t.now
+let steps t = t.steps
+let live_processes t = t.live
+
+let schedule t time thunk =
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq } thunk
+
+let handler t name =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> t.live <- t.live - 1);
+    exnc =
+      (fun e ->
+        t.live <- t.live - 1;
+        if t.failure = None then t.failure <- Some (name, e));
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Delay d ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if d < 0 then
+                  discontinue k (Invalid_argument "Engine.delay: negative")
+                else schedule t (t.now + d) (fun () -> continue k ()))
+        | Suspend register ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let resumed = ref false in
+                register (fun () ->
+                    if not !resumed then begin
+                      resumed := true;
+                      schedule t t.now (fun () -> continue k ())
+                    end))
+        | _ -> None);
+  }
+
+let spawn ?(name = "process") t f =
+  t.live <- t.live + 1;
+  schedule t t.now (fun () -> Effect.Deep.match_with f () (handler t name))
+
+let spawn_at ?(name = "process") t time f =
+  if time < t.now then invalid_arg "Engine.spawn_at: time is in the past";
+  t.live <- t.live + 1;
+  schedule t time (fun () -> Effect.Deep.match_with f () (handler t name))
+
+let run ?until t =
+  let limit = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    match t.failure with
+    | Some (name, e) ->
+        t.failure <- None;
+        raise (Process_failure (name, e))
+    | None -> (
+        match Heap.peek_min t.queue with
+        | None -> ()
+        | Some ({ time; _ }, _) when time > limit -> t.now <- limit
+        | Some _ ->
+            (match Heap.pop_min t.queue with
+            | Some ({ time; _ }, thunk) ->
+                t.now <- time;
+                t.steps <- t.steps + 1;
+                thunk ()
+            | None -> assert false);
+            loop ())
+  in
+  loop ()
+
+let delay d = Effect.perform (Delay d)
+let yield () = delay 0
+let suspend register = Effect.perform (Suspend register)

@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine with effect-based cooperative processes.
+
+    A process is an ordinary OCaml function that may perform the [delay] and
+    [suspend] operations (implemented with OCaml 5 effect handlers). The
+    engine runs processes one at a time; a process executes without
+    interruption until it delays, suspends, or returns, so code between
+    those points is atomic with respect to other processes. All blocking
+    abstractions (condition variables, semaphores, mailboxes, the FLIPC
+    engine's poll loop, ...) are built from [suspend].
+
+    Time is virtual ({!Vtime}); nothing here reads the wall clock. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time. Usable from inside or outside processes. *)
+val now : t -> Vtime.t
+
+(** Number of events executed so far; a cheap progress measure for tests. *)
+val steps : t -> int
+
+(** Number of spawned processes that have not yet returned. *)
+val live_processes : t -> int
+
+(** [spawn t ?name f] schedules process [f] to start at the current time.
+    [name] labels errors. Callable from inside or outside processes. *)
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+
+(** [spawn_at t time f] schedules [f] to start at absolute [time], which must
+    not be in the past. *)
+val spawn_at : ?name:string -> t -> Vtime.t -> (unit -> unit) -> unit
+
+(** [run t] executes events in time order until the queue is empty.
+    [~until] stops the clock at the given time, leaving later events queued.
+    An exception escaping a process aborts the run and is re-raised,
+    wrapped in {!Process_failure}. *)
+val run : ?until:Vtime.t -> t -> unit
+
+(** Raised by [run] when a process raised; carries the process name and the
+    original exception. *)
+exception Process_failure of string * exn
+
+(** {1 Operations available inside a process} *)
+
+(** [delay d] suspends the calling process for [d] virtual nanoseconds.
+    Raises [Effect.Unhandled] if called outside a process. *)
+val delay : Vtime.t -> unit
+
+(** [yield ()] is [delay Vtime.zero]: lets other events at the same time
+    run before continuing. *)
+val yield : unit -> unit
+
+(** [suspend register] parks the calling process and hands a [resume]
+    thunk to [register]. The process continues (at the virtual time of the
+    call to [resume]) once the thunk is invoked; invoking it more than once
+    is harmless. *)
+val suspend : ((unit -> unit) -> unit) -> unit

@@ -1,0 +1,70 @@
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable data : ('k * 'v) option array;
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = Array.make 64 None; size = 0 }
+let size h = h.size
+let is_empty h = h.size = 0
+
+let get h i =
+  match h.data.(i) with
+  | Some kv -> kv
+  | None -> assert false
+
+let key h i = fst (get h i)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) None in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (key h i) (key h parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && h.cmp (key h left) (key h !smallest) < 0 then
+    smallest := left;
+  if right < h.size && h.cmp (key h right) (key h !smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h k v =
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- Some (k, v);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let min = get h 0 in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    Some min
+  end
+
+let peek_min h = if h.size = 0 then None else Some (get h 0)
+
+let clear h =
+  Array.fill h.data 0 (Array.length h.data) None;
+  h.size <- 0

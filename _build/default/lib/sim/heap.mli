@@ -1,0 +1,22 @@
+(** Array-based binary min-heap, keyed by a caller-supplied total order.
+
+    Used as the simulator's event queue; keys are [(time, sequence)] pairs so
+    that simultaneous events preserve insertion order. *)
+
+type ('k, 'v) t
+
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. *)
+val create : cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val size : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [pop_min h] removes and returns the minimum binding, or [None] if the
+    heap is empty. *)
+val pop_min : ('k, 'v) t -> ('k * 'v) option
+
+(** [peek_min h] returns the minimum binding without removing it. *)
+val peek_min : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator must be exactly reproducible, so all randomness flows
+    through explicitly seeded generators; wall-clock seeding is never used. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new, statistically independent generator, advancing
+    [t]. Useful to give each simulated component its own stream. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [exponential t ~mean] samples an exponential distribution; used for
+    Poisson event-stream inter-arrival times. *)
+val exponential : t -> mean:float -> float

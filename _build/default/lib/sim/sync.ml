@@ -1,0 +1,66 @@
+module Condvar = struct
+  type t = { waiting : (unit -> unit) Queue.t }
+
+  let create () = { waiting = Queue.create () }
+  let wait t = Engine.suspend (fun resume -> Queue.push resume t.waiting)
+
+  let signal t =
+    match Queue.take_opt t.waiting with None -> () | Some resume -> resume ()
+
+  let broadcast t =
+    (* Drain into a list first: a woken process may wait again immediately,
+       which must not make broadcast loop forever. *)
+    let resumes = List.of_seq (Queue.to_seq t.waiting) in
+    Queue.clear t.waiting;
+    List.iter (fun resume -> resume ()) resumes
+
+  let waiters t = Queue.length t.waiting
+end
+
+module Semaphore = struct
+  type t = { mutable value : int; cv : Condvar.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Semaphore.create: negative";
+    { value = n; cv = Condvar.create () }
+
+  let value t = t.value
+
+  let rec acquire t =
+    if t.value > 0 then t.value <- t.value - 1
+    else begin
+      Condvar.wait t.cv;
+      acquire t
+    end
+
+  let try_acquire t =
+    if t.value > 0 then begin
+      t.value <- t.value - 1;
+      true
+    end
+    else false
+
+  let release t =
+    t.value <- t.value + 1;
+    Condvar.signal t.cv
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; cv : Condvar.t }
+
+  let create () = { items = Queue.create (); cv = Condvar.create () }
+
+  let put t v =
+    Queue.push v t.items;
+    Condvar.signal t.cv
+
+  let rec take t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None ->
+        Condvar.wait t.cv;
+        take t
+
+  let try_take t = Queue.take_opt t.items
+  let length t = Queue.length t.items
+end

@@ -1,0 +1,60 @@
+(** Blocking synchronization primitives for simulation processes.
+
+    These are the {e simulator-level} primitives used to structure simulated
+    components (a NIC waiting for a packet, a test driver waiting for a
+    reply). They are distinct from — and must not be confused with — the
+    wait-free structures inside the FLIPC communication buffer, which never
+    block and are the subject of the paper. *)
+
+(** FIFO condition variable. *)
+module Condvar : sig
+  type t
+
+  val create : unit -> t
+
+  (** [wait t] parks the calling process until a signal. There is no
+      separate mutex: process execution is atomic between suspension
+      points, so re-checking the guarded predicate after [wait] suffices. *)
+  val wait : t -> unit
+
+  (** Wake the longest-waiting process, if any. *)
+  val signal : t -> unit
+
+  (** Wake every waiting process. *)
+  val broadcast : t -> unit
+
+  val waiters : t -> int
+end
+
+(** Counting semaphore with FIFO wakeup. *)
+module Semaphore : sig
+  type t
+
+  (** [create n] has initial value [n >= 0]. *)
+  val create : int -> t
+
+  val value : t -> int
+
+  (** P operation: decrement, blocking while the value is zero. *)
+  val acquire : t -> unit
+
+  (** Non-blocking P: [true] on success. *)
+  val try_acquire : t -> bool
+
+  (** V operation: wakes one waiter or increments the value. *)
+  val release : t -> unit
+end
+
+(** Unbounded FIFO channel between processes. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val put : 'a t -> 'a -> unit
+
+  (** [take t] blocks until a value is available. *)
+  val take : 'a t -> 'a
+
+  val try_take : 'a t -> 'a option
+  val length : 'a t -> int
+end

@@ -1,0 +1,24 @@
+type entry = { time : Vtime.t; tag : string; message : string }
+type t = { mutable enabled : bool; entries : entry Queue.t }
+
+let create ?(enabled = false) () = { enabled; entries = Queue.create () }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let record t ~now ~tag message =
+  if t.enabled then Queue.push { time = now; tag; message } t.entries
+
+let recordf t ~now ~tag fmt =
+  if t.enabled then
+    Fmt.kstr (fun message -> Queue.push { time = now; tag; message } t.entries) fmt
+  else Fmt.kstr (fun _ -> ()) fmt
+
+let to_list t = List.of_seq (Queue.to_seq t.entries)
+let length t = Queue.length t.entries
+let clear t = Queue.clear t.entries
+
+let dump fmt t =
+  Queue.iter
+    (fun e -> Fmt.pf fmt "[%a] %-12s %s@." Vtime.pp e.time e.tag e.message)
+    t.entries

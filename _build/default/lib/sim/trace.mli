@@ -1,0 +1,27 @@
+(** Lightweight event trace for debugging simulations.
+
+    Disabled traces cost one branch per record call. *)
+
+type entry = { time : Vtime.t; tag : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+(** [record t ~now ~tag message] appends an entry if tracing is enabled. *)
+val record : t -> now:Vtime.t -> tag:string -> string -> unit
+
+(** [recordf] is [record] with a format string; the message is only built
+    when tracing is enabled. *)
+val recordf :
+  t -> now:Vtime.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val to_list : t -> entry list
+val length : t -> int
+val clear : t -> unit
+
+(** [dump fmt t] prints one line per entry. *)
+val dump : Format.formatter -> t -> unit

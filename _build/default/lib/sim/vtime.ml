@@ -1,0 +1,28 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let of_us_float x = int_of_float (Float.round (x *. 1_000.))
+let of_ns_float x = int_of_float (Float.round x)
+let to_ns t = t
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let add = ( + )
+let sub = ( - )
+let scale n t = n * t
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+let equal = Int.equal
+
+let pp fmt t =
+  let abs = Stdlib.abs t in
+  if abs < 1_000 then Fmt.pf fmt "%dns" t
+  else if abs < 1_000_000 then Fmt.pf fmt "%.2fus" (to_us t)
+  else if abs < 1_000_000_000 then Fmt.pf fmt "%.3fms" (to_ms t)
+  else Fmt.pf fmt "%.3fs" (float_of_int t /. 1e9)
+
+let pp_us fmt t = Fmt.pf fmt "%.2fus" (to_us t)

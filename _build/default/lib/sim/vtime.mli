@@ -1,0 +1,51 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer count of nanoseconds since simulation start. A 63-bit
+    integer holds about 292 years of nanoseconds, far more than any
+    simulation here needs. Using plain [int] keeps arithmetic allocation-free
+    on the simulator hot path. *)
+
+type t = int
+
+val zero : t
+
+(** {1 Constructors} *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+(** [of_us_float x] rounds [x] microseconds to the nearest nanosecond. *)
+val of_us_float : float -> t
+
+(** [of_ns_float x] rounds [x] nanoseconds to the nearest nanosecond. *)
+val of_ns_float : float -> t
+
+(** {1 Conversions} *)
+
+val to_ns : t -> int
+val to_us : t -> float
+val to_ms : t -> float
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [scale n t] is [n * t]. *)
+val scale : int -> t -> t
+
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** {1 Printing} *)
+
+(** [pp] picks a human-friendly unit (ns, us, ms or s). *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_us] always prints in microseconds with two decimals, the unit used
+    throughout the FLIPC paper's evaluation. *)
+val pp_us : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Float Fmt List String

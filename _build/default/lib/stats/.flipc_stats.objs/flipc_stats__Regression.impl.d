@@ -1,0 +1,1 @@
+lib/stats/regression.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/stats/table.ml: Char Filename Fmt List Printf String Sys

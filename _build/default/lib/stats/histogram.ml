@@ -1,0 +1,59 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ?(bins = 20) ~lo ~hi () =
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let bins = Array.length t.counts in
+    let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins) in
+    let i = min i (bins - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_all t xs = List.iter (add t) xs
+
+let of_samples ?bins xs =
+  match xs with
+  | [] -> invalid_arg "Histogram.of_samples: empty"
+  | x :: _ ->
+      let lo = List.fold_left Float.min x xs in
+      let hi = List.fold_left Float.max x xs in
+      let pad = Float.max ((hi -. lo) *. 0.05) 1e-9 in
+      let t = create ?bins ~lo:(lo -. pad) ~hi:(hi +. pad) () in
+      add_all t xs;
+      t
+
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let counts t = Array.copy t.counts
+
+let bin_range t i =
+  let bins = Array.length t.counts in
+  if i < 0 || i >= bins then invalid_arg "Histogram.bin_range: bad bin";
+  let w = (t.hi -. t.lo) /. float_of_int bins in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let pp fmt t =
+  let peak = Array.fold_left max 1 t.counts in
+  if t.underflow > 0 then Fmt.pf fmt "%16s %6d@." "< range" t.underflow;
+  Array.iteri
+    (fun i n ->
+      let lo, hi = bin_range t i in
+      let bar = String.make (n * 50 / peak) '#' in
+      Fmt.pf fmt "[%6.2f, %6.2f) %6d %s@." lo hi n bar)
+    t.counts;
+  if t.overflow > 0 then Fmt.pf fmt "%16s %6d@." ">= range" t.overflow

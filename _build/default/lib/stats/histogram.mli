@@ -1,0 +1,30 @@
+(** Fixed-width-bin histograms with ASCII rendering.
+
+    Used by the latency-distribution experiment and anywhere a summary's
+    mean/stddev hides structure (e.g. bimodal discovery delays). *)
+
+type t
+
+(** [create ~lo ~hi ()] covers [\[lo, hi)] with [bins] equal bins
+    (default 20). Samples outside the range land in underflow/overflow
+    counters. Requires [lo < hi]. *)
+val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+
+val add : t -> float -> unit
+val add_all : t -> float list -> unit
+
+(** [of_samples xs] picks the range from the samples (padded slightly). *)
+val of_samples : ?bins:int -> float list -> t
+
+val total : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+(** [counts t] is one count per bin. *)
+val counts : t -> int array
+
+(** [bin_range t i] is the [(lo, hi)] of bin [i]. *)
+val bin_range : t -> int -> float * float
+
+(** ASCII rendering, one line per bin: range, count, bar. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type fit = { intercept : float; slope : float; r2 : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let mx = sx /. nf and my = sy /. nf in
+  let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) ** 2.)) 0. points in
+  if sxx = 0. then invalid_arg "Regression.linear: all x equal";
+  let sxy =
+    List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. points
+  in
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. my) ** 2.)) 0. points in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let fitted = intercept +. (slope *. x) in
+        a +. ((y -. fitted) ** 2.))
+      0. points
+  in
+  let r2 = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { intercept; slope; r2 }
+
+let pp fmt t =
+  Fmt.pf fmt "y = %.3f + %.4f*x (r2=%.4f)" t.intercept t.slope t.r2

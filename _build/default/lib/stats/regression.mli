@@ -1,0 +1,14 @@
+(** Least-squares linear regression; used to fit the paper's
+    [latency = intercept + slope * bytes] line from FIG4 sweeps. *)
+
+type fit = {
+  intercept : float;
+  slope : float;
+  r2 : float;  (** coefficient of determination *)
+}
+
+(** [linear points] fits [y = intercept + slope * x]. Requires at least two
+    points with distinct x. *)
+val linear : (float * float) list -> fit
+
+val pp : Format.formatter -> fit -> unit

@@ -1,0 +1,58 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Summary.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Summary.percentile: empty"
+  | _ ->
+      if p < 0. || p > 100. then invalid_arg "Summary.percentile: bad p";
+      let arr = Array.of_list xs in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then arr.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let of_samples xs =
+  match xs with
+  | [] -> invalid_arg "Summary.of_samples: empty"
+  | _ ->
+      {
+        n = List.length xs;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = List.fold_left Float.min Float.infinity xs;
+        max = List.fold_left Float.max Float.neg_infinity xs;
+        p50 = percentile xs 50.;
+        p95 = percentile xs 95.;
+        p99 = percentile xs 99.;
+      }
+
+let pp fmt t =
+  Fmt.pf fmt "%.2f +/- %.2f (%.2f .. %.2f, n=%d)" t.mean t.stddev t.min t.max
+    t.n

@@ -1,0 +1,26 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(** [of_samples xs] computes a summary. Raises [Invalid_argument] on an
+    empty list. *)
+val of_samples : float list -> t
+
+(** [percentile xs p] is the [p]-th percentile ([0..100]) by linear
+    interpolation on the sorted samples. *)
+val percentile : float list -> float -> float
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** Pretty form: [mean +/- stddev (min .. max, n=...)]. *)
+val pp : Format.formatter -> t -> unit

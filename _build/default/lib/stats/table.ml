@@ -1,0 +1,78 @@
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let update acc cells =
+    List.map2 (fun w c -> max w (String.length c)) acc cells
+  in
+  let init = List.map String.length t.headers in
+  List.fold_left
+    (fun acc row -> match row with Cells c -> update acc c | Rule -> acc)
+    init (List.rev t.rows)
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp fmt t =
+  let ws = widths t in
+  let line c = String.concat "-+-" (List.map (fun w -> String.make w c) ws) in
+  let render cells =
+    String.concat " | " (List.map2 pad ws cells)
+  in
+  Fmt.pf fmt "== %s ==@." t.title;
+  Fmt.pf fmt "%s@." (render t.headers);
+  Fmt.pf fmt "%s@." (line '-');
+  List.iter
+    (fun row ->
+      match row with
+      | Cells c -> Fmt.pf fmt "%s@." (render c)
+      | Rule -> Fmt.pf fmt "%s@." (line '-'))
+    (List.rev t.rows)
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  let rows =
+    List.filter_map
+      (fun row -> match row with Cells c -> Some (line c) | Rule -> None)
+      (List.rev t.rows)
+  in
+  String.concat "\n" (line t.headers :: rows) ^ "\n"
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '_')
+    title
+
+let print t =
+  pp Fmt.stdout t;
+  match Sys.getenv_opt "FLIPC_BENCH_CSV" with
+  | Some dir when dir <> "" ->
+      let path = Filename.concat dir (slug t.title ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (to_csv t);
+      close_out oc
+  | Some _ | None -> ()
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_us x = Printf.sprintf "%.2f" x
+let cell_i = string_of_int

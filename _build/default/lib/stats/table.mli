@@ -1,0 +1,31 @@
+(** Fixed-width text tables for the benchmark harness's paper-style
+    output. *)
+
+type t
+
+(** [create ~title headers] starts a table. *)
+val create : title:string -> string list -> t
+
+(** [add_row t cells] appends a row; cell count must match the headers. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal separator. *)
+val add_rule : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** [print t] renders to stdout. If the environment variable
+    [FLIPC_BENCH_CSV] names a directory, a CSV copy is also written there
+    as [<slugified-title>.csv]. *)
+val print : t -> unit
+
+(** Comma-separated rendering (header + data rows; quotes cells containing
+    commas or quotes; rules are skipped). *)
+val to_csv : t -> string
+
+(** Cell formatting helpers. *)
+
+val cell_f : ?decimals:int -> float -> string
+
+val cell_us : float -> string
+val cell_i : int -> string

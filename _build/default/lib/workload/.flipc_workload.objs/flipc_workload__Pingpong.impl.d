@@ -1,0 +1,1 @@
+lib/workload/pingpong.ml: Bytes Flipc Flipc_memsim Flipc_sim Flipc_stats List

@@ -1,0 +1,1 @@
+lib/workload/pingpong.mli: Flipc Flipc_memsim Flipc_stats

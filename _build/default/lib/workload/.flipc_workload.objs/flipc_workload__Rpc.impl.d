@@ -1,0 +1,1 @@
+lib/workload/rpc.ml: Bytes Flipc Flipc_flow Flipc_memsim Flipc_sim Flipc_stats Int32 List Printf Queue

@@ -1,0 +1,1 @@
+lib/workload/rpc.mli: Flipc Flipc_stats

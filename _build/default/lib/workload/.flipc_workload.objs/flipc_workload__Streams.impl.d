@@ -1,0 +1,1 @@
+lib/workload/streams.ml: Arrivals Bytes Flipc Flipc_memsim Flipc_rt Flipc_sim Flipc_stats Int64 List Queue

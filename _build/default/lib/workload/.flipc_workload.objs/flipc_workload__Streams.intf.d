@@ -1,0 +1,1 @@
+lib/workload/streams.mli: Arrivals Flipc Flipc_sim Flipc_stats

@@ -1,0 +1,1 @@
+lib/workload/throughput.ml: Flipc Flipc_memsim Flipc_sim Printf Queue

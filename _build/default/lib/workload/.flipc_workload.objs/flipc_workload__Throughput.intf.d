@@ -1,0 +1,1 @@
+lib/workload/throughput.mli: Flipc

@@ -1,0 +1,56 @@
+module Prng = Flipc_sim.Prng
+
+type kind =
+  | Periodic of int
+  | Jittered of { period_ns : int; jitter : float; prng : Prng.t }
+  | Poisson of { mean_ns : int; prng : Prng.t }
+  | Bursty of { burst : int; gap_ns : int; idle_ns : int; mutable pos : int }
+
+type t = kind ref
+
+let periodic ~period_ns =
+  if period_ns < 0 then invalid_arg "Arrivals.periodic: negative period";
+  ref (Periodic period_ns)
+
+let jittered ~period_ns ~jitter ~seed =
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Arrivals.jittered: jitter must be in [0, 1]";
+  ref (Jittered { period_ns; jitter; prng = Prng.create ~seed })
+
+let poisson ~mean_ns ~seed =
+  if mean_ns <= 0 then invalid_arg "Arrivals.poisson: mean must be positive";
+  ref (Poisson { mean_ns; prng = Prng.create ~seed })
+
+let bursty ~burst ~gap_ns ~idle_ns =
+  if burst < 1 then invalid_arg "Arrivals.bursty: burst must be >= 1";
+  ref (Bursty { burst; gap_ns; idle_ns; pos = 0 })
+
+let next_gap_ns t =
+  match !t with
+  | Periodic p -> p
+  | Jittered { period_ns; jitter; prng } ->
+      let span = float_of_int period_ns *. jitter in
+      let offset = Prng.float prng (2. *. span) -. span in
+      max 0 (period_ns + int_of_float offset)
+  | Poisson { mean_ns; prng } ->
+      int_of_float (Prng.exponential prng ~mean:(float_of_int mean_ns))
+  | Bursty b ->
+      b.pos <- (b.pos + 1) mod b.burst;
+      if b.pos = 0 then b.idle_ns else b.gap_ns
+
+let mean_gap_ns t =
+  match !t with
+  | Periodic p -> float_of_int p
+  | Jittered { period_ns; _ } -> float_of_int period_ns
+  | Poisson { mean_ns; _ } -> float_of_int mean_ns
+  | Bursty { burst; gap_ns; idle_ns; _ } ->
+      float_of_int (((burst - 1) * gap_ns) + idle_ns) /. float_of_int burst
+
+let describe t =
+  match !t with
+  | Periodic p -> Printf.sprintf "periodic %dns" p
+  | Jittered { period_ns; jitter; _ } ->
+      Printf.sprintf "periodic %dns +/-%.0f%%" period_ns (jitter *. 100.)
+  | Poisson { mean_ns; _ } -> Printf.sprintf "poisson mean %dns" mean_ns
+  | Bursty { burst; gap_ns; idle_ns; _ } ->
+      Printf.sprintf "bursts of %d @%dns, idle %dns" burst gap_ns idle_ns

@@ -1,0 +1,33 @@
+(** Arrival processes for event-driven workloads.
+
+    The paper's environment is "event driven distributed real time": events
+    arrive periodically (strictly periodic components, the static
+    provisioning case), randomly (Poisson sensor detections), or in bursts
+    (a radar sweep illuminating a sector). These generators produce
+    inter-arrival gaps in nanoseconds; all randomness is seeded
+    (deterministic replays). A generator is stateful — create one per
+    stream. *)
+
+type t
+
+(** Fixed inter-arrival gap. *)
+val periodic : period_ns:int -> t
+
+(** Uniform jitter of ±[jitter] (fraction, in [0,1]) around the period. *)
+val jittered : period_ns:int -> jitter:float -> seed:int -> t
+
+(** Poisson process: exponential inter-arrival times with the given mean. *)
+val poisson : mean_ns:int -> seed:int -> t
+
+(** On/off bursts: [burst] arrivals [gap_ns] apart, then an [idle_ns]
+    pause before the next burst. *)
+val bursty : burst:int -> gap_ns:int -> idle_ns:int -> t
+
+(** The gap before the next arrival; never negative. *)
+val next_gap_ns : t -> int
+
+(** Mean inter-arrival time implied by the process (for provisioning
+    arithmetic). *)
+val mean_gap_ns : t -> float
+
+val describe : t -> string

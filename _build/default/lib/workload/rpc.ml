@@ -1,0 +1,139 @@
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Address = Flipc.Address
+module Endpoint_kind = Flipc.Endpoint_kind
+module Summary = Flipc_stats.Summary
+
+type result = {
+  requests : int;
+  replies : int;
+  server_drops : int;
+  latency : Summary.t;
+}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Rpc: " ^ Api.error_to_string e)
+
+let encode_request ~reply_to ~seq =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int (Address.to_word reply_to));
+  Bytes.set_int32_le b 4 (Int32.of_int seq);
+  b
+
+let decode_reply_to payload =
+  Address.of_word (Int32.to_int (Bytes.get_int32_le payload 0))
+
+let poll api ep =
+  let port = Api.port api in
+  let rec loop () =
+    match Api.receive api ep with
+    | Some buf -> buf
+    | None ->
+        Mem_port.instr port 5;
+        loop ()
+  in
+  loop ()
+
+let run ~machine ~server_node ~client_nodes ~requests_per_client
+    ~server_work_ns () =
+  let sim = Machine.sim machine in
+  let clients = List.length client_nodes in
+  let total = clients * requests_per_client in
+  let server_addr_box = Mailbox.create () in
+  let requests = ref 0 in
+  let replies = ref 0 in
+  let server_drops = ref 0 in
+  let latencies = ref [] in
+
+  Machine.spawn_app ~name:"rpc-server" machine ~node:server_node (fun api ->
+      let req_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let resp_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      (* Static provisioning: one request buffer per possible outstanding
+         request (closed-loop clients => one each). *)
+      let needed =
+        Flipc_flow.Provision.rpc_buffers ~clients ~outstanding_per_client:1
+      in
+      for _ = 1 to needed do
+        let buf = ok (Api.allocate_buffer api) in
+        ok (Api.post_receive api req_ep buf)
+      done;
+      (* Announce the request endpoint to every client. *)
+      for _ = 1 to clients do
+        Mailbox.put server_addr_box (Api.address api req_ep)
+      done;
+      let reply_pool = Queue.create () in
+      for _ = 1 to 4 do
+        Queue.push (ok (Api.allocate_buffer api)) reply_pool
+      done;
+      for _ = 1 to total do
+        let req = poll api req_ep in
+        incr requests;
+        let payload = Api.read_payload api req 8 in
+        let reply_to = decode_reply_to payload in
+        Mem_port.instr (Api.port api) (max 1 (server_work_ns / 20));
+        let rec reply_buf () =
+          (match Api.reclaim api resp_ep with
+          | Some b -> Queue.push b reply_pool
+          | None -> ());
+          match Queue.take_opt reply_pool with
+          | Some b -> b
+          | None ->
+              Mem_port.instr (Api.port api) 10;
+              reply_buf ()
+        in
+        let resp = reply_buf () in
+        Api.write_payload api resp payload;
+        ok (Api.send_to api resp_ep resp reply_to);
+        ok (Api.post_receive api req_ep req);
+        incr replies
+      done;
+      server_drops := Api.drops_read_and_reset api req_ep);
+
+  List.iteri
+    (fun i node ->
+      Machine.spawn_app ~name:(Printf.sprintf "rpc-client-%d" i) machine ~node
+        (fun api ->
+          let resp_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+          let req_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          let server = Mailbox.take server_addr_box in
+          Api.connect api req_ep server;
+          (* Closed loop: one outstanding request, two receive buffers for
+             slack. *)
+          for _ = 1 to 2 do
+            let buf = ok (Api.allocate_buffer api) in
+            ok (Api.post_receive api resp_ep buf)
+          done;
+          let req_buf = ok (Api.allocate_buffer api) in
+          let me = Api.address api resp_ep in
+          for seq = 1 to requests_per_client do
+            let t0 = Sim.now sim in
+            Api.write_payload api req_buf (encode_request ~reply_to:me ~seq);
+            ok (Api.send api req_ep req_buf);
+            let resp = poll api resp_ep in
+            ignore (Api.read_payload api resp 8 : Bytes.t);
+            ok (Api.post_receive api resp_ep resp);
+            (let rec reclaim_own () =
+               match Api.reclaim api req_ep with
+               | Some _ -> ()
+               | None ->
+                   Mem_port.instr (Api.port api) 5;
+                   reclaim_own ()
+             in
+             reclaim_own ());
+            latencies := (float_of_int (Sim.now sim - t0) /. 1000.) :: !latencies
+          done))
+    client_nodes;
+
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  {
+    requests = !requests;
+    replies = !replies;
+    server_drops = !server_drops;
+    latency = Summary.of_samples !latencies;
+  }

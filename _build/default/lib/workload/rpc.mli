@@ -1,0 +1,30 @@
+(** RPC interaction pattern over FLIPC with static provisioning.
+
+    A server with a fixed, known client population — the paper's first
+    static-flow-control example: "an RPC interaction structure with a
+    fixed set of clients can statically determine the number of buffers
+    needed based on the maximum number of clients". Each client runs a
+    closed loop (one outstanding request), so the server needs exactly
+    [clients] posted request buffers and the transport never discards.
+
+    Requests carry the client's reply address in their payload (FLIPC
+    addressing is one-way; reply routing is an application concern). *)
+
+type result = {
+  requests : int;
+  replies : int;
+  server_drops : int;  (** 0 when provisioning is honoured *)
+  latency : Flipc_stats.Summary.t;  (** request/response round trip, us *)
+}
+
+(** [run ~machine ~server_node ~client_nodes ~requests_per_client
+    ~server_work_ns ()] — one client per entry of [client_nodes] (node ids
+    may repeat: several clients per node). *)
+val run :
+  machine:Flipc.Machine.t ->
+  server_node:int ->
+  client_nodes:int list ->
+  requests_per_client:int ->
+  server_work_ns:int ->
+  unit ->
+  result

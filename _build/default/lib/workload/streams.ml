@@ -1,0 +1,164 @@
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Address = Flipc.Address
+module Endpoint_kind = Flipc.Endpoint_kind
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+module Summary = Flipc_stats.Summary
+
+type spec = {
+  name : string;
+  priority : int;
+  period_ns : int;
+  arrival : Arrivals.t option;
+  count : int;
+  recv_buffers : int;
+  consume_ns : int;
+  deadline_ns : int;
+}
+
+let make ~name ?(priority = 1) ?(period_ns = 0) ?arrival ?(count = 100)
+    ?(recv_buffers = 4) ?(consume_ns = 1_000) ?(deadline_ns = 0) () =
+  {
+    name;
+    priority;
+    period_ns;
+    arrival;
+    count;
+    recv_buffers;
+    consume_ns;
+    deadline_ns;
+  }
+
+type stream_result = {
+  name : string;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  deadline_misses : int;
+  latency : Summary.t option;
+}
+
+type tally = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable misses : int;
+  mutable latencies : float list;
+}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Streams: " ^ Api.error_to_string e)
+
+let stamp_payload sim =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int (Sim.now sim));
+  b
+
+let stamp_of_payload b = Int64.to_int (Bytes.get_int64_le b 0)
+
+let run ~machine ~node_src ~node_dst ~until specs =
+  let sim = Machine.sim machine in
+  let tallies =
+    List.map
+      (fun (spec : spec) ->
+        (spec,
+         { sent = 0; delivered = 0; dropped = 0; misses = 0; latencies = [] }))
+      specs
+  in
+  let dst_node = Machine.node machine node_dst in
+  let sched = Machine.sched dst_node in
+  List.iter
+    (fun ((spec : spec), tally) ->
+      let addr_box = Mailbox.create () in
+      (* Receiver: a real-time thread at the stream's priority, woken by
+         the endpoint's semaphore. *)
+      let sem = Rt_semaphore.create sched in
+      Machine.spawn_app ~name:(spec.name ^ "-setup") machine ~node:node_dst
+        (fun api ->
+          let ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ~semaphore:sem ())
+          in
+          for _ = 1 to spec.recv_buffers do
+            let buf = ok (Api.allocate_buffer api) in
+            ok (Api.post_receive api ep buf)
+          done;
+          Mailbox.put addr_box (Api.address api ep);
+          ignore
+            (Machine.spawn_thread ~name:(spec.name ^ "-rx") machine
+               ~node:node_dst ~priority:spec.priority (fun thr api ->
+                 let rec loop () =
+                   let buf = Api.receive_wait api ep thr in
+                   let sent_at = stamp_of_payload (Api.read_payload api buf 8) in
+                   Mem_port.instr (Api.port api)
+                     (spec.consume_ns
+                     / (Flipc_memsim.Bus.cost_model (Machine.bus dst_node))
+                         .Flipc_memsim.Cost_model.instr_ns);
+                   tally.delivered <- tally.delivered + 1;
+                   let elapsed = Sim.now sim - sent_at in
+                   if spec.deadline_ns > 0 && elapsed > spec.deadline_ns then
+                     tally.misses <- tally.misses + 1;
+                   tally.latencies <-
+                     (float_of_int elapsed /. 1000.) :: tally.latencies;
+                   ok (Api.post_receive api ep buf);
+                   tally.dropped <- tally.dropped + Api.drops_read_and_reset api ep;
+                   loop ()
+                 in
+                 loop ())
+              : Flipc_rt.Sched.thread));
+      (* Sender: paced process on the source node, cycling over a few send
+         buffers; a slow consumer shows up as transport drops, never as
+         sender blocking. *)
+      Machine.spawn_app ~name:(spec.name ^ "-tx") machine ~node:node_src
+        (fun api ->
+          let dest = Mailbox.take addr_box in
+          let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          Api.connect api ep dest;
+          let pool = List.init 4 (fun _ -> ok (Api.allocate_buffer api)) in
+          let free = Queue.create () in
+          List.iter (fun b -> Queue.push b free) pool;
+          for _ = 1 to spec.count do
+            (match Api.reclaim api ep with
+            | Some b -> Queue.push b free
+            | None -> ());
+            (match Queue.take_opt free with
+            | Some buf ->
+                Api.write_payload api buf (stamp_payload sim);
+                ok (Api.send api ep buf);
+                tally.sent <- tally.sent + 1
+            | None ->
+                (* Sender itself out of buffers: spin briefly for reclaim. *)
+                let rec wait_buf () =
+                  match Api.reclaim api ep with
+                  | Some b ->
+                      Api.write_payload api b (stamp_payload sim);
+                      ok (Api.send api ep b);
+                      tally.sent <- tally.sent + 1
+                  | None ->
+                      Mem_port.instr (Api.port api) 10;
+                      wait_buf ()
+                in
+                wait_buf ());
+            (match spec.arrival with
+            | Some arrival -> Sim.delay (Arrivals.next_gap_ns arrival)
+            | None -> if spec.period_ns > 0 then Sim.delay spec.period_ns)
+          done))
+    tallies;
+  Machine.run ~until machine;
+  List.map
+    (fun ((spec : spec), tally) ->
+      {
+        name = spec.name;
+        sent = tally.sent;
+        delivered = tally.delivered;
+        dropped = tally.dropped;
+        deadline_misses = tally.misses;
+        latency =
+          (match tally.latencies with
+          | [] -> None
+          | ls -> Some (Summary.of_samples ls));
+      })
+    tallies

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Flipc_baselines Flipc_workload Fmt

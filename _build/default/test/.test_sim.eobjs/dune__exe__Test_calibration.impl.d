@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Flipc Flipc_baselines Flipc_stats Flipc_workload Fmt List

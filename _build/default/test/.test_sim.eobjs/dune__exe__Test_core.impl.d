@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Flipc Flipc_memsim Flipc_sim Fmt Int List Option QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Bytes Char Flipc Flipc_bulk Flipc_memsim Flipc_rt Flipc_sim Fmt Int32 List Option String

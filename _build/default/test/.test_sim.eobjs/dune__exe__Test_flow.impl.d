@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Flipc Flipc_flow Flipc_memsim Flipc_sim Gen List QCheck QCheck_alcotest Queue

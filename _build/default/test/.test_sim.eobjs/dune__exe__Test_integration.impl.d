@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Flipc Flipc_memsim Flipc_rt Flipc_sim Int Int32 List Queue String

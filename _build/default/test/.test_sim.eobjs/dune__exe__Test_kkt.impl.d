@@ -1,0 +1,1 @@
+test/test_kkt.ml: Alcotest Array Bytes Char Flipc Flipc_kkt Flipc_memsim Flipc_net Flipc_sim Flipc_workload

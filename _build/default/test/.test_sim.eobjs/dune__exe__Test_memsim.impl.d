@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Bytes Flipc_memsim Flipc_sim Fmt List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Flipc_memsim Flipc_net Flipc_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Bytes Char Flipc Flipc_bulk Flipc_memsim Flipc_sim Flipc_workload Fmt Fun Gen Int Int32 List QCheck QCheck_alcotest Queue Result

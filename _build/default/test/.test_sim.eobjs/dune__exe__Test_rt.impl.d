@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Flipc_rt Flipc_sim List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Flipc_sim Float Fmt Int List QCheck QCheck_alcotest

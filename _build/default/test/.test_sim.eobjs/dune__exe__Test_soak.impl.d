@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Bytes Flipc Flipc_memsim Flipc_sim Printf QCheck QCheck_alcotest Result

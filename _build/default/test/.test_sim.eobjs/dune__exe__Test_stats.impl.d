@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Flipc_stats Float Fmt List String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Flipc Flipc_sim Flipc_stats Flipc_workload Float List

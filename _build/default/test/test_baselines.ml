@@ -1,0 +1,154 @@
+(* Tests for the baseline system models: the comparison-table shape must
+   hold structurally (who wins, in what order, and why). *)
+
+module Nx = Flipc_baselines.Nx
+module Pam = Flipc_baselines.Pam
+module Sunmos = Flipc_baselines.Sunmos
+module Pingpong = Flipc_workload.Pingpong
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let checkf msg lo hi v = check_bool (Fmt.str "%s: %.1f in [%.1f, %.1f]" msg v lo hi) true (v >= lo && v <= hi)
+
+let test_nx_medium_latency () =
+  checkf "NX ~46us" 40. 52. (Nx.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ())
+
+let test_nx_large_rejected () =
+  Alcotest.check_raises "rendezvous path"
+    (Invalid_argument "Nx.one_way_latency_us: use bandwidth_mb_s for large messages")
+    (fun () -> ignore (Nx.one_way_latency_us ~payload_bytes:100_000 ~exchanges:1 ()))
+
+let test_nx_bandwidth () =
+  checkf "NX 1MB ~140MB/s" 130. 145. (Nx.bandwidth_mb_s ~bytes:1_000_000 ());
+  check_bool "small transfers waste setup" true
+    (Nx.bandwidth_mb_s ~bytes:4_096 () < 60.)
+
+let test_pam_fragments () =
+  check "20B one packet" 1 (Pam.fragments Pam.default_config 20);
+  check "21B two" 2 (Pam.fragments Pam.default_config 21);
+  check "120B six" 6 (Pam.fragments Pam.default_config 120);
+  check "0B still one" 1 (Pam.fragments Pam.default_config 0)
+
+let test_pam_small_fast () =
+  checkf "PAM 20B < 10us" 6. 10. (Pam.one_way_latency_us ~payload_bytes:20 ~exchanges:40 ())
+
+let test_pam_medium_slow () =
+  checkf "PAM 120B ~26us" 22. 30. (Pam.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ())
+
+let test_pam_bulk_bandwidth () =
+  checkf "PAM bulk" 160. 180. (Pam.bulk_bandwidth_mb_s ~bytes:1_000_000 ())
+
+let test_sunmos_latencies () =
+  checkf "SUNMOS 120B ~28us" 24. 32.
+    (Sunmos.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ());
+  check_bool "zero-length optimized" true
+    (Sunmos.one_way_latency_us ~payload_bytes:0 ~exchanges:40 ()
+    < Sunmos.one_way_latency_us ~payload_bytes:56 ~exchanges:40 ())
+
+let test_sunmos_bandwidth () =
+  checkf "SUNMOS 4MB ~160MB/s" 150. 162. (Sunmos.bandwidth_mb_s ~bytes:4_000_000 ());
+  check_bool "monotone in size" true
+    (Sunmos.bandwidth_mb_s ~bytes:4_000_000 ()
+    > Sunmos.bandwidth_mb_s ~bytes:100_000 ())
+
+(* The paper's comparison table ordering at 120 bytes:
+   FLIPC (16.2) < PAM (26) < SUNMOS (28) < NX (46). *)
+let test_comparison_ordering () =
+  let flipc =
+    (Pingpong.measure ~payload_bytes:120 ~exchanges:100 ()).Pingpong
+    .aggregate_one_way_us
+  in
+  let pam = Pam.one_way_latency_us ~payload_bytes:120 ~exchanges:40 () in
+  let sunmos = Sunmos.one_way_latency_us ~payload_bytes:120 ~exchanges:40 () in
+  let nx = Nx.one_way_latency_us ~payload_bytes:120 ~exchanges:40 () in
+  check_bool
+    (Fmt.str "flipc %.1f < pam %.1f < sunmos %.1f < nx %.1f" flipc pam sunmos nx)
+    true
+    (flipc < pam && pam < sunmos && sunmos < nx)
+
+(* At very small payloads the order flips: PAM wins (it is optimized for
+   20-byte messages; FLIPC still pays for a full 64-byte frame). *)
+let test_small_message_crossover () =
+  let flipc_small =
+    (Pingpong.measure ~payload_bytes:20 ~exchanges:100 ()).Pingpong
+    .aggregate_one_way_us
+  in
+  let pam_small = Pam.one_way_latency_us ~payload_bytes:20 ~exchanges:40 () in
+  check_bool
+    (Fmt.str "pam %.1f beats flipc %.1f at 20B" pam_small flipc_small)
+    true
+    (pam_small < flipc_small)
+
+(* Bandwidth story: SUNMOS best software throughput, NX above 140, both
+   below the 200 MB/s hardware peak. *)
+let test_bandwidth_story () =
+  let nx = Nx.bandwidth_mb_s ~bytes:8_000_000 () in
+  let sunmos = Sunmos.bandwidth_mb_s ~bytes:8_000_000 () in
+  check_bool "sunmos > nx" true (sunmos > nx);
+  check_bool "below hw peak" true (sunmos < 200. && nx < 200.);
+  check_bool "nx over 140" true (nx > 139.)
+
+module Express = Flipc_baselines.Express
+
+(* Express Messages: internal knob comparisons only (different machine
+   than the Paragon; no cross-machine numbers exist in the paper). *)
+let em ~buffer_mgmt ~delivery =
+  Express.one_way_latency_us ~buffer_mgmt ~delivery ~payload_bytes:120
+    ~exchanges:20 ()
+
+let test_express_syscall_tax () =
+  let syscall = em ~buffer_mgmt:`Syscall ~delivery:`Polling in
+  let shared = em ~buffer_mgmt:`Shared ~delivery:`Polling in
+  (* Two kernel crossings per one-way path; FLIPC's shared-structure
+     management removes them. *)
+  check_bool
+    (Fmt.str "syscall mgmt dearer: %.0f vs %.0f us" syscall shared)
+    true
+    (syscall > shared +. 50.)
+
+let test_express_interrupt_tax () =
+  let interrupt = em ~buffer_mgmt:`Shared ~delivery:`Interrupt in
+  let polling = em ~buffer_mgmt:`Shared ~delivery:`Polling in
+  check_bool "interrupt delivery dearer than polling" true
+    (interrupt > polling +. 50.)
+
+let test_express_era_magnitude () =
+  let v = em ~buffer_mgmt:`Syscall ~delivery:`Polling in
+  (* Hundreds of microseconds on a 16 MHz 386 with 2.8 MB/s links. *)
+  check_bool (Fmt.str "era magnitude: %.0f us" v) true (v > 100. && v < 1000.)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "nx",
+        [
+          Alcotest.test_case "medium latency" `Quick test_nx_medium_latency;
+          Alcotest.test_case "large rejected" `Quick test_nx_large_rejected;
+          Alcotest.test_case "bandwidth" `Quick test_nx_bandwidth;
+        ] );
+      ( "pam",
+        [
+          Alcotest.test_case "fragments" `Quick test_pam_fragments;
+          Alcotest.test_case "small fast" `Quick test_pam_small_fast;
+          Alcotest.test_case "medium slow" `Quick test_pam_medium_slow;
+          Alcotest.test_case "bulk bandwidth" `Quick test_pam_bulk_bandwidth;
+        ] );
+      ( "sunmos",
+        [
+          Alcotest.test_case "latencies" `Quick test_sunmos_latencies;
+          Alcotest.test_case "bandwidth" `Quick test_sunmos_bandwidth;
+        ] );
+      ( "express",
+        [
+          Alcotest.test_case "syscall tax" `Quick test_express_syscall_tax;
+          Alcotest.test_case "interrupt tax" `Quick test_express_interrupt_tax;
+          Alcotest.test_case "era magnitude" `Quick test_express_era_magnitude;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "ordering at 120B" `Quick test_comparison_ordering;
+          Alcotest.test_case "small-message crossover" `Quick
+            test_small_message_crossover;
+          Alcotest.test_case "bandwidth story" `Quick test_bandwidth_story;
+        ] );
+    ]

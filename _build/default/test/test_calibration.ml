@@ -1,0 +1,93 @@
+(* Calibration regression guards: loose bounds on the headline reproduction
+   numbers, so a change to the cost model or the message path that silently
+   breaks the paper's shapes fails the suite rather than only showing up in
+   EXPERIMENTS.md. Bounds are deliberately wide (the tests assert shape,
+   not decimals). *)
+
+module Config = Flipc.Config
+module Pingpong = Flipc_workload.Pingpong
+module Regression = Flipc_stats.Regression
+module Summary = Flipc_stats.Summary
+
+let check_bool = Alcotest.(check bool)
+
+let within msg lo hi v =
+  check_bool (Fmt.str "%s: %.2f in [%.2f, %.2f]" msg v lo hi) true
+    (v >= lo && v <= hi)
+
+let latency ?config ?(payload = 120) ?(exchanges = 150) () =
+  (Pingpong.measure ?config ~payload_bytes:payload ~exchanges ()).Pingpong
+    .aggregate_one_way_us
+
+let test_headline_latency () =
+  (* Paper: 16.2us at 120B. *)
+  within "120B one-way" 14.5 18.5 (latency ())
+
+let test_fig4_fit () =
+  let points =
+    List.map
+      (fun msg ->
+        ( float_of_int msg,
+          latency ~payload:(msg - Config.header_bytes) ~exchanges:120 () ))
+      [ 64; 128; 192; 256 ]
+  in
+  let fit = Regression.linear points in
+  within "intercept" 14.0 17.5 fit.Regression.intercept;
+  within "slope ns/B" 5.0 7.5 (fit.Regression.slope *. 1000.);
+  check_bool "linear" true (fit.Regression.r2 > 0.97)
+
+let test_ablation_shape () =
+  let v lock_mode layout_mode =
+    latency ~config:{ Config.default with Config.lock_mode; layout_mode } ()
+  in
+  let tuned = v Config.Lock_free Config.Padded in
+  let no_pad = v Config.Lock_free Config.Packed in
+  let no_lockfree = v Config.Test_and_set Config.Padded in
+  let original = v Config.Test_and_set Config.Packed in
+  check_bool "padding helps" true (no_pad > tuned +. 1.0);
+  check_bool "lock-free helps" true (no_lockfree > tuned +. 3.0);
+  check_bool "worst is worst" true
+    (original > no_pad && original > no_lockfree);
+  (* Paper: "almost a factor of two". *)
+  within "combined factor" 1.5 2.4 (original /. tuned)
+
+let test_validity_cost () =
+  let off = latency () in
+  let on =
+    latency ~config:{ Config.default with Config.validity_checks = true } ()
+  in
+  (* Paper: +2us. *)
+  within "checks delta" 1.0 3.5 (on -. off)
+
+let test_comparison_shape () =
+  let flipc = latency () in
+  let pam =
+    Flipc_baselines.Pam.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ()
+  in
+  let sunmos =
+    Flipc_baselines.Sunmos.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ()
+  in
+  let nx =
+    Flipc_baselines.Nx.one_way_latency_us ~payload_bytes:120 ~exchanges:40 ()
+  in
+  check_bool "paper ordering" true (flipc < pam && pam < sunmos && sunmos < nx);
+  within "NX/FLIPC ratio" 2.2 3.4 (nx /. flipc)
+
+let test_stddev_band () =
+  let r = Pingpong.measure ~payload_bytes:120 ~exchanges:200 () in
+  (* Paper: 0.5-0.65us. *)
+  within "stddev" 0.2 1.0 r.Pingpong.one_way.Summary.stddev
+
+let () =
+  Alcotest.run "calibration"
+    [
+      ( "guards",
+        [
+          Alcotest.test_case "headline latency" `Quick test_headline_latency;
+          Alcotest.test_case "fig4 fit" `Quick test_fig4_fit;
+          Alcotest.test_case "ablation shape" `Quick test_ablation_shape;
+          Alcotest.test_case "validity cost" `Quick test_validity_cost;
+          Alcotest.test_case "comparison shape" `Quick test_comparison_shape;
+          Alcotest.test_case "stddev band" `Quick test_stddev_band;
+        ] );
+    ]

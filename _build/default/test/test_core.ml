@@ -1,0 +1,548 @@
+(* Unit and property tests for the core FLIPC data structures: config,
+   addresses, layout, the wait-free drop counter and buffer queue, message
+   buffers and the communication-buffer allocator. *)
+
+module Engine = Flipc_sim.Engine
+module Cost_model = Flipc_memsim.Cost_model
+module Shared_mem = Flipc_memsim.Shared_mem
+module Cache = Flipc_memsim.Cache
+module Bus = Flipc_memsim.Bus
+module Mem_port = Flipc_memsim.Mem_port
+module Config = Flipc.Config
+module Address = Flipc.Address
+module Layout = Flipc.Layout
+module Drop_counter = Flipc.Drop_counter
+module Buffer_queue = Flipc.Buffer_queue
+module Msg_buffer = Flipc.Msg_buffer
+module Comm_buffer = Flipc.Comm_buffer
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Config --- *)
+
+let test_config_defaults_valid () =
+  match Config.validate Config.default with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_config_rules () =
+  let bad f m =
+    match Config.validate (f Config.default) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted: " ^ m)
+  in
+  bad (fun c -> { c with Config.message_bytes = 32 }) "too small";
+  bad (fun c -> { c with Config.message_bytes = 100 }) "not mult of 32";
+  bad (fun c -> { c with Config.endpoints = 0 }) "no endpoints";
+  bad (fun c -> { c with Config.queue_capacity = 1 }) "queue too small";
+  bad (fun c -> { c with Config.total_buffers = 0 }) "no buffers";
+  bad (fun c -> { c with Config.engine_poll_jitter = 1.5 }) "bad jitter"
+
+let test_config_payload_rules () =
+  (* 8 bytes of each message are FLIPC's; 56 is the minimum payload. *)
+  check "min payload" 56 (Config.payload_bytes (Config.for_payload Config.default 1));
+  check "64B min message" 64
+    (Config.for_payload Config.default 1).Config.message_bytes;
+  check "rounds to 32" 160 (Config.for_payload Config.default 130).Config.message_bytes;
+  check "120B payload fits 128B msg" 128
+    (Config.for_payload Config.default 120).Config.message_bytes
+
+(* --- Address --- *)
+
+let test_address_roundtrip () =
+  let a = Address.make ~node:12 ~endpoint:7 in
+  check "node" 12 (Address.node a);
+  check "endpoint" 7 (Address.endpoint a);
+  check_bool "not null" false (Address.is_null a);
+  let a' = Address.of_word (Address.to_word a) in
+  check_bool "word roundtrip" true (Address.equal a a')
+
+let test_address_null () =
+  check_bool "null is null" true (Address.is_null Address.null);
+  check "null word" 0 (Address.to_word Address.null);
+  Alcotest.check_raises "node of null"
+    (Invalid_argument "Address.node: null address") (fun () ->
+      ignore (Address.node Address.null))
+
+let address_roundtrip_prop =
+  QCheck.Test.make ~name:"address encode/decode roundtrip" ~count:500
+    QCheck.(pair (int_bound 16000) (int_bound 65535))
+    (fun (node, endpoint) ->
+      let a = Address.make ~node ~endpoint in
+      let a' = Address.of_word (Address.to_word a) in
+      Address.node a' = node && Address.endpoint a' = endpoint
+      && not (Address.is_null a))
+
+(* --- Layout --- *)
+
+let line l addr = addr / l * l
+
+let lines_of_fields layout ~ep ~writer =
+  Layout.all_fields
+  |> List.filter (fun f -> Layout.writer_of_field f = writer)
+  |> List.map (fun f -> line 32 (Layout.ep_field layout ~ep f))
+  |> List.sort_uniq Int.compare
+
+let test_layout_padded_disjoint_lines () =
+  (* The central property of the tuned layout: for every endpoint, no
+     application-written field shares a cache line with an engine-written
+     field, and slot arrays (application-written) are line-aligned. *)
+  let config = { Config.default with Config.layout_mode = Config.Padded } in
+  let layout = Layout.compute config in
+  for ep = 0 to config.Config.endpoints - 1 do
+    let app = lines_of_fields layout ~ep ~writer:Layout.App in
+    let eng = lines_of_fields layout ~ep ~writer:Layout.Engine in
+    List.iter
+      (fun l ->
+        check_bool "app/engine lines disjoint" false (List.mem l eng))
+      app;
+    (* Engine lines of this endpoint must not collide with app lines of
+       any other endpoint either. *)
+    for ep' = 0 to config.Config.endpoints - 1 do
+      if ep' <> ep then
+        let app' = lines_of_fields layout ~ep:ep' ~writer:Layout.App in
+        List.iter
+          (fun l -> check_bool "cross-ep disjoint" false (List.mem l app'))
+          eng
+    done;
+    check "slots line aligned" 0 (Layout.slot_addr layout ~ep ~slot:0 mod 32)
+  done;
+  (* Global engine statistics also live on engine-only lines. *)
+  let stat_lines =
+    [ Layout.Engine_iterations; Layout.Engine_sends; Layout.Engine_recvs;
+      Layout.Engine_drops; Layout.Engine_rejects ]
+    |> List.map (fun g -> line 32 (Layout.global_addr layout g))
+    |> List.sort_uniq Int.compare
+  in
+  for ep = 0 to config.Config.endpoints - 1 do
+    let app = lines_of_fields layout ~ep ~writer:Layout.App in
+    List.iter
+      (fun l -> check_bool "stats vs app disjoint" false (List.mem l app))
+      stat_lines
+  done
+
+let test_layout_packed_shares_lines () =
+  (* The pre-tuning layout must exhibit the false sharing: some endpoint
+     has app- and engine-written fields in one line. *)
+  let config = { Config.default with Config.layout_mode = Config.Packed } in
+  let layout = Layout.compute config in
+  let found = ref false in
+  for ep = 0 to config.Config.endpoints - 1 do
+    let app = lines_of_fields layout ~ep ~writer:Layout.App in
+    let eng = lines_of_fields layout ~ep ~writer:Layout.Engine in
+    if List.exists (fun l -> List.mem l eng) app then found := true
+  done;
+  check_bool "packed layout false-shares" true !found
+
+let test_layout_buffers_aligned () =
+  List.iter
+    (fun mode ->
+      let config = { Config.default with Config.layout_mode = mode } in
+      let layout = Layout.compute config in
+      for i = 0 to config.Config.total_buffers - 1 do
+        check "32B aligned" 0 (Layout.buffer_addr layout i mod 32)
+      done)
+    [ Config.Padded; Config.Packed ]
+
+let test_layout_buffer_of_addr () =
+  let layout = Layout.compute Config.default in
+  for i = 0 to 5 do
+    match Layout.buffer_of_addr layout (Layout.buffer_addr layout i) with
+    | Some j -> check "roundtrip" i j
+    | None -> Alcotest.fail "lost buffer"
+  done;
+  check_bool "misaligned rejected" true
+    (Layout.buffer_of_addr layout (Layout.buffer_addr layout 0 + 4) = None);
+  check_bool "below region rejected" true (Layout.buffer_of_addr layout 0 = None);
+  let beyond =
+    Layout.buffer_addr layout (Config.default.Config.total_buffers - 1)
+    + Config.default.Config.message_bytes
+  in
+  check_bool "beyond region rejected" true
+    (Layout.buffer_of_addr layout beyond = None)
+
+let test_layout_no_field_overlap () =
+  (* All field addresses within an endpoint are distinct, in both modes,
+     and distinct across endpoints. *)
+  List.iter
+    (fun mode ->
+      let config = { Config.default with Config.layout_mode = mode } in
+      let layout = Layout.compute config in
+      let all = ref [] in
+      for ep = 0 to config.Config.endpoints - 1 do
+        List.iter
+          (fun f -> all := Layout.ep_field layout ~ep f :: !all)
+          Layout.all_fields
+      done;
+      let sorted = List.sort_uniq Int.compare !all in
+      check "no overlap" (List.length !all) (List.length sorted))
+    [ Config.Padded; Config.Packed ]
+
+let test_layout_regions_ordered () =
+  let layout = Layout.compute Config.default in
+  let clo, chi = Layout.control_region layout in
+  let blo, bhi = Layout.buffer_region layout in
+  check_bool "control before buffers" true (clo < chi && chi <= blo && blo < bhi);
+  check "total" bhi (Layout.total_bytes layout)
+
+(* --- Test fixture: one node's memory + two ports --- *)
+
+type fixture = {
+  sim : Engine.t;
+  comm : Comm_buffer.t;
+  app : Mem_port.t;
+  eng : Mem_port.t;
+}
+
+let fixture ?(config = Config.default) () =
+  let sim = Engine.create () in
+  let layout = Layout.compute config in
+  let mem = Shared_mem.create ~size:(Layout.total_bytes layout + 4096) in
+  let bus = Bus.create ~cost:Cost_model.paragon () in
+  let mk name =
+    Mem_port.create ~engine:sim ~mem ~bus
+      ~cache:(Cache.create ~name ())
+      ~name
+  in
+  let app = mk "app" and eng = mk "eng" in
+  let comm = Comm_buffer.create config mem in
+  { sim; comm; app; eng }
+
+let run_fx fx f =
+  let result = ref None in
+  Engine.spawn fx.sim (fun () -> result := Some (f ()));
+  Engine.run fx.sim;
+  Option.get !result
+
+(* --- Drop counter --- *)
+
+let test_drop_counter_basic () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      check "zero initially" 0 (Drop_counter.read fx.app layout ~ep:0);
+      Drop_counter.engine_increment fx.eng layout ~ep:0;
+      Drop_counter.engine_increment fx.eng layout ~ep:0;
+      check "two drops" 2 (Drop_counter.read fx.app layout ~ep:0);
+      check "read_and_reset returns" 2
+        (Drop_counter.read_and_reset fx.app layout ~ep:0);
+      check "reset to zero" 0 (Drop_counter.read fx.app layout ~ep:0);
+      Drop_counter.engine_increment fx.eng layout ~ep:0;
+      check "counts resume" 1 (Drop_counter.read fx.app layout ~ep:0))
+
+let test_drop_counter_per_endpoint () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      Drop_counter.engine_increment fx.eng layout ~ep:3;
+      check "other ep unaffected" 0 (Drop_counter.read fx.app layout ~ep:0);
+      check "ep 3 counted" 1 (Drop_counter.read fx.app layout ~ep:3))
+
+(* The wait-free guarantee: whatever interleaving of engine increments and
+   application read-and-resets occurs, every drop is reported exactly
+   once. *)
+let drop_counter_no_lost_events_prop =
+  QCheck.Test.make ~name:"drop counter loses no events" ~count:100
+    QCheck.(list bool)
+    (fun ops ->
+      let fx = fixture () in
+      let layout = Comm_buffer.layout fx.comm in
+      run_fx fx (fun () ->
+          let incremented = ref 0 and reported = ref 0 in
+          List.iter
+            (fun is_drop ->
+              if is_drop then begin
+                Drop_counter.engine_increment fx.eng layout ~ep:0;
+                incr incremented
+              end
+              else
+                reported :=
+                  !reported + Drop_counter.read_and_reset fx.app layout ~ep:0)
+            ops;
+          reported := !reported + Drop_counter.read_and_reset fx.app layout ~ep:0;
+          !reported = !incremented))
+
+(* --- Buffer queue --- *)
+
+let test_queue_empty_initially () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      Buffer_queue.init fx.app layout ~ep:0;
+      check_bool "app acquire empty" true
+        (Buffer_queue.app_acquire fx.app layout ~ep:0 = None);
+      check_bool "engine peek empty" true
+        (Buffer_queue.engine_peek fx.eng layout ~ep:0 = None);
+      let s = Buffer_queue.snapshot fx.app layout ~ep:0 in
+      check "occupancy" 0 (Buffer_queue.occupancy s);
+      check_bool "well formed" true (Buffer_queue.well_formed s))
+
+let test_queue_release_process_acquire_cycle () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      Buffer_queue.init fx.app layout ~ep:0;
+      let addr = Layout.buffer_addr layout 5 in
+      (match Buffer_queue.app_release fx.app layout ~ep:0 ~buf_addr:addr with
+      | Ok () -> ()
+      | Error `Full -> Alcotest.fail "full on first release");
+      (* Not yet processed: the application cannot reclaim it. *)
+      check_bool "not acquirable yet" true
+        (Buffer_queue.app_acquire fx.app layout ~ep:0 = None);
+      (match Buffer_queue.engine_peek fx.eng layout ~ep:0 with
+      | Some (a, cursor) ->
+          check "engine sees buffer" addr a;
+          Buffer_queue.engine_advance fx.eng layout ~ep:0 ~cursor
+      | None -> Alcotest.fail "engine should see work");
+      (match Buffer_queue.app_acquire fx.app layout ~ep:0 with
+      | Some a -> check "app reclaims same buffer" addr a
+      | None -> Alcotest.fail "should be acquirable");
+      check_bool "empty again" true
+        (Buffer_queue.app_acquire fx.app layout ~ep:0 = None))
+
+let test_queue_full_condition () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  let cap = Config.default.Config.queue_capacity in
+  run_fx fx (fun () ->
+      Buffer_queue.init fx.app layout ~ep:0;
+      (* capacity - 1 releases succeed; the next reports Full. *)
+      for i = 0 to cap - 2 do
+        match
+          Buffer_queue.app_release fx.app layout ~ep:0
+            ~buf_addr:(Layout.buffer_addr layout i)
+        with
+        | Ok () -> ()
+        | Error `Full -> Alcotest.fail (Fmt.str "premature full at %d" i)
+      done;
+      match
+        Buffer_queue.app_release fx.app layout ~ep:0
+          ~buf_addr:(Layout.buffer_addr layout 0)
+      with
+      | Error `Full -> ()
+      | Ok () -> Alcotest.fail "should be full")
+
+let test_queue_fifo () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      Buffer_queue.init fx.app layout ~ep:0;
+      let addrs = List.map (Layout.buffer_addr layout) [ 2; 7; 4 ] in
+      List.iter
+        (fun a ->
+          match Buffer_queue.app_release fx.app layout ~ep:0 ~buf_addr:a with
+          | Ok () -> ()
+          | Error `Full -> Alcotest.fail "full")
+        addrs;
+      let rec drain acc =
+        match Buffer_queue.engine_peek fx.eng layout ~ep:0 with
+        | Some (a, cursor) ->
+            Buffer_queue.engine_advance fx.eng layout ~ep:0 ~cursor;
+            drain (a :: acc)
+        | None -> List.rev acc
+      in
+      Alcotest.(check (list int)) "engine sees FIFO" addrs (drain []);
+      let rec reclaim acc =
+        match Buffer_queue.app_acquire fx.app layout ~ep:0 with
+        | Some a -> reclaim (a :: acc)
+        | None -> List.rev acc
+      in
+      Alcotest.(check (list int)) "app reclaims FIFO" addrs (reclaim []))
+
+(* Model-based property: a random interleaving of releases, engine
+   processing steps and acquires behaves exactly like a two-stage FIFO. *)
+let queue_model_prop =
+  QCheck.Test.make ~name:"buffer queue = two-stage FIFO" ~count:150
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      let fx = fixture () in
+      let layout = Comm_buffer.layout fx.comm in
+      run_fx fx (fun () ->
+          Buffer_queue.init fx.app layout ~ep:0;
+          let to_process = Queue.create () and to_acquire = Queue.create () in
+          let next = ref 0 in
+          let total = Config.default.Config.total_buffers in
+          let ok = ref true in
+          List.iter
+            (fun op ->
+              match op with
+              | 0 ->
+                  let buf = !next mod total in
+                  next := !next + 1;
+                  let addr = Layout.buffer_addr layout buf in
+                  let modelled_size =
+                    Queue.length to_process + Queue.length to_acquire
+                  in
+                  let result =
+                    Buffer_queue.app_release fx.app layout ~ep:0 ~buf_addr:addr
+                  in
+                  let expect_full =
+                    modelled_size >= Config.default.Config.queue_capacity - 1
+                  in
+                  (match (result, expect_full) with
+                  | Ok (), false -> Queue.push addr to_process
+                  | Error `Full, true -> ()
+                  | Ok (), true | Error `Full, false -> ok := false)
+              | 1 -> (
+                  match Buffer_queue.engine_peek fx.eng layout ~ep:0 with
+                  | Some (a, cursor) ->
+                      if Queue.is_empty to_process then ok := false
+                      else if Queue.pop to_process <> a then ok := false
+                      else begin
+                        Buffer_queue.engine_advance fx.eng layout ~ep:0 ~cursor;
+                        Queue.push a to_acquire
+                      end
+                  | None -> if not (Queue.is_empty to_process) then ok := false)
+              | _ -> (
+                  match Buffer_queue.app_acquire fx.app layout ~ep:0 with
+                  | Some a ->
+                      if Queue.is_empty to_acquire then ok := false
+                      else if Queue.pop to_acquire <> a then ok := false
+                  | None -> if not (Queue.is_empty to_acquire) then ok := false))
+            ops;
+          let s = Buffer_queue.snapshot fx.app layout ~ep:0 in
+          !ok
+          && Buffer_queue.well_formed s
+          && Buffer_queue.to_process s = Queue.length to_process
+          && Buffer_queue.to_acquire s = Queue.length to_acquire))
+
+(* --- Msg_buffer --- *)
+
+let test_msg_buffer_header () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      let dest = Address.make ~node:3 ~endpoint:4 in
+      Msg_buffer.set_dest fx.app layout ~buf:2 dest;
+      check_bool "dest roundtrip" true
+        (Address.equal dest (Msg_buffer.dest fx.eng layout ~buf:2));
+      Msg_buffer.set_state fx.eng layout ~buf:2 Msg_buffer.Complete;
+      check_bool "state" true
+        (Msg_buffer.state fx.app layout ~buf:2 = Some Msg_buffer.Complete))
+
+let test_msg_buffer_payload_bounds () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      let payload = Config.payload_bytes Config.default in
+      Msg_buffer.write_payload fx.app layout ~buf:0 (Bytes.create payload);
+      Alcotest.check_raises "overrun rejected"
+        (Invalid_argument "Msg_buffer: payload range overruns fixed message size")
+        (fun () ->
+          Msg_buffer.write_payload fx.app layout ~buf:0
+            (Bytes.create (payload + 1))))
+
+let test_msg_buffer_payload_roundtrip () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      Msg_buffer.write_payload fx.app layout ~buf:1 ~at:8
+        (Bytes.of_string "abcdef");
+      Alcotest.(check string)
+        "at offset" "abcdef"
+        (Bytes.to_string (Msg_buffer.read_payload fx.eng layout ~buf:1 ~at:8 6)))
+
+let test_msg_buffer_image_dest () =
+  let fx = fixture () in
+  let layout = Comm_buffer.layout fx.comm in
+  run_fx fx (fun () ->
+      let dest = Address.make ~node:1 ~endpoint:2 in
+      Msg_buffer.set_dest fx.app layout ~buf:0 dest;
+      let pos, len = Msg_buffer.region layout ~buf:0 in
+      check "region len" Config.default.Config.message_bytes len;
+      let image = Shared_mem.read_bytes (Comm_buffer.mem fx.comm) ~pos ~len in
+      check_bool "dest travels in image" true
+        (Address.equal dest (Msg_buffer.dest_of_image image)))
+
+(* --- Comm_buffer --- *)
+
+let test_comm_alloc_exhaustion () =
+  let fx = fixture () in
+  let eps = Config.default.Config.endpoints in
+  for _ = 1 to eps do
+    match Comm_buffer.alloc_endpoint fx.comm with
+    | Some _ -> ()
+    | None -> Alcotest.fail "premature exhaustion"
+  done;
+  check_bool "exhausted" true (Comm_buffer.alloc_endpoint fx.comm = None);
+  Comm_buffer.free_endpoint fx.comm 0;
+  check_bool "freed is reusable" true (Comm_buffer.alloc_endpoint fx.comm = Some 0)
+
+let test_comm_buffer_pool () =
+  let fx = fixture () in
+  let total = Config.default.Config.total_buffers in
+  check "all free" total (Comm_buffer.free_buffer_count fx.comm);
+  let b = Option.get (Comm_buffer.alloc_buffer fx.comm) in
+  check "one taken" (total - 1) (Comm_buffer.free_buffer_count fx.comm);
+  Comm_buffer.free_buffer fx.comm b;
+  check "back" total (Comm_buffer.free_buffer_count fx.comm);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Comm_buffer.free_buffer: double free") (fun () ->
+      Comm_buffer.free_buffer fx.comm b)
+
+let test_comm_too_small_memory () =
+  let mem = Shared_mem.create ~size:64 in
+  Alcotest.check_raises "region must fit"
+    (Invalid_argument "Comm_buffer.create: region does not fit in node memory")
+    (fun () -> ignore (Comm_buffer.create Config.default mem))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults valid" `Quick test_config_defaults_valid;
+          Alcotest.test_case "rules" `Quick test_config_rules;
+          Alcotest.test_case "payload sizes" `Quick test_config_payload_rules;
+        ] );
+      ( "address",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_address_roundtrip;
+          Alcotest.test_case "null" `Quick test_address_null;
+          QCheck_alcotest.to_alcotest address_roundtrip_prop;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "padded disjoint lines" `Quick
+            test_layout_padded_disjoint_lines;
+          Alcotest.test_case "packed shares lines" `Quick
+            test_layout_packed_shares_lines;
+          Alcotest.test_case "buffers aligned" `Quick test_layout_buffers_aligned;
+          Alcotest.test_case "buffer_of_addr" `Quick test_layout_buffer_of_addr;
+          Alcotest.test_case "no field overlap" `Quick
+            test_layout_no_field_overlap;
+          Alcotest.test_case "regions ordered" `Quick test_layout_regions_ordered;
+        ] );
+      ( "drop_counter",
+        [
+          Alcotest.test_case "basic" `Quick test_drop_counter_basic;
+          Alcotest.test_case "per endpoint" `Quick test_drop_counter_per_endpoint;
+          QCheck_alcotest.to_alcotest drop_counter_no_lost_events_prop;
+        ] );
+      ( "buffer_queue",
+        [
+          Alcotest.test_case "empty" `Quick test_queue_empty_initially;
+          Alcotest.test_case "cycle" `Quick
+            test_queue_release_process_acquire_cycle;
+          Alcotest.test_case "full" `Quick test_queue_full_condition;
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          QCheck_alcotest.to_alcotest queue_model_prop;
+        ] );
+      ( "msg_buffer",
+        [
+          Alcotest.test_case "header" `Quick test_msg_buffer_header;
+          Alcotest.test_case "payload bounds" `Quick
+            test_msg_buffer_payload_bounds;
+          Alcotest.test_case "payload roundtrip" `Quick
+            test_msg_buffer_payload_roundtrip;
+          Alcotest.test_case "image dest" `Quick test_msg_buffer_image_dest;
+        ] );
+      ( "comm_buffer",
+        [
+          Alcotest.test_case "endpoint exhaustion" `Quick
+            test_comm_alloc_exhaustion;
+          Alcotest.test_case "buffer pool" `Quick test_comm_buffer_pool;
+          Alcotest.test_case "memory fit" `Quick test_comm_too_small_memory;
+        ] );
+    ]

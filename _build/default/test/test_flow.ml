@@ -1,0 +1,283 @@
+(* Tests for flow control: static provisioning math and the credit-window
+   library. *)
+
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Config = Flipc.Config
+module Api = Flipc.Api
+module Machine = Flipc.Machine
+module Endpoint_kind = Flipc.Endpoint_kind
+module Provision = Flipc_flow.Provision
+module Window = Flipc_flow.Window
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Api.error_to_string e)
+
+(* --- Provision --- *)
+
+let test_rpc_rule () =
+  check "clients x outstanding" 12
+    (Provision.rpc_buffers ~clients:4 ~outstanding_per_client:3);
+  check "zero clients" 0 (Provision.rpc_buffers ~clients:0 ~outstanding_per_client:5)
+
+let test_periodic_rule () =
+  check "double buffering" 20
+    (Provision.periodic_buffers ~senders:2 ~messages_per_period:5)
+
+let test_queue_capacity_rule () =
+  check "one-slot-empty ring" 9 (Provision.queue_capacity_for ~buffers:8);
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Provision.queue_capacity_for: < 1") (fun () ->
+      ignore (Provision.queue_capacity_for ~buffers:0))
+
+let test_config_for () =
+  let c = Provision.config_for ~base:Config.default ~buffers:20 in
+  check_bool "queue grows" true (c.Config.queue_capacity >= 21);
+  check_bool "pool grows" true (c.Config.total_buffers >= 40);
+  (* A small requirement leaves the base config untouched. *)
+  let c2 = Provision.config_for ~base:Config.default ~buffers:2 in
+  check "unchanged queue" Config.default.Config.queue_capacity
+    c2.Config.queue_capacity
+
+(* --- Window --- *)
+
+(* Full producer/consumer scenario. Without flow control the producer's
+   burst would overrun the consumer's posted buffers and drop; with the
+   window it must deliver everything. *)
+let run_windowed ~window ~messages ~consumer_delay_ns =
+  let config = Provision.config_for ~base:Config.default ~buffers:(window + 4) in
+  let machine = Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let data_addr = Mailbox.create () and credit_addr = Mailbox.create () in
+  let delivered = ref 0 and drops = ref 0 in
+  let sender_credits_exhausted = ref false in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let credit_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api credit_ep (Mailbox.take credit_addr);
+      let receiver =
+        Window.create_receiver api ~data_ep ~credit_ep ~window ()
+      in
+      while !delivered < messages do
+        (match Window.recv receiver with
+        | Some buf ->
+            incr delivered;
+            (* Slow consumer. *)
+            Mem_port.instr (Api.port api) (consumer_delay_ns / 20);
+            Window.consumed receiver buf
+        | None -> Mem_port.instr (Api.port api) 5)
+      done;
+      drops := Api.drops_read_and_reset api data_ep);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let credit_recv_ep =
+        ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+      in
+      Mailbox.put credit_addr (Api.address api credit_recv_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let sender = Window.create_sender api ~data_ep ~credit_recv_ep ~window () in
+      let pool = List.init (window + 2) (fun _ -> ok (Api.allocate_buffer api)) in
+      let free = Queue.create () in
+      List.iter (fun b -> Queue.push b free) pool;
+      for _ = 1 to messages do
+        let rec get () =
+          (match Api.reclaim api data_ep with
+          | Some b -> Queue.push b free
+          | None -> ());
+          match Queue.take_opt free with
+          | Some b -> b
+          | None ->
+              Mem_port.instr (Api.port api) 5;
+              get ()
+        in
+        let buf = get () in
+        if Window.credits_available sender = 0 then
+          sender_credits_exhausted := true;
+        Window.send sender buf
+      done);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  (!delivered, !drops, !sender_credits_exhausted)
+
+let test_window_no_drops_under_overload () =
+  let delivered, drops, exhausted =
+    run_windowed ~window:4 ~messages:60 ~consumer_delay_ns:60_000
+  in
+  check "all delivered" 60 delivered;
+  check "zero drops" 0 drops;
+  check_bool "window actually throttled" true exhausted
+
+let test_window_fast_consumer () =
+  let delivered, drops, _ = run_windowed ~window:4 ~messages:40 ~consumer_delay_ns:0 in
+  check "all delivered" 40 delivered;
+  check "zero drops" 0 drops
+
+(* Contrast: the same overload without flow control does drop. *)
+let test_unwindowed_overload_drops () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let data_addr = Mailbox.create () in
+  let drops = ref 0 and delivered = ref 0 in
+  let total = 60 in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      for _ = 1 to 2 do
+        ok (Api.post_receive api ep (ok (Api.allocate_buffer api)))
+      done;
+      Mailbox.put data_addr (Api.address api ep);
+      let deadline = Sim.now (Machine.sim machine) + Flipc_sim.Vtime.ms 20 in
+      while Sim.now (Machine.sim machine) < deadline do
+        (match Api.receive api ep with
+        | Some buf ->
+            incr delivered;
+            Mem_port.instr (Api.port api) 3_000;
+            ok (Api.post_receive api ep buf)
+        | None -> Mem_port.instr (Api.port api) 10);
+        drops := !drops + Api.drops_read_and_reset api ep
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Api.connect api ep (Mailbox.take data_addr);
+      let buf = ok (Api.allocate_buffer api) in
+      for _ = 1 to total do
+        ok (Api.send api ep buf);
+        let rec reclaim () =
+          match Api.reclaim api ep with
+          | Some _ -> ()
+          | None ->
+              Mem_port.instr (Api.port api) 5;
+              reclaim ()
+        in
+        reclaim ()
+      done);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  check_bool "burst overruns without flow control" true (!drops > 0);
+  check "accounting adds up" total (!delivered + !drops)
+
+let test_try_send_respects_window () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let data_addr = Mailbox.create () and credit_addr = Mailbox.create () in
+  let refused = ref false in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let credit_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api credit_ep (Mailbox.take credit_addr);
+      (* A receiver that never consumes: credits never return. *)
+      ignore (Window.create_receiver api ~data_ep ~credit_ep ~window:2 ()));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let credit_recv_ep =
+        ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+      in
+      Mailbox.put credit_addr (Api.address api credit_recv_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let sender =
+        Window.create_sender api ~data_ep ~credit_recv_ep ~window:2 ()
+      in
+      check "initial credits" 2 (Window.credits_available sender);
+      let b1 = ok (Api.allocate_buffer api) in
+      let b2 = ok (Api.allocate_buffer api) in
+      let b3 = ok (Api.allocate_buffer api) in
+      check_bool "1st" true (Window.try_send sender b1);
+      check_bool "2nd" true (Window.try_send sender b2);
+      refused := not (Window.try_send sender b3);
+      check "sent" 2 (Window.messages_sent sender));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  check_bool "3rd refused" true !refused
+
+(* Property: whatever the consumer's pacing, the window never lets the
+   transport discard. *)
+let window_never_drops_prop =
+  QCheck.Test.make ~name:"window never drops under random pacing" ~count:12
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 5 25) (int_bound 80)))
+    (fun (window, delays) ->
+      let messages = List.length delays in
+      let config =
+        Provision.config_for ~base:Config.default ~buffers:(window + 4)
+      in
+      let machine =
+        Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) ()
+      in
+      let data_addr = Mailbox.create () and credit_addr = Mailbox.create () in
+      let delivered = ref 0 and drops = ref 0 in
+      Machine.spawn_app machine ~node:1 (fun api ->
+          let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+          let credit_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          Mailbox.put data_addr (Api.address api data_ep);
+          Api.connect api credit_ep (Mailbox.take credit_addr);
+          let receiver = Window.create_receiver api ~data_ep ~credit_ep ~window () in
+          let remaining = ref delays in
+          while !delivered < messages do
+            match Window.recv receiver with
+            | Some buf ->
+                incr delivered;
+                (match !remaining with
+                | d :: rest ->
+                    remaining := rest;
+                    Mem_port.instr (Api.port api) (1 + (d * 50))
+                | [] -> ());
+                Window.consumed receiver buf
+            | None -> Mem_port.instr (Api.port api) 5
+          done;
+          drops := Api.drops_read_and_reset api data_ep);
+      Machine.spawn_app machine ~node:0 (fun api ->
+          let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          let credit_recv_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+          in
+          Mailbox.put credit_addr (Api.address api credit_recv_ep);
+          Api.connect api data_ep (Mailbox.take data_addr);
+          let sender = Window.create_sender api ~data_ep ~credit_recv_ep ~window () in
+          let pool = List.init (window + 2) (fun _ -> ok (Api.allocate_buffer api)) in
+          let free = Queue.create () in
+          List.iter (fun b -> Queue.push b free) pool;
+          for _ = 1 to messages do
+            let rec get () =
+              (match Api.reclaim api data_ep with
+              | Some b -> Queue.push b free
+              | None -> ());
+              match Queue.take_opt free with
+              | Some b -> b
+              | None ->
+                  Mem_port.instr (Api.port api) 5;
+                  get ()
+            in
+            Window.send sender (get ())
+          done);
+      Machine.run machine;
+      Machine.stop_engines machine;
+      Machine.run machine;
+      !delivered = messages && !drops = 0)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "provision",
+        [
+          Alcotest.test_case "rpc rule" `Quick test_rpc_rule;
+          Alcotest.test_case "periodic rule" `Quick test_periodic_rule;
+          Alcotest.test_case "queue capacity" `Quick test_queue_capacity_rule;
+          Alcotest.test_case "config_for" `Quick test_config_for;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "no drops under overload" `Quick
+            test_window_no_drops_under_overload;
+          Alcotest.test_case "fast consumer" `Quick test_window_fast_consumer;
+          Alcotest.test_case "unwindowed drops" `Quick
+            test_unwindowed_overload_drops;
+          Alcotest.test_case "try_send window" `Quick
+            test_try_send_respects_window;
+          QCheck_alcotest.to_alcotest window_never_drops_prop;
+        ] );
+    ]

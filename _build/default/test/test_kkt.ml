@@ -1,0 +1,144 @@
+(* Tests for the Kernel-to-Kernel Transport and FLIPC-over-KKT. *)
+
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Topology = Flipc_net.Topology
+module Mesh = Flipc_net.Mesh
+module Nic = Flipc_net.Nic
+module Kkt = Flipc_kkt.Kkt
+module Kkt_flipc = Flipc_kkt.Kkt_flipc
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Endpoint_kind = Flipc.Endpoint_kind
+module Pingpong = Flipc_workload.Pingpong
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kkt_env () =
+  let sim = Sim.create () in
+  let topology = Topology.create ~cols:2 ~rows:2 in
+  let fabric = Mesh.create ~engine:sim ~topology ~config:Mesh.paragon_config in
+  let nics = Array.init 4 (fun node -> Nic.create ~engine:sim ~fabric ~node) in
+  let kkt = Kkt.create ~sim () in
+  Array.iter (fun nic -> Kkt.attach kkt ~nic) nics;
+  (sim, kkt)
+
+let test_rpc_roundtrip () =
+  let sim, kkt = kkt_env () in
+  Kkt.serve kkt ~node:1 (fun req ->
+      Bytes.of_string ("re:" ^ Bytes.to_string req));
+  let reply = ref "" in
+  Sim.spawn sim (fun () ->
+      reply := Bytes.to_string (Kkt.call kkt ~src:0 ~dst:1 (Bytes.of_string "ping")));
+  Sim.run sim;
+  Alcotest.(check string) "reply" "re:ping" !reply;
+  check "one call" 1 (Kkt.calls_completed kkt)
+
+let test_rpc_blocks_caller () =
+  let sim, kkt = kkt_env () in
+  Kkt.serve kkt ~node:1 (fun req -> req);
+  let elapsed = ref 0 in
+  Sim.spawn sim (fun () ->
+      let t0 = Sim.now sim in
+      ignore (Kkt.call kkt ~src:0 ~dst:1 (Bytes.create 128) : Bytes.t);
+      elapsed := Sim.now sim - t0);
+  Sim.run sim;
+  (* Round trip: two traps, two marshals, two wire crossings, dispatch. *)
+  check_bool "at least 10us" true (!elapsed > 10_000)
+
+let test_rpc_concurrent_calls () =
+  let sim, kkt = kkt_env () in
+  Kkt.serve kkt ~node:2 (fun req -> req);
+  let done_count = ref 0 in
+  for i = 0 to 1 do
+    Sim.spawn sim (fun () ->
+        let payload = Bytes.make 4 (Char.chr (65 + i)) in
+        let reply = Kkt.call kkt ~src:i ~dst:2 payload in
+        check_bool "echo matches caller" true (Bytes.equal reply payload);
+        incr done_count)
+  done;
+  Sim.run sim;
+  check "both completed" 2 !done_count
+
+let test_rpc_no_server_empty_reply () =
+  let sim, kkt = kkt_env () in
+  let len = ref (-1) in
+  Sim.spawn sim (fun () ->
+      len := Bytes.length (Kkt.call kkt ~src:0 ~dst:3 (Bytes.create 8)));
+  Sim.run sim;
+  check "empty reply" 0 !len
+
+let test_rpc_unattached_rejected () =
+  let sim, kkt = kkt_env () in
+  Sim.spawn sim (fun () ->
+      Alcotest.check_raises "bad node" (Invalid_argument "Kkt: node 9 not attached")
+        (fun () -> ignore (Kkt.call kkt ~src:0 ~dst:9 (Bytes.create 4))));
+  Sim.run sim
+
+(* FLIPC over KKT delivers messages correctly. *)
+let test_kkt_flipc_delivery () =
+  let machine = Kkt_flipc.machine (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let addr_box = Mailbox.create () in
+  let received = ref "" in
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Api.error_to_string e)
+  in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      ok (Api.post_receive api ep (ok (Api.allocate_buffer api)));
+      Mailbox.put addr_box (Api.address api ep);
+      let rec poll () =
+        match Api.receive api ep with
+        | Some b -> b
+        | None ->
+            Mem_port.instr (Api.port api) 5;
+            poll ()
+      in
+      received := Bytes.to_string (Api.read_payload api (poll ()) 7));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Api.connect api ep (Mailbox.take addr_box);
+      let buf = ok (Api.allocate_buffer api) in
+      Api.write_payload api buf (Bytes.of_string "via kkt");
+      ok (Api.send api ep buf));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  Alcotest.(check string) "delivered over kkt" "via kkt" !received
+
+(* The structural result: RPC-per-message is slower than the native
+   one-way transport on the same fabric. *)
+let test_kkt_slower_than_native () =
+  let native =
+    Pingpong.measure ~cols:2 ~rows:1 ~payload_bytes:120 ~exchanges:50 ()
+  in
+  let kkt_machine = Kkt_flipc.machine (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let kkt =
+    Pingpong.run ~machine:kkt_machine ~node_a:0 ~node_b:1 ~payload_bytes:120
+      ~exchanges:50 ()
+  in
+  check_bool "kkt slower" true
+    (kkt.Pingpong.aggregate_one_way_us
+    > native.Pingpong.aggregate_one_way_us +. 5.0)
+
+let () =
+  Alcotest.run "kkt"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "blocks caller" `Quick test_rpc_blocks_caller;
+          Alcotest.test_case "concurrent" `Quick test_rpc_concurrent_calls;
+          Alcotest.test_case "no server" `Quick test_rpc_no_server_empty_reply;
+          Alcotest.test_case "unattached" `Quick test_rpc_unattached_rejected;
+        ] );
+      ( "flipc-over-kkt",
+        [
+          Alcotest.test_case "delivery" `Quick test_kkt_flipc_delivery;
+          Alcotest.test_case "slower than native" `Quick
+            test_kkt_slower_than_native;
+        ] );
+    ]

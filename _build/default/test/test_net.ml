@@ -1,0 +1,379 @@
+(* Tests for the interconnect models: topology, mesh, ethernet, SCSI, NIC,
+   DMA. *)
+
+module Engine = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Cost_model = Flipc_memsim.Cost_model
+module Shared_mem = Flipc_memsim.Shared_mem
+module Cache = Flipc_memsim.Cache
+module Bus = Flipc_memsim.Bus
+module Topology = Flipc_net.Topology
+module Packet = Flipc_net.Packet
+module Fabric = Flipc_net.Fabric
+module Mesh = Flipc_net.Mesh
+module Ethernet = Flipc_net.Ethernet
+module Scsi_bus = Flipc_net.Scsi_bus
+module Nic = Flipc_net.Nic
+module Dma = Flipc_net.Dma
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Topology --- *)
+
+let test_topology_coords () =
+  let t = Topology.create ~cols:4 ~rows:3 in
+  check "count" 12 (Topology.node_count t);
+  Alcotest.(check (pair int int)) "coords 0" (0, 0) (Topology.coords t 0);
+  Alcotest.(check (pair int int)) "coords 5" (1, 1) (Topology.coords t 5);
+  check "node_at inverse" 5 (Topology.node_at t ~x:1 ~y:1)
+
+let test_topology_hops () =
+  let t = Topology.create ~cols:4 ~rows:4 in
+  check "self" 0 (Topology.hops t ~src:5 ~dst:5);
+  check "adjacent" 1 (Topology.hops t ~src:0 ~dst:1);
+  check "corner to corner" 6 (Topology.hops t ~src:0 ~dst:15)
+
+let test_topology_route () =
+  let t = Topology.create ~cols:3 ~rows:3 in
+  (* 0=(0,0) -> 8=(2,2): X first then Y. *)
+  Alcotest.(check (list int)) "dimension order" [ 0; 1; 2; 5; 8 ]
+    (Topology.route t ~src:0 ~dst:8)
+
+let route_prop =
+  QCheck.Test.make ~name:"route length = hops + 1, endpoints correct" ~count:200
+    QCheck.(pair (int_bound 24) (int_bound 24))
+    (fun (src, dst) ->
+      let t = Topology.create ~cols:5 ~rows:5 in
+      let route = Topology.route t ~src ~dst in
+      List.length route = Topology.hops t ~src ~dst + 1
+      && List.hd route = src
+      && List.nth route (List.length route - 1) = dst)
+
+let route_adjacent_prop =
+  QCheck.Test.make ~name:"route steps are mesh-adjacent" ~count:200
+    QCheck.(pair (int_bound 24) (int_bound 24))
+    (fun (src, dst) ->
+      let t = Topology.create ~cols:5 ~rows:5 in
+      let route = Topology.route t ~src ~dst in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Topology.hops t ~src:a ~dst:b = 1 && ok rest
+        | _ -> true
+      in
+      ok route)
+
+(* --- Packet --- *)
+
+let test_packet_wire_bytes () =
+  let p = Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 100) in
+  check "wire bytes" (100 + Packet.header_bytes) (Packet.wire_bytes p)
+
+(* --- Mesh --- *)
+
+let mesh_env ?(cols = 4) ?(rows = 4) () =
+  let sim = Engine.create () in
+  let topology = Topology.create ~cols ~rows in
+  let fabric = Mesh.create ~engine:sim ~topology ~config:Mesh.paragon_config in
+  (sim, topology, fabric)
+
+let test_mesh_delivers () =
+  let sim, _, fabric = mesh_env () in
+  let got = ref None in
+  fabric.Fabric.set_handler 5 (fun p -> got := Some p);
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:5 ~protocol:Packet.Raw
+           (Bytes.of_string "ping")));
+  Engine.run sim;
+  match !got with
+  | Some p ->
+      Alcotest.(check string) "payload" "ping" (Bytes.to_string p.Packet.payload)
+  | None -> Alcotest.fail "not delivered"
+
+let test_mesh_latency_matches_estimate () =
+  let sim, topology, fabric = mesh_env () in
+  let arrival = ref 0 in
+  fabric.Fabric.set_handler 15 (fun _ -> arrival := Engine.now sim);
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:15 ~protocol:Packet.Raw (Bytes.create 120)));
+  Engine.run sim;
+  let expected =
+    Mesh.latency_estimate ~config:Mesh.paragon_config ~topology ~src:0 ~dst:15
+      ~bytes:120
+  in
+  check "uncontended latency" expected !arrival
+
+let test_mesh_fifo_per_pair () =
+  let sim, _, fabric = mesh_env () in
+  let order = ref [] in
+  fabric.Fabric.set_handler 1 (fun p -> order := p.Packet.seq :: !order);
+  Engine.spawn sim (fun () ->
+      for i = 1 to 10 do
+        fabric.Fabric.send
+          (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw ~seq:i
+             (Bytes.create 64))
+      done);
+  Engine.run sim;
+  Alcotest.(check (list int))
+    "in order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !order)
+
+let test_mesh_injection_serializes () =
+  let sim, _, fabric = mesh_env () in
+  let arrivals = ref [] in
+  fabric.Fabric.set_handler 1 (fun _ -> arrivals := Engine.now sim :: !arrivals);
+  Engine.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        fabric.Fabric.send
+          (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 1000))
+      done);
+  Engine.run sim;
+  match List.rev !arrivals with
+  | [ a; b; c ] ->
+      (* Serialization of a 1008-byte frame at 5 ns/B spaces arrivals. *)
+      check_bool "spaced" true (b - a >= 5000 && c - b >= 5000)
+  | _ -> Alcotest.fail "three arrivals expected"
+
+let test_mesh_min_frame () =
+  let sim, topology, fabric = mesh_env () in
+  ignore fabric;
+  (* A 1-byte packet still occupies a 64-byte frame. *)
+  let est_small =
+    Mesh.latency_estimate ~config:Mesh.paragon_config ~topology ~src:0 ~dst:1
+      ~bytes:1
+  in
+  let est_56 =
+    Mesh.latency_estimate ~config:Mesh.paragon_config ~topology ~src:0 ~dst:1
+      ~bytes:56
+  in
+  check "min frame pads" est_56 est_small;
+  ignore sim
+
+let test_mesh_bad_node_rejected () =
+  let sim, _, fabric = mesh_env () in
+  Engine.spawn sim (fun () ->
+      Alcotest.check_raises "bad dst"
+        (Invalid_argument "Fabric.send: bad destination node") (fun () ->
+          fabric.Fabric.send
+            (Packet.make ~src:0 ~dst:99 ~protocol:Packet.Raw (Bytes.create 8))));
+  Engine.run sim
+
+let test_mesh_shared_link_contention () =
+  (* Flows 0->2 and 1->2 share the directed link 1->2: simultaneous large
+     packets must serialize there and accumulate stall time. *)
+  let sim, _, fabric = mesh_env ~cols:3 ~rows:1 () in
+  fabric.Fabric.set_handler 2 (fun _ -> ());
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:2 ~protocol:Packet.Raw (Bytes.create 2000));
+      fabric.Fabric.send
+        (Packet.make ~src:1 ~dst:2 ~protocol:Packet.Raw (Bytes.create 2000)));
+  Engine.run sim;
+  check_bool "stall recorded" true (Mesh.contention_stall_ns fabric > 0)
+
+let test_mesh_disjoint_paths_no_contention () =
+  let sim, _, fabric = mesh_env ~cols:4 ~rows:1 () in
+  fabric.Fabric.set_handler 1 (fun _ -> ());
+  fabric.Fabric.set_handler 3 (fun _ -> ());
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 2000));
+      fabric.Fabric.send
+        (Packet.make ~src:2 ~dst:3 ~protocol:Packet.Raw (Bytes.create 2000)));
+  Engine.run sim;
+  check "no stall on disjoint paths" 0 (Mesh.contention_stall_ns fabric)
+
+(* --- Hypercube --- *)
+
+module Hypercube = Flipc_net.Hypercube
+
+let test_cube_geometry () =
+  let t = Hypercube.create ~dims:4 in
+  check "nodes" 16 (Hypercube.node_count t);
+  check "self" 0 (Hypercube.hops t ~src:5 ~dst:5);
+  check "one bit" 1 (Hypercube.hops t ~src:0 ~dst:8);
+  check "all bits" 4 (Hypercube.hops t ~src:0 ~dst:15)
+
+let test_cube_route_ecube () =
+  let t = Hypercube.create ~dims:3 in
+  (* 0 -> 7: e-cube corrects bit 0, then 1, then 2. *)
+  Alcotest.(check (list int)) "e-cube order" [ 0; 1; 3; 7 ]
+    (Hypercube.route t ~src:0 ~dst:7)
+
+let cube_route_prop =
+  QCheck.Test.make ~name:"cube route: length and single-bit steps" ~count:200
+    QCheck.(pair (int_bound 31) (int_bound 31))
+    (fun (src, dst) ->
+      let t = Hypercube.create ~dims:5 in
+      let route = Hypercube.route t ~src ~dst in
+      let rec steps_ok = function
+        | a :: (b :: _ as rest) ->
+            Hypercube.hops t ~src:a ~dst:b = 1 && steps_ok rest
+        | _ -> true
+      in
+      List.length route = Hypercube.hops t ~src ~dst + 1
+      && List.hd route = src
+      && List.nth route (List.length route - 1) = dst
+      && steps_ok route)
+
+let test_cube_fabric_delivers () =
+  let sim = Engine.create () in
+  let topology = Hypercube.create ~dims:3 in
+  let fabric =
+    Hypercube.fabric ~engine:sim ~topology ~config:Hypercube.ipsc2_config
+  in
+  let got = ref 0 in
+  fabric.Fabric.set_handler 6 (fun _ -> got := Engine.now sim);
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:1 ~dst:6 ~protocol:Packet.Raw (Bytes.create 100)));
+  Engine.run sim;
+  (* 1 xor 6 = 7: three hops; the slow iPSC/2 wire dominates. *)
+  check_bool "delivered with era latency" true (!got > 30_000 && !got < 200_000)
+
+(* --- Ethernet / SCSI --- *)
+
+let test_ethernet_shared_medium () =
+  let sim = Engine.create () in
+  let fabric =
+    Ethernet.create ~engine:sim ~node_count:3 ~config:Ethernet.default_config
+  in
+  let arrivals = ref [] in
+  fabric.Fabric.set_handler 2 (fun p ->
+      arrivals := (p.Packet.src, Engine.now sim) :: !arrivals);
+  Engine.spawn sim (fun () ->
+      (* Two different senders contend for the one wire. *)
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:2 ~protocol:Packet.Raw (Bytes.create 500));
+      fabric.Fabric.send
+        (Packet.make ~src:1 ~dst:2 ~protocol:Packet.Raw (Bytes.create 500)));
+  Engine.run sim;
+  match List.rev !arrivals with
+  | [ (0, a); (1, b) ] ->
+      (* The second frame must wait for the first: >= 508 B * 800 ns/B. *)
+      check_bool "medium serialized" true (b - a >= 400_000)
+  | _ -> Alcotest.fail "two arrivals expected"
+
+let test_ethernet_slower_than_mesh () =
+  let sim = Engine.create () in
+  let fabric =
+    Ethernet.create ~engine:sim ~node_count:2 ~config:Ethernet.default_config
+  in
+  let arrival = ref 0 in
+  fabric.Fabric.set_handler 1 (fun _ -> arrival := Engine.now sim);
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 128)));
+  Engine.run sim;
+  check_bool "order of 100us" true (!arrival > 100_000)
+
+let test_scsi_between () =
+  let sim = Engine.create () in
+  let fabric =
+    Scsi_bus.create ~engine:sim ~node_count:2 ~config:Scsi_bus.default_config
+  in
+  let arrival = ref 0 in
+  fabric.Fabric.set_handler 1 (fun _ -> arrival := Engine.now sim);
+  Engine.spawn sim (fun () ->
+      fabric.Fabric.send
+        (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 128)));
+  Engine.run sim;
+  (* SCSI: much faster than ethernet, much slower than the mesh. *)
+  check_bool "tens of us" true (!arrival > 20_000 && !arrival < 200_000)
+
+(* --- NIC --- *)
+
+let test_nic_protocol_demux () =
+  let sim, _, fabric = mesh_env ~cols:2 ~rows:1 () in
+  let nic0 = Nic.create ~engine:sim ~fabric ~node:0 in
+  let nic1 = Nic.create ~engine:sim ~fabric ~node:1 in
+  let raw_got = ref 0 in
+  Nic.set_callback nic1 Packet.Raw (fun _ -> incr raw_got);
+  Engine.spawn sim (fun () ->
+      Nic.send nic0 (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw (Bytes.create 8));
+      Nic.send nic0 (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Kkt (Bytes.create 8)));
+  Engine.run sim;
+  check "raw via callback" 1 !raw_got;
+  check "kkt queued" 1 (Mailbox.length (Nic.rx_queue nic1 Packet.Kkt));
+  check "received total" 2 (Nic.received nic1);
+  check "received raw" 1 (Nic.received_for nic1 Packet.Raw)
+
+let test_nic_wrong_source () =
+  let sim, _, fabric = mesh_env ~cols:2 ~rows:1 () in
+  let nic0 = Nic.create ~engine:sim ~fabric ~node:0 in
+  Alcotest.check_raises "wrong src" (Invalid_argument "Nic.send: wrong source node")
+    (fun () ->
+      Nic.send nic0 (Packet.make ~src:1 ~dst:0 ~protocol:Packet.Raw (Bytes.create 8)))
+
+(* --- DMA --- *)
+
+let test_dma_roundtrip_and_cost () =
+  let sim = Engine.create () in
+  let mem = Shared_mem.create ~size:1024 in
+  let bus = Bus.create ~cost:Cost_model.paragon () in
+  let cache = Cache.create ~name:"cpu" in
+  let _port =
+    Flipc_memsim.Mem_port.create ~engine:sim ~mem ~bus ~cache:(cache ()) ~name:"cpu"
+  in
+  let dma = Dma.create ~engine:sim ~mem ~bus ~setup_ns:500 ~ns_per_byte:1.0 in
+  Engine.spawn sim (fun () ->
+      let t0 = Engine.now sim in
+      Dma.write dma ~pos:64 (Bytes.of_string "0123456789abcdef");
+      let t1 = Engine.now sim in
+      check "write cost" (500 + 16) (t1 - t0);
+      let back = Dma.read dma ~pos:64 ~len:16 in
+      Alcotest.(check string) "data" "0123456789abcdef" (Bytes.to_string back);
+      check "read cost" (500 + 16) (Engine.now sim - t1));
+  Engine.run sim;
+  check "transfers" 2 (Dma.stats dma).Dma.transfers;
+  check "bytes" 32 (Dma.stats dma).Dma.bytes
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "coords" `Quick test_topology_coords;
+          Alcotest.test_case "hops" `Quick test_topology_hops;
+          Alcotest.test_case "route" `Quick test_topology_route;
+          QCheck_alcotest.to_alcotest route_prop;
+          QCheck_alcotest.to_alcotest route_adjacent_prop;
+        ] );
+      ("packet", [ Alcotest.test_case "wire bytes" `Quick test_packet_wire_bytes ]);
+      ( "mesh",
+        [
+          Alcotest.test_case "delivers" `Quick test_mesh_delivers;
+          Alcotest.test_case "latency estimate" `Quick
+            test_mesh_latency_matches_estimate;
+          Alcotest.test_case "fifo per pair" `Quick test_mesh_fifo_per_pair;
+          Alcotest.test_case "injection serializes" `Quick
+            test_mesh_injection_serializes;
+          Alcotest.test_case "min frame" `Quick test_mesh_min_frame;
+          Alcotest.test_case "bad node" `Quick test_mesh_bad_node_rejected;
+          Alcotest.test_case "shared-link contention" `Quick
+            test_mesh_shared_link_contention;
+          Alcotest.test_case "disjoint paths" `Quick
+            test_mesh_disjoint_paths_no_contention;
+        ] );
+      ( "hypercube",
+        [
+          Alcotest.test_case "geometry" `Quick test_cube_geometry;
+          Alcotest.test_case "e-cube route" `Quick test_cube_route_ecube;
+          QCheck_alcotest.to_alcotest cube_route_prop;
+          Alcotest.test_case "fabric delivers" `Quick test_cube_fabric_delivers;
+        ] );
+      ( "clusters",
+        [
+          Alcotest.test_case "ethernet shared medium" `Quick
+            test_ethernet_shared_medium;
+          Alcotest.test_case "ethernet slow" `Quick test_ethernet_slower_than_mesh;
+          Alcotest.test_case "scsi between" `Quick test_scsi_between;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "protocol demux" `Quick test_nic_protocol_demux;
+          Alcotest.test_case "wrong source" `Quick test_nic_wrong_source;
+        ] );
+      ("dma", [ Alcotest.test_case "roundtrip and cost" `Quick test_dma_roundtrip_and_cost ]);
+    ]

@@ -1,0 +1,384 @@
+(* Deeper property tests: randomized end-to-end traffic, layout properties
+   over random configurations, drop-counter wraparound, channel and bulk
+   data integrity. *)
+
+module Sim = Flipc_sim.Engine
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Shared_mem = Flipc_memsim.Shared_mem
+module Config = Flipc.Config
+module Layout = Flipc.Layout
+module Api = Flipc.Api
+module Machine = Flipc.Machine
+module Msg_engine = Flipc.Msg_engine
+module Endpoint_kind = Flipc.Endpoint_kind
+module Nameservice = Flipc.Nameservice
+module Channel = Flipc.Channel
+module Drop_counter = Flipc.Drop_counter
+module Bulk = Flipc_bulk.Bulk
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("api error: " ^ Api.error_to_string e)
+
+let finish machine =
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine
+
+(* ------------------------------------------------------------------ *)
+(* Conservation and ordering under randomized traffic.
+
+   A sender transmits a random schedule of numbered messages with random
+   gaps; the receiver posts buffers erratically (random bursts, random
+   idling). Whatever happens:
+     delivered + dropped = sent          (conservation; no lost events)
+     delivered sequence is increasing    (FIFO per endpoint pair)      *)
+
+let conservation_prop =
+  QCheck.Test.make ~name:"conservation & FIFO under random traffic" ~count:25
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 40) (int_bound 3))
+        (list_of_size Gen.(int_range 1 40) (int_bound 3)))
+    (fun (send_gaps, post_plan) ->
+      let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+      let ns = Machine.names machine in
+      let total = List.length send_gaps in
+      let received = ref [] in
+      let drops = ref 0 in
+      let deadline = Flipc_sim.Vtime.ms 20 in
+      Machine.spawn_app machine ~node:1 (fun api ->
+          let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+          Nameservice.register ns "rx" (Api.address api ep);
+          (* Erratic posting: bursts of buffers interleaved with idling. *)
+          let pool = List.init 6 (fun _ -> ok (Api.allocate_buffer api)) in
+          let free = Queue.create () in
+          List.iter (fun b -> Queue.push b free) pool;
+          let plan = ref post_plan in
+          while Sim.now (Machine.sim machine) < deadline do
+            (match !plan with
+            | burst :: rest ->
+                plan := rest;
+                for _ = 1 to burst do
+                  match Queue.take_opt free with
+                  | Some b -> (
+                      match Api.post_receive api ep b with
+                      | Ok () -> ()
+                      | Error `Full -> Queue.push b free
+                      | Error _ -> ())
+                  | None -> ()
+                done
+            | [] -> (
+                (* Keep the queue topped up once the plan is exhausted so
+                   the run terminates with everything accounted. *)
+                match Queue.take_opt free with
+                | Some b -> (
+                    match Api.post_receive api ep b with
+                    | Ok () -> ()
+                    | Error `Full -> Queue.push b free
+                    | Error _ -> ())
+                | None -> ()));
+            (match Api.receive api ep with
+            | Some buf ->
+                let v =
+                  Int32.to_int (Bytes.get_int32_le (Api.read_payload api buf 4) 0)
+                in
+                received := v :: !received;
+                Queue.push buf free
+            | None -> ());
+            drops := !drops + Api.drops_read_and_reset api ep;
+            Mem_port.instr (Api.port api) (50 + (Sim.now (Machine.sim machine) mod 37))
+          done);
+      Machine.spawn_app machine ~node:0 (fun api ->
+          let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          Api.connect api ep (Nameservice.lookup ns "rx");
+          let buf = ok (Api.allocate_buffer api) in
+          List.iteri
+            (fun i gap ->
+              let payload = Bytes.create 4 in
+              Bytes.set_int32_le payload 0 (Int32.of_int (i + 1));
+              Api.write_payload api buf payload;
+              ok (Api.send api ep buf);
+              let rec reclaim () =
+                match Api.reclaim api ep with
+                | Some _ -> ()
+                | None ->
+                    Mem_port.instr (Api.port api) 5;
+                    reclaim ()
+              in
+              reclaim ();
+              Sim.delay (gap * 7_000))
+            send_gaps);
+      Machine.run ~until:deadline machine;
+      Machine.stop_engines machine;
+      Machine.run machine;
+      let delivered = List.rev !received in
+      let increasing =
+        let rec chk = function
+          | a :: (b :: _ as rest) -> a < b && chk rest
+          | _ -> true
+        in
+        chk delivered
+      in
+      increasing && List.length delivered + !drops = total)
+
+(* ------------------------------------------------------------------ *)
+(* Layout invariants over random legal configurations.                 *)
+
+let config_gen =
+  QCheck.Gen.(
+    let* endpoints = int_range 1 16 in
+    let* queue_capacity = int_range 2 20 in
+    let* total_buffers = int_range 1 40 in
+    let* msg_mult = int_range 2 16 in
+    let* layout_idx = int_range 0 1 in
+    return
+      {
+        Config.default with
+        Config.endpoints;
+        queue_capacity;
+        total_buffers;
+        message_bytes = 32 * msg_mult;
+        layout_mode = (if layout_idx = 0 then Config.Padded else Config.Packed);
+      })
+
+let config_arb =
+  QCheck.make ~print:(fun c -> Fmt.str "%a" Config.pp c) config_gen
+
+let layout_wellformed_prop =
+  QCheck.Test.make ~name:"layout invariants over random configs" ~count:200
+    config_arb
+    (fun config ->
+      match Config.validate config with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok config ->
+          let layout = Layout.compute config in
+          let clo, chi = Layout.control_region layout in
+          let blo, bhi = Layout.buffer_region layout in
+          let all_addrs = ref [] in
+          for ep = 0 to config.Config.endpoints - 1 do
+            List.iter
+              (fun f -> all_addrs := Layout.ep_field layout ~ep f :: !all_addrs)
+              Layout.all_fields;
+            for slot = 0 to config.Config.queue_capacity - 1 do
+              all_addrs := Layout.slot_addr layout ~ep ~slot :: !all_addrs
+            done
+          done;
+          let distinct =
+            List.length (List.sort_uniq Int.compare !all_addrs)
+            = List.length !all_addrs
+          in
+          let aligned = List.for_all (fun a -> a mod 4 = 0) !all_addrs in
+          let in_control = List.for_all (fun a -> a >= clo && a < chi) !all_addrs in
+          let buffers_ok =
+            List.for_all
+              (fun i ->
+                let a = Layout.buffer_addr layout i in
+                a >= blo && a + config.Config.message_bytes <= bhi && a mod 32 = 0)
+              (List.init config.Config.total_buffers Fun.id)
+          in
+          distinct && aligned && in_control && buffers_ok
+          && Layout.total_bytes layout = bhi)
+
+let padded_disjoint_prop =
+  QCheck.Test.make ~name:"padded layout: no app/engine line sharing (random configs)"
+    ~count:100 config_arb
+    (fun config ->
+      match Config.validate { config with Config.layout_mode = Config.Padded } with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok config ->
+          let layout = Layout.compute config in
+          let line a = a / 32 in
+          let lines writer =
+            List.concat_map
+              (fun ep ->
+                Layout.all_fields
+                |> List.filter (fun f -> Layout.writer_of_field f = writer)
+                |> List.map (fun f -> line (Layout.ep_field layout ~ep f)))
+              (List.init config.Config.endpoints Fun.id)
+            |> List.sort_uniq Int.compare
+          in
+          let app = lines Layout.App and eng = lines Layout.Engine in
+          List.for_all (fun l -> not (List.mem l eng)) app)
+
+(* ------------------------------------------------------------------ *)
+(* Drop counter wraparound: correctness near the 2^30 modulus.         *)
+
+let test_drop_counter_wraparound () =
+  let sim = Sim.create () in
+  let config = Config.default in
+  let layout = Layout.compute config in
+  let mem = Shared_mem.create ~size:(Layout.total_bytes layout + 64) in
+  let bus = Flipc_memsim.Bus.create ~cost:Flipc_memsim.Cost_model.paragon () in
+  let mk name =
+    Mem_port.create ~engine:sim ~mem ~bus
+      ~cache:(Flipc_memsim.Cache.create ~name ())
+      ~name
+  in
+  let app = mk "app" and eng = mk "eng" in
+  Sim.spawn sim (fun () ->
+      (* Pre-position both locations just below the modulus. *)
+      let near = Drop_counter.modulus - 2 in
+      Mem_port.poke app (Layout.ep_field layout ~ep:0 Layout.Drop_count) near;
+      Mem_port.poke app (Layout.ep_field layout ~ep:0 Layout.Drop_read) near;
+      for _ = 1 to 5 do
+        Drop_counter.engine_increment eng layout ~ep:0
+      done;
+      Alcotest.(check int) "count across wrap" 5
+        (Drop_counter.read app layout ~ep:0);
+      Alcotest.(check int) "reset across wrap" 5
+        (Drop_counter.read_and_reset app layout ~ep:0);
+      Alcotest.(check int) "zero after" 0 (Drop_counter.read app layout ~ep:0));
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Channel data integrity: arbitrary payload sequences arrive exactly.  *)
+
+let channel_integrity_prop =
+  QCheck.Test.make ~name:"channel delivers arbitrary payloads exactly" ~count:20
+    QCheck.(list_of_size Gen.(int_range 1 15) (string_of_size Gen.(int_range 0 100)))
+    (fun payloads ->
+      let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+      let ns = Machine.names machine in
+      let got = ref [] in
+      let n = List.length payloads in
+      Machine.spawn_app machine ~node:1 (fun api ->
+          let rx = Result.get_ok (Channel.create_rx api ~depth:6 ()) in
+          Nameservice.register ns "rx" (Channel.address rx);
+          let rec loop k =
+            if k < n then
+              match Channel.recv rx with
+              | Some p ->
+                  got := Bytes.to_string p :: !got;
+                  loop (k + 1)
+              | None ->
+                  Mem_port.instr (Api.port api) 5;
+                  loop k
+          in
+          loop 0);
+      Machine.spawn_app machine ~node:0 (fun api ->
+          let dest = Nameservice.lookup ns "rx" in
+          let tx = Result.get_ok (Channel.create_tx api ~dest ~pool:3 ()) in
+          List.iter
+            (fun s ->
+              match Channel.send tx (Bytes.of_string s) with
+              | Ok () -> ()
+              | Error e -> failwith (Channel.error_to_string e))
+            payloads);
+      finish machine;
+      List.rev !got = payloads)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk vs model: random puts into a region match a reference buffer.   *)
+
+let bulk_model_prop =
+  QCheck.Test.make ~name:"bulk puts match reference model" ~count:15
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 6)
+        (pair (int_bound 2000) (int_bound 5000)))
+    (fun writes ->
+      let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+      let bulk = Bulk.create machine in
+      let region_len = 8192 in
+      let region = Bulk.export bulk ~node:1 ~len:region_len in
+      let model = Bytes.make region_len '\000' in
+      let planned =
+        List.filteri
+          (fun i (off, len) ->
+            ignore i;
+            len > 0 && off + len <= region_len)
+          writes
+      in
+      Machine.spawn_app machine ~node:0 (fun _api ->
+          List.iteri
+            (fun i (off, len) ->
+              let fill = Char.chr (33 + (i mod 90)) in
+              let data = Bytes.make len fill in
+              Bytes.blit data 0 model off len;
+              Bulk.put bulk ~from:0 ~at:off region data)
+            planned);
+      finish machine;
+      let mem = Machine.mem (Machine.node machine 1) in
+      let actual =
+        Shared_mem.read_bytes mem ~pos:(Bulk.region_base region) ~len:region_len
+      in
+      Bytes.equal actual model)
+
+(* ------------------------------------------------------------------ *)
+(* Machine invariants on random shapes.                                *)
+
+let machine_boot_prop =
+  QCheck.Test.make ~name:"machines of random shape boot and park" ~count:20
+    QCheck.(pair (int_range 1 5) (int_range 1 4))
+    (fun (cols, rows) ->
+      let machine = Machine.create (Machine.Mesh { cols; rows }) () in
+      Machine.run machine;
+      let all_parked = ref true in
+      for i = 0 to Machine.node_count machine - 1 do
+        let stats = Msg_engine.stats (Machine.msg_engine (Machine.node machine i)) in
+        if stats.Msg_engine.parks < 1 then all_parked := false
+      done;
+      Machine.stop_engines machine;
+      Machine.run machine;
+      !all_parked && Machine.node_count machine = cols * rows)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-stack determinism: identical runs are bit-identical.           *)
+
+let test_determinism () =
+  let run () =
+    let r =
+      Flipc_workload.Pingpong.measure ~payload_bytes:120 ~exchanges:40 ()
+    in
+    r.Flipc_workload.Pingpong.round_trips_us
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (float 0.))) "bit-identical replays" a b
+
+let test_determinism_streams () =
+  let run () =
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let results =
+      Flipc_workload.Streams.run ~machine ~node_src:0 ~node_dst:1
+        ~until:(Flipc_sim.Vtime.ms 5)
+        [
+          Flipc_workload.Streams.make ~name:"s"
+            ~arrival:(Flipc_workload.Arrivals.poisson ~mean_ns:80_000 ~seed:2)
+            ~count:40 ~recv_buffers:4 ();
+        ]
+    in
+    match results with
+    | [ r ] -> (r.Flipc_workload.Streams.sent, r.Flipc_workload.Streams.delivered)
+    | _ -> assert false
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair int int)) "streams replay identically" a b
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "end-to-end",
+        [
+          QCheck_alcotest.to_alcotest conservation_prop;
+          QCheck_alcotest.to_alcotest channel_integrity_prop;
+          QCheck_alcotest.to_alcotest bulk_model_prop;
+          QCheck_alcotest.to_alcotest machine_boot_prop;
+        ] );
+      ( "layout",
+        [
+          QCheck_alcotest.to_alcotest layout_wellformed_prop;
+          QCheck_alcotest.to_alcotest padded_disjoint_prop;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "drop wraparound" `Quick
+            test_drop_counter_wraparound;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pingpong replay" `Quick test_determinism;
+          Alcotest.test_case "poisson stream replay" `Quick
+            test_determinism_streams;
+        ] );
+    ]

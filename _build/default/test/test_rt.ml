@@ -1,0 +1,238 @@
+(* Tests for the real-time scheduler and semaphores. *)
+
+module Engine = Flipc_sim.Engine
+module Sched = Flipc_rt.Sched
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(cpus = 1) () =
+  let engine = Engine.create () in
+  (engine, Sched.create ~engine ~cpus)
+
+let test_priority_order () =
+  let engine, sched = mk () in
+  let log = ref [] in
+  (* Pin the CPU first so the others queue up and are dispatched by
+     priority, not spawn order. *)
+  ignore
+    (Sched.spawn ~name:"pin" sched ~priority:100 (fun _thr ->
+         (* Busy-hold the CPU (no scheduling point) so the others queue. *)
+         Engine.delay 10));
+  Engine.spawn engine (fun () ->
+      List.iter
+        (fun p ->
+          ignore
+            (Sched.spawn sched ~priority:p (fun _thr -> log := p :: !log)))
+        [ 1; 5; 3 ]);
+  Engine.run engine;
+  Alcotest.(check (list int)) "highest first" [ 5; 3; 1 ] (List.rev !log)
+
+let test_fifo_within_priority () =
+  let engine, sched = mk () in
+  let log = ref [] in
+  ignore (Sched.spawn sched ~priority:10 (fun _thr -> Engine.delay 10));
+  Engine.spawn engine (fun () ->
+      for i = 1 to 4 do
+        ignore (Sched.spawn sched ~priority:5 (fun _ -> log := i :: !log))
+      done);
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (List.rev !log)
+
+let test_cpu_limit () =
+  let engine, sched = mk ~cpus:2 () in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Sched.spawn sched ~priority:1 (fun _thr ->
+           incr active;
+           if !active > !peak then peak := !active;
+           (* Busy work: the CPU stays held for the duration. *)
+           Engine.delay 10;
+           decr active))
+  done;
+  Engine.run engine;
+  check "peak = cpus" 2 !peak;
+  check "none running after" 0 (Sched.running sched)
+
+let test_yield_rotates () =
+  let engine, sched = mk () in
+  let log = ref [] in
+  ignore
+    (Sched.spawn ~name:"a" sched ~priority:1 (fun thr ->
+         log := "a1" :: !log;
+         Sched.yield thr;
+         log := "a2" :: !log));
+  ignore
+    (Sched.spawn ~name:"b" sched ~priority:1 (fun thr ->
+         log := "b1" :: !log;
+         Sched.yield thr;
+         log := "b2" :: !log));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "yield alternates" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_sleep_releases_cpu () =
+  let engine, sched = mk () in
+  let log = ref [] in
+  ignore
+    (Sched.spawn sched ~priority:5 (fun thr ->
+         Sched.sleep thr 100;
+         log := "sleeper" :: !log));
+  ignore (Sched.spawn sched ~priority:1 (fun _ -> log := "worker" :: !log));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "worker ran during sleep" [ "worker"; "sleeper" ] (List.rev !log)
+
+let test_block_make_ready () =
+  let engine, sched = mk () in
+  let state = ref "blocked" in
+  let thr =
+    Sched.spawn sched ~priority:1 (fun thr ->
+        Sched.block thr;
+        state := "woken")
+  in
+  Engine.spawn engine (fun () ->
+      Engine.delay 50;
+      Sched.make_ready thr);
+  Engine.run engine;
+  Alcotest.(check string) "woken" "woken" !state;
+  check "ends at wake time" 50 (Engine.now engine)
+
+let test_wakeup_before_block_not_lost () =
+  let engine, sched = mk () in
+  let done_ = ref false in
+  let thr_cell = ref None in
+  ignore
+    (Sched.spawn sched ~priority:1 (fun thr ->
+         thr_cell := Some thr;
+         (* Give the waker a chance to make_ready before we block. *)
+         Sched.sleep thr 20;
+         Sched.block thr;
+         done_ := true));
+  Engine.spawn engine (fun () ->
+      Engine.delay 5;
+      (* Thread is sleeping (not blocked): wakeup must be remembered. *)
+      match !thr_cell with
+      | Some thr -> Sched.make_ready thr
+      | None -> Alcotest.fail "no thread");
+  Engine.run engine;
+  check_bool "no lost wakeup" true !done_
+
+let test_is_done () =
+  let engine, sched = mk () in
+  let thr = Sched.spawn sched ~priority:1 (fun _ -> ()) in
+  check_bool "not done before run" false (Sched.is_done thr);
+  Engine.run engine;
+  check_bool "done after" true (Sched.is_done thr)
+
+let test_priority_accessors () =
+  let _, sched = mk () in
+  let thr = Sched.spawn ~name:"t" sched ~priority:7 (fun _ -> ()) in
+  check "priority" 7 (Sched.priority thr);
+  Alcotest.(check string) "name" "t" (Sched.name thr);
+  Sched.set_priority thr 9;
+  check "updated" 9 (Sched.priority thr)
+
+(* --- Rt_semaphore --- *)
+
+let test_sem_initial_value () =
+  let engine, sched = mk () in
+  let sem = Rt_semaphore.create ~initial:2 sched in
+  let acquired = ref 0 in
+  ignore
+    (Sched.spawn sched ~priority:1 (fun thr ->
+         Rt_semaphore.wait sem thr;
+         Rt_semaphore.wait sem thr;
+         acquired := 2));
+  Engine.run engine;
+  check "both immediate" 2 !acquired;
+  check "value zero" 0 (Rt_semaphore.value sem)
+
+let test_sem_blocks_until_post () =
+  let engine, sched = mk () in
+  let sem = Rt_semaphore.create sched in
+  let woke_at = ref (-1) in
+  ignore
+    (Sched.spawn sched ~priority:1 (fun thr ->
+         Rt_semaphore.wait sem thr;
+         woke_at := Engine.now engine));
+  Engine.spawn engine (fun () ->
+      Engine.delay 30;
+      Rt_semaphore.post sem);
+  Engine.run engine;
+  check "woke at post" 30 !woke_at
+
+let test_sem_priority_wakeup () =
+  let engine, sched = mk ~cpus:3 () in
+  let sem = Rt_semaphore.create sched in
+  let log = ref [] in
+  List.iter
+    (fun p ->
+      ignore
+        (Sched.spawn sched ~priority:p (fun thr ->
+             Rt_semaphore.wait sem thr;
+             log := p :: !log)))
+    [ 2; 9; 4 ];
+  Engine.spawn engine (fun () ->
+      Engine.delay 10;
+      for _ = 1 to 3 do
+        Rt_semaphore.post sem;
+        Engine.delay 10
+      done);
+  Engine.run engine;
+  Alcotest.(check (list int)) "priority order" [ 9; 4; 2 ] (List.rev !log)
+
+let test_sem_try_wait () =
+  let _, sched = mk () in
+  let sem = Rt_semaphore.create ~initial:1 sched in
+  check_bool "first" true (Rt_semaphore.try_wait sem);
+  check_bool "second" false (Rt_semaphore.try_wait sem)
+
+let test_sem_counts_posts_while_no_waiters () =
+  let engine, sched = mk () in
+  let sem = Rt_semaphore.create sched in
+  Engine.spawn engine (fun () ->
+      Rt_semaphore.post sem;
+      Rt_semaphore.post sem);
+  Engine.run engine;
+  check "accumulated" 2 (Rt_semaphore.value sem);
+  let got = ref 0 in
+  ignore
+    (Sched.spawn sched ~priority:1 (fun thr ->
+         Rt_semaphore.wait sem thr;
+         Rt_semaphore.wait sem thr;
+         got := 2));
+  Engine.run engine;
+  check "no waiting needed" 2 !got
+
+let () =
+  Alcotest.run "rt"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "priority order" `Quick test_priority_order;
+          Alcotest.test_case "fifo within priority" `Quick
+            test_fifo_within_priority;
+          Alcotest.test_case "cpu limit" `Quick test_cpu_limit;
+          Alcotest.test_case "yield rotates" `Quick test_yield_rotates;
+          Alcotest.test_case "sleep releases cpu" `Quick
+            test_sleep_releases_cpu;
+          Alcotest.test_case "block/make_ready" `Quick test_block_make_ready;
+          Alcotest.test_case "wakeup before block" `Quick
+            test_wakeup_before_block_not_lost;
+          Alcotest.test_case "is_done" `Quick test_is_done;
+          Alcotest.test_case "accessors" `Quick test_priority_accessors;
+        ] );
+      ( "rt_semaphore",
+        [
+          Alcotest.test_case "initial value" `Quick test_sem_initial_value;
+          Alcotest.test_case "blocks until post" `Quick
+            test_sem_blocks_until_post;
+          Alcotest.test_case "priority wakeup" `Quick test_sem_priority_wakeup;
+          Alcotest.test_case "try_wait" `Quick test_sem_try_wait;
+          Alcotest.test_case "posts accumulate" `Quick
+            test_sem_counts_posts_while_no_waiters;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Soak tests: many concurrent traffic sources on one machine, with
+   machine-wide accounting invariants checked at the end.
+
+   The key invariant: with only valid destinations, every message an
+   engine transmits is either deposited or discarded at its destination —
+   sum(sends) = sum(recvs) + sum(drops) across the whole machine. *)
+
+module Sim = Flipc_sim.Engine
+module Mem_port = Flipc_memsim.Mem_port
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Channel = Flipc.Channel
+module Nameservice = Flipc.Nameservice
+module Msg_engine = Flipc.Msg_engine
+module Endpoint_kind = Flipc.Endpoint_kind
+module Prng = Flipc_sim.Prng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine_totals machine =
+  let sends = ref 0 and recvs = ref 0 and drops = ref 0 in
+  for i = 0 to Machine.node_count machine - 1 do
+    let s = Msg_engine.stats (Machine.msg_engine (Machine.node machine i)) in
+    sends := !sends + s.Msg_engine.sends;
+    recvs := !recvs + s.Msg_engine.recvs;
+    drops := !drops + s.Msg_engine.drops
+  done;
+  (!sends, !recvs, !drops)
+
+(* One soak scenario: [pairs] channel flows between pseudo-random node
+   pairs of a 3x3 mesh, each with its own message count and payload sizes;
+   plus one deliberately under-buffered endpoint taking a flood (to force
+   discards into the accounting). *)
+let run_soak ~seed ~pairs =
+  let machine = Machine.create (Machine.Mesh { cols = 3; rows = 3 }) () in
+  let ns = Machine.names machine in
+  let prng = Prng.create ~seed in
+  let nodes = Machine.node_count machine in
+  let expected = ref 0 in
+  let delivered = ref 0 in
+  for flow = 0 to pairs - 1 do
+    let src = Prng.int prng nodes in
+    let dst = (src + 1 + Prng.int prng (nodes - 1)) mod nodes in
+    let count = 10 + Prng.int prng 30 in
+    let payload = 1 + Prng.int prng 100 in
+    let name = Printf.sprintf "flow-%d" flow in
+    expected := !expected + count;
+    Machine.spawn_app ~name:(name ^ "-rx") machine ~node:dst (fun api ->
+        let rx = Result.get_ok (Channel.create_rx api ~depth:6 ()) in
+        Nameservice.register ns name (Channel.address rx);
+        let got = ref 0 in
+        while !got < count do
+          match Channel.recv rx with
+          | Some p ->
+              check ("payload size " ^ name) payload (Bytes.length p);
+              incr got;
+              incr delivered
+          | None -> Mem_port.instr (Api.port api) 7
+        done);
+    Machine.spawn_app ~name:(name ^ "-tx") machine ~node:src (fun api ->
+        let dest = Nameservice.lookup ns name in
+        let tx = Result.get_ok (Channel.create_tx api ~dest ~pool:3 ()) in
+        for _ = 1 to count do
+          match Channel.send tx (Bytes.make payload 'x') with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Channel.error_to_string e)
+        done)
+  done;
+  (* The flood victim: two buffers, slow consumer, bounded run. *)
+  let flood_count = 150 in
+  let flood_drops = ref 0 and flood_got = ref 0 in
+  Machine.spawn_app ~name:"victim" machine ~node:4 (fun api ->
+      let ep =
+        Result.get_ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+      in
+      for _ = 1 to 2 do
+        ignore
+          (Api.post_receive api ep (Result.get_ok (Api.allocate_buffer api))
+            : (unit, Api.error) result)
+      done;
+      Nameservice.register ns "victim" (Api.address api ep);
+      while !flood_got + !flood_drops < flood_count do
+        (match Api.receive api ep with
+        | Some buf ->
+            incr flood_got;
+            Mem_port.instr (Api.port api) 3_000;
+            ignore (Api.post_receive api ep buf : (unit, Api.error) result)
+        | None -> Mem_port.instr (Api.port api) 10);
+        flood_drops := !flood_drops + Api.drops_read_and_reset api ep
+      done);
+  Machine.spawn_app ~name:"flooder" machine ~node:8 (fun api ->
+      let ep =
+        Result.get_ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ())
+      in
+      Api.connect api ep (Nameservice.lookup ns "victim");
+      let buf = Result.get_ok (Api.allocate_buffer api) in
+      for _ = 1 to flood_count do
+        (match Api.send api ep buf with Ok () -> () | Error _ -> ());
+        let rec reclaim () =
+          match Api.reclaim api ep with
+          | Some _ -> ()
+          | None ->
+              Mem_port.instr (Api.port api) 5;
+              reclaim ()
+        in
+        reclaim ()
+      done);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let sends, recvs, drops = machine_totals machine in
+  check "all channel flows complete" !expected !delivered;
+  check "flood accounted" flood_count (!flood_got + !flood_drops);
+  check_bool "flood actually dropped" true (!flood_drops > 0);
+  check "machine-wide conservation" sends (recvs + drops)
+
+let test_soak_small () = run_soak ~seed:101 ~pairs:4
+let test_soak_large () = run_soak ~seed:202 ~pairs:10
+
+let soak_prop =
+  QCheck.Test.make ~name:"soak conservation over random seeds" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      run_soak ~seed:(seed + 1) ~pairs:5;
+      true)
+
+let () =
+  Alcotest.run "soak"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "small" `Quick test_soak_small;
+          Alcotest.test_case "large" `Slow test_soak_large;
+          QCheck_alcotest.to_alcotest soak_prop;
+        ] );
+    ]
