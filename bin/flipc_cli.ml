@@ -287,6 +287,168 @@ let bulk_cmd =
   let doc = "One-sided bulk put/get of a remote-memory region." in
   Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ bytes)
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let module Sim = Flipc_sim.Engine in
+  let module Mailbox = Flipc_sim.Sync.Mailbox in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Faulty = Flipc_net.Faulty in
+  let module Retrans = Flipc_flow.Retrans in
+  let module Provision = Flipc_flow.Provision in
+  let fabric =
+    let fabric_conv =
+      Arg.enum [ ("mesh", `Mesh); ("ethernet", `Ethernet); ("scsi", `Scsi) ]
+    in
+    Arg.(
+      value & opt fabric_conv `Mesh
+      & info [ "fabric" ] ~docv:"FABRIC"
+          ~doc:"Underlying fabric: mesh, ethernet or scsi.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P" ~doc:"Packet drop probability (0..1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ] ~docv:"P" ~doc:"Packet duplication probability (0..1).")
+  in
+  let reorder =
+    Arg.(
+      value & opt float 0.
+      & info [ "reorder" ] ~docv:"P" ~doc:"Packet reordering probability (0..1).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed for fault injection (runs replay bit-identically).")
+  in
+  let msgs =
+    Arg.(
+      value & opt int 400
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages to deliver reliably.")
+  in
+  let run fabric loss dup reorder seed msgs payload =
+    let check_prob name p =
+      if p < 0. || p > 1. then begin
+        Fmt.epr "flipc faults: %s must be in [0,1] (got %g)@." name p;
+        exit 2
+      end
+    in
+    check_prob "--loss" loss;
+    check_prob "--dup" dup;
+    check_prob "--reorder" reorder;
+    let kind, cost, rto_ns =
+      match fabric with
+      | `Mesh ->
+          ( Machine.Mesh { cols = 2; rows = 1 },
+            Flipc_memsim.Cost_model.paragon,
+            200_000 )
+      | `Ethernet ->
+          ( Machine.Ethernet { nodes = 2 },
+            Flipc_memsim.Cost_model.pc_cluster,
+            1_000_000 )
+      | `Scsi ->
+          ( Machine.Scsi { nodes = 2 },
+            Flipc_memsim.Cost_model.pc_cluster,
+            1_000_000 )
+    in
+    let fault =
+      Faulty.config ~drop:loss ~duplicate:dup ~reorder ~seed ()
+    in
+    let config = Provision.config_for ~base:Config.default ~buffers:12 in
+    let machine = Machine.create ~config ~cost ~fault kind () in
+    let rcfg =
+      { Retrans.default_config with Retrans.rto_ns; max_rto_ns = 8 * rto_ns }
+    in
+    let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+    let ok = function
+      | Ok v -> v
+      | Error e -> failwith (Api.error_to_string e)
+    in
+    let latencies = ref [] in
+    let r_stats = ref (0, 0, 0) and s_stats = ref (0, 0) in
+    Machine.spawn_app machine ~node:1 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        Mailbox.put data_addr (Api.address api data_ep);
+        Api.connect api ack_ep (Mailbox.take ack_addr);
+        let r = Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg () in
+        let deadline = Flipc_sim.Vtime.s 4 in
+        while
+          Retrans.delivered r < msgs && Sim.now (Machine.sim machine) < deadline
+        do
+          match Retrans.recv r with
+          | Some p ->
+              let stamp = Int64.to_int (Bytes.get_int64_le p 0) in
+              latencies :=
+                (float_of_int (Sim.now (Machine.sim machine) - stamp) /. 1_000.)
+                :: !latencies
+          | None -> Mem_port.instr (Api.port api) 200
+        done;
+        r_stats :=
+          (Retrans.duplicates r, Retrans.reordered r, Retrans.transport_drops r));
+    Machine.spawn_app machine ~node:0 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        Mailbox.put ack_addr (Api.address api ack_ep);
+        Api.connect api data_ep (Mailbox.take data_addr);
+        let s =
+          Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+            ~config:rcfg ()
+        in
+        let bytes = min (max payload 8) (Retrans.capacity api) in
+        for _ = 1 to msgs do
+          let p = Bytes.create bytes in
+          Bytes.set_int64_le p 0 (Int64.of_int (Sim.now (Machine.sim machine)));
+          (match Retrans.send s p with
+          | Ok () -> ()
+          | Error `Timeout -> failwith "sender timed out: peer unreachable?");
+          Sim.delay (4 * rto_ns / 32)
+        done;
+        (match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 1) with
+        | Ok () -> ()
+        | Error `Timeout -> failwith "flush timed out: peer unreachable?");
+        s_stats := (Retrans.retransmits s, Retrans.ack_drops s));
+    (try Machine.run machine with
+    | Flipc_sim.Engine.Process_failure (_, Failure msg) ->
+        (* The retransmission layer's bounded waits reported `Timeout:
+           surface it as a result, not a crash. *)
+        Fmt.epr "flipc faults: %s@." msg;
+        exit 1);
+    Machine.stop_engines machine;
+    Machine.run machine;
+    let duplicates, reordered, transport_drops = !r_stats in
+    let retransmits, ack_drops = !s_stats in
+    (match Machine.fault_stats machine with
+    | Some f ->
+        Fmt.pr "wire faults: dropped=%d duplicated=%d reordered=%d delayed=%d@."
+          f.Faulty.dropped f.Faulty.duplicated f.Faulty.reordered
+          f.Faulty.delayed
+    | None -> ());
+    Fmt.pr
+      "receiver: delivered=%d dup-discards=%d gap-discards=%d \
+       transport-drops=%d@."
+      (List.length !latencies) duplicates reordered transport_drops;
+    Fmt.pr "sender: retransmits=%d ack-drops=%d@." retransmits ack_drops;
+    if !latencies <> [] then
+      Fmt.pr "delivery latency: %a us@." Summary.pp
+        (Summary.of_samples (List.rev !latencies))
+  in
+  let doc =
+    "Reliable (exactly-once, in-order) delivery over a fault-injected \
+     fabric: drops, duplicates and reordering repaired by the \
+     retransmission library."
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(const run $ fabric $ loss $ dup $ reorder $ seed $ msgs $ payload)
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -403,5 +565,5 @@ let () =
        (Cmd.group info
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
-            throughput_cmd; bulk_cmd; trace_cmd; info_cmd;
+            throughput_cmd; bulk_cmd; faults_cmd; trace_cmd; info_cmd;
           ]))

@@ -97,6 +97,32 @@ let send t payload =
         queue_buf t (wait ()) payload
       end
 
+let send_timeout t ?(max_spins = 100_000) payload =
+  reclaim_into_pool t;
+  match Queue.take_opt t.pool with
+  | Some buf -> (queue_buf t buf payload :> (unit, [ error | `Timeout ]) result)
+  | None ->
+      if t.t_sent = 0 then Error `No_buffer
+      else begin
+        (* Same wait as [send], but bounded: if the engine never hands a
+           transmitted buffer back (stopped engine, dead node), report
+           [`Timeout] instead of spinning forever. *)
+        let rec wait spins =
+          match Api.reclaim t.t_api t.t_ep with
+          | Some buf -> Ok buf
+          | None ->
+              if spins >= max_spins then Error `Timeout
+              else begin
+                Mem_port.instr (Api.port t.t_api) 10;
+                wait (spins + 1)
+              end
+        in
+        match wait 0 with
+        | Error `Timeout -> Error `Timeout
+        | Ok buf ->
+            (queue_buf t buf payload :> (unit, [ error | `Timeout ]) result)
+      end
+
 let sent t = t.t_sent
 
 let create_rx api ?(depth = 4) ?semaphore () =

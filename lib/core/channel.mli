@@ -44,6 +44,14 @@ val send : tx -> Bytes.t -> (unit, error) result
     is full. *)
 val try_send : tx -> Bytes.t -> (unit, error) result
 
+(** [send_timeout t payload] is [send] with a bounded wait: when the pool
+    is empty it polls for a reclaimable buffer at most [max_spins] times
+    (default 100_000) before returning [`Timeout] — the recourse when the
+    engine may have stopped processing (the unbounded [send] would spin
+    forever). *)
+val send_timeout :
+  tx -> ?max_spins:int -> Bytes.t -> (unit, [ error | `Timeout ]) result
+
 (** Messages queued so far. *)
 val sent : tx -> int
 

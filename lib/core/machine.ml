@@ -144,7 +144,7 @@ let make_node ~sim ~fabric ~config ~cost ~app_cpus ~transport_maker
 let create ?(config = Config.default) ?(cost = Cost_model.paragon)
     ?(mesh_config = Mesh.paragon_config) ?(app_cpus = 2)
     ?(transport = native_transport) ?(heap_bytes = 256 * 1024)
-    ?(comm_buffers = 1) kind () =
+    ?(comm_buffers = 1) ?fault kind () =
   if comm_buffers < 1 then invalid_arg "Machine.create: comm_buffers < 1";
   let config = Config.validate_exn config in
   let sim = Sim.create () in
@@ -160,6 +160,11 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
         Scsi_bus.create ~engine:sim ~node_count:nodes
           ~config:Scsi_bus.default_config
   in
+  let fabric =
+    match fault with
+    | Some fc -> Flipc_net.Faulty.wrap ~engine:sim ~config:fc fabric
+    | None -> fabric
+  in
   let nodes =
     Array.init fabric.Fabric.node_count
       (make_node ~sim ~fabric ~config ~cost ~app_cpus
@@ -171,6 +176,7 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
 let sim t = t.sim
 let names t = t.names
 let fabric t = t.fabric
+let fault_stats t = Flipc_net.Faulty.stats_of t.fabric
 let config t = t.config
 let node_count t = Array.length t.nodes
 

@@ -42,7 +42,9 @@ val native_transport : transport_maker
       {!Flipc_memsim.Cost_model.paragon})
     @param mesh_config mesh timing (default {!Flipc_net.Mesh.paragon_config})
     @param app_cpus application CPUs per node (default 2, as on MP3 nodes)
-    @param transport engine transport wiring (default {!native_transport}) *)
+    @param transport engine transport wiring (default {!native_transport})
+    @param fault wrap the fabric in {!Flipc_net.Faulty} fault injection
+      (drop / duplicate / reorder / jitter); default none *)
 val create :
   ?config:Config.t ->
   ?cost:Flipc_memsim.Cost_model.t ->
@@ -51,6 +53,7 @@ val create :
   ?transport:transport_maker ->
   ?heap_bytes:int ->
   ?comm_buffers:int ->
+  ?fault:Flipc_net.Faulty.config ->
   fabric_kind ->
   unit ->
   t
@@ -62,6 +65,10 @@ val sim : t -> Flipc_sim.Engine.t
 val names : t -> Nameservice.t
 
 val fabric : t -> Flipc_net.Fabric.t
+
+(** Injected-fault tally when the machine was created with [?fault]. *)
+val fault_stats : t -> Flipc_net.Faulty.stats option
+
 val config : t -> Config.t
 val node_count : t -> int
 val node : t -> int -> node

@@ -1,0 +1,342 @@
+module Api = Flipc.Api
+module Engine = Flipc_sim.Engine
+module Mem_port = Flipc_memsim.Mem_port
+
+type config = {
+  window : int;
+  rto_ns : int;
+  max_rto_ns : int;
+  ack_every : int;
+  max_retries : int;
+  spin_ns : int;
+}
+
+let default_config =
+  {
+    window = 8;
+    rto_ns = 1_000_000;
+    max_rto_ns = 8_000_000;
+    ack_every = 1;
+    max_retries = 30;
+    spin_ns = 200;
+  }
+
+let header_bytes = 8
+let capacity api = Api.payload_bytes api - header_bytes
+
+let validate c =
+  if c.window < 1 then invalid_arg "Retrans: window < 1";
+  if c.rto_ns < 1 || c.max_rto_ns < c.rto_ns then
+    invalid_arg "Retrans: bad timeout bounds";
+  if c.ack_every < 1 then invalid_arg "Retrans: ack_every < 1";
+  if c.max_retries < 1 then invalid_arg "Retrans: max_retries < 1";
+  if c.spin_ns < 1 then invalid_arg "Retrans: spin_ns < 1"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("Retrans: " ^ Api.error_to_string e)
+
+(* Post receive buffers best-effort: the endpoint ring may be shallower
+   than the ideal count; whatever fits still bounds the common case, and
+   the cumulative protocol recovers anything discarded beyond it. *)
+let post_up_to api ep n =
+  let rec go k =
+    if k < n then
+      match Api.allocate_buffer api with
+      | Error _ -> ()
+      | Ok buf -> (
+          match Api.post_receive api ep buf with
+          | Ok () -> go (k + 1)
+          | Error _ -> Api.free_buffer api buf)
+  in
+  go 0
+
+let encode_frame api buf ~seq payload =
+  let len = Bytes.length payload in
+  let framed = Bytes.create (header_bytes + len) in
+  Bytes.set_int32_le framed 0 (Int32.of_int seq);
+  Bytes.set_int32_le framed 4 (Int32.of_int len);
+  Bytes.blit payload 0 framed header_bytes len;
+  Api.write_payload api buf framed
+
+(* An in-flight message awaiting acknowledgement. *)
+type pending = { seq : int; payload : Bytes.t; mutable retries : int }
+
+type sender = {
+  s_api : Api.t;
+  sim : Engine.t;
+  cfg : config;
+  data_ep : Api.endpoint;
+  ack_ep : Api.endpoint;
+  pool : Api.buffer Queue.t;
+  inflight : pending Queue.t;
+  mutable next_seq : int;
+  mutable s_acked : int;
+  mutable timer : int; (* virtual time of the last protocol progress *)
+  mutable rto_cur : int;
+  mutable s_retransmits : int;
+  mutable s_ack_drops : int;
+}
+
+let create_sender api ~sim ~data_ep ~ack_ep ?(config = default_config) () =
+  validate config;
+  post_up_to api ack_ep (config.window + 2);
+  let pool = Queue.create () in
+  for _ = 1 to config.window + 2 do
+    Queue.push (ok (Api.allocate_buffer api)) pool
+  done;
+  {
+    s_api = api;
+    sim;
+    cfg = config;
+    data_ep;
+    ack_ep;
+    pool;
+    inflight = Queue.create ();
+    next_seq = 1;
+    s_acked = 0;
+    timer = Engine.now sim;
+    rto_cur = config.rto_ns;
+    s_retransmits = 0;
+    s_ack_drops = 0;
+  }
+
+let reclaim_into_pool s =
+  let rec loop () =
+    match Api.reclaim s.s_api s.data_ep with
+    | Some buf ->
+        Queue.push buf s.pool;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let absorb_acks s =
+  let progress = ref false in
+  let rec loop () =
+    match Api.receive s.s_api s.ack_ep with
+    | None -> ()
+    | Some buf ->
+        let cum = Int32.to_int (Bytes.get_int32_le (Api.read_payload s.s_api buf 4) 0) in
+        (match Api.post_receive s.s_api s.ack_ep buf with
+        | Ok () -> ()
+        | Error _ -> Api.free_buffer s.s_api buf);
+        if cum > s.s_acked then begin
+          s.s_acked <- cum;
+          progress := true
+        end;
+        loop ()
+  in
+  loop ();
+  s.s_ack_drops <- s.s_ack_drops + Api.drops_read_and_reset s.s_api s.ack_ep;
+  if !progress then begin
+    while
+      (not (Queue.is_empty s.inflight))
+      && (Queue.peek s.inflight).seq <= s.s_acked
+    do
+      ignore (Queue.pop s.inflight)
+    done;
+    s.rto_cur <- s.cfg.rto_ns;
+    s.timer <- Engine.now s.sim
+  end
+
+(* Take a transmit buffer, waiting (bounded) for the engine to hand back
+   one of ours; [None] only if the engine has stopped processing. *)
+let take_buffer s =
+  let rec wait spins =
+    reclaim_into_pool s;
+    match Queue.take_opt s.pool with
+    | Some buf -> Some buf
+    | None ->
+        if spins > 100_000 then None
+        else begin
+          Mem_port.instr (Api.port s.s_api) s.cfg.spin_ns;
+          wait (spins + 1)
+        end
+  in
+  wait 0
+
+let transmit s ~seq payload =
+  match take_buffer s with
+  | None -> Error `Timeout
+  | Some buf -> (
+      encode_frame s.s_api buf ~seq payload;
+      match Api.send s.s_api s.data_ep buf with
+      | Ok () -> Ok ()
+      | Error _ ->
+          (* Queue momentarily full: surrender the slot; the next
+             retransmission round retries. *)
+          Queue.push buf s.pool;
+          Ok ())
+
+let check_retransmit s =
+  if
+    (not (Queue.is_empty s.inflight))
+    && Engine.now s.sim - s.timer >= s.rto_cur
+  then
+    if (Queue.peek s.inflight).retries >= s.cfg.max_retries then Error `Timeout
+    else begin
+      (* Go-back-N: resend the whole unacknowledged window in order. *)
+      let failed = ref false in
+      Queue.iter
+        (fun p ->
+          if not !failed then begin
+            match transmit s ~seq:p.seq p.payload with
+            | Ok () ->
+                p.retries <- p.retries + 1;
+                s.s_retransmits <- s.s_retransmits + 1
+            | Error `Timeout -> failed := true
+          end)
+        s.inflight;
+      s.rto_cur <- min (s.rto_cur * 2) s.cfg.max_rto_ns;
+      s.timer <- Engine.now s.sim;
+      if !failed then Error `Timeout else Ok ()
+    end
+  else Ok ()
+
+let pump s =
+  absorb_acks s;
+  check_retransmit s
+
+let send s payload =
+  if Bytes.length payload > capacity s.s_api then
+    invalid_arg "Retrans.send: payload exceeds channel capacity";
+  let rec wait_window () =
+    match pump s with
+    | Error `Timeout -> Error `Timeout
+    | Ok () ->
+        if Queue.length s.inflight < s.cfg.window then Ok ()
+        else begin
+          Mem_port.instr (Api.port s.s_api) s.cfg.spin_ns;
+          wait_window ()
+        end
+  in
+  match wait_window () with
+  | Error `Timeout -> Error `Timeout
+  | Ok () -> (
+      let seq = s.next_seq in
+      let copy = Bytes.copy payload in
+      if Queue.is_empty s.inflight then begin
+        s.timer <- Engine.now s.sim;
+        s.rto_cur <- s.cfg.rto_ns
+      end;
+      match transmit s ~seq copy with
+      | Error `Timeout -> Error `Timeout
+      | Ok () ->
+          s.next_seq <- seq + 1;
+          Queue.push { seq; payload = copy; retries = 0 } s.inflight;
+          Ok ())
+
+let flush s ~timeout_ns =
+  let deadline = Engine.now s.sim + timeout_ns in
+  let rec loop () =
+    if Queue.is_empty s.inflight then Ok ()
+    else if Engine.now s.sim > deadline then Error `Timeout
+    else
+      match pump s with
+      | Error `Timeout -> Error `Timeout
+      | Ok () ->
+          Mem_port.instr (Api.port s.s_api) s.cfg.spin_ns;
+          loop ()
+  in
+  loop ()
+
+let in_flight s = Queue.length s.inflight
+let acked s = s.s_acked
+let retransmits s = s.s_retransmits
+let ack_drops s = s.s_ack_drops
+
+type receiver = {
+  r_api : Api.t;
+  r_cfg : config;
+  r_data_ep : Api.endpoint;
+  r_ack_ep : Api.endpoint;
+  mutable expected : int; (* highest in-order sequence accepted *)
+  mutable pending_ack : int;
+  mutable r_delivered : int;
+  mutable r_duplicates : int;
+  mutable r_reordered : int;
+  mutable r_acks_sent : int;
+  mutable r_drops : int;
+}
+
+let create_receiver api ~data_ep ~ack_ep ?(config = default_config) () =
+  validate config;
+  post_up_to api data_ep (config.window + 2);
+  {
+    r_api = api;
+    r_cfg = config;
+    r_data_ep = data_ep;
+    r_ack_ep = ack_ep;
+    expected = 0;
+    pending_ack = 0;
+    r_delivered = 0;
+    r_duplicates = 0;
+    r_reordered = 0;
+    r_acks_sent = 0;
+    r_drops = 0;
+  }
+
+let send_ack r =
+  let buf =
+    match Api.reclaim r.r_api r.r_ack_ep with
+    | Some buf -> Some buf
+    | None -> (
+        match Api.allocate_buffer r.r_api with
+        | Ok buf -> Some buf
+        | Error _ -> None)
+  in
+  match buf with
+  | None -> () (* pool exhausted; a later ack supersedes this one *)
+  | Some buf -> (
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int r.expected);
+      Api.write_payload r.r_api buf b;
+      match Api.send r.r_api r.r_ack_ep buf with
+      | Ok () ->
+          r.r_acks_sent <- r.r_acks_sent + 1;
+          r.pending_ack <- 0
+      | Error _ -> Api.free_buffer r.r_api buf)
+
+let repost r buf =
+  match Api.post_receive r.r_api r.r_data_ep buf with
+  | Ok () -> ()
+  | Error _ -> Api.free_buffer r.r_api buf
+
+let rec recv r =
+  r.r_drops <- r.r_drops + Api.drops_read_and_reset r.r_api r.r_data_ep;
+  match Api.receive r.r_api r.r_data_ep with
+  | None -> None
+  | Some buf ->
+      let header = Api.read_payload r.r_api buf header_bytes in
+      let seq = Int32.to_int (Bytes.get_int32_le header 0) in
+      let len = Int32.to_int (Bytes.get_int32_le header 4) in
+      if seq < 1 || len < 0 || len > capacity r.r_api then begin
+        (* Not a retransmission frame; skip it. *)
+        repost r buf;
+        recv r
+      end
+      else if seq = r.expected + 1 then begin
+        let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
+        repost r buf;
+        r.expected <- seq;
+        r.r_delivered <- r.r_delivered + 1;
+        r.pending_ack <- r.pending_ack + 1;
+        if r.pending_ack >= r.r_cfg.ack_every then send_ack r;
+        Some payload
+      end
+      else begin
+        repost r buf;
+        if seq <= r.expected then
+          r.r_duplicates <- r.r_duplicates + 1
+        else r.r_reordered <- r.r_reordered + 1;
+        (* Re-acknowledge immediately so the sender unsticks. *)
+        send_ack r;
+        recv r
+      end
+
+let delivered r = r.r_delivered
+let duplicates r = r.r_duplicates
+let reordered r = r.r_reordered
+let acks_sent r = r.r_acks_sent
+let transport_drops r = r.r_drops

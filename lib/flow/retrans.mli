@@ -1,0 +1,137 @@
+(** Reliable ordered delivery above the optimistic transport.
+
+    FLIPC itself deliberately discards a message that finds no posted
+    receive buffer, and a lossy interconnect ({!Flipc_net.Faulty}) can
+    additionally drop, duplicate or reorder packets on the wire. This
+    module is the recovery library the paper's layering prescribes: a
+    sender/receiver pair that turns raw endpoints into an exactly-once,
+    in-order channel, implemented entirely above the transport.
+
+    {b Protocol.} Each data message carries an 8-byte library header
+    inside FLIPC's fixed-size payload:
+
+    {v
+      bytes 0..3   sequence number (int32 LE, first message = 1)
+      bytes 4..7   application payload length (int32 LE)
+      bytes 8..    application payload
+    v}
+
+    The receiver delivers strictly in sequence (go-back-N): an in-order
+    message advances the cumulative counter and is handed to the
+    application exactly once; a duplicate or out-of-order message is
+    discarded and re-acknowledged. Acknowledgements flow on a dedicated
+    reverse endpoint pair, credit-style: each ack message carries the
+    receiver's {e cumulative} highest in-order sequence (int32 LE), so a
+    lost ack is repaired by any later ack. The sender keeps at most
+    [window] unacknowledged messages in flight (the ack doubles as the
+    credit return), retransmits the whole in-flight window when the
+    oldest message outlives the current timeout, and backs the timeout
+    off exponentially ([rto_ns] doubling up to [max_rto_ns]) until an
+    acknowledgement makes progress. After [max_retries] unanswered
+    rounds the sender reports [`Timeout] instead of spinning forever. *)
+
+type config = {
+  window : int;  (** max unacknowledged messages in flight *)
+  rto_ns : int;  (** initial retransmission timeout (virtual ns) *)
+  max_rto_ns : int;  (** exponential-backoff cap *)
+  ack_every : int;
+      (** acknowledge every n in-order messages (1 = every message;
+          duplicates and gaps are always acknowledged immediately) *)
+  max_retries : int;  (** retransmission rounds before [`Timeout] *)
+  spin_ns : int;  (** CPU time charged per bounded-wait poll iteration *)
+}
+
+(** [window = 8], [rto_ns = 1ms], [max_rto_ns = 8ms], [ack_every = 1],
+    [max_retries = 30], [spin_ns = 200]. The timeout must exceed the
+    fabric's round-trip time; 1 ms covers every fabric modelled here. *)
+val default_config : config
+
+(** Largest application payload per message
+    (= {!Flipc.Api.payload_bytes} - 8 bytes of sequence header). *)
+val capacity : Flipc.Api.t -> int
+
+(** {1 Sender} *)
+
+type sender
+
+(** [create_sender api ~sim ~data_ep ~ack_ep ()] wraps a connected send
+    endpoint [data_ep] and a receive endpoint [ack_ep] (the peer's ack
+    channel targets it; ack receive buffers are posted here, sized from
+    the window). [sim] supplies virtual time for the retransmission
+    timer. *)
+val create_sender :
+  Flipc.Api.t ->
+  sim:Flipc_sim.Engine.t ->
+  data_ep:Flipc.Api.endpoint ->
+  ack_ep:Flipc.Api.endpoint ->
+  ?config:config ->
+  unit ->
+  sender
+
+(** [send t payload] queues [payload] with the next sequence number,
+    stashing a copy for retransmission. Blocks (bounded) while the window
+    is full, pumping acknowledgements and retransmissions; [`Timeout]
+    once the oldest in-flight message has been retransmitted
+    [max_retries] times without progress — the peer is unreachable.
+    Raises [Invalid_argument] if the payload exceeds [capacity]. *)
+val send : sender -> Bytes.t -> (unit, [ `Timeout ]) result
+
+(** [pump t] absorbs acknowledgements and fires due retransmissions
+    without sending anything new; call it while waiting on other work.
+    [`Timeout] under the same conditions as [send]. *)
+val pump : sender -> (unit, [ `Timeout ]) result
+
+(** [flush t ~timeout_ns] pumps until every queued message is
+    acknowledged, or [timeout_ns] of virtual time elapse. *)
+val flush : sender -> timeout_ns:int -> (unit, [ `Timeout ]) result
+
+val in_flight : sender -> int
+
+(** Highest cumulative sequence acknowledged by the peer. *)
+val acked : sender -> int
+
+(** Data messages retransmitted so far. *)
+val retransmits : sender -> int
+
+(** Ack messages the transport discarded at this endpoint (no posted
+    buffer); recovery is inherent — any later ack supersedes them. *)
+val ack_drops : sender -> int
+
+(** {1 Receiver} *)
+
+type receiver
+
+(** [create_receiver api ~data_ep ~ack_ep ()] posts receive buffers on
+    [data_ep] (sized from the window) and acknowledges through [ack_ep],
+    a send endpoint already connected to the sender's [ack_ep]. *)
+val create_receiver :
+  Flipc.Api.t ->
+  data_ep:Flipc.Api.endpoint ->
+  ack_ep:Flipc.Api.endpoint ->
+  ?config:config ->
+  unit ->
+  receiver
+
+(** [recv t] polls for the next in-sequence payload: exactly-once,
+    in-order. Duplicates and out-of-order arrivals are consumed,
+    counted and re-acknowledged internally. *)
+val recv : receiver -> Bytes.t option
+
+(** In-order messages delivered to the application. *)
+val delivered : receiver -> int
+
+(** Messages discarded as already-delivered (retransmission overlap or
+    wire duplication). *)
+val duplicates : receiver -> int
+
+(** Messages discarded because they arrived beyond the next expected
+    sequence (go-back-N recovers them by retransmission). *)
+val reordered : receiver -> int
+
+(** Acknowledgement messages sent. *)
+val acks_sent : receiver -> int
+
+(** Data messages the transport discarded at this endpoint since
+    creation (no posted buffer — the optimistic discard the paper
+    describes); the retransmission protocol recovers every one. *)
+val transport_drops : receiver -> int

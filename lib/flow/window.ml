@@ -5,7 +5,11 @@ let ok = function
   | Ok v -> v
   | Error e -> failwith ("Window: " ^ Api.error_to_string e)
 
-(* Credit messages carry the grant count in their first payload word. *)
+let default_grant_every window = max 1 (window / 2)
+
+(* Credit messages carry the receiver's cumulative consumed count in their
+   first payload word. Cumulative (not incremental) grants make credit loss
+   self-healing: any later credit message supersedes a discarded one. *)
 let encode_count count =
   let b = Bytes.create 4 in
   Bytes.set_int32_le b 0 (Int32.of_int count);
@@ -19,19 +23,30 @@ type receiver = {
   credit_ep : Api.endpoint;
   grant_every : int;
   mutable pending_grants : int;
+  mutable consumed : int;
   mutable received : int;
 }
 
 let create_receiver api ~data_ep ~credit_ep ~window ?grant_every () =
   if window < 1 then invalid_arg "Window.create_receiver: window < 1";
   let grant_every =
-    match grant_every with Some g -> max 1 g | None -> max 1 (window / 2)
+    match grant_every with
+    | Some g -> max 1 g
+    | None -> default_grant_every window
   in
   for _ = 1 to window do
     let buf = ok (Api.allocate_buffer api) in
     ok (Api.post_receive api data_ep buf)
   done;
-  { r_api = api; data_ep; credit_ep; grant_every; pending_grants = 0; received = 0 }
+  {
+    r_api = api;
+    data_ep;
+    credit_ep;
+    grant_every;
+    pending_grants = 0;
+    consumed = 0;
+    received = 0;
+  }
 
 let recv r =
   match Api.receive r.r_api r.data_ep with
@@ -40,7 +55,7 @@ let recv r =
       r.received <- r.received + 1;
       Some buf
 
-let send_credit r count =
+let send_credit r =
   (* Reuse a reclaimed credit buffer when available so the credit channel
      needs only a couple of buffers in steady state. *)
   let buf =
@@ -48,14 +63,15 @@ let send_credit r count =
     | Some buf -> buf
     | None -> ok (Api.allocate_buffer r.r_api)
   in
-  Api.write_payload r.r_api buf (encode_count count);
+  Api.write_payload r.r_api buf (encode_count r.consumed);
   ok (Api.send r.r_api r.credit_ep buf)
 
 let consumed r buf =
   ok (Api.post_receive r.r_api r.data_ep buf);
+  r.consumed <- r.consumed + 1;
   r.pending_grants <- r.pending_grants + 1;
   if r.pending_grants >= r.grant_every then begin
-    send_credit r r.pending_grants;
+    send_credit r;
     r.pending_grants <- 0
   end
 
@@ -65,50 +81,100 @@ type sender = {
   s_api : Api.t;
   s_data_ep : Api.endpoint;
   credit_recv_ep : Api.endpoint;
-  mutable credits : int;
+  window : int;
+  mutable granted : int; (* peer's highest cumulative consumed count *)
   mutable sent : int;
+  mutable credit_drops : int;
 }
 
-let create_sender api ~data_ep ~credit_recv_ep ~window () =
+let create_sender api ~data_ep ~credit_recv_ep ~window ?grant_every () =
   if window < 1 then invalid_arg "Window.create_sender: window < 1";
-  (* Post buffers to absorb incoming credit messages. *)
-  for _ = 1 to 4 do
-    let buf = ok (Api.allocate_buffer api) in
-    ok (Api.post_receive api credit_recv_ep buf)
-  done;
-  { s_api = api; s_data_ep = data_ep; credit_recv_ep; credits = window; sent = 0 }
+  let grant_every =
+    match grant_every with
+    | Some g -> max 1 g
+    | None -> default_grant_every window
+  in
+  (* Post enough buffers to absorb every credit message that can be in
+     flight at once: the receiver grants one per [grant_every] consumed
+     messages, and at most [window] are unconsumed, so the ceiling is
+     [window / grant_every] plus slack for the boundary. Posting is
+     best-effort against a shallow endpoint ring; the drop counter below
+     accounts for anything beyond it. *)
+  let posts = (window + grant_every - 1) / grant_every + 2 in
+  let rec post k =
+    if k < posts then
+      match Api.allocate_buffer api with
+      | Error e -> failwith ("Window: " ^ Api.error_to_string e)
+      | Ok buf -> (
+          match Api.post_receive api credit_recv_ep buf with
+          | Ok () -> post (k + 1)
+          | Error `Full -> Api.free_buffer api buf
+          | Error e -> failwith ("Window: " ^ Api.error_to_string e))
+  in
+  post 0;
+  {
+    s_api = api;
+    s_data_ep = data_ep;
+    credit_recv_ep;
+    window;
+    granted = 0;
+    sent = 0;
+    credit_drops = 0;
+  }
 
 let absorb_credits s =
   let rec loop () =
     match Api.receive s.s_api s.credit_recv_ep with
     | None -> ()
     | Some buf ->
-        s.credits <- s.credits + decode_count (Api.read_payload s.s_api buf 4);
+        let cum = decode_count (Api.read_payload s.s_api buf 4) in
+        if cum > s.granted then s.granted <- cum;
         ok (Api.post_receive s.s_api s.credit_recv_ep buf);
         loop ()
   in
-  loop ()
+  loop ();
+  (* A discarded credit message is recovered by the next one (cumulative
+     counts); record that it happened for diagnostics. *)
+  s.credit_drops <-
+    s.credit_drops + Api.drops_read_and_reset s.s_api s.credit_recv_ep
+
+let credits_available s = s.window - (s.sent - s.granted)
 
 let do_send s buf =
   ok (Api.send s.s_api s.s_data_ep buf);
-  s.credits <- s.credits - 1;
   s.sent <- s.sent + 1
 
 let send s buf =
   absorb_credits s;
-  while s.credits <= 0 do
+  while credits_available s <= 0 do
     Mem_port.instr (Api.port s.s_api) 10;
     absorb_credits s
   done;
   do_send s buf
 
+let send_timeout s ?(max_spins = 100_000) buf =
+  absorb_credits s;
+  let rec wait spins =
+    if credits_available s > 0 then begin
+      do_send s buf;
+      Ok ()
+    end
+    else if spins >= max_spins then Error `Timeout
+    else begin
+      Mem_port.instr (Api.port s.s_api) 10;
+      absorb_credits s;
+      wait (spins + 1)
+    end
+  in
+  wait 0
+
 let try_send s buf =
   absorb_credits s;
-  if s.credits > 0 then begin
+  if credits_available s > 0 then begin
     do_send s buf;
     true
   end
   else false
 
-let credits_available s = s.credits
+let credit_drops s = s.credit_drops
 let messages_sent s = s.sent

@@ -13,8 +13,13 @@
     receiver posts [window] buffers and returns credits as the application
     consumes; the sender never has more than [window] messages in flight,
     so the transport never discards. Credits are batched ([grant_every])
-    to amortize the reverse traffic, and each credit message carries its
-    grant count in its payload. *)
+    to amortize the reverse traffic, and each credit message carries the
+    receiver's {e cumulative} consumed count in its payload — so a credit
+    message the transport discards is recovered by any later one instead
+    of permanently shrinking the window. The sender posts enough credit
+    receive buffers for every grant that can be simultaneously in flight
+    ([window / grant_every], plus slack) and tallies residual discards
+    through the endpoint drop counter ({!credit_drops}). *)
 
 type sender
 type receiver
@@ -48,18 +53,29 @@ val messages_received : receiver -> int
 
 (** [create_sender api ~data_ep ~credit_recv_ep ~window ()] wraps a
     connected send endpoint. [credit_recv_ep] is a receive endpoint the
-    peer's credit channel targets; credit buffers are posted here. *)
+    peer's credit channel targets; credit buffers are posted here, sized
+    for [window / grant_every] simultaneous grants plus slack.
+    [grant_every] must match the receiver's batching (same default). *)
 val create_sender :
   Flipc.Api.t ->
   data_ep:Flipc.Api.endpoint ->
   credit_recv_ep:Flipc.Api.endpoint ->
   window:int ->
+  ?grant_every:int ->
   unit ->
   sender
 
 (** [send s buf] transmits when a credit is available, polling for credit
-    return if the window is exhausted. Never causes a transport discard. *)
+    return if the window is exhausted. Never causes a transport discard.
+    Spins forever if the peer never grants credit — prefer
+    {!send_timeout} when that is possible. *)
 val send : sender -> Flipc.Api.buffer -> unit
+
+(** [send_timeout s buf] is [send] with a bounded wait: after [max_spins]
+    credit polls (default 100_000) without an available credit it returns
+    [`Timeout] instead of spinning forever. *)
+val send_timeout :
+  sender -> ?max_spins:int -> Flipc.Api.buffer -> (unit, [ `Timeout ]) result
 
 (** [try_send s buf] is [false] instead of blocking when no credit is
     available. *)
@@ -67,3 +83,8 @@ val try_send : sender -> Flipc.Api.buffer -> bool
 
 val credits_available : sender -> int
 val messages_sent : sender -> int
+
+(** Credit messages the transport discarded at the sender's credit
+    endpoint (no posted buffer). The cumulative encoding recovers the
+    credits themselves; this counter records that it happened. *)
+val credit_drops : sender -> int

@@ -1,0 +1,98 @@
+module Engine = Flipc_sim.Engine
+module Prng = Flipc_sim.Prng
+
+type config = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_hold_ns : int;
+  jitter_ns : int;
+  seed : int;
+}
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_hold_ns = 50_000;
+    jitter_ns = 0;
+    seed = 1;
+  }
+
+let config ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(reorder_hold_ns = 50_000) ?(jitter_ns = 0) ?(seed = 1) () =
+  { drop; duplicate; reorder; reorder_hold_ns; jitter_ns; seed }
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable delayed : int;
+}
+
+(* Keyed on the shared Fabric.stats record by physical identity, like
+   Mesh.contention_stall_ns: the record is mutable so it cannot be a hash
+   key, and fabrics live as long as their machines. *)
+let registry : (Fabric.stats * stats) list ref = ref []
+
+let stats_of (fabric : Fabric.t) =
+  Option.map snd
+    (List.find_opt (fun (s, _) -> s == fabric.Fabric.stats) !registry)
+
+let validate_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Faulty.wrap: %s not in [0,1]" name)
+
+let wrap ~engine ~config:c (inner : Fabric.t) =
+  validate_prob "drop" c.drop;
+  validate_prob "duplicate" c.duplicate;
+  validate_prob "reorder" c.reorder;
+  if c.reorder_hold_ns < 0 || c.jitter_ns < 0 then
+    invalid_arg "Faulty.wrap: negative delay bound";
+  let rng = Prng.create ~seed:c.seed in
+  let stats = { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 } in
+  registry := (inner.Fabric.stats, stats) :: !registry;
+  let fires p = p > 0.0 && Prng.float rng 1.0 < p in
+  let submit p delay =
+    if delay = 0 then inner.Fabric.send p
+    else
+      Engine.spawn_at ~name:"fault-delay" engine
+        (Engine.now engine + delay)
+        (fun () -> inner.Fabric.send p)
+  in
+  let copy_delay () =
+    let jitter =
+      if c.jitter_ns > 0 then begin
+        let d = Prng.int rng (c.jitter_ns + 1) in
+        if d > 0 then stats.delayed <- stats.delayed + 1;
+        d
+      end
+      else 0
+    in
+    let hold =
+      if fires c.reorder then begin
+        stats.reordered <- stats.reordered + 1;
+        1 + Prng.int rng (max 1 c.reorder_hold_ns)
+      end
+      else 0
+    in
+    jitter + hold
+  in
+  let send p =
+    if fires c.drop then stats.dropped <- stats.dropped + 1
+    else begin
+      submit p (copy_delay ());
+      if fires c.duplicate then begin
+        stats.duplicated <- stats.duplicated + 1;
+        submit p (copy_delay ())
+      end
+    end
+  in
+  {
+    Fabric.name = inner.Fabric.name ^ "+faults";
+    node_count = inner.Fabric.node_count;
+    send;
+    set_handler = inner.Fabric.set_handler;
+    stats = inner.Fabric.stats;
+  }

@@ -1,0 +1,62 @@
+(** Fault-injecting fabric wrapper.
+
+    Every concrete fabric here ({!Mesh}, {!Ethernet}, {!Scsi_bus},
+    {!Hypercube}) is perfectly reliable, which leaves the optimistic
+    transport's whole recovery story — drop counters, flow-control
+    libraries, retransmission ({!Flipc_flow.Retrans}) — untested. [wrap]
+    interposes on an underlying fabric's [send] and injects configurable,
+    PRNG-seeded faults before the packet reaches the wire:
+
+    - {b drop}: the packet silently vanishes;
+    - {b duplicate}: a second copy is submitted;
+    - {b reorder}: the packet is held back for a random interval so later
+      packets overtake it;
+    - {b latency jitter}: a small random delay on every surviving packet.
+
+    Faults are sampled per packet from a dedicated splitmix64 stream, so
+    runs are exactly reproducible for a given seed. The wrapper shares the
+    underlying fabric's {!Fabric.stats} record (only packets that actually
+    reach the wire are counted there); injected faults are tallied
+    separately in {!stats}. *)
+
+type config = {
+  drop : float;  (** probability a packet is dropped, in [0,1] *)
+  duplicate : float;  (** probability a packet is sent twice *)
+  reorder : float;  (** probability a packet is held back *)
+  reorder_hold_ns : int;
+      (** maximum hold time for reordered packets; must exceed the
+          fabric's typical latency for overtaking to actually occur *)
+  jitter_ns : int;  (** maximum extra per-packet latency, 0 = none *)
+  seed : int;  (** PRNG seed for the fault stream *)
+}
+
+(** No faults: [wrap ~config:none] is a transparent pass-through. *)
+val none : config
+
+(** [config ?drop ?duplicate ?reorder ?jitter_ns ?seed ()] builds a
+    configuration with unspecified fields at their fault-free defaults. *)
+val config :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?reorder_hold_ns:int ->
+  ?jitter_ns:int ->
+  ?seed:int ->
+  unit ->
+  config
+
+type stats = {
+  mutable dropped : int;  (** packets discarded before the wire *)
+  mutable duplicated : int;  (** extra copies injected *)
+  mutable reordered : int;  (** packets held back *)
+  mutable delayed : int;  (** packets given nonzero jitter *)
+}
+
+(** [wrap ~engine ~config fabric] is a fabric with [fabric]'s name,
+    node count and handler table, whose [send] injects faults. *)
+val wrap : engine:Flipc_sim.Engine.t -> config:config -> Fabric.t -> Fabric.t
+
+(** [stats_of fabric] finds the fault tally of a wrapped fabric (matched
+    through the shared stats record, so both the wrapper and the underlying
+    fabric resolve), or [None] for an unwrapped fabric. *)
+val stats_of : Fabric.t -> stats option

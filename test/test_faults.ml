@@ -1,0 +1,365 @@
+(* Fault injection and recovery: the Faulty fabric wrapper's drop /
+   duplicate / reorder / jitter injection, and the Retrans reliable
+   channel's exactly-once in-order delivery over every lossy fabric. *)
+
+module Sim = Flipc_sim.Engine
+module Vtime = Flipc_sim.Vtime
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Config = Flipc.Config
+module Api = Flipc.Api
+module Machine = Flipc.Machine
+module Endpoint_kind = Flipc.Endpoint_kind
+module Faulty = Flipc_net.Faulty
+module Retrans = Flipc_flow.Retrans
+module Provision = Flipc_flow.Provision
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Api.error_to_string e)
+
+let encode_int i =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int i);
+  b
+
+let decode_int b = Int32.to_int (Bytes.get_int32_le b 0)
+
+(* ------------------------------------------------------------------ *)
+(* The Faulty wrapper itself: raw (unreliable) endpoints, so every wire
+   drop is a missing delivery and the tally must account exactly.       *)
+
+let test_faulty_drop_accounting () =
+  let fault = Faulty.config ~drop:0.3 ~seed:11 () in
+  let machine = Machine.create ~fault (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let total = 100 in
+  let addr = Mailbox.create () in
+  let delivered = ref 0 and endpoint_drops = ref 0 in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      for _ = 1 to 8 do
+        ok (Api.post_receive api ep (ok (Api.allocate_buffer api)))
+      done;
+      Mailbox.put addr (Api.address api ep);
+      let deadline = Vtime.ms 20 in
+      while Sim.now (Machine.sim machine) < deadline do
+        (match Api.receive api ep with
+        | Some buf ->
+            incr delivered;
+            ok (Api.post_receive api ep buf)
+        | None -> Mem_port.instr (Api.port api) 50);
+        endpoint_drops := !endpoint_drops + Api.drops_read_and_reset api ep
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Api.connect api ep (Mailbox.take addr);
+      let buf = ok (Api.allocate_buffer api) in
+      for _ = 1 to total do
+        ok (Api.send api ep buf);
+        let rec reclaim () =
+          match Api.reclaim api ep with
+          | Some _ -> ()
+          | None ->
+              Mem_port.instr (Api.port api) 5;
+              reclaim ()
+        in
+        reclaim ();
+        (* Space the sends out so the receiver never overruns: every
+           missing message is then a wire drop, not an endpoint discard. *)
+        Sim.delay (Vtime.us 40)
+      done);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let faults = Option.get (Machine.fault_stats machine) in
+  check_bool "some packets dropped" true (faults.Faulty.dropped > 0);
+  check "no endpoint discards" 0 !endpoint_drops;
+  (* Credit the engine's own traffic: only FLIPC data packets flow here,
+     so wire conservation is exact. *)
+  check "delivered + dropped = sent" total (!delivered + faults.Faulty.dropped)
+
+let test_faulty_duplicate_and_jitter () =
+  let fault = Faulty.config ~duplicate:0.4 ~jitter_ns:3_000 ~seed:7 () in
+  let machine = Machine.create ~fault (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let total = 60 in
+  let addr = Mailbox.create () in
+  let delivered = ref 0 in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      for _ = 1 to 8 do
+        ok (Api.post_receive api ep (ok (Api.allocate_buffer api)))
+      done;
+      Mailbox.put addr (Api.address api ep);
+      let deadline = Vtime.ms 15 in
+      while Sim.now (Machine.sim machine) < deadline do
+        (match Api.receive api ep with
+        | Some buf ->
+            incr delivered;
+            ok (Api.post_receive api ep buf)
+        | None -> Mem_port.instr (Api.port api) 50)
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Api.connect api ep (Mailbox.take addr);
+      let buf = ok (Api.allocate_buffer api) in
+      for _ = 1 to total do
+        ok (Api.send api ep buf);
+        let rec reclaim () =
+          match Api.reclaim api ep with
+          | Some _ -> ()
+          | None ->
+              Mem_port.instr (Api.port api) 5;
+              reclaim ()
+        in
+        reclaim ();
+        Sim.delay (Vtime.us 40)
+      done);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let faults = Option.get (Machine.fault_stats machine) in
+  check_bool "duplicates injected" true (faults.Faulty.duplicated > 0);
+  check "every copy arrives" (total + faults.Faulty.duplicated) !delivered
+
+(* ------------------------------------------------------------------ *)
+(* Reliable channel: exactly-once, in-order delivery under faults, on
+   every fabric.                                                        *)
+
+type reliable_result = {
+  got : int list;  (* payload integers in delivery order *)
+  retransmits : int;
+  duplicates : int;
+  reordered : int;
+  transport_drops : int;
+  fault_dropped : int;
+}
+
+let run_reliable ~kind ?cost ~fault ~messages ~rto_ns () =
+  let config = Provision.config_for ~base:Config.default ~buffers:12 in
+  let machine =
+    match cost with
+    | Some cost -> Machine.create ~config ~cost ~fault kind ()
+    | None -> Machine.create ~config ~fault kind ()
+  in
+  let rcfg = { Retrans.default_config with Retrans.rto_ns; max_rto_ns = 8 * rto_ns } in
+  let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+  let got = ref [] in
+  let rstats = ref (0, 0, 0) in
+  let sstats = ref 0 in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api ack_ep (Mailbox.take ack_addr);
+      let r = Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg () in
+      let deadline = Vtime.ms 4_000 in
+      while
+        Retrans.delivered r < messages
+        && Sim.now (Machine.sim machine) < deadline
+      do
+        match Retrans.recv r with
+        | Some payload -> got := decode_int payload :: !got
+        | None -> Mem_port.instr (Api.port api) 200
+      done;
+      rstats :=
+        (Retrans.duplicates r, Retrans.reordered r, Retrans.transport_drops r));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      Mailbox.put ack_addr (Api.address api ack_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let s =
+        Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      for i = 1 to messages do
+        match Retrans.send s (encode_int i) with
+        | Ok () -> ()
+        | Error `Timeout -> Alcotest.fail (Fmt.str "send %d timed out" i)
+      done;
+      (match Retrans.flush s ~timeout_ns:(Vtime.ms 2_000) with
+      | Ok () -> ()
+      | Error `Timeout -> Alcotest.fail "flush timed out");
+      sstats := Retrans.retransmits s);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let duplicates, reordered, transport_drops = !rstats in
+  let fault_dropped =
+    match Machine.fault_stats machine with
+    | Some f -> f.Faulty.dropped
+    | None -> 0
+  in
+  {
+    got = List.rev !got;
+    retransmits = !sstats;
+    duplicates;
+    reordered;
+    transport_drops;
+    fault_dropped;
+  }
+
+let expect_exactly_once ~messages r =
+  check "delivered count" messages (List.length r.got);
+  check_bool "in order, exactly once" true
+    (r.got = List.init messages (fun i -> i + 1))
+
+let test_reliable_mesh_loss () =
+  let messages = 200 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+      ~fault:(Faulty.config ~drop:0.10 ~seed:42 ())
+      ~messages ~rto_ns:200_000 ()
+  in
+  expect_exactly_once ~messages r;
+  check_bool "wire actually lossy" true (r.fault_dropped > 0);
+  check_bool "losses repaired by retransmission" true (r.retransmits > 0)
+
+let test_reliable_ethernet_loss () =
+  let messages = 120 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Ethernet { nodes = 2 })
+      ~cost:Flipc_memsim.Cost_model.pc_cluster
+      ~fault:(Faulty.config ~drop:0.10 ~seed:5 ())
+      ~messages ~rto_ns:1_000_000 ()
+  in
+  expect_exactly_once ~messages r;
+  check_bool "wire actually lossy" true (r.fault_dropped > 0);
+  check_bool "losses repaired by retransmission" true (r.retransmits > 0)
+
+let test_reliable_scsi_combined () =
+  let messages = 120 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Scsi { nodes = 2 })
+      ~cost:Flipc_memsim.Cost_model.pc_cluster
+      ~fault:
+        (Faulty.config ~drop:0.05 ~duplicate:0.05 ~reorder:0.05
+           ~reorder_hold_ns:200_000 ~seed:9 ())
+      ~messages ~rto_ns:1_000_000 ()
+  in
+  expect_exactly_once ~messages r
+
+let test_reliable_mesh_dup_reorder () =
+  let messages = 200 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+      ~fault:
+        (Faulty.config ~duplicate:0.15 ~reorder:0.15 ~reorder_hold_ns:60_000
+           ~jitter_ns:2_000 ~seed:3 ())
+      ~messages ~rto_ns:200_000 ()
+  in
+  expect_exactly_once ~messages r;
+  check_bool "receiver saw anomalies" true (r.duplicates + r.reordered > 0)
+
+let test_reliable_no_faults_no_retransmits () =
+  let messages = 150 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+      ~fault:Faulty.none ~messages ~rto_ns:200_000 ()
+  in
+  expect_exactly_once ~messages r;
+  check "no spurious retransmissions" 0 r.retransmits;
+  check "no duplicates" 0 r.duplicates
+
+(* A dead receiver: the sender must report `Timeout, not spin forever. *)
+let test_sender_times_out_on_dead_peer () =
+  let config = Provision.config_for ~base:Config.default ~buffers:12 in
+  let machine =
+    Machine.create ~config
+      ~fault:(Faulty.config ~drop:1.0 ~seed:1 ())
+      (Machine.Mesh { cols = 2; rows = 1 })
+      ()
+  in
+  let rcfg =
+    {
+      Retrans.default_config with
+      Retrans.rto_ns = 50_000;
+      max_rto_ns = 100_000;
+      max_retries = 4;
+    }
+  in
+  let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+  let outcome = ref None in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api ack_ep (Mailbox.take ack_addr);
+      (* Receiver exists but every packet (both directions) is dropped. *)
+      ignore (Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg ()));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      Mailbox.put ack_addr (Api.address api ack_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let s =
+        Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      ignore (Retrans.send s (encode_int 1));
+      outcome := Some (Retrans.flush s ~timeout_ns:(Vtime.ms 50)));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  match !outcome with
+  | Some (Error `Timeout) -> ()
+  | Some (Ok ()) -> Alcotest.fail "flush succeeded with a 100% lossy wire"
+  | None -> Alcotest.fail "sender never completed"
+
+(* Property: for any small fault mix and seed, the reliable channel is
+   exactly-once and in-order on the mesh. *)
+let reliable_exactly_once_prop =
+  QCheck.Test.make ~name:"reliable channel exactly-once under random faults"
+    ~count:8
+    QCheck.(
+      quad (int_range 0 10) (int_range 0 10) (int_range 0 10) (int_range 1 1000))
+    (fun (drop_pct, dup_pct, reorder_pct, seed) ->
+      let messages = 60 in
+      let fault =
+        Faulty.config
+          ~drop:(float_of_int drop_pct /. 100.)
+          ~duplicate:(float_of_int dup_pct /. 100.)
+          ~reorder:(float_of_int reorder_pct /. 100.)
+          ~reorder_hold_ns:60_000 ~seed ()
+      in
+      let r =
+        run_reliable
+          ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+          ~fault ~messages ~rto_ns:200_000 ()
+      in
+      r.got = List.init messages (fun i -> i + 1))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "faulty-fabric",
+        [
+          Alcotest.test_case "drop accounting" `Quick
+            test_faulty_drop_accounting;
+          Alcotest.test_case "duplicate + jitter" `Quick
+            test_faulty_duplicate_and_jitter;
+        ] );
+      ( "reliable-channel",
+        [
+          Alcotest.test_case "mesh 10% loss" `Quick test_reliable_mesh_loss;
+          Alcotest.test_case "ethernet 10% loss" `Quick
+            test_reliable_ethernet_loss;
+          Alcotest.test_case "scsi loss+dup+reorder" `Quick
+            test_reliable_scsi_combined;
+          Alcotest.test_case "mesh dup+reorder" `Quick
+            test_reliable_mesh_dup_reorder;
+          Alcotest.test_case "clean wire: zero retransmits" `Quick
+            test_reliable_no_faults_no_retransmits;
+          Alcotest.test_case "dead peer times out" `Quick
+            test_sender_times_out_on_dead_peer;
+          QCheck_alcotest.to_alcotest reliable_exactly_once_prop;
+        ] );
+    ]

@@ -195,6 +195,106 @@ let test_try_send_respects_window () =
   Machine.run machine;
   check_bool "3rd refused" true !refused
 
+(* Regression: the sender must post enough credit receive buffers for
+   every grant that can simultaneously be in flight. An earlier version
+   posted a fixed 4 regardless of window and grant_every; with
+   window = 12 and grant_every = 1, a fast consumer puts 12 credit
+   messages on the wire while the sender stalls, and 8 of them were
+   discarded at the sender's credit endpoint (visible below as nonzero
+   [credit_drops]). *)
+let test_credit_buffers_cover_window () =
+  let window = 12 in
+  let messages = window + 1 in
+  let config = Provision.config_for ~base:Config.default ~buffers:(window + 4) in
+  let machine = Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let data_addr = Mailbox.create () and credit_addr = Mailbox.create () in
+  let delivered = ref 0 in
+  let credit_drops = ref (-1) and credits_after = ref (-1) in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let credit_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api credit_ep (Mailbox.take credit_addr);
+      let receiver =
+        Window.create_receiver api ~data_ep ~credit_ep ~window ~grant_every:1 ()
+      in
+      (* Consume as fast as messages land: every credit goes straight out. *)
+      while !delivered < messages do
+        match Window.recv receiver with
+        | Some buf ->
+            incr delivered;
+            Window.consumed receiver buf
+        | None -> Mem_port.instr (Api.port api) 5
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let credit_recv_ep =
+        ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+      in
+      Mailbox.put credit_addr (Api.address api credit_recv_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let sender =
+        Window.create_sender api ~data_ep ~credit_recv_ep ~window
+          ~grant_every:1 ()
+      in
+      (* Burn the whole window without once absorbing credits... *)
+      for _ = 1 to window do
+        Window.send sender (ok (Api.allocate_buffer api))
+      done;
+      (* ...stall while all [window] credit messages arrive... *)
+      Sim.delay (Flipc_sim.Vtime.ms 2);
+      (* ...then send once more, which first absorbs every credit. *)
+      Window.send sender (ok (Api.allocate_buffer api));
+      credit_drops := Window.credit_drops sender;
+      credits_after := Window.credits_available sender);
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  check "all delivered" messages !delivered;
+  check "no credit message discarded" 0 !credit_drops;
+  (* Every credit recovered: the window is fully reopened (minus the one
+     message just sent and not yet consumed when the sender sampled). *)
+  check "window fully recovered" (window - 1) !credits_after
+
+(* send_timeout gives up when the peer never grants credit, where [send]
+   would spin forever. *)
+let test_window_send_timeout () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let data_addr = Mailbox.create () and credit_addr = Mailbox.create () in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let credit_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api credit_ep (Mailbox.take credit_addr);
+      (* A receiver that never consumes: credits never return. *)
+      ignore (Window.create_receiver api ~data_ep ~credit_ep ~window:2 ()));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let credit_recv_ep =
+        ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+      in
+      Mailbox.put credit_addr (Api.address api credit_recv_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let sender =
+        Window.create_sender api ~data_ep ~credit_recv_ep ~window:2 ()
+      in
+      let b1 = ok (Api.allocate_buffer api) in
+      let b2 = ok (Api.allocate_buffer api) in
+      let b3 = ok (Api.allocate_buffer api) in
+      (match Window.send_timeout sender b1 with
+      | Ok () -> ()
+      | Error `Timeout -> Alcotest.fail "credit available: no timeout");
+      (match Window.send_timeout sender b2 with
+      | Ok () -> ()
+      | Error `Timeout -> Alcotest.fail "credit available: no timeout");
+      (match Window.send_timeout sender ~max_spins:50 b3 with
+      | Error `Timeout -> ()
+      | Ok () -> Alcotest.fail "window exhausted: expected timeout");
+      check "only the window went out" 2 (Window.messages_sent sender));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine
+
 (* Property: whatever the consumer's pacing, the window never lets the
    transport discard. *)
 let window_never_drops_prop =
@@ -278,6 +378,9 @@ let () =
             test_unwindowed_overload_drops;
           Alcotest.test_case "try_send window" `Quick
             test_try_send_respects_window;
+          Alcotest.test_case "credit buffers cover window" `Quick
+            test_credit_buffers_cover_window;
+          Alcotest.test_case "send_timeout" `Quick test_window_send_timeout;
           QCheck_alcotest.to_alcotest window_never_drops_prop;
         ] );
     ]

@@ -15,6 +15,7 @@ module Endpoint_kind = Flipc.Endpoint_kind
 module Nameservice = Flipc.Nameservice
 module Channel = Flipc.Channel
 module Drop_counter = Flipc.Drop_counter
+module Buffer_queue = Flipc.Buffer_queue
 module Bulk = Flipc_bulk.Bulk
 
 let ok = function
@@ -231,6 +232,110 @@ let test_drop_counter_wraparound () =
       Alcotest.(check int) "zero after" 0 (Drop_counter.read app layout ~ep:0));
   Sim.run sim
 
+(* A raw two-port rig (application + engine side) over one layout, for
+   driving the wait-free structures directly. *)
+let with_raw_ports f =
+  let sim = Sim.create () in
+  let config = Config.default in
+  let layout = Layout.compute config in
+  let mem = Shared_mem.create ~size:(Layout.total_bytes layout + 64) in
+  let bus = Flipc_memsim.Bus.create ~cost:Flipc_memsim.Cost_model.paragon () in
+  let mk name =
+    Mem_port.create ~engine:sim ~mem ~bus
+      ~cache:(Flipc_memsim.Cache.create ~name ())
+      ~name
+  in
+  let app = mk "app" and eng = mk "eng" in
+  Sim.spawn sim (fun () -> f config layout app eng);
+  Sim.run sim
+
+(* Property: the two-location counter equals the number of engine
+   increments since the last reset, wherever the stored words sit
+   relative to the 2^30 modulus and however reads and resets interleave. *)
+let drop_counter_wrap_prop =
+  QCheck.Test.make ~name:"drop counter modular arithmetic under random ops"
+    ~count:50
+    QCheck.(
+      pair (int_bound 100)
+        (list_of_size Gen.(int_range 1 25) (pair (int_bound 20) bool)))
+    (fun (below, ops) ->
+      let result = ref true in
+      with_raw_ports (fun _config layout app eng ->
+          let check b = if not b then result := false in
+          (* Park both words just under the modulus so the run crosses it. *)
+          let start = Drop_counter.modulus - 1 - below in
+          Mem_port.poke app (Layout.ep_field layout ~ep:0 Layout.Drop_count) start;
+          Mem_port.poke app (Layout.ep_field layout ~ep:0 Layout.Drop_read) start;
+          let expected = ref 0 in
+          List.iter
+            (fun (incs, reset) ->
+              for _ = 1 to incs do
+                Drop_counter.engine_increment eng layout ~ep:0
+              done;
+              expected := !expected + incs;
+              check (Drop_counter.read app layout ~ep:0 = !expected);
+              if reset then begin
+                check (Drop_counter.read_and_reset app layout ~ep:0 = !expected);
+                expected := 0;
+                check (Drop_counter.read app layout ~ep:0 = 0)
+              end)
+            ops);
+      !result)
+
+(* Property: the three-cursor ring agrees with a reference model under
+   arbitrary release/process/acquire interleavings — including many full
+   trips around the ring, so every cursor wraps repeatedly. *)
+let buffer_queue_churn_prop =
+  QCheck.Test.make ~name:"buffer queue cursors wrap under random churn"
+    ~count:50
+    QCheck.(list_of_size Gen.(int_range 60 120) (int_bound 2))
+    (fun random_ops ->
+      let result = ref true in
+      with_raw_ports (fun config layout app eng ->
+          let check b = if not b then result := false in
+          Buffer_queue.init app layout ~ep:0;
+          let cap = config.Config.queue_capacity in
+          let next = ref 0 in
+          let to_process = Queue.create () and to_acquire = Queue.create () in
+          let occupancy () = Queue.length to_process + Queue.length to_acquire in
+          let step op =
+            (match op with
+            | 0 -> (
+                incr next;
+                let addr = 32 * !next in
+                match Buffer_queue.app_release app layout ~ep:0 ~buf_addr:addr with
+                | Ok () ->
+                    check (occupancy () < cap - 1);
+                    Queue.push addr to_process
+                | Error `Full -> check (occupancy () = cap - 1))
+            | 1 -> (
+                match Buffer_queue.engine_peek eng layout ~ep:0 with
+                | Some (addr, cursor) ->
+                    (match Queue.take_opt to_process with
+                    | Some m -> check (m = addr)
+                    | None -> check false);
+                    Buffer_queue.engine_advance eng layout ~ep:0 ~cursor;
+                    Queue.push addr to_acquire
+                | None -> check (Queue.is_empty to_process))
+            | _ -> (
+                match Buffer_queue.app_acquire app layout ~ep:0 with
+                | Some addr -> (
+                    match Queue.take_opt to_acquire with
+                    | Some m -> check (m = addr)
+                    | None -> check false)
+                | None -> check (Queue.is_empty to_acquire)));
+            check (Buffer_queue.well_formed (Buffer_queue.snapshot app layout ~ep:0))
+          in
+          (* Deterministic churn first: more than three full trips around
+             the ring, one buffer at a time. *)
+          for _ = 1 to 4 * cap do
+            step 0;
+            step 1;
+            step 2
+          done;
+          List.iter step random_ops);
+      !result)
+
 (* ------------------------------------------------------------------ *)
 (* Channel data integrity: arbitrary payload sequences arrive exactly.  *)
 
@@ -374,6 +479,8 @@ let () =
         [
           Alcotest.test_case "drop wraparound" `Quick
             test_drop_counter_wraparound;
+          QCheck_alcotest.to_alcotest drop_counter_wrap_prop;
+          QCheck_alcotest.to_alcotest buffer_queue_churn_prop;
         ] );
       ( "determinism",
         [
