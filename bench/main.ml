@@ -26,6 +26,33 @@ module Table = Flipc_stats.Table
 let exchanges = 300
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: selected experiments write a               *)
+(* BENCH_<name>.json next to the human tables so regressions can be     *)
+(* diffed without screen-scraping.                                      *)
+
+module Json = Flipc_obs.Json
+
+let summary_fields (s : Summary.t) =
+  [
+    ("n", Json.Int s.Summary.n);
+    ("mean_us", Json.Float s.Summary.mean);
+    ("stddev_us", Json.Float s.Summary.stddev);
+    ("min_us", Json.Float s.Summary.min);
+    ("max_us", Json.Float s.Summary.max);
+    ("p50_us", Json.Float s.Summary.p50);
+    ("p95_us", Json.Float s.Summary.p95);
+    ("p99_us", Json.Float s.Summary.p99);
+  ]
+
+let write_bench_json name fields =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  Json.to_channel oc (Json.Obj (("experiment", Json.String name) :: fields));
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@.@." file
+
+(* ------------------------------------------------------------------ *)
 (* FIG4: message latency vs size for optimized FLIPC on the mesh.      *)
 
 let paper_fig4_line bytes = 15.45 +. (0.00625 *. float_of_int bytes)
@@ -36,7 +63,7 @@ let fig4 () =
     Table.create ~title:"FIG4: FLIPC one-way latency vs message size"
       [ "msg bytes"; "latency us"; "stddev"; "paper line us" ]
   in
-  let points =
+  let results =
     List.map
       (fun msg_bytes ->
         let r =
@@ -50,8 +77,13 @@ let fig4 () =
             Table.cell_us r.Pingpong.one_way.Summary.stddev;
             Table.cell_us (paper_fig4_line msg_bytes);
           ];
-        (float_of_int msg_bytes, r.Pingpong.aggregate_one_way_us))
+        (msg_bytes, r))
       sizes
+  in
+  let points =
+    List.map
+      (fun (b, r) -> (float_of_int b, r.Pingpong.aggregate_one_way_us))
+      results
   in
   Table.print t;
   let fit = Regression.linear points in
@@ -60,7 +92,28 @@ let fig4 () =
     fit.Regression.intercept slope_ns fit.Regression.r2;
   Fmt.pr "paper: latency = 15.45us + 6.250ns/byte  (sizes >= 96B)@.";
   Fmt.pr "implied interconnect use: %.0f MB/s (paper: >150 MB/s on 200 MB/s links)@.@."
-    (1000. /. slope_ns)
+    (1000. /. slope_ns);
+  write_bench_json "fig4"
+    [
+      ("workload", Json.String "pingpong");
+      ("fabric", Json.String "mesh 4x4");
+      ("exchanges", Json.Int exchanges);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (msg_bytes, r) ->
+               Json.Obj
+                 (("message_bytes", Json.Int msg_bytes)
+                 :: ( "aggregate_one_way_us",
+                      Json.Float r.Pingpong.aggregate_one_way_us )
+                 :: ("drops", Json.Int r.Pingpong.drops)
+                 :: ("paper_line_us", Json.Float (paper_fig4_line msg_bytes))
+                 :: summary_fields r.Pingpong.one_way))
+             results) );
+      ("fit_intercept_us", Json.Float fit.Regression.intercept);
+      ("fit_slope_ns_per_byte", Json.Float slope_ns);
+      ("fit_r2", Json.Float fit.Regression.r2);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* TAB-CMP: 120-byte latency, FLIPC vs NX, PAM, SUNMOS.                *)
@@ -581,119 +634,78 @@ let congestion () =
 (* BREAKDOWN: where a one-way message's time goes (Figure 2's steps).  *)
 
 let breakdown () =
-  let samples_wire = ref [] in
-  let samples_recv = ref [] in
-  let t1_q : int Queue.t = Queue.create () in
-  let t2_q : int Queue.t = Queue.create () in
-  let sim_ref = ref None in
-  let maker ~node ~nic ~node_count ~deliver =
-    let sim = Option.get !sim_ref in
-    let deliver' image =
-      if node = 1 then Queue.push (Flipc_sim.Engine.now sim) t2_q;
-      deliver image
-    in
-    let inner = Machine.native_transport ~node ~nic ~node_count ~deliver:deliver' in
-    {
-      inner with
-      Flipc.Msg_engine.transmit =
-        (fun ~dst image ->
-          if node = 0 then Queue.push (Flipc_sim.Engine.now sim) t1_q;
-          inner.Flipc.Msg_engine.transmit ~dst image);
-    }
+  (* Every machine stamps its messages at send-enqueue, engine transmit,
+     wire arrival and application dequeue (Flipc_obs.Latency), so the
+     decomposition falls out of a plain pingpong run — no bespoke
+     transport wrapper, and the three stages sum to the total per
+     message by construction. *)
+  let module Latency = Flipc_obs.Latency in
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let r =
+    Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:120
+      ~exchanges:200 ()
   in
-  (* Two-phase init: the maker needs the sim, which Machine.create builds;
-     capture it through a forward reference resolved inside the maker's
-     first call (node construction happens after sim creation). *)
-  let machine =
-    let m = ref None in
-    let maker' ~node ~nic ~node_count ~deliver =
-      (match !m with
-      | Some machine -> sim_ref := Some (Machine.sim machine)
-      | None -> sim_ref := Some (Flipc_net.Nic.engine nic));
-      maker ~node ~nic ~node_count ~deliver
-    in
-    let machine =
-      Machine.create ~transport:maker' (Machine.Mesh { cols = 2; rows = 1 }) ()
-    in
-    m := Some machine;
-    machine
-  in
-  let sim = Machine.sim machine in
-  let ns = Machine.names machine in
-  let rounds = 200 in
-  Machine.spawn_app machine ~node:1 (fun api ->
-      let ok = Result.get_ok in
-      let ep = ok (Flipc.Api.allocate_endpoint api ~kind:Flipc.Endpoint_kind.Recv ()) in
-      for _ = 1 to 4 do
-        ok (Flipc.Api.post_receive api ep (ok (Flipc.Api.allocate_buffer api)))
-      done;
-      Flipc.Nameservice.register ns "bd" (Flipc.Api.address api ep);
-      for _ = 1 to rounds do
-        let rec wait () =
-          match Flipc.Api.receive api ep with
-          | Some buf -> buf
-          | None ->
-              Flipc_memsim.Mem_port.instr (Flipc.Api.port api) 5;
-              wait ()
-        in
-        let buf = wait () in
-        let t3 = Flipc_sim.Engine.now sim in
-        let t2 = Queue.pop t2_q in
-        let t1 = Queue.pop t1_q in
-        samples_wire := (float_of_int (t2 - t1) /. 1000.) :: !samples_wire;
-        samples_recv := (float_of_int (t3 - t2) /. 1000.) :: !samples_recv;
-        ok (Flipc.Api.post_receive api ep buf)
-      done);
-  Machine.spawn_app machine ~node:0 (fun api ->
-      let ok = Result.get_ok in
-      let dest = Flipc.Nameservice.lookup ns "bd" in
-      let ep = ok (Flipc.Api.allocate_endpoint api ~kind:Flipc.Endpoint_kind.Send ()) in
-      Flipc.Api.connect api ep dest;
-      let buf = ok (Flipc.Api.allocate_buffer api) in
-      for _ = 1 to rounds do
-        ok (Flipc.Api.send api ep buf);
-        (* t1 is recorded when the engine's transmit fires. *)
-        let rec reclaim () =
-          match Flipc.Api.reclaim api ep with
-          | Some _ -> ()
-          | None ->
-              Flipc_memsim.Mem_port.instr (Flipc.Api.port api) 5;
-              reclaim ()
-        in
-        reclaim ();
-        Flipc_sim.Engine.delay (Flipc_sim.Vtime.us 60)
-      done);
-  Machine.run machine;
-  Machine.stop_engines machine;
-  Machine.run machine;
-  (* The send phase is the total minus the measured wire and receive
-     phases (the probes bracket those two exactly). *)
-  let wire = Summary.mean !samples_wire in
-  let recv = Summary.mean !samples_recv in
+  let lat = Flipc_obs.Obs.latency (Machine.obs machine) in
+  let stage_summary st = Latency.stage_summary lat st in
   let total =
-    (Pingpong.measure ~cols:2 ~rows:1 ~payload_bytes:120 ~exchanges:200 ())
-      .Pingpong
-      .aggregate_one_way_us
+    match stage_summary Latency.Total_stage with
+    | Some s -> s
+    | None -> failwith "breakdown: no latency samples recorded"
   in
-  let send_phase = total -. wire -. recv in
   let t =
     Table.create
       ~title:"BREAKDOWN: where a 120B one-way message spends its time"
-      [ "phase (Figure 2 steps)"; "us"; "share" ]
+      [ "stage (Figure 2 steps)"; "mean us"; "p50 us"; "p99 us"; "share" ]
   in
-  let row name v =
-    Table.add_row t
-      [ name; Table.cell_us v; Fmt.str "%.0f%%" (v /. total *. 100.) ]
+  let stages =
+    [
+      ("sender: app enqueue -> engine transmit (2-3)", Latency.Send_stage);
+      ("wire: injection + mesh flight (3)", Latency.Wire_stage);
+      ("receiver: arrival -> app dequeue (3-4)", Latency.Recv_stage);
+      ("total one-way (2-4)", Latency.Total_stage);
+    ]
   in
-  row "sender: app send + engine pickup + DMA (2-3)" send_phase;
-  row "wire: injection + mesh flight (3)" wire;
-  row "receiver: engine deposit + app detect (3-4)" recv;
-  Table.add_row t [ "total one-way"; Table.cell_us total; "100%" ];
+  let measured =
+    List.filter_map
+      (fun (label, st) ->
+        Option.map (fun s -> (label, st, s)) (stage_summary st))
+      stages
+  in
+  List.iter
+    (fun (label, _, (s : Summary.t)) ->
+      Table.add_row t
+        [
+          label;
+          Table.cell_us s.Summary.mean;
+          Table.cell_us s.Summary.p50;
+          Table.cell_us s.Summary.p99;
+          Fmt.str "%.0f%%" (s.Summary.mean /. total.Summary.mean *. 100.);
+        ])
+    measured;
   Table.print t;
+  Fmt.pr "messages: %d paired, %d unmatched, %d dropped in flight@."
+    total.Summary.n (Latency.unmatched lat)
+    (Latency.dropped_in_flight lat);
   Fmt.pr
     "both engine passes plus discovery dominate; the wire itself is a@.\
      small slice -- the paper's premise that the messaging system, not@.\
-     the interconnect, sets medium-message latency.@.@."
+     the interconnect, sets medium-message latency.@.@.";
+  write_bench_json "breakdown"
+    [
+      ("workload", Json.String "pingpong");
+      ("fabric", Json.String "mesh 2x1");
+      ("message_bytes", Json.Int r.Pingpong.message_bytes);
+      ("exchanges", Json.Int r.Pingpong.exchanges);
+      ("drops", Json.Int r.Pingpong.drops);
+      ("unmatched", Json.Int (Latency.unmatched lat));
+      ("dropped_in_flight", Json.Int (Latency.dropped_in_flight lat));
+      ( "stages",
+        Json.Obj
+          (List.map
+             (fun (_, st, s) ->
+               (Latency.stage_name st, Json.Obj (summary_fields s)))
+             measured) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* DESIGN: ablations of this implementation's own design choices (not  *)
@@ -1143,25 +1155,46 @@ let fault_sweep () =
       ~title:"FAULTS: reliable channel on a lossy mesh (400 x 8B, paced 25us)"
       [ "loss"; "delivered"; "retransmits"; "wire drops"; "p50 us"; "p99 us" ]
   in
-  List.iter
-    (fun loss ->
-      let lats, retrans, dropped = run loss in
-      let s = Summary.of_samples lats in
-      Table.add_row t
-        [
-          Fmt.str "%.0f%%" (loss *. 100.);
-          Table.cell_i (List.length lats);
-          Table.cell_i retrans;
-          Table.cell_i dropped;
-          Table.cell_us s.Summary.p50;
-          Table.cell_us s.Summary.p99;
-        ])
-    [ 0.0; 0.02; 0.05; 0.10 ];
+  let rows =
+    List.map
+      (fun loss ->
+        let lats, retrans, dropped = run loss in
+        let s = Summary.of_samples lats in
+        Table.add_row t
+          [
+            Fmt.str "%.0f%%" (loss *. 100.);
+            Table.cell_i (List.length lats);
+            Table.cell_i retrans;
+            Table.cell_i dropped;
+            Table.cell_us s.Summary.p50;
+            Table.cell_us s.Summary.p99;
+          ];
+        (loss, List.length lats, retrans, dropped, s))
+      [ 0.0; 0.02; 0.05; 0.10 ]
+  in
   Table.print t;
   Fmt.pr
     "go-back-N over the optimistic transport: the median stays at the@.\
      fault-free floor while the p99 absorbs the retransmission timeouts@.\
-     (initial RTO 200us, doubling to 1.6ms).@.@."
+     (initial RTO 200us, doubling to 1.6ms).@.@.";
+  write_bench_json "faults"
+    [
+      ("workload", Json.String "retrans channel, 400 x 8B paced 25us");
+      ("fabric", Json.String "mesh 2x1 + fault injection");
+      ("message_bytes", Json.Int 8);
+      ("messages", Json.Int messages);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (loss, delivered, retrans, dropped, s) ->
+               Json.Obj
+                 (("loss", Json.Float loss)
+                 :: ("delivered", Json.Int delivered)
+                 :: ("retransmits", Json.Int retrans)
+                 :: ("wire_drops", Json.Int dropped)
+                 :: summary_fields s))
+             rows) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* EXT-EM: the Express Messages ancestor, with FLIPC's enhancements     *)

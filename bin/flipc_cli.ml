@@ -50,10 +50,39 @@ let config_of locked packed checks =
     validity_checks = checks;
   }
 
+(* Every subcommand accepts --trace FILE: a process-wide capture window
+   turns on typed event tracing for every machine the command builds
+   (however deep inside a workload helper) and merges their timelines
+   into one Chrome trace_event document. *)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace_event JSON timeline of the run to $(docv) (open \
+     in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+      Flipc_obs.Obs.start_capture ();
+      Fun.protect
+        ~finally:(fun () ->
+          let json = Flipc_obs.Obs.captured_chrome_json () in
+          Flipc_obs.Obs.stop_capture ();
+          let oc = open_out path in
+          Flipc_obs.Json.to_channel oc json;
+          output_char oc '\n';
+          close_out oc;
+          Fmt.epr "trace written to %s@." path)
+        f
+
 (* --- latency --- *)
 
 let latency_cmd =
-  let run payload exchanges cols rows locked packed checks touch =
+  let run trace payload exchanges cols rows locked packed checks touch =
+    with_trace trace @@ fun () ->
     let config = config_of locked packed checks in
     let r =
       Pingpong.measure ~config ~cols ~rows ~touch_payload:touch
@@ -69,13 +98,14 @@ let latency_cmd =
   Cmd.v
     (Cmd.info "latency" ~doc)
     Term.(
-      const run $ payload $ exchanges $ cols $ rows $ locked $ packed $ checks
-      $ touch)
+      const run $ trace_out $ payload $ exchanges $ cols $ rows $ locked
+      $ packed $ checks $ touch)
 
 (* --- sweep (FIG4) --- *)
 
 let sweep_cmd =
-  let run exchanges locked packed checks =
+  let run trace exchanges locked packed checks =
+    with_trace trace @@ fun () ->
     let sizes = [ 64; 96; 128; 160; 192; 224; 256 ] in
     let config = config_of locked packed checks in
     let points =
@@ -99,12 +129,13 @@ let sweep_cmd =
   let doc = "Latency vs message size sweep (the paper's Figure 4)." in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(const run $ exchanges $ locked $ packed $ checks)
+    Term.(const run $ trace_out $ exchanges $ locked $ packed $ checks)
 
 (* --- compare --- *)
 
 let compare_cmd =
-  let run payload exchanges =
+  let run trace payload exchanges =
+    with_trace trace @@ fun () ->
     let flipc =
       (Pingpong.measure ~payload_bytes:payload ~exchanges ()).Pingpong
       .aggregate_one_way_us
@@ -120,7 +151,9 @@ let compare_cmd =
         (Flipc_baselines.Nx.one_way_latency_us ~payload_bytes:payload ~exchanges ())
   in
   let doc = "Compare FLIPC with the NX, PAM and SUNMOS models." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ payload $ exchanges)
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run $ trace_out $ payload $ exchanges)
 
 (* --- streams --- *)
 
@@ -148,7 +181,8 @@ let streams_cmd =
       value & opt int 50
       & info [ "ms" ] ~docv:"MS" ~doc:"Virtual milliseconds to simulate.")
   in
-  let run high_period low_period low_buffers ms =
+  let run trace high_period low_period low_buffers ms =
+    with_trace trace @@ fun () ->
     let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
     let horizon_ns = ms * 1_000_000 in
     let count_for period_us = horizon_ns / (max 1 period_us * 1000) + 1 in
@@ -174,7 +208,7 @@ let streams_cmd =
   let doc = "Two priority streams with per-endpoint resource isolation." in
   Cmd.v
     (Cmd.info "streams" ~doc)
-    Term.(const run $ high_period $ low_period $ low_buffers $ ms)
+    Term.(const run $ trace_out $ high_period $ low_period $ low_buffers $ ms)
 
 (* --- rpc --- *)
 
@@ -187,7 +221,8 @@ let rpc_cmd =
       value & opt int 50
       & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
   in
-  let run clients requests =
+  let run trace clients requests =
+    with_trace trace @@ fun () ->
     let side = 4 in
     let machine = Machine.create (Machine.Mesh { cols = side; rows = side }) () in
     let nodes = side * side in
@@ -201,7 +236,9 @@ let rpc_cmd =
     Fmt.pr "round trip: %a us@." Summary.pp r.Rpc.latency
   in
   let doc = "Closed-loop RPC with statically provisioned server buffers." in
-  Cmd.v (Cmd.info "rpc" ~doc) Term.(const run $ clients $ requests)
+  Cmd.v
+    (Cmd.info "rpc" ~doc)
+    Term.(const run $ trace_out $ clients $ requests)
 
 (* --- kkt --- *)
 
@@ -215,7 +252,8 @@ let kkt_cmd =
       & info [ "fabric" ] ~docv:"FABRIC"
           ~doc:"Underlying fabric: mesh, ethernet or scsi.")
   in
-  let run fabric payload exchanges =
+  let run trace fabric payload exchanges =
+    with_trace trace @@ fun () ->
     let kind, cost =
       match fabric with
       | `Mesh ->
@@ -233,7 +271,9 @@ let kkt_cmd =
       r.Pingpong.aggregate_one_way_us payload
   in
   let doc = "FLIPC with the portable KKT (RPC-per-message) engine." in
-  Cmd.v (Cmd.info "kkt" ~doc) Term.(const run $ fabric $ payload $ exchanges)
+  Cmd.v
+    (Cmd.info "kkt" ~doc)
+    Term.(const run $ trace_out $ fabric $ payload $ exchanges)
 
 (* --- throughput --- *)
 
@@ -242,7 +282,8 @@ let throughput_cmd =
     Arg.(value & opt int 500 & info [ "messages" ] ~docv:"N"
            ~doc:"Messages to stream.")
   in
-  let run payload msgs =
+  let run trace payload msgs =
+    with_trace trace @@ fun () ->
     let r =
       Flipc_workload.Throughput.measure ~payload_bytes:payload ~messages:msgs ()
     in
@@ -253,7 +294,9 @@ let throughput_cmd =
       r.Flipc_workload.Throughput.mb_per_sec r.Flipc_workload.Throughput.drops
   in
   let doc = "Streaming message-throughput measurement." in
-  Cmd.v (Cmd.info "throughput" ~doc) Term.(const run $ payload $ msgs)
+  Cmd.v
+    (Cmd.info "throughput" ~doc)
+    Term.(const run $ trace_out $ payload $ msgs)
 
 (* --- bulk --- *)
 
@@ -262,7 +305,8 @@ let bulk_cmd =
     Arg.(value & opt int 65536 & info [ "bytes" ] ~docv:"N"
            ~doc:"Transfer size in bytes.")
   in
-  let run bytes =
+  let run trace bytes =
+    with_trace trace @@ fun () ->
     let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
     let bulk = Flipc_bulk.Bulk.create machine in
     let region = Flipc_bulk.Bulk.export bulk ~node:1 ~len:bytes in
@@ -285,7 +329,7 @@ let bulk_cmd =
       (float_of_int bytes /. !get_us)
   in
   let doc = "One-sided bulk put/get of a remote-memory region." in
-  Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ bytes)
+  Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ trace_out $ bytes)
 
 (* --- faults --- *)
 
@@ -333,7 +377,8 @@ let faults_cmd =
       value & opt int 400
       & info [ "messages" ] ~docv:"N" ~doc:"Messages to deliver reliably.")
   in
-  let run fabric loss dup reorder seed msgs payload =
+  let run trace fabric loss dup reorder seed msgs payload =
+    with_trace trace @@ fun () ->
     let check_prob name p =
       if p < 0. || p > 1. then begin
         Fmt.epr "flipc faults: %s must be in [0,1] (got %g)@." name p;
@@ -447,7 +492,9 @@ let faults_cmd =
   in
   Cmd.v
     (Cmd.info "faults" ~doc)
-    Term.(const run $ fabric $ loss $ dup $ reorder $ seed $ msgs $ payload)
+    Term.(
+      const run $ trace_out $ fabric $ loss $ dup $ reorder $ seed $ msgs
+      $ payload)
 
 (* --- trace --- *)
 
@@ -456,7 +503,8 @@ let trace_cmd =
     Arg.(value & opt int 3 & info [ "messages" ] ~docv:"N"
            ~doc:"Messages to trace.")
   in
-  let run msgs =
+  let run trace msgs =
+    with_trace trace @@ fun () ->
     let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
     let tr = Flipc_sim.Trace.create ~enabled:true () in
     for i = 0 to 1 do
@@ -505,7 +553,59 @@ let trace_cmd =
     Fmt.pr "%a" Flipc_sim.Trace.dump tr
   in
   let doc = "Dump the messaging engines' event timeline for a few messages." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ msgs)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ trace_out $ msgs)
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let module Obs = Flipc_obs.Obs in
+  let module Metrics = Flipc_obs.Metrics in
+  let module Latency = Flipc_obs.Latency in
+  let module Json = Flipc_obs.Json in
+  let json_flag =
+    let doc = "Emit one machine-readable JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run trace json_out payload exchanges =
+    with_trace trace @@ fun () ->
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let r =
+      Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:payload
+        ~exchanges ()
+    in
+    let obs = Machine.obs machine in
+    let snap = Metrics.snapshot (Obs.metrics obs) in
+    let lat = Obs.latency obs in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("workload", Json.String "pingpong");
+                ("fabric", Json.String "mesh 2x1");
+                ("message_bytes", Json.Int r.Pingpong.message_bytes);
+                ("exchanges", Json.Int r.Pingpong.exchanges);
+                ( "aggregate_one_way_us",
+                  Json.Float r.Pingpong.aggregate_one_way_us );
+                ("metrics", Metrics.snapshot_json snap);
+                ("latency", Latency.json lat);
+              ]))
+    else begin
+      Fmt.pr "pingpong on a 2x1 mesh: %d exchanges of %dB messages@."
+        r.Pingpong.exchanges r.Pingpong.message_bytes;
+      Fmt.pr "aggregate one-way: %.2f us@.@." r.Pingpong.aggregate_one_way_us;
+      Fmt.pr "metrics registry snapshot:@.%a@." Metrics.pp_snapshot snap;
+      Fmt.pr "per-message latency breakdown:@.%a" Latency.pp lat
+    end
+  in
+  let doc =
+    "Run a short ping-pong workload and dump the machine's metrics-registry \
+     snapshot and per-message latency breakdown (deterministic for a fixed \
+     configuration)."
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(const run $ trace_out $ json_flag $ payload $ exchanges)
 
 (* --- info --- *)
 
@@ -527,7 +627,8 @@ let field_name = function
   | Flipc.Layout.Scan_stamp -> "Scan_stamp"
 
 let info_cmd =
-  let run locked packed checks =
+  let run trace locked packed checks =
+    with_trace trace @@ fun () ->
     let config = config_of locked packed checks in
     let layout = Flipc.Layout.compute config in
     Fmt.pr "configuration: %a@." Config.pp config;
@@ -555,7 +656,9 @@ let info_cmd =
       Flipc.Layout.all_fields
   in
   let doc = "Print configuration and communication-buffer layout details." in
-  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ locked $ packed $ checks)
+  Cmd.v
+    (Cmd.info "info" ~doc)
+    Term.(const run $ trace_out $ locked $ packed $ checks)
 
 let () =
   let doc = "FLIPC low-latency messaging system reproduction" in
@@ -565,5 +668,6 @@ let () =
        (Cmd.group info
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
-            throughput_cmd; bulk_cmd; faults_cmd; trace_cmd; info_cmd;
+            throughput_cmd; bulk_cmd; faults_cmd; trace_cmd; metrics_cmd;
+            info_cmd;
           ]))

@@ -40,6 +40,14 @@ let layout t = t.layout
 let port t = t.port
 let comm t = t.comm
 let payload_bytes t = Config.payload_bytes t.config
+let obs t = Msg_engine.obs t.engine
+
+let emit t ev =
+  match obs t with
+  | Some o when Flipc_obs.Obs.tracing o -> Flipc_obs.Obs.event o (ev ())
+  | _ -> ()
+
+let lat t f = match obs t with Some o -> f o (Flipc_obs.Obs.latency o) | None -> ()
 
 (* Mutual exclusion among application threads per the configured interface
    variant. The lock word is a test-and-set spinlock with no cache
@@ -157,11 +165,31 @@ let send_with_dest t ep buf dest =
   if ep.ep_kind <> Endpoint_kind.Send then Error `Wrong_kind
   else if Address.is_null dest then Error `No_destination
   else
-    with_lock t ~ep:ep.index (fun () ->
-        Mem_port.instr t.port 6;
-        Msg_buffer.set_dest t.port t.layout ~buf dest;
-        Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
-        release_on t ~ep:ep.index ~buf)
+    let r =
+      with_lock t ~ep:ep.index (fun () ->
+          Mem_port.instr t.port 6;
+          Msg_buffer.set_dest t.port t.layout ~buf dest;
+          Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
+          release_on t ~ep:ep.index ~buf)
+    in
+    (match r with
+    | Ok () ->
+        (* Send-enqueue stamp: start of the per-message latency pipeline. *)
+        let dst_node = Address.node dest in
+        let dst_ep = Address.endpoint dest in
+        lat t (fun o l ->
+            Flipc_obs.Latency.send_enqueued l ~now:(Flipc_obs.Obs.now o)
+              ~dst_node ~dst_ep);
+        emit t (fun () ->
+            Flipc_obs.Event.Send_enqueued
+              {
+                node = Msg_engine.node t.engine;
+                ep = Comm_buffer.ep_offset t.comm + ep.index;
+                dst_node;
+                dst_ep;
+              })
+    | Error _ -> ());
+    r
 
 let send t ep buf =
   let dest =
@@ -195,7 +223,18 @@ let acquire_any t ep =
 let receive t ep =
   if ep.ep_kind <> Endpoint_kind.Recv then
     invalid_arg "Api.receive: not a receive endpoint"
-  else acquire_any t ep
+  else
+    match acquire_any t ep with
+    | None -> None
+    | Some _ as r ->
+        let node = Msg_engine.node t.engine in
+        let global_ep = Comm_buffer.ep_offset t.comm + ep.index in
+        lat t (fun o l ->
+            Flipc_obs.Latency.recv_dequeued l ~now:(Flipc_obs.Obs.now o) ~node
+              ~ep:global_ep);
+        emit t (fun () ->
+            Flipc_obs.Event.Recv_dequeued { node; ep = global_ep });
+        r
 
 let reclaim t ep =
   if ep.ep_kind <> Endpoint_kind.Send then

@@ -46,6 +46,11 @@ val comm : t -> Comm_buffer.t
 (** Usable application payload per message. *)
 val payload_bytes : t -> int
 
+(** The engine's observability bundle, if {!Msg_engine.set_obs} attached
+    one; sends and receives through this interface stamp the per-message
+    latency pipeline on it. *)
+val obs : t -> Flipc_obs.Obs.t option
+
 (** {1 Endpoints} *)
 
 (** [allocate_endpoint t ~kind ()] allocates and initializes an endpoint.

@@ -71,6 +71,7 @@ type t = {
   config : Config.t;
   nodes : node array;
   names : Nameservice.t;
+  obs : Flipc_obs.Obs.t;
 }
 
 let round_up n m = (n + m - 1) / m * m
@@ -148,6 +149,7 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
   if comm_buffers < 1 then invalid_arg "Machine.create: comm_buffers < 1";
   let config = Config.validate_exn config in
   let sim = Sim.create () in
+  let obs = Flipc_obs.Obs.create ~sim () in
   let fabric =
     match kind with
     | Mesh { cols; rows } ->
@@ -162,7 +164,7 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
   in
   let fabric =
     match fault with
-    | Some fc -> Flipc_net.Faulty.wrap ~engine:sim ~config:fc fabric
+    | Some fc -> Flipc_net.Faulty.wrap ~engine:sim ~config:fc ~obs fabric
     | None -> fabric
   in
   let nodes =
@@ -170,10 +172,15 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
       (make_node ~sim ~fabric ~config ~cost ~app_cpus
          ~transport_maker:transport ~heap_bytes ~comm_buffers)
   in
-  Array.iter (fun n -> Msg_engine.start n.engine) nodes;
-  { sim; fabric; config; nodes; names = Nameservice.create () }
+  Array.iter
+    (fun n ->
+      Msg_engine.set_obs n.engine obs;
+      Msg_engine.start n.engine)
+    nodes;
+  { sim; fabric; config; nodes; names = Nameservice.create (); obs }
 
 let sim t = t.sim
+let obs t = t.obs
 let names t = t.names
 let fabric t = t.fabric
 let fault_stats t = Flipc_net.Faulty.stats_of t.fabric

@@ -2,6 +2,9 @@ module Sim = Flipc_sim.Engine
 module Prng = Flipc_sim.Prng
 module Mem_port = Flipc_memsim.Mem_port
 module Dma = Flipc_net.Dma
+module Obs = Flipc_obs.Obs
+module Event = Flipc_obs.Event
+module Latency = Flipc_obs.Latency
 
 type transport = {
   tname : string;
@@ -36,6 +39,7 @@ type t = {
   stats : stats;
   mutable wakeup_hook : (ep:int -> unit) option;
   mutable trace : Flipc_sim.Trace.t option;
+  mutable obs : Obs.t option;
 }
 
 let create ~sim ~node ~comms ~port ~dma ~transport =
@@ -64,6 +68,7 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
     idle = 0;
     prng = Prng.create ~seed:(0x5EED + node);
     trace = None;
+    obs = None;
     stats =
       {
         iterations = 0;
@@ -83,6 +88,36 @@ let stats t = t.stats
 let set_wakeup_hook t f = t.wakeup_hook <- Some f
 let set_trace t trace = t.trace <- Some trace
 
+let set_obs t obs =
+  t.obs <- Some obs;
+  let m = Obs.metrics obs in
+  let probe name f =
+    Flipc_obs.Metrics.probe m
+      (Printf.sprintf "node%d.engine.%s" t.node name)
+      (fun () -> float_of_int (f ()))
+  in
+  probe "iterations" (fun () -> t.stats.iterations);
+  probe "sends" (fun () -> t.stats.sends);
+  probe "recvs" (fun () -> t.stats.recvs);
+  probe "drops" (fun () -> t.stats.drops);
+  probe "rejects" (fun () -> t.stats.rejects);
+  probe "bad_dest" (fun () -> t.stats.bad_dest);
+  probe "forbidden" (fun () -> t.stats.forbidden);
+  probe "parks" (fun () -> t.stats.parks)
+
+let obs t = t.obs
+
+(* Typed trace event; one branch when tracing is off. [ev] is a thunk so
+   disabled tracing never allocates the event. *)
+let emit t ev =
+  match t.obs with
+  | Some o when Obs.tracing o -> Obs.event o (ev ())
+  | _ -> ()
+
+(* Latency stamping is always on when an observability bundle is
+   attached: it costs host time only, never virtual time. *)
+let lat t f = match t.obs with Some o -> f (Obs.latency o) | None -> ()
+
 let trace t fmt =
   match t.trace with
   | Some tr ->
@@ -99,6 +134,16 @@ let poke t =
   | None -> ()
 
 let deliver t image =
+  (* Wire-arrival stamp: this is the instant the image reaches the
+     destination engine, before the engine loop gets around to handling
+     it. Handling order is queue (FIFO) order, which keeps the latency
+     pairing exact. *)
+  let dest = Msg_buffer.dest_of_image image in
+  if not (Address.is_null dest) then begin
+    let ep = Address.endpoint dest in
+    lat t (fun l -> Latency.wire_rx l ~now:(Sim.now t.sim) ~node:t.node ~ep);
+    emit t (fun () -> Event.Wire_rx { node = t.node; ep })
+  end;
   Queue.push image t.incoming;
   poke t
 
@@ -137,11 +182,21 @@ let handle_incoming t image =
   Mem_port.instr t.port 15;
   let dest = Msg_buffer.dest_of_image image in
   charge_validity t;
-  if Address.is_null dest then reject t t.layouts.(0)
+  let discard reason global_ep =
+    if global_ep >= 0 then
+      lat t (fun l -> Latency.discarded l ~node:t.node ~ep:global_ep);
+    emit t (fun () -> Event.Drop { node = t.node; ep = global_ep; reason })
+  in
+  if Address.is_null dest then begin
+    discard Event.Bad_destination (-1);
+    reject t t.layouts.(0)
+  end
   else
     let global_ep = Address.endpoint dest in
     match resolve t global_ep with
-    | None -> reject t t.layouts.(0)
+    | None ->
+        discard Event.Bad_destination global_ep;
+        reject t t.layouts.(0)
     | Some (layout, ep) -> (
         let kind_word =
           Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
@@ -153,6 +208,7 @@ let handle_incoming t image =
                 Drop_counter.engine_increment t.port layout ~ep;
                 t.stats.drops <- t.stats.drops + 1;
                 trace t "discard: no posted buffer on ep %d" global_ep;
+                discard Event.No_posted_buffer global_ep;
                 bump_global t layout Layout.Engine_drops
             | Some (buf_addr, cursor) -> (
                 match Layout.buffer_of_addr layout buf_addr with
@@ -161,6 +217,7 @@ let handle_incoming t image =
                        aimed at another application's region). Skip the
                        slot so the queue cannot wedge the engine, and
                        discard the message. *)
+                    discard Event.Corrupt_slot global_ep;
                     reject t layout;
                     Buffer_queue.engine_advance t.port layout ~ep ~cursor
                 | Some buf ->
@@ -169,6 +226,10 @@ let handle_incoming t image =
                     Buffer_queue.engine_advance t.port layout ~ep ~cursor;
                     t.stats.recvs <- t.stats.recvs + 1;
                     trace t "deposit: ep %d buffer %d" global_ep buf;
+                    lat t (fun l ->
+                        Latency.deposited l ~node:t.node ~ep:global_ep);
+                    emit t (fun () ->
+                        Event.Deposit { node = t.node; ep = global_ep });
                     bump_global t layout Layout.Engine_recvs;
                     let sem =
                       Mem_port.load t.port
@@ -180,7 +241,9 @@ let handle_incoming t image =
                       | Some hook -> hook ~ep:global_ep
                       | None -> ()
                     end))
-        | Some Endpoint_kind.Send | None -> reject t layout)
+        | Some Endpoint_kind.Send | None ->
+            discard Event.Bad_destination global_ep;
+            reject t layout)
 
 (* Protection check: an endpoint may be restricted to one destination
    node ("restrict where messages can be sent"). 0 means unrestricted. *)
@@ -197,7 +260,7 @@ let destination_allowed t layout ~ep ~dest =
    refill the ring as fast as the engine empties it, so the engine's
    non-preemptible loop must bound its work per endpoint per iteration.
    Returns true if any work was done. *)
-let process_sends t layout ~ep ~burst =
+let process_sends t layout ~global_ep ~ep ~burst =
   let limit =
     if burst > 0 then burst else t.config.Config.queue_capacity - 1
   in
@@ -222,8 +285,17 @@ let process_sends t layout ~ep ~burst =
               Buffer_queue.engine_advance t.port layout ~ep ~cursor
           | Some buf ->
               let dest = Msg_buffer.dest t.port layout ~buf in
+              let dst_node = Address.node dest in
+              let dst_ep = Address.endpoint dest in
+              let refused reason =
+                if not (Address.is_null dest) then
+                  lat t (fun l -> Latency.send_refused l ~dst_node ~dst_ep);
+                emit t (fun () ->
+                    Event.Drop { node = t.node; ep = global_ep; reason })
+              in
               (if not (destination_allowed t layout ~ep ~dest) then begin
                  t.stats.forbidden <- t.stats.forbidden + 1;
+                 refused Event.Forbidden_destination;
                  bump_global t layout Layout.Engine_rejects
                end
                else begin
@@ -234,8 +306,16 @@ let process_sends t layout ~ep ~burst =
                      t.stats.sends <- t.stats.sends + 1;
                      trace t "transmit: ep %d -> %s" ep
                        (Fmt.str "%a" Address.pp dest);
+                     lat t (fun l ->
+                         Latency.engine_tx l ~now:(Sim.now t.sim) ~dst_node
+                           ~dst_ep);
+                     emit t (fun () ->
+                         Event.Engine_tx
+                           { node = t.node; ep = global_ep; dst_node; dst_ep });
                      bump_global t layout Layout.Engine_sends
-                 | Error `Bad_dest -> t.stats.bad_dest <- t.stats.bad_dest + 1
+                 | Error `Bad_dest ->
+                     t.stats.bad_dest <- t.stats.bad_dest + 1;
+                     refused Event.Bad_destination
                end);
               (* Buffer recovery must not depend on delivery: mark it
                  processed either way. *)
@@ -247,9 +327,11 @@ let process_sends t layout ~ep ~burst =
 let park t =
   t.stats.parks <- t.stats.parks + 1;
   trace t "park after %d idle iterations" t.idle;
+  emit t (fun () -> Event.Engine_park { node = t.node; idle = t.idle });
   Sim.suspend (fun resume -> t.parked <- Some resume);
   t.parked <- None;
   trace t "wake";
+  emit t (fun () -> Event.Engine_wake { node = t.node });
   t.idle <- 0
 
 let poll_delay t =
@@ -310,7 +392,8 @@ let iteration t =
     (fun (_, global_ep, burst) ->
       match resolve t global_ep with
       | Some (layout, ep) ->
-          if process_sends t layout ~ep ~burst then did_work := true
+          if process_sends t layout ~global_ep ~ep ~burst then
+            did_work := true
       | None -> ())
     ordered;
   !did_work

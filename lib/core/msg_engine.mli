@@ -83,3 +83,11 @@ val set_wakeup_hook : t -> (ep:int -> unit) -> unit
     deposits, discards, rejects, parks and wakes with virtual timestamps.
     Tracing is off (and free) by default. *)
 val set_trace : t -> Flipc_sim.Trace.t -> unit
+
+(** [set_obs t obs] attaches an observability bundle: the engine stamps
+    per-message latency stages, emits typed trace events (when the
+    bundle's tracer is enabled) and exports its {!stats} fields as
+    [node<i>.engine.*] pull-probes on the bundle's registry. *)
+val set_obs : t -> Flipc_obs.Obs.t -> unit
+
+val obs : t -> Flipc_obs.Obs.t option

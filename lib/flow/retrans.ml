@@ -1,6 +1,30 @@
 module Api = Flipc.Api
+module Address = Flipc.Address
 module Engine = Flipc_sim.Engine
 module Mem_port = Flipc_memsim.Mem_port
+module Obs = Flipc_obs.Obs
+
+let emit api ev =
+  match Api.obs api with
+  | Some o when Obs.tracing o -> Obs.event o (ev ())
+  | _ -> ()
+
+(* Export retransmission-protocol state as [node<i>.retrans.ep<n>.*]
+   pull-probes (sampled at snapshot time). *)
+let register_probes api ~ep fields =
+  match Api.obs api with
+  | Some o ->
+      let addr = Api.address api ep in
+      let pfx =
+        Printf.sprintf "node%d.retrans.ep%d." (Address.node addr)
+          (Address.endpoint addr)
+      in
+      List.iter
+        (fun (name, f) ->
+          Flipc_obs.Metrics.probe (Obs.metrics o) (pfx ^ name) (fun () ->
+              float_of_int (f ())))
+        fields
+  | None -> ()
 
 type config = {
   window : int;
@@ -85,21 +109,32 @@ let create_sender api ~sim ~data_ep ~ack_ep ?(config = default_config) () =
   for _ = 1 to config.window + 2 do
     Queue.push (ok (Api.allocate_buffer api)) pool
   done;
-  {
-    s_api = api;
-    sim;
-    cfg = config;
-    data_ep;
-    ack_ep;
-    pool;
-    inflight = Queue.create ();
-    next_seq = 1;
-    s_acked = 0;
-    timer = Engine.now sim;
-    rto_cur = config.rto_ns;
-    s_retransmits = 0;
-    s_ack_drops = 0;
-  }
+  let s =
+    {
+      s_api = api;
+      sim;
+      cfg = config;
+      data_ep;
+      ack_ep;
+      pool;
+      inflight = Queue.create ();
+      next_seq = 1;
+      s_acked = 0;
+      timer = Engine.now sim;
+      rto_cur = config.rto_ns;
+      s_retransmits = 0;
+      s_ack_drops = 0;
+    }
+  in
+  register_probes api ~ep:data_ep
+    [
+      ("retransmits", fun () -> s.s_retransmits);
+      ("acked", fun () -> s.s_acked);
+      ("inflight", fun () -> Queue.length s.inflight);
+      ("rto_ns", fun () -> s.rto_cur);
+      ("ack_drops", fun () -> s.s_ack_drops);
+    ];
+  s
 
 let reclaim_into_pool s =
   let rec loop () =
@@ -184,7 +219,15 @@ let check_retransmit s =
             match transmit s ~seq:p.seq p.payload with
             | Ok () ->
                 p.retries <- p.retries + 1;
-                s.s_retransmits <- s.s_retransmits + 1
+                s.s_retransmits <- s.s_retransmits + 1;
+                emit s.s_api (fun () ->
+                    let addr = Api.address s.s_api s.data_ep in
+                    Flipc_obs.Event.Retransmit
+                      {
+                        node = Address.node addr;
+                        ep = Address.endpoint addr;
+                        seq = p.seq;
+                      })
             | Error `Timeout -> failed := true
           end)
         s.inflight;
@@ -263,19 +306,30 @@ type receiver = {
 let create_receiver api ~data_ep ~ack_ep ?(config = default_config) () =
   validate config;
   post_up_to api data_ep (config.window + 2);
-  {
-    r_api = api;
-    r_cfg = config;
-    r_data_ep = data_ep;
-    r_ack_ep = ack_ep;
-    expected = 0;
-    pending_ack = 0;
-    r_delivered = 0;
-    r_duplicates = 0;
-    r_reordered = 0;
-    r_acks_sent = 0;
-    r_drops = 0;
-  }
+  let r =
+    {
+      r_api = api;
+      r_cfg = config;
+      r_data_ep = data_ep;
+      r_ack_ep = ack_ep;
+      expected = 0;
+      pending_ack = 0;
+      r_delivered = 0;
+      r_duplicates = 0;
+      r_reordered = 0;
+      r_acks_sent = 0;
+      r_drops = 0;
+    }
+  in
+  register_probes api ~ep:data_ep
+    [
+      ("delivered", fun () -> r.r_delivered);
+      ("duplicates", fun () -> r.r_duplicates);
+      ("reordered", fun () -> r.r_reordered);
+      ("acks_sent", fun () -> r.r_acks_sent);
+      ("transport_drops", fun () -> r.r_drops);
+    ];
+  r
 
 let send_ack r =
   let buf =

@@ -1,9 +1,34 @@
 module Api = Flipc.Api
+module Address = Flipc.Address
 module Mem_port = Flipc_memsim.Mem_port
+module Obs = Flipc_obs.Obs
 
 let ok = function
   | Ok v -> v
   | Error e -> failwith ("Window: " ^ Api.error_to_string e)
+
+let emit api ev =
+  match Api.obs api with
+  | Some o when Obs.tracing o -> Obs.event o (ev ())
+  | _ -> ()
+
+(* Export per-endpoint flow-control state as [node<i>.window.ep<n>.*]
+   pull-probes on the machine's metrics registry (sampled at snapshot
+   time; no bookkeeping on the send/receive path). *)
+let register_probes api ~ep fields =
+  match Api.obs api with
+  | Some o ->
+      let addr = Api.address api ep in
+      let pfx =
+        Printf.sprintf "node%d.window.ep%d." (Address.node addr)
+          (Address.endpoint addr)
+      in
+      List.iter
+        (fun (name, f) ->
+          Flipc_obs.Metrics.probe (Obs.metrics o) (pfx ^ name) (fun () ->
+              float_of_int (f ())))
+        fields
+  | None -> ()
 
 let default_grant_every window = max 1 (window / 2)
 
@@ -25,6 +50,7 @@ type receiver = {
   mutable pending_grants : int;
   mutable consumed : int;
   mutable received : int;
+  mutable credits_sent : int;
 }
 
 let create_receiver api ~data_ep ~credit_ep ~window ?grant_every () =
@@ -38,15 +64,25 @@ let create_receiver api ~data_ep ~credit_ep ~window ?grant_every () =
     let buf = ok (Api.allocate_buffer api) in
     ok (Api.post_receive api data_ep buf)
   done;
-  {
-    r_api = api;
-    data_ep;
-    credit_ep;
-    grant_every;
-    pending_grants = 0;
-    consumed = 0;
-    received = 0;
-  }
+  let r =
+    {
+      r_api = api;
+      data_ep;
+      credit_ep;
+      grant_every;
+      pending_grants = 0;
+      consumed = 0;
+      received = 0;
+      credits_sent = 0;
+    }
+  in
+  register_probes api ~ep:data_ep
+    [
+      ("received", fun () -> r.received);
+      ("consumed", fun () -> r.consumed);
+      ("credits_sent", fun () -> r.credits_sent);
+    ];
+  r
 
 let recv r =
   match Api.receive r.r_api r.data_ep with
@@ -64,7 +100,16 @@ let send_credit r =
     | None -> ok (Api.allocate_buffer r.r_api)
   in
   Api.write_payload r.r_api buf (encode_count r.consumed);
-  ok (Api.send r.r_api r.credit_ep buf)
+  ok (Api.send r.r_api r.credit_ep buf);
+  r.credits_sent <- r.credits_sent + 1;
+  emit r.r_api (fun () ->
+      let addr = Api.address r.r_api r.data_ep in
+      Flipc_obs.Event.Credit_grant
+        {
+          node = Address.node addr;
+          ep = Address.endpoint addr;
+          count = r.consumed;
+        })
 
 let consumed r buf =
   ok (Api.post_receive r.r_api r.data_ep buf);
@@ -112,15 +157,24 @@ let create_sender api ~data_ep ~credit_recv_ep ~window ?grant_every () =
           | Error e -> failwith ("Window: " ^ Api.error_to_string e))
   in
   post 0;
-  {
-    s_api = api;
-    s_data_ep = data_ep;
-    credit_recv_ep;
-    window;
-    granted = 0;
-    sent = 0;
-    credit_drops = 0;
-  }
+  let s =
+    {
+      s_api = api;
+      s_data_ep = data_ep;
+      credit_recv_ep;
+      window;
+      granted = 0;
+      sent = 0;
+      credit_drops = 0;
+    }
+  in
+  register_probes api ~ep:data_ep
+    [
+      ("sent", fun () -> s.sent);
+      ("granted", fun () -> s.granted);
+      ("credit_drops", fun () -> s.credit_drops);
+    ];
+  s
 
 let absorb_credits s =
   let rec loop () =

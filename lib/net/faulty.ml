@@ -44,7 +44,7 @@ let validate_prob name p =
   if p < 0.0 || p > 1.0 then
     invalid_arg (Printf.sprintf "Faulty.wrap: %s not in [0,1]" name)
 
-let wrap ~engine ~config:c (inner : Fabric.t) =
+let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
   validate_prob "drop" c.drop;
   validate_prob "duplicate" c.duplicate;
   validate_prob "reorder" c.reorder;
@@ -53,6 +53,25 @@ let wrap ~engine ~config:c (inner : Fabric.t) =
   let rng = Prng.create ~seed:c.seed in
   let stats = { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 } in
   registry := (inner.Fabric.stats, stats) :: !registry;
+  (match obs with
+  | Some o ->
+      let m = Flipc_obs.Obs.metrics o in
+      let probe name f =
+        Flipc_obs.Metrics.probe m ("fabric.faults." ^ name) (fun () ->
+            float_of_int (f ()))
+      in
+      probe "dropped" (fun () -> stats.dropped);
+      probe "duplicated" (fun () -> stats.duplicated);
+      probe "reordered" (fun () -> stats.reordered);
+      probe "delayed" (fun () -> stats.delayed)
+  | None -> ());
+  let fault kind (p : Packet.t) =
+    match obs with
+    | Some o when Flipc_obs.Obs.tracing o ->
+        Flipc_obs.Obs.event o
+          (Flipc_obs.Event.Fault { node = p.Packet.src; kind })
+    | _ -> ()
+  in
   let fires p = p > 0.0 && Prng.float rng 1.0 < p in
   let submit p delay =
     if delay = 0 then inner.Fabric.send p
@@ -61,11 +80,14 @@ let wrap ~engine ~config:c (inner : Fabric.t) =
         (Engine.now engine + delay)
         (fun () -> inner.Fabric.send p)
   in
-  let copy_delay () =
+  let copy_delay p =
     let jitter =
       if c.jitter_ns > 0 then begin
         let d = Prng.int rng (c.jitter_ns + 1) in
-        if d > 0 then stats.delayed <- stats.delayed + 1;
+        if d > 0 then begin
+          stats.delayed <- stats.delayed + 1;
+          fault Flipc_obs.Event.Fault_jitter p
+        end;
         d
       end
       else 0
@@ -73,6 +95,7 @@ let wrap ~engine ~config:c (inner : Fabric.t) =
     let hold =
       if fires c.reorder then begin
         stats.reordered <- stats.reordered + 1;
+        fault Flipc_obs.Event.Fault_reorder p;
         1 + Prng.int rng (max 1 c.reorder_hold_ns)
       end
       else 0
@@ -80,12 +103,16 @@ let wrap ~engine ~config:c (inner : Fabric.t) =
     jitter + hold
   in
   let send p =
-    if fires c.drop then stats.dropped <- stats.dropped + 1
+    if fires c.drop then begin
+      stats.dropped <- stats.dropped + 1;
+      fault Flipc_obs.Event.Fault_drop p
+    end
     else begin
-      submit p (copy_delay ());
+      submit p (copy_delay p);
       if fires c.duplicate then begin
         stats.duplicated <- stats.duplicated + 1;
-        submit p (copy_delay ())
+        fault Flipc_obs.Event.Fault_duplicate p;
+        submit p (copy_delay p)
       end
     end
   in

@@ -53,8 +53,16 @@ type stats = {
 }
 
 (** [wrap ~engine ~config fabric] is a fabric with [fabric]'s name,
-    node count and handler table, whose [send] injects faults. *)
-val wrap : engine:Flipc_sim.Engine.t -> config:config -> Fabric.t -> Fabric.t
+    node count and handler table, whose [send] injects faults. With
+    [?obs], the tally is exported as [fabric.faults.*] pull-probes and
+    each injected fault emits a typed [Fault] trace event (attributed to
+    the sending node). *)
+val wrap :
+  engine:Flipc_sim.Engine.t ->
+  config:config ->
+  ?obs:Flipc_obs.Obs.t ->
+  Fabric.t ->
+  Fabric.t
 
 (** [stats_of fabric] finds the fault tally of a wrapped fabric (matched
     through the shared stats record, so both the wrapper and the underlying

@@ -1,0 +1,91 @@
+type drop_reason =
+  | No_posted_buffer
+  | Bad_destination
+  | Corrupt_slot
+  | Forbidden_destination
+
+type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
+
+type t =
+  | Send_enqueued of { node : int; ep : int; dst_node : int; dst_ep : int }
+  | Engine_tx of { node : int; ep : int; dst_node : int; dst_ep : int }
+  | Wire_rx of { node : int; ep : int }
+  | Deposit of { node : int; ep : int }
+  | Recv_dequeued of { node : int; ep : int }
+  | Drop of { node : int; ep : int; reason : drop_reason }
+  | Retransmit of { node : int; ep : int; seq : int }
+  | Credit_grant of { node : int; ep : int; count : int }
+  | Engine_park of { node : int; idle : int }
+  | Engine_wake of { node : int }
+  | Fault of { node : int; kind : fault_kind }
+  | Note of { node : int; tag : string; detail : string }
+
+let drop_reason_name = function
+  | No_posted_buffer -> "no_posted_buffer"
+  | Bad_destination -> "bad_destination"
+  | Corrupt_slot -> "corrupt_slot"
+  | Forbidden_destination -> "forbidden_destination"
+
+let fault_kind_name = function
+  | Fault_drop -> "drop"
+  | Fault_duplicate -> "duplicate"
+  | Fault_reorder -> "reorder"
+  | Fault_jitter -> "jitter"
+
+let name = function
+  | Send_enqueued _ -> "send_enqueued"
+  | Engine_tx _ -> "engine_tx"
+  | Wire_rx _ -> "wire_rx"
+  | Deposit _ -> "deposit"
+  | Recv_dequeued _ -> "recv_dequeued"
+  | Drop _ -> "drop"
+  | Retransmit _ -> "retransmit"
+  | Credit_grant _ -> "credit_grant"
+  | Engine_park _ -> "engine_park"
+  | Engine_wake _ -> "engine_wake"
+  | Fault _ -> "fault"
+  | Note { tag; _ } -> tag
+
+let node = function
+  | Send_enqueued { node; _ }
+  | Engine_tx { node; _ }
+  | Wire_rx { node; _ }
+  | Deposit { node; _ }
+  | Recv_dequeued { node; _ }
+  | Drop { node; _ }
+  | Retransmit { node; _ }
+  | Credit_grant { node; _ }
+  | Engine_park { node; _ }
+  | Engine_wake { node; _ }
+  | Fault { node; _ }
+  | Note { node; _ } -> node
+
+let args = function
+  | Send_enqueued { ep; dst_node; dst_ep; _ } | Engine_tx { ep; dst_node; dst_ep; _ }
+    ->
+      [
+        ("ep", Json.Int ep);
+        ("dst_node", Json.Int dst_node);
+        ("dst_ep", Json.Int dst_ep);
+      ]
+  | Wire_rx { ep; _ } | Deposit { ep; _ } | Recv_dequeued { ep; _ } ->
+      [ ("ep", Json.Int ep) ]
+  | Drop { ep; reason; _ } ->
+      [ ("ep", Json.Int ep); ("reason", Json.String (drop_reason_name reason)) ]
+  | Retransmit { ep; seq; _ } -> [ ("ep", Json.Int ep); ("seq", Json.Int seq) ]
+  | Credit_grant { ep; count; _ } ->
+      [ ("ep", Json.Int ep); ("count", Json.Int count) ]
+  | Engine_park { idle; _ } -> [ ("idle_iterations", Json.Int idle) ]
+  | Engine_wake _ -> []
+  | Fault { kind; _ } -> [ ("kind", Json.String (fault_kind_name kind)) ]
+  | Note { detail; _ } -> [ ("detail", Json.String detail) ]
+
+let pp fmt ev =
+  Fmt.pf fmt "n%d %-14s" (node ev) (name ev);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Json.Int i -> Fmt.pf fmt " %s=%d" k i
+      | Json.String s -> Fmt.pf fmt " %s=%s" k s
+      | v -> Fmt.pf fmt " %s=%s" k (Json.to_string v))
+    (args ev)

@@ -1,0 +1,50 @@
+(** The typed trace-event taxonomy.
+
+    One constructor per interesting transition in a message's life (plus
+    engine scheduling and fault-injection markers), replacing the old
+    free-form string trace. Endpoint indices are node-global (the same
+    indices {!Flipc.Address} carries), virtual timestamps are attached by
+    {!Tracer}. The lifecycle events, in path order:
+
+    [Send_enqueued] (application queued a buffer) → [Engine_tx] (engine
+    handed the image to the transport) → [Wire_rx] (image arrived at the
+    destination engine) → [Deposit] (engine placed it in a posted
+    buffer) → [Recv_dequeued] (application took it). [Drop] replaces
+    [Deposit] when no buffer is posted or the message is refused. *)
+
+type drop_reason =
+  | No_posted_buffer  (** optimistic discard: receiver had no buffer *)
+  | Bad_destination  (** undeliverable or null destination *)
+  | Corrupt_slot  (** application queued a bad buffer pointer *)
+  | Forbidden_destination  (** endpoint's destination restriction refused it *)
+
+type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
+
+type t =
+  | Send_enqueued of { node : int; ep : int; dst_node : int; dst_ep : int }
+  | Engine_tx of { node : int; ep : int; dst_node : int; dst_ep : int }
+  | Wire_rx of { node : int; ep : int }
+  | Deposit of { node : int; ep : int }
+  | Recv_dequeued of { node : int; ep : int }
+  | Drop of { node : int; ep : int; reason : drop_reason }
+  | Retransmit of { node : int; ep : int; seq : int }
+  | Credit_grant of { node : int; ep : int; count : int }
+  | Engine_park of { node : int; idle : int }
+  | Engine_wake of { node : int }
+  | Fault of { node : int; kind : fault_kind }
+  | Note of { node : int; tag : string; detail : string }
+      (** escape hatch for ad-hoc instrumentation *)
+
+val drop_reason_name : drop_reason -> string
+val fault_kind_name : fault_kind -> string
+
+(** Stable lower-case identifier ([Note] events use their tag). *)
+val name : t -> string
+
+(** The node the event happened on. *)
+val node : t -> int
+
+(** Structured payload for JSON export, deterministic field order. *)
+val args : t -> (string * Json.t) list
+
+val pp : Format.formatter -> t -> unit

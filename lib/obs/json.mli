@@ -1,0 +1,22 @@
+(** Minimal JSON document builder.
+
+    Everything the observability layer exports (metric snapshots, Chrome
+    traces, bench result files) goes through this one deterministic
+    serializer: fields render in the order given, floats as plain JSON
+    numbers ([NaN]/[infinity] degrade to [null]), so identical runs
+    produce byte-identical files. Not a parser — output only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering. *)
+val to_string : t -> string
+
+(** [to_channel oc t] writes the compact rendering plus a newline. *)
+val to_channel : out_channel -> t -> unit

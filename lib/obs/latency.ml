@@ -1,0 +1,200 @@
+module Summary = Flipc_stats.Summary
+
+type stage = Send_stage | Wire_stage | Recv_stage | Total_stage
+
+let stage_name = function
+  | Send_stage -> "send"
+  | Wire_stage -> "wire"
+  | Recv_stage -> "recv"
+  | Total_stage -> "total"
+
+let all_stages = [ Send_stage; Wire_stage; Recv_stage; Total_stage ]
+
+(* Matching queues between consecutive stamps, keyed by destination
+   (node-global) endpoint. Every stage of a message's life knows its
+   destination address — the sender wrote it, the wire image carries it,
+   and the receiving endpoint is it — and each hop preserves FIFO order
+   per destination on a reliable fabric, so pairing stamps needs no
+   per-message identifier in the wire format. *)
+type rec_state = {
+  (* send-enqueue stamps awaiting engine pickup *)
+  q_tx : (int, int Queue.t) Hashtbl.t;
+  (* (t0, t1) awaiting arrival at the destination engine *)
+  q_wire : (int, (int * int) Queue.t) Hashtbl.t;
+  (* (t0, t1, t2) sitting in the destination engine's incoming queue *)
+  q_handle : (int, (int * int * int) Queue.t) Hashtbl.t;
+  (* (t0, t1, t2) deposited, awaiting application dequeue *)
+  q_recv : (int, (int * int * int) Queue.t) Hashtbl.t;
+}
+
+type stage_acc = {
+  samples : float Ring.t; (* microseconds *)
+  mutable count : int;
+  mutable sum_us : float;
+}
+
+type t = {
+  state : rec_state;
+  stages : stage_acc array; (* indexed by stage order in [all_stages] *)
+  mutable unmatched : int;
+  mutable dropped_in_flight : int;
+  queue_cap : int;
+}
+
+let stage_index = function
+  | Send_stage -> 0
+  | Wire_stage -> 1
+  | Recv_stage -> 2
+  | Total_stage -> 3
+
+let create ?(sample_capacity = 65_536) () =
+  {
+    state =
+      {
+        q_tx = Hashtbl.create 32;
+        q_wire = Hashtbl.create 32;
+        q_handle = Hashtbl.create 32;
+        q_recv = Hashtbl.create 32;
+      };
+    stages =
+      Array.init 4 (fun _ ->
+          {
+            samples = Ring.create ~capacity:sample_capacity;
+            count = 0;
+            sum_us = 0.;
+          });
+    unmatched = 0;
+    dropped_in_flight = 0;
+    queue_cap = 65_536;
+  }
+
+let key ~node ~ep = (node lsl 20) lor (ep land 0xFFFFF)
+
+let q tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add tbl k q;
+      q
+
+(* A queue that outgrows the cap means a stamp stream with no matching
+   downstream stage (e.g. a fuzzing workload sending into the void);
+   shed the oldest so memory stays bounded. *)
+let push_capped t queue x =
+  if Queue.length queue >= t.queue_cap then begin
+    ignore (Queue.pop queue);
+    t.unmatched <- t.unmatched + 1
+  end;
+  Queue.push x queue
+
+let observe t stage ~ns =
+  let acc = t.stages.(stage_index stage) in
+  let us = float_of_int ns /. 1000. in
+  Ring.push acc.samples us;
+  acc.count <- acc.count + 1;
+  acc.sum_us <- acc.sum_us +. us
+
+let send_enqueued t ~now ~dst_node ~dst_ep =
+  push_capped t (q t.state.q_tx (key ~node:dst_node ~ep:dst_ep)) now
+
+(* The engine refused the message after enqueue (forbidden destination or
+   undeliverable address): retire the pending send stamp. *)
+let send_refused t ~dst_node ~dst_ep =
+  let queue = q t.state.q_tx (key ~node:dst_node ~ep:dst_ep) in
+  if Queue.is_empty queue then t.unmatched <- t.unmatched + 1
+  else ignore (Queue.pop queue)
+
+let engine_tx t ~now ~dst_node ~dst_ep =
+  let k = key ~node:dst_node ~ep:dst_ep in
+  let t0 =
+    match Queue.take_opt (q t.state.q_tx k) with
+    | Some t0 ->
+        observe t Send_stage ~ns:(now - t0);
+        t0
+    | None ->
+        t.unmatched <- t.unmatched + 1;
+        now
+  in
+  push_capped t (q t.state.q_wire k) (t0, now)
+
+let wire_rx t ~now ~node ~ep =
+  let k = key ~node ~ep in
+  let t0, t1 =
+    match Queue.take_opt (q t.state.q_wire k) with
+    | Some (t0, t1) ->
+        observe t Wire_stage ~ns:(now - t1);
+        (t0, t1)
+    | None ->
+        t.unmatched <- t.unmatched + 1;
+        (now, now)
+  in
+  push_capped t (q t.state.q_handle k) (t0, t1, now)
+
+(* The destination engine processes its incoming queue in arrival order,
+   so the head of [q_handle] is exactly the message being handled. *)
+let take_handled t ~node ~ep =
+  Queue.take_opt (q t.state.q_handle (key ~node ~ep))
+
+let deposited t ~node ~ep =
+  match take_handled t ~node ~ep with
+  | Some stamps -> push_capped t (q t.state.q_recv (key ~node ~ep)) stamps
+  | None -> t.unmatched <- t.unmatched + 1
+
+let discarded t ~node ~ep =
+  match take_handled t ~node ~ep with
+  | Some _ -> t.dropped_in_flight <- t.dropped_in_flight + 1
+  | None -> t.unmatched <- t.unmatched + 1
+
+let recv_dequeued t ~now ~node ~ep =
+  match Queue.take_opt (q t.state.q_recv (key ~node ~ep)) with
+  | Some (t0, _t1, t2) ->
+      observe t Recv_stage ~ns:(now - t2);
+      observe t Total_stage ~ns:(now - t0)
+  | None -> t.unmatched <- t.unmatched + 1
+
+let stage_count t stage = t.stages.(stage_index stage).count
+let stage_samples t stage = Ring.to_list t.stages.(stage_index stage).samples
+
+let stage_mean_us t stage =
+  let acc = t.stages.(stage_index stage) in
+  if acc.count = 0 then None else Some (acc.sum_us /. float_of_int acc.count)
+
+let stage_summary t stage =
+  match stage_samples t stage with
+  | [] -> None
+  | samples -> Some (Summary.of_samples samples)
+
+let unmatched t = t.unmatched
+let dropped_in_flight t = t.dropped_in_flight
+
+let pp fmt t =
+  List.iter
+    (fun stage ->
+      match stage_summary t stage with
+      | None -> Fmt.pf fmt "%-6s (no samples)@." (stage_name stage)
+      | Some s ->
+          Fmt.pf fmt "%-6s n=%-7d mean=%8.2fus p50=%8.2fus p99=%8.2fus@."
+            (stage_name stage) (stage_count t stage) s.Summary.mean
+            s.Summary.p50 s.Summary.p99)
+    all_stages;
+  if t.unmatched > 0 || t.dropped_in_flight > 0 then
+    Fmt.pf fmt "unmatched=%d dropped-in-flight=%d@." t.unmatched
+      t.dropped_in_flight
+
+let json t =
+  Json.Obj
+    (List.map
+       (fun stage ->
+         ( stage_name stage,
+           Json.Obj
+             (("count", Json.Int (stage_count t stage))
+              ::
+              (match stage_summary t stage with
+              | None -> []
+              | Some s -> [ ("us", Metrics.summary_json s) ])) ))
+       all_stages
+    @ [
+        ("unmatched", Json.Int t.unmatched);
+        ("dropped_in_flight", Json.Int t.dropped_in_flight);
+      ])

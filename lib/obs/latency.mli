@@ -1,0 +1,83 @@
+(** Per-message latency breakdown: who owns each microsecond.
+
+    Messages are stamped (in virtual time) at the four transitions of
+    the optimistic path — application send-enqueue, engine transmit,
+    arrival at the destination engine, application dequeue — and the
+    deltas are accumulated per stage:
+
+    - [Send_stage]: enqueue → engine transmit (engine pickup/discovery
+      plus the transmit-side processing);
+    - [Wire_stage]: engine transmit → destination-engine arrival
+      (DMA/injection plus fabric flight);
+    - [Recv_stage]: arrival → application dequeue (deposit plus
+      receive-side discovery);
+    - [Total_stage]: enqueue → dequeue (end to end).
+
+    By construction each message's stage deltas sum exactly to its
+    end-to-end latency; the stage means therefore sum to the total mean
+    (percentiles, being order statistics, need not).
+
+    Stamps are paired by destination endpoint in FIFO order, so no
+    message identifier travels on the wire; on a reliable in-order
+    fabric the pairing is exact. Fault injection (drops, duplicates,
+    reordering) breaks FIFO pairing: mismatches are shed into
+    {!unmatched} rather than corrupting queues, and stage attribution
+    degrades to an approximation — use lossless runs for exact
+    breakdowns. Engine-discarded messages are retired via {!discarded}
+    and counted in {!dropped_in_flight}.
+
+    All storage is bounded (drop-oldest windows, capped match queues). *)
+
+type t
+
+type stage = Send_stage | Wire_stage | Recv_stage | Total_stage
+
+val stage_name : stage -> string
+val all_stages : stage list
+
+(** [create ()] with a per-stage sample window of [sample_capacity]
+    (default 65536) most-recent messages. *)
+val create : ?sample_capacity:int -> unit -> t
+
+(** {1 Stamping (called by the instrumented stack)} *)
+
+val send_enqueued : t -> now:int -> dst_node:int -> dst_ep:int -> unit
+
+(** The engine refused a queued message (forbidden/undeliverable):
+    retire its pending send stamp. *)
+val send_refused : t -> dst_node:int -> dst_ep:int -> unit
+
+val engine_tx : t -> now:int -> dst_node:int -> dst_ep:int -> unit
+val wire_rx : t -> now:int -> node:int -> ep:int -> unit
+
+(** The destination engine deposited the handled message. *)
+val deposited : t -> node:int -> ep:int -> unit
+
+(** The destination engine discarded the handled message. *)
+val discarded : t -> node:int -> ep:int -> unit
+
+val recv_dequeued : t -> now:int -> node:int -> ep:int -> unit
+
+(** {1 Results} *)
+
+(** Messages that completed this stage (all-time). *)
+val stage_count : t -> stage -> int
+
+(** Retained per-stage samples in microseconds, oldest first. *)
+val stage_samples : t -> stage -> float list
+
+(** All-time mean in microseconds ([None] before any sample). *)
+val stage_mean_us : t -> stage -> float option
+
+(** Percentiles over the retained window. *)
+val stage_summary : t -> stage -> Flipc_stats.Summary.t option
+
+(** Stamps that found no partner (fault-injected fabrics, shed queue
+    entries). Zero on a lossless in-order run. *)
+val unmatched : t -> int
+
+(** Messages the engine discarded between wire arrival and deposit. *)
+val dropped_in_flight : t -> int
+
+val pp : Format.formatter -> t -> unit
+val json : t -> Json.t

@@ -1,0 +1,82 @@
+(** Named-metric registry: counters, gauges, histograms and pull-probes.
+
+    One registry per machine. Names are dotted paths following the
+    scheme documented in DESIGN.md §10 (e.g. [node0.engine.sends],
+    [node1.retrans.ep2.rto_ns], [fabric.faults.dropped]); {!snapshot}
+    returns every registered metric sorted by name, so two identical
+    (same-seed) runs produce identical, diffable snapshots.
+
+    Two registration styles:
+    - {b push}: obtain a {!counter}/{!gauge}/{!histogram} handle once and
+      update it from the hot path;
+    - {b pull} ({!probe}): register a sampling closure over state a
+      component already maintains (how [Msg_engine.stats],
+      [Retrans]'s retry/RTO state, [Faulty]'s fault tallies and
+      [Window]'s credit-drop count are exported without double
+      bookkeeping). Probes are read at snapshot time.
+
+    Histograms keep a bounded window of recent samples (drop-oldest, see
+    {!Ring}) plus all-time count and sum; snapshot percentiles are over
+    the retained window. *)
+
+type t
+type counter
+type gauge
+type histo
+
+val create : unit -> t
+
+(** [counter t name] finds or registers a counter. Raises
+    [Invalid_argument] when [name] is malformed or already registered as
+    a different metric type. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [histogram t name] finds or registers a histogram whose sample
+    window holds [capacity] (default 65536) most-recent observations. *)
+val histogram : ?capacity:int -> t -> string -> histo
+
+val observe : histo -> float -> unit
+
+(** All-time observation count (including evicted samples). *)
+val histo_count : histo -> int
+
+(** The retained sample window, oldest first. *)
+val histo_samples : histo -> float list
+
+(** [probe t name f] registers (or replaces) a pull-metric: [f ()] is
+    read at each snapshot and reported as a gauge. *)
+val probe : t -> string -> (unit -> float) -> unit
+
+(** {1 Snapshots} *)
+
+type snap_value =
+  | Snap_counter of int
+  | Snap_gauge of float
+  | Snap_histogram of {
+      count : int;  (** all-time observations *)
+      sum : float;  (** all-time sum *)
+      window_dropped : int;  (** samples evicted from the window *)
+      summary : Flipc_stats.Summary.t option;
+          (** percentiles over the retained window; [None] when empty *)
+    }
+
+(** Sorted by metric name: deterministic and diffable. *)
+type snapshot = (string * snap_value) list
+
+val snapshot : t -> snapshot
+
+(** One metric per line, name-aligned. *)
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** JSON object keyed by metric name (same sorted order). *)
+val snapshot_json : snapshot -> Json.t
+
+(** Reusable JSON rendering of a {!Flipc_stats.Summary.t}. *)
+val summary_json : Flipc_stats.Summary.t -> Json.t

@@ -1,0 +1,67 @@
+module Engine = Flipc_sim.Engine
+
+type t = {
+  id : int;
+  sim : Engine.t;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  latency : Latency.t;
+}
+
+let next_id = ref 0
+
+(* Global capture: while active, every Obs.t created anywhere in the
+   process starts with tracing enabled and is remembered, so a CLI
+   `--trace out.json` flag can collect timelines from machines built
+   deep inside workload helpers without plumbing. *)
+let capture_box : t list ref option ref = ref None
+
+let start_capture () =
+  match !capture_box with
+  | Some _ -> ()
+  | None -> capture_box := Some (ref [])
+
+let stop_capture () = capture_box := None
+let capturing () = !capture_box <> None
+
+let captured () =
+  match !capture_box with Some l -> List.rev !l | None -> []
+
+let create ?(tracing = false) ?(trace_capacity = 65_536) ?latency_capacity
+    ~sim () =
+  let id = !next_id in
+  incr next_id;
+  let tracing = tracing || capturing () in
+  let t =
+    {
+      id;
+      sim;
+      metrics = Metrics.create ();
+      tracer = Tracer.create ~capacity:trace_capacity ~enabled:tracing ();
+      latency = Latency.create ?sample_capacity:latency_capacity ();
+    }
+  in
+  (match !capture_box with Some l -> l := t :: !l | None -> ());
+  t
+
+let id t = t.id
+let sim t = t.sim
+let metrics t = t.metrics
+let tracer t = t.tracer
+let latency t = t.latency
+let now t = Engine.now t.sim
+let tracing t = Tracer.enabled t.tracer
+let event t ev = Tracer.emit t.tracer ~now:(Engine.now t.sim) ev
+
+let chrome_json_of list =
+  let events =
+    List.concat_map (fun t -> Tracer.chrome_events ~pid:t.id t.tracer) list
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let chrome_json t = chrome_json_of [ t ]
+let captured_chrome_json () = chrome_json_of (captured ())

@@ -1,0 +1,64 @@
+(** Per-machine observability bundle: metrics registry + typed event
+    tracer + per-message latency breakdown, sharing the machine's
+    virtual clock.
+
+    {!Machine.create} builds one per machine and threads it through the
+    engines, the application interface, the flow-control libraries and
+    the fault injector. Metrics and latency stamping are always on
+    (they cost only host time, never virtual time, so they cannot
+    perturb measured latencies); event tracing is off by default —
+    enable it via [tracing], {!Tracer.enable} on {!tracer}, or a
+    {!start_capture} window. *)
+
+type t
+
+(** [create ~sim ()] builds a bundle on [sim]'s clock. [tracing]
+    enables the event tracer from the start ([trace_capacity] bounds
+    it); [latency_capacity] bounds the per-stage sample windows. *)
+val create :
+  ?tracing:bool ->
+  ?trace_capacity:int ->
+  ?latency_capacity:int ->
+  sim:Flipc_sim.Engine.t ->
+  unit ->
+  t
+
+(** Process-unique id (creation order); the [pid] in Chrome exports. *)
+val id : t -> int
+
+val sim : t -> Flipc_sim.Engine.t
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t
+val latency : t -> Latency.t
+
+(** Current virtual time. *)
+val now : t -> Flipc_sim.Vtime.t
+
+(** Whether the event tracer is recording — hot paths check this before
+    constructing an event. *)
+val tracing : t -> bool
+
+(** [event t ev] records [ev] at the current virtual time (no-op when
+    tracing is off). *)
+val event : t -> Event.t -> unit
+
+(** Chrome [trace_event] document for this machine's tracer. *)
+val chrome_json : t -> Json.t
+
+(** {1 Global capture}
+
+    For tooling that cannot reach machines built inside workload
+    helpers: between [start_capture ()] and [stop_capture ()], every
+    bundle created in the process starts with tracing enabled and is
+    remembered. *)
+
+val start_capture : unit -> unit
+val stop_capture : unit -> unit
+val capturing : unit -> bool
+
+(** Bundles created during the active capture window, oldest first. *)
+val captured : unit -> t list
+
+(** Merged Chrome trace of every captured bundle (machines become
+    processes, nodes become threads). *)
+val captured_chrome_json : unit -> Json.t

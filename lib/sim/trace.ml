@@ -1,24 +1,76 @@
 type entry = { time : Vtime.t; tag : string; message : string }
-type t = { mutable enabled : bool; entries : entry Queue.t }
 
-let create ?(enabled = false) () = { enabled; entries = Queue.create () }
+(* Fixed-capacity drop-oldest ring: long soaks with tracing left on keep
+   the most recent window instead of exhausting memory. (flipc_obs has a
+   general ring, but it sits above this library in the dependency order,
+   so the few lines are inlined here.) *)
+type t = {
+  mutable enabled : bool;
+  slots : entry option array;
+  mutable head : int; (* index of the oldest entry *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 8192
+
+let create ?(capacity = default_capacity) ?(enabled = false) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  {
+    enabled;
+    slots = Array.make capacity None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let enabled t = t.enabled
+let capacity t = Array.length t.slots
+let dropped t = t.dropped
+
+let push t e =
+  let cap = Array.length t.slots in
+  if t.len = cap then begin
+    t.slots.(t.head) <- Some e;
+    t.head <- (t.head + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.slots.((t.head + t.len) mod cap) <- Some e;
+    t.len <- t.len + 1
+  end
 
 let record t ~now ~tag message =
-  if t.enabled then Queue.push { time = now; tag; message } t.entries
+  if t.enabled then push t { time = now; tag; message }
 
 let recordf t ~now ~tag fmt =
   if t.enabled then
-    Fmt.kstr (fun message -> Queue.push { time = now; tag; message } t.entries) fmt
+    Fmt.kstr (fun message -> push t { time = now; tag; message }) fmt
   else Fmt.kstr (fun _ -> ()) fmt
 
-let to_list t = List.of_seq (Queue.to_seq t.entries)
-let length t = Queue.length t.entries
-let clear t = Queue.clear t.entries
+let iter t f =
+  let cap = Array.length t.slots in
+  for i = 0 to t.len - 1 do
+    match t.slots.((t.head + i) mod cap) with
+    | Some e -> f e
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let length t = t.len
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
 
 let dump fmt t =
-  Queue.iter
-    (fun e -> Fmt.pf fmt "[%a] %-12s %s@." Vtime.pp e.time e.tag e.message)
-    t.entries
+  iter t (fun e ->
+      Fmt.pf fmt "[%a] %-12s %s@." Vtime.pp e.time e.tag e.message)

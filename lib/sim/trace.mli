@@ -1,17 +1,35 @@
 (** Lightweight event trace for debugging simulations.
 
-    Disabled traces cost one branch per record call. *)
+    Entries live in a fixed-capacity drop-oldest ring (default
+    {!default_capacity}), so an always-on trace over a long soak keeps
+    the most recent window in bounded memory; {!dropped} counts what was
+    shed. Disabled traces cost one branch per record call.
+
+    For structured, machine-readable tracing of the messaging stack use
+    [Flipc_obs.Tracer]; this module remains the free-form string trace
+    for simulator internals and tests. *)
 
 type entry = { time : Vtime.t; tag : string; message : string }
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val default_capacity : int
+
+(** [create ()] makes a trace holding at most [capacity] (default
+    {!default_capacity}) entries. Raises [Invalid_argument] if
+    [capacity < 1]. *)
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+
 val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
+val capacity : t -> int
 
-(** [record t ~now ~tag message] appends an entry if tracing is enabled. *)
+(** Entries evicted (oldest-first) since creation or the last [clear]. *)
+val dropped : t -> int
+
+(** [record t ~now ~tag message] appends an entry if tracing is enabled,
+    evicting the oldest entry when the ring is full. *)
 val record : t -> now:Vtime.t -> tag:string -> string -> unit
 
 (** [recordf] is [record] with a format string; the message is only built
@@ -19,9 +37,11 @@ val record : t -> now:Vtime.t -> tag:string -> string -> unit
 val recordf :
   t -> now:Vtime.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
+(** Retained entries, oldest first. *)
 val to_list : t -> entry list
+
 val length : t -> int
 val clear : t -> unit
 
-(** [dump fmt t] prints one line per entry. *)
+(** [dump fmt t] prints one line per retained entry. *)
 val dump : Format.formatter -> t -> unit

@@ -16,6 +16,32 @@ dune build @all
 echo "== tests =="
 dune runtest
 
+echo "== observability smoke =="
+# The obs suite runs under `dune runtest` too; run it by name so a
+# failure is attributed clearly, then validate the CLI's machine-readable
+# surfaces: `flipc metrics --json` must emit parseable JSON and --trace
+# must emit a parseable Chrome trace_event document.
+dune exec test/test_obs.exe -- -c >/dev/null
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+dune exec bin/flipc_cli.exe -- metrics --json --exchanges 40 \
+  --trace "$obs_tmp/trace.json" >"$obs_tmp/metrics.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$obs_tmp/metrics.json" >/dev/null
+  python3 -c "
+import json, sys
+doc = json.load(open('$obs_tmp/metrics.json'))
+assert doc['metrics'], 'empty metrics snapshot'
+assert doc['latency']['total']['count'] > 0, 'empty latency breakdown'
+trace = json.load(open('$obs_tmp/trace.json'))
+assert trace['traceEvents'], 'empty chrome trace'
+"
+else
+  # No python3: at least require non-empty output of the right shape.
+  grep -q '"metrics":{' "$obs_tmp/metrics.json"
+  grep -q '"traceEvents":\[' "$obs_tmp/trace.json"
+fi
+
 echo "== format =="
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt

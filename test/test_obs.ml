@@ -1,0 +1,333 @@
+(* Tests for the observability layer: bounded rings, the metrics
+   registry, the typed tracer, the JSON serializer, and the per-message
+   latency breakdown — including the end-to-end invariant that the stage
+   latencies of a lossless run sum to the end-to-end latency. *)
+
+module Ring = Flipc_obs.Ring
+module Json = Flipc_obs.Json
+module Event = Flipc_obs.Event
+module Metrics = Flipc_obs.Metrics
+module Tracer = Flipc_obs.Tracer
+module Latency = Flipc_obs.Latency
+module Obs = Flipc_obs.Obs
+module Trace = Flipc_sim.Trace
+module Machine = Flipc.Machine
+module Pingpong = Flipc_workload.Pingpong
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- Ring --- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check_bool "empty" true (Ring.is_empty r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  check "length" 3 (Ring.length r);
+  check "dropped" 0 (Ring.dropped r);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Ring.to_list r)
+
+let test_ring_wrap_drops_oldest () =
+  let r = Ring.create ~capacity:3 in
+  for i = 1 to 7 do
+    Ring.push r i
+  done;
+  check "length capped" 3 (Ring.length r);
+  check "dropped counts evictions" 4 (Ring.dropped r);
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 5; 6; 7 ]
+    (Ring.to_list r);
+  Ring.clear r;
+  check "clear resets length" 0 (Ring.length r);
+  check "clear resets dropped" 0 (Ring.dropped r)
+
+let test_ring_fold_iter () =
+  let r = Ring.create ~capacity:8 in
+  for i = 1 to 5 do
+    Ring.push r i
+  done;
+  check "fold sum" 15 (Ring.fold r ~init:0 (fun acc x -> acc + x));
+  let seen = ref [] in
+  Ring.iter r (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "iter oldest first" [ 1; 2; 3; 4; 5 ]
+    (List.rev !seen)
+
+(* --- sim Trace ring (the old unbounded-growth bug) --- *)
+
+let test_trace_bounded () =
+  let tr = Trace.create ~capacity:10 ~enabled:true () in
+  for i = 1 to 25 do
+    Trace.record tr ~now:i ~tag:"t" (string_of_int i)
+  done;
+  check "length capped" 10 (Trace.length tr);
+  check "dropped" 15 (Trace.dropped tr);
+  (match Trace.to_list tr with
+  | first :: _ ->
+      check_str "oldest retained entry" "16" first.Trace.message;
+      check "its timestamp" 16 first.Trace.time
+  | [] -> Alcotest.fail "empty trace");
+  Trace.clear tr;
+  check "clear resets dropped" 0 (Trace.dropped tr);
+  (* Disabled traces record (and drop) nothing. *)
+  Trace.disable tr;
+  Trace.record tr ~now:1 ~tag:"t" "x";
+  check "disabled records nothing" 0 (Trace.length tr)
+
+(* --- Metrics --- *)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.sends" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check "counter" 5 (Metrics.counter_value c);
+  (* find-or-register returns the same counter *)
+  Metrics.incr (Metrics.counter m "a.sends");
+  check "shared" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge m "a.depth" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 0.)) "gauge" 3.5 (Metrics.gauge_value g);
+  (* registering the same name as a different type is an error *)
+  check_bool "type clash raises" true
+    (try
+       ignore (Metrics.gauge m "a.sends");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad name raises" true
+    (try
+       ignore (Metrics.counter m "spaces not allowed");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_window () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~capacity:4 m "lat" in
+  List.iter (Metrics.observe h) [ 1.; 2.; 3.; 4.; 5.; 6. ];
+  check "all-time count" 6 (Metrics.histo_count h);
+  Alcotest.(check (list (float 0.))) "window keeps newest" [ 3.; 4.; 5.; 6. ]
+    (Metrics.histo_samples h)
+
+let test_snapshot_sorted_and_probed () =
+  let m = Metrics.create () in
+  let state = ref 7 in
+  Metrics.probe m "z.probe" (fun () -> float_of_int !state);
+  Metrics.incr (Metrics.counter m "b.count");
+  Metrics.set (Metrics.gauge m "a.gauge") 1.0;
+  state := 9;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check (list string)) "sorted by name"
+    [ "a.gauge"; "b.count"; "z.probe" ]
+    (List.map fst snap);
+  (match List.assoc "z.probe" snap with
+  | Metrics.Snap_gauge v -> Alcotest.(check (float 0.)) "probe sampled" 9.0 v
+  | _ -> Alcotest.fail "probe should snapshot as a gauge");
+  (* JSON renders and parses as one object in the same order *)
+  let s = Json.to_string (Metrics.snapshot_json snap) in
+  check_bool "json object" true
+    (String.length s > 2 && s.[0] = '{' && s.[String.length s - 1] = '}')
+
+(* --- Json --- *)
+
+let test_json_rendering () =
+  check_str "escaping"
+    {|{"s":"a\"b\\c\n","i":-3,"f":1.5,"t":true,"x":null,"l":[1,2]}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("s", Json.String "a\"b\\c\n");
+            ("i", Json.Int (-3));
+            ("f", Json.Float 1.5);
+            ("t", Json.Bool true);
+            ("x", Json.Null);
+            ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+          ]));
+  check_str "integral float keeps decimal point" "2.0"
+    (Json.to_string (Json.Float 2.0));
+  check_str "nan is null" "null" (Json.to_string (Json.Float Float.nan))
+
+(* --- Tracer --- *)
+
+let test_tracer_bounded_and_chrome () =
+  let tr = Tracer.create ~capacity:8 ~enabled:false () in
+  Tracer.emit tr ~now:5 (Event.Engine_wake { node = 0 });
+  check "disabled emits nothing" 0 (Tracer.length tr);
+  Tracer.enable tr;
+  for i = 1 to 12 do
+    Tracer.emit tr ~now:(i * 10)
+      (Event.Wire_rx { node = 1; ep = i })
+  done;
+  check "capped" 8 (Tracer.length tr);
+  check "dropped" 4 (Tracer.dropped tr);
+  let doc = Json.to_string (Tracer.chrome_json tr) in
+  check_bool "has traceEvents" true
+    (String.length doc > 0
+    && String.sub doc 0 15 = {|{"traceEvents":|});
+  (* timestamps are microseconds: vtime 50ns -> 0.05us *)
+  let ev_doc = Tracer.chrome_events tr in
+  check_bool "metadata + events" true (List.length ev_doc > 8)
+
+(* --- Latency pairing --- *)
+
+let test_latency_stage_pipeline () =
+  let l = Latency.create () in
+  (* one message: enqueue at 100, tx at 400, wire arrival at 600,
+     deposited, dequeued at 1000 (all ns) *)
+  Latency.send_enqueued l ~now:100 ~dst_node:1 ~dst_ep:2;
+  Latency.engine_tx l ~now:400 ~dst_node:1 ~dst_ep:2;
+  Latency.wire_rx l ~now:600 ~node:1 ~ep:2;
+  Latency.deposited l ~node:1 ~ep:2;
+  Latency.recv_dequeued l ~now:1000 ~node:1 ~ep:2;
+  check "send count" 1 (Latency.stage_count l Latency.Send_stage);
+  check "total count" 1 (Latency.stage_count l Latency.Total_stage);
+  let mean st =
+    match Latency.stage_mean_us l st with
+    | Some v -> v
+    | None -> Alcotest.fail "missing stage"
+  in
+  Alcotest.(check (float 1e-9)) "send 0.3us" 0.3 (mean Latency.Send_stage);
+  Alcotest.(check (float 1e-9)) "wire 0.2us" 0.2 (mean Latency.Wire_stage);
+  Alcotest.(check (float 1e-9)) "recv 0.4us" 0.4 (mean Latency.Recv_stage);
+  Alcotest.(check (float 1e-9)) "total 0.9us" 0.9 (mean Latency.Total_stage);
+  check "unmatched" 0 (Latency.unmatched l);
+  check "dropped in flight" 0 (Latency.dropped_in_flight l)
+
+let test_latency_discard_retires_stamp () =
+  let l = Latency.create () in
+  Latency.send_enqueued l ~now:0 ~dst_node:0 ~dst_ep:1;
+  Latency.engine_tx l ~now:10 ~dst_node:0 ~dst_ep:1;
+  Latency.wire_rx l ~now:20 ~node:0 ~ep:1;
+  Latency.discarded l ~node:0 ~ep:1;
+  check "no total sample" 0 (Latency.stage_count l Latency.Total_stage);
+  check "dropped in flight" 1 (Latency.dropped_in_flight l);
+  check "unmatched" 0 (Latency.unmatched l)
+
+(* --- end to end on a real machine --- *)
+
+let run_pingpong () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let r =
+    Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:64 ~exchanges:50
+      ()
+  in
+  (machine, r)
+
+(* The tentpole invariant: stage deltas are exact decompositions of each
+   message's end-to-end latency, so on a lossless in-order mesh the
+   per-stage sums reconstruct the total to the nanosecond (stamps are
+   integer vtimes; the only slack is float microsecond conversion). *)
+let test_stages_sum_to_total () =
+  let machine, r = run_pingpong () in
+  Alcotest.(check int) "no transport drops" 0 r.Pingpong.drops;
+  let l = Obs.latency (Machine.obs machine) in
+  check "nothing unmatched" 0 (Latency.unmatched l);
+  check "nothing dropped in flight" 0 (Latency.dropped_in_flight l);
+  let n = Latency.stage_count l Latency.Total_stage in
+  check_bool "saw every exchange twice" true (n >= 2 * 50);
+  List.iter
+    (fun st ->
+      check (Latency.stage_name st ^ " count") n (Latency.stage_count l st))
+    Latency.all_stages;
+  let samples st = Latency.stage_samples l st in
+  let sums =
+    List.map2
+      (fun a (b, c) -> a +. b +. c)
+      (samples Latency.Send_stage)
+      (List.combine (samples Latency.Wire_stage) (samples Latency.Recv_stage))
+  in
+  List.iter2
+    (fun sum total ->
+      Alcotest.(check (float 1e-6))
+        "per-message stage sum equals end-to-end" total sum)
+    sums
+    (samples Latency.Total_stage)
+
+let test_engine_probes_on_registry () =
+  let machine, _ = run_pingpong () in
+  let snap = Metrics.snapshot (Obs.metrics (Machine.obs machine)) in
+  let get name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Snap_gauge v) -> int_of_float v
+    | _ -> Alcotest.fail (name ^ " missing from snapshot")
+  in
+  check_bool "node0 sent messages" true (get "node0.engine.sends" > 0);
+  check_bool "node1 received them" true (get "node1.engine.recvs" > 0);
+  check "no drops on provisioned run" 0 (get "node1.engine.drops")
+
+let snapshot_fingerprint () =
+  let machine, _ = run_pingpong () in
+  let obs = Machine.obs machine in
+  let snap = Metrics.snapshot (Obs.metrics obs) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("metrics", Metrics.snapshot_json snap);
+         ("latency", Latency.json (Obs.latency obs));
+       ])
+
+let test_snapshot_deterministic () =
+  let a = snapshot_fingerprint () in
+  let b = snapshot_fingerprint () in
+  check_str "identical runs produce identical snapshots" a b
+
+let test_machine_tracing_capture () =
+  Obs.start_capture ();
+  let finally () = Obs.stop_capture () in
+  Fun.protect ~finally (fun () ->
+      let machine, _ = run_pingpong () in
+      check_bool "machine captured" true
+        (List.exists (fun o -> Obs.id o = Obs.id (Machine.obs machine))
+           (Obs.captured ()));
+      check_bool "capture enables tracing" true
+        (Obs.tracing (Machine.obs machine));
+      check_bool "events recorded" true
+        (Tracer.length (Obs.tracer (Machine.obs machine)) > 0);
+      let doc = Json.to_string (Obs.captured_chrome_json ()) in
+      check_bool "merged chrome doc" true
+        (String.length doc > 15 && String.sub doc 0 15 = {|{"traceEvents":|}))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basics" `Quick test_ring_basic;
+          Alcotest.test_case "wrap drops oldest" `Quick
+            test_ring_wrap_drops_oldest;
+          Alcotest.test_case "fold/iter" `Quick test_ring_fold_iter;
+          Alcotest.test_case "sim trace bounded" `Quick test_trace_bounded;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "histogram window" `Quick test_histogram_window;
+          Alcotest.test_case "snapshot sorted + probes" `Quick
+            test_snapshot_sorted_and_probed;
+          Alcotest.test_case "json rendering" `Quick test_json_rendering;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "bounded + chrome export" `Quick
+            test_tracer_bounded_and_chrome;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "stage pipeline" `Quick
+            test_latency_stage_pipeline;
+          Alcotest.test_case "discard retires stamp" `Quick
+            test_latency_discard_retires_stamp;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "stages sum to total" `Quick
+            test_stages_sum_to_total;
+          Alcotest.test_case "engine probes on registry" `Quick
+            test_engine_probes_on_registry;
+          Alcotest.test_case "snapshot deterministic" `Quick
+            test_snapshot_deterministic;
+          Alcotest.test_case "capture window" `Quick
+            test_machine_tracing_capture;
+        ] );
+    ]
