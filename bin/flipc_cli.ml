@@ -607,6 +607,116 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc)
     Term.(const run $ trace_out $ json_flag $ payload $ exchanges)
 
+(* --- engine --- *)
+
+let engine_cmd =
+  let module Obs = Flipc_obs.Obs in
+  let module Metrics = Flipc_obs.Metrics in
+  let module Json = Flipc_obs.Json in
+  let endpoints =
+    Arg.(
+      value & opt int 64
+      & info [ "endpoints" ] ~docv:"N" ~doc:"Configured endpoints per node.")
+  in
+  let full_scan =
+    let doc = "Use the pre-doorbell full-scan scheduler (ablation)." in
+    Arg.(value & flag & info [ "full-scan" ] ~doc)
+  in
+  let json_flag =
+    let doc = "Emit one machine-readable JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_rebuilds =
+    let doc =
+      "Fail (exit 1) when any node's schedule-rebuild count exceeds $(docv) \
+       — the steady-state invariant is one rebuild per endpoint-set \
+       change, not per message, so a workload with a fixed endpoint set \
+       should stay below a small constant. Intended for CI smoke."
+    in
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-rebuilds" ] ~docv:"N" ~doc)
+  in
+  let run trace json_out endpoints full_scan max_rebuilds payload exchanges =
+    with_trace trace @@ fun () ->
+    let config =
+      {
+        Config.default with
+        Config.endpoints;
+        sched_mode = (if full_scan then Config.Full_scan else Config.Doorbell);
+      }
+    in
+    let machine =
+      Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) ()
+    in
+    let r =
+      Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:payload
+        ~exchanges ()
+    in
+    let snap = Metrics.snapshot (Obs.metrics (Machine.obs machine)) in
+    (* The engine exports its scheduler counters as pull-probes named
+       node<i>.engine.<counter>; everything else in the registry
+       (latency histograms, fabric stats) is out of scope here. *)
+    let engine_snap =
+      List.filter
+        (fun (name, _) ->
+          match String.split_on_char '.' name with
+          | _node :: "engine" :: _ -> true
+          | _ -> false)
+        snap
+    in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("workload", Json.String "pingpong");
+                ("endpoints", Json.Int endpoints);
+                ( "sched_mode",
+                  Json.String (if full_scan then "full_scan" else "doorbell") );
+                ("exchanges", Json.Int r.Pingpong.exchanges);
+                ( "aggregate_one_way_us",
+                  Json.Float r.Pingpong.aggregate_one_way_us );
+                ("engine", Metrics.snapshot_json engine_snap);
+              ]))
+    else begin
+      Fmt.pr "pingpong on a 2x1 mesh: %d exchanges, %d endpoints/node, %s@."
+        r.Pingpong.exchanges endpoints
+        (if full_scan then "full-scan scheduler" else "doorbell scheduler");
+      Fmt.pr "aggregate one-way: %.2f us@.@." r.Pingpong.aggregate_one_way_us;
+      Fmt.pr "engine scheduler counters:@.%a@." Metrics.pp_snapshot engine_snap
+    end;
+    match max_rebuilds with
+    | None -> ()
+    | Some budget ->
+        let worst =
+          List.fold_left
+            (fun acc (n, v) ->
+              match (String.split_on_char '.' n, v) with
+              | _ :: "engine" :: [ "sched_rebuilds" ], Metrics.Snap_gauge g ->
+                  max acc (int_of_float g)
+              | _ -> acc)
+            0 engine_snap
+        in
+        if worst > budget then begin
+          Fmt.epr
+            "flipc engine: sched_rebuilds=%d exceeds --max-rebuilds %d (the \
+             schedule is being rebuilt on the steady-state path)@."
+            worst budget;
+          exit 1
+        end
+  in
+  let doc =
+    "Run a short ping-pong workload and dump the messaging engines' \
+     scheduler counters (doorbell hits, schedule rebuilds, receive \
+     truncations, avoided idle scans)."
+  in
+  Cmd.v
+    (Cmd.info "engine" ~doc)
+    Term.(
+      const run $ trace_out $ json_flag $ endpoints $ full_scan $ max_rebuilds
+      $ payload $ exchanges)
+
 (* --- info --- *)
 
 let field_name = function
@@ -621,6 +731,7 @@ let field_name = function
   | Flipc.Layout.Release -> "Release"
   | Flipc.Layout.Acquire -> "Acquire"
   | Flipc.Layout.Drop_read -> "Drop_read"
+  | Flipc.Layout.Send_pending -> "Send_pending"
   | Flipc.Layout.Lock -> "Lock"
   | Flipc.Layout.Process -> "Process"
   | Flipc.Layout.Drop_count -> "Drop_count"
@@ -669,5 +780,5 @@ let () =
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
             throughput_cmd; bulk_cmd; faults_cmd; trace_cmd; metrics_cmd;
-            info_cmd;
+            engine_cmd; info_cmd;
           ]))

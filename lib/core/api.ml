@@ -65,6 +65,32 @@ let with_lock t ~ep f =
 
 let ep_field t ~ep field = Layout.ep_field t.layout ~ep field
 
+(* Drop-counter idiom (single writer, load + store, no RMW): the
+   application side owns this word, so the unsynchronized increment is
+   safe, and only the store is a timed memory operation. *)
+let bump_word t addr = Mem_port.store t.port addr ((Mem_port.peek t.port addr + 1) land 0x3FFFFFFF)
+
+(* Send doorbell: rung after every release onto a send endpoint's queue
+   (strictly after — the engine checks doorbells before parking, so
+   release-then-ring is what makes wakeups lossless). The engine compares
+   the word against its private shadow; any change means "look at this
+   queue". *)
+let ring_doorbell t ~ep = bump_word t (ep_field t ~ep Layout.Send_pending)
+
+(* Schedule-invalidation epoch: bumped after any endpoint-table change
+   the engine's cached schedule depends on. Several attachments may share
+   a buffer and coalesce increments (both read [n], both store [n+1]);
+   that is harmless because each bump is ordered after its own table
+   writes, so whichever value the engine observes, the rebuild's table
+   scan sees all the coalesced changes. The poke makes the change take
+   effect promptly when the engine is parked — without it the rebuild
+   would be deferred to the next traffic-driven wakeup (still correct,
+   since a send both rings its doorbell and pokes, but it would leave
+   e.g. a priority change invisible for an unbounded idle stretch). *)
+let bump_epoch t =
+  bump_word t (Layout.global_addr t.layout Layout.G_schedule_epoch);
+  Msg_engine.poke t.engine
+
 let allocate_endpoint t ~kind ?semaphore ?(priority = 0) ?(burst = 0)
     ?allowed_node () =
   if priority < 0 then invalid_arg "Api.allocate_endpoint: negative priority";
@@ -96,12 +122,16 @@ let allocate_endpoint t ~kind ?semaphore ?(priority = 0) ?(burst = 0)
         (Address.to_word Address.null);
       Mem_port.store t.port (ep_field t ~ep Layout.Drop_read) 0;
       Mem_port.store t.port (ep_field t ~ep Layout.Drop_count) 0;
+      Mem_port.store t.port (ep_field t ~ep Layout.Send_pending) 0;
       Mem_port.store t.port (ep_field t ~ep Layout.Lock) 0;
       (* The type word last: the engine ignores the endpoint until it is
-         typed, so a partially initialized endpoint is never scanned. *)
+         typed, so a partially initialized endpoint is never scanned.
+         The epoch bump is ordered after the type word: when the engine
+         sees the new epoch, the rebuild scan sees the whole endpoint. *)
       Mem_port.store t.port
         (ep_field t ~ep Layout.Ep_type)
         (Endpoint_kind.to_word kind);
+      bump_epoch t;
       Comm_buffer.set_semaphore t.comm ~ep semaphore;
       Ok { index = ep; ep_kind = kind; sem = semaphore }
 
@@ -109,8 +139,19 @@ let free_endpoint t ep =
   Mem_port.store t.port
     (ep_field t ~ep:ep.index Layout.Ep_type)
     Endpoint_kind.free_word;
+  bump_epoch t;
   Comm_buffer.set_semaphore t.comm ~ep:ep.index None;
   Comm_buffer.free_endpoint t.comm ep.index
+
+let set_priority t ep priority =
+  if priority < 0 then invalid_arg "Api.set_priority: negative priority";
+  Mem_port.store t.port (ep_field t ~ep:ep.index Layout.Priority) priority;
+  bump_epoch t
+
+let set_burst t ep burst =
+  if burst < 0 then invalid_arg "Api.set_burst: negative burst";
+  Mem_port.store t.port (ep_field t ~ep:ep.index Layout.Burst) burst;
+  bump_epoch t
 
 let address t ep =
   (* Addresses carry node-global endpoint indices so the engine can
@@ -153,10 +194,14 @@ let buffer_complete t buf =
   | Some Msg_buffer.Complete -> true
   | Some Msg_buffer.Idle | None -> false
 
-let release_on t ~ep ~buf =
+let release_on ?(doorbell = false) t ~ep ~buf =
   let buf_addr = Layout.buffer_addr t.layout buf in
   match Buffer_queue.app_release t.port t.layout ~ep ~buf_addr with
   | Ok () ->
+      (* Order matters: queue release, then doorbell, then poke. The
+         engine re-checks doorbells before parking, so a ring that lands
+         while it runs is never lost; the poke wakes it if parked. *)
+      if doorbell then ring_doorbell t ~ep;
       Msg_engine.poke t.engine;
       Ok ()
   | Error `Full -> Error `Full
@@ -170,7 +215,7 @@ let send_with_dest t ep buf dest =
           Mem_port.instr t.port 6;
           Msg_buffer.set_dest t.port t.layout ~buf dest;
           Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
-          release_on t ~ep:ep.index ~buf)
+          release_on ~doorbell:true t ~ep:ep.index ~buf)
     in
     (match r with
     | Ok () ->

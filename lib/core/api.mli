@@ -82,6 +82,14 @@ val allocate_endpoint :
     must have drained its queue. *)
 val free_endpoint : t -> endpoint -> unit
 
+(** [set_priority]/[set_burst] change a send endpoint's transport
+    priority / per-iteration burst cap after allocation and bump the
+    schedule epoch, so the engine's cached priority schedule picks the
+    change up on its next iteration. *)
+val set_priority : t -> endpoint -> int -> unit
+
+val set_burst : t -> endpoint -> int -> unit
+
 (** The system-assigned opaque address receivers hand to senders. *)
 val address : t -> endpoint -> Address.t
 

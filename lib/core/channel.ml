@@ -24,9 +24,9 @@ type rx = {
   mutable r_corrupt : int;
 }
 
-let create_tx api ~dest ?(pool = 4) () =
+let create_tx api ~dest ?(pool = 4) ?priority ?burst () =
   if pool < 1 then invalid_arg "Channel.create_tx: pool < 1";
-  match Api.allocate_endpoint api ~kind:Endpoint_kind.Send () with
+  match Api.allocate_endpoint api ~kind:Endpoint_kind.Send ?priority ?burst () with
   | Error e -> Error (e :> error)
   | Ok ep -> (
       Api.connect api ep dest;

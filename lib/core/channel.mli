@@ -30,8 +30,17 @@ val error_to_string : error -> string
 (** {1 Sender} *)
 
 (** [create_tx api ~dest ()] allocates a send endpoint connected to
-    [dest] and a pool of [pool] buffers (default 4). *)
-val create_tx : Api.t -> dest:Address.t -> ?pool:int -> unit -> (tx, error) result
+    [dest] and a pool of [pool] buffers (default 4). [priority] and
+    [burst] pass through to {!Api.allocate_endpoint}'s transport
+    prioritization / capacity controls. *)
+val create_tx :
+  Api.t ->
+  dest:Address.t ->
+  ?pool:int ->
+  ?priority:int ->
+  ?burst:int ->
+  unit ->
+  (tx, error) result
 
 (** [send t payload] copies [payload] into a pool buffer and queues it.
     Spins (bounded by queue drain) for a reclaimable buffer when the pool

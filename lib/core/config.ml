@@ -1,5 +1,6 @@
 type lock_mode = Lock_free | Test_and_set
 type layout_mode = Padded | Packed
+type sched_mode = Doorbell | Full_scan
 
 type t = {
   message_bytes : int;
@@ -12,6 +13,8 @@ type t = {
   engine_poll_ns : int;
   engine_poll_jitter : float;
   engine_park_after : int;
+  engine_rx_burst : int;
+  sched_mode : sched_mode;
   validity_check_instrs : int;
   dma_setup_ns : int;
   dma_ns_per_byte : float;
@@ -32,6 +35,8 @@ let default =
     engine_poll_ns = 600;
     engine_poll_jitter = 0.25;
     engine_park_after = 64;
+    engine_rx_burst = 32;
+    sched_mode = Doorbell;
     validity_check_instrs = 50;
     dma_setup_ns = 550;
     dma_ns_per_byte = 0.625;
@@ -57,6 +62,7 @@ let validate t =
   else if t.engine_poll_jitter < 0. || t.engine_poll_jitter > 1. then
     Error "engine_poll_jitter must be in [0, 1]"
   else if t.engine_park_after < 1 then Error "engine_park_after must be >= 1"
+  else if t.engine_rx_burst < 1 then Error "engine_rx_burst must be >= 1"
   else if t.dma_setup_ns < 0 || t.dma_ns_per_byte < 0. then
     Error "DMA costs must be >= 0"
   else Ok t
@@ -65,8 +71,9 @@ let validate_exn t =
   match validate t with Ok t -> t | Error m -> invalid_arg ("Config: " ^ m)
 
 let pp fmt t =
-  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s checks=%b}" t.message_bytes
-    t.endpoints t.queue_capacity t.total_buffers
+  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s %s rx-burst=%d checks=%b}"
+    t.message_bytes t.endpoints t.queue_capacity t.total_buffers
     (match t.lock_mode with Lock_free -> "lock-free" | Test_and_set -> "locked")
     (match t.layout_mode with Padded -> "padded" | Packed -> "packed")
-    t.validity_checks
+    (match t.sched_mode with Doorbell -> "doorbell" | Full_scan -> "full-scan")
+    t.engine_rx_burst t.validity_checks

@@ -20,6 +20,14 @@
 type lock_mode = Lock_free | Test_and_set
 type layout_mode = Padded | Packed
 
+(** Engine scheduling ablation knob. [Doorbell] is the work-proportional
+    scheduler: the engine visits only send endpoints whose {!Layout.field}
+    [Send_pending] doorbell is raised and rebuilds its priority schedule
+    only when the schedule epoch changes. [Full_scan] is the original
+    scan-everything iteration, kept so the scan-cost experiment can
+    measure what the doorbells buy (see the [engine_scan] bench). *)
+type sched_mode = Doorbell | Full_scan
+
 type t = {
   message_bytes : int;  (** full message incl. 8-byte header; >= 64, mult. of 32 *)
   endpoints : int;  (** endpoint table size per node *)
@@ -39,6 +47,11 @@ type t = {
   engine_park_after : int;
       (** idle iterations before the simulated engine parks; a simulation
           artifact so runs terminate — see {!Msg_engine} *)
+  engine_rx_burst : int;
+      (** maximum incoming messages the engine deposits per loop
+          iteration; bounds iteration latency so one flooded node cannot
+          monopolize the non-preemptible loop *)
+  sched_mode : sched_mode;
   validity_check_instrs : int;  (** per-message instruction cost of checks *)
   dma_setup_ns : int;
   dma_ns_per_byte : float;

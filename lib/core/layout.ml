@@ -10,6 +10,7 @@ type field =
   | Release
   | Acquire
   | Drop_read
+  | Send_pending
   | Lock
   | Process
   | Drop_count
@@ -26,6 +27,7 @@ type global =
   | Engine_recvs
   | Engine_drops
   | Engine_rejects
+  | G_schedule_epoch
 
 type writer = App | Engine | Setup
 
@@ -33,7 +35,7 @@ let writer_of_field = function
   | Ep_type | Queue_base | Queue_capacity | Sem_flag | Priority | Burst
   | Allowed_node ->
       Setup
-  | Dest_addr | Release | Acquire | Drop_read | Lock -> App
+  | Dest_addr | Release | Acquire | Drop_read | Send_pending | Lock -> App
   | Process | Drop_count | Scan_stamp -> Engine
 
 let all_fields =
@@ -49,6 +51,7 @@ let all_fields =
     Release;
     Acquire;
     Drop_read;
+    Send_pending;
     Lock;
     Process;
     Drop_count;
@@ -73,7 +76,7 @@ let round_up n m = (n + m - 1) / m * m
 (* Field offsets within an endpoint record.
 
    Padded: three writer-segregated cache lines.
-   Packed: eleven contiguous words (44-byte stride), the pre-tuning layout. *)
+   Packed: sixteen contiguous words (64-byte stride), the pre-tuning layout. *)
 let field_off mode field =
   match (mode : Config.layout_mode) with
   | Config.Padded -> (
@@ -92,8 +95,16 @@ let field_off mode field =
       | Process -> 64
       | Drop_count -> 68
       | Scan_stamp -> 72
-      | Lock -> 96)
+      | Lock -> 96
+      | Send_pending -> 48)
   | Config.Packed -> (
+      (* The 64-byte stride puts every record at the same line phase
+         (table base 44, so record bytes [20, 52) are one line): the
+         engine's Scan_stamp bookkeeping at 44 lands in the same line as
+         the application's ring cursors (Release/Acquire) for {e every}
+         endpoint — each engine scan invalidates the application's cached
+         cursor line, the paper's "excessive numbers of cache
+         invalidations". *)
       match field with
       | Ep_type -> 0
       | Queue_base -> 4
@@ -106,10 +117,11 @@ let field_off mode field =
       | Release -> 32
       | Acquire -> 36
       | Drop_read -> 40
-      | Lock -> 44
+      | Scan_stamp -> 44
       | Process -> 48
       | Drop_count -> 52
-      | Scan_stamp -> 56)
+      | Lock -> 56
+      | Send_pending -> 60)
 
 let compute ?(base = 0) config =
   let config = Config.validate_exn config in
@@ -118,7 +130,7 @@ let compute ?(base = 0) config =
   let globals_bytes, ep_stride =
     match config.Config.layout_mode with
     | Config.Padded -> (64, 128)
-    | Config.Packed -> (40, 60)
+    | Config.Packed -> (44, 64)
   in
   let ep_table_off = base + globals_bytes in
   let slots_off = ep_table_off + (config.Config.endpoints * ep_stride) in
@@ -169,6 +181,15 @@ let global_addr t g =
   | Engine_sends -> t.base + stats_base + 8
   | Engine_recvs -> t.base + stats_base + 12
   | Engine_iterations -> t.base + stats_base + 16
+  | G_schedule_epoch -> (
+      (* Application-written, engine-read; bumped only on endpoint
+         allocate/free/priority/burst changes. Padded: the spare word of
+         the setup-constants line (written rarely, never by the engine).
+         Packed: appended after the engine statistics — one more word
+         sharing lines with everything else, in the pre-tuning spirit. *)
+      match t.config.Config.layout_mode with
+      | Config.Padded -> t.base + 20
+      | Config.Packed -> t.base + stats_base + 20)
 
 let check_ep t ep =
   if ep < 0 || ep >= t.config.Config.endpoints then

@@ -14,7 +14,7 @@
       a line boundary. Concurrent writes from the application and the
       engine can then never land in the same line.
     - {b Packed}: an endpoint's fields are laid out contiguously with a
-      44-byte stride, so application- and engine-written words share lines
+      64-byte stride, so application- and engine-written words share lines
       within and across endpoints — the layout the paper started from,
       whose false sharing caused "excessive numbers of cache
       invalidations".
@@ -44,6 +44,13 @@ type field =
   | Release  (** ring head: next slot the application fills *)
   | Acquire  (** ring tail: next slot the application reclaims *)
   | Drop_read  (** drop-counter snapshot; application-written *)
+  | Send_pending
+      (** send doorbell: a counter the application bumps after every
+          release onto a send endpoint's queue (single writer — the
+          application side, like {!Drop_read}). The engine keeps a private
+          shadow copy and visits the endpoint only when the shared word
+          differs from the shadow, making the idle scan work-proportional.
+          See DESIGN.md §11 *)
   | Lock  (** test-and-set word for the locked interface variants *)
   | Process  (** ring middle: next slot the engine processes; engine-written *)
   | Drop_count  (** messages discarded; engine-written *)
@@ -68,6 +75,11 @@ type global =
   | Engine_recvs
   | Engine_drops
   | Engine_rejects  (** messages rejected by validity checks *)
+  | G_schedule_epoch
+      (** schedule-invalidation epoch: bumped by the application interface
+          on endpoint allocate/free and priority/burst changes; the engine
+          rebuilds its cached priority schedule only when this word
+          differs from its cached copy. Application-written, engine-read *)
 
 (** Who writes a field during steady-state operation; drives the
     no-concurrent-writers and line-disjointness property tests. *)

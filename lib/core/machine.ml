@@ -223,6 +223,8 @@ let app_port n ~cpu =
     invalid_arg "Machine.app_port: bad cpu";
   n.cpu_ports.(cpu)
 
+let coproc_port n = n.coproc_port
+
 let api t ~node:i ?(cpu = 0) ?(comm = 0) () =
   let n = node t i in
   let c = comm_at n comm in

@@ -114,6 +114,11 @@ val app_cpus : node -> int
 (** [app_port n ~cpu] is application CPU [cpu]'s memory port. *)
 val app_port : node -> cpu:int -> Flipc_memsim.Mem_port.t
 
+(** [coproc_port n] is the message coprocessor's (engine's) memory port;
+    its {!Flipc_memsim.Mem_port} operation counters let benches measure
+    the engine's per-iteration memory traffic. *)
+val coproc_port : node -> Flipc_memsim.Mem_port.t
+
 (** [api t ~node ?cpu ?comm ()] is the FLIPC attachment for that CPU and
     communication buffer (cached). *)
 val api : t -> node:int -> ?cpu:int -> ?comm:int -> unit -> Api.t

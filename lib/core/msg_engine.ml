@@ -17,9 +17,14 @@ type stats = {
   mutable recvs : int;
   mutable drops : int;
   mutable rejects : int;
+  mutable unroutable : int;
   mutable bad_dest : int;
   mutable forbidden : int;
   mutable parks : int;
+  mutable doorbell_hits : int;
+  mutable sched_rebuilds : int;
+  mutable rx_truncations : int;
+  mutable idle_scans_avoided : int;
 }
 
 type t = {
@@ -34,9 +39,26 @@ type t = {
   mutable running : bool;
   mutable started : bool;
   mutable parked : (unit -> unit) option;
+  mutable poked : bool;
   mutable idle : int;
   prng : Prng.t;
   stats : stats;
+  (* Doorbell scheduler state (engine-private; see DESIGN.md §11).
+     [shadow] holds the last observed Send_pending value per node-global
+     endpoint; [pending] marks doorbells observed but not yet drained.
+     The schedule is three parallel arrays holding the allocated send
+     endpoints in (priority desc, endpoint asc) order, rebuilt only when
+     a communication buffer's G_schedule_epoch differs from
+     [cached_epoch]. All are preallocated: the steady-state iteration
+     allocates nothing. *)
+  shadow : int array;
+  pending : bool array;
+  hot : int array;  (* eager-visit countdown per endpoint; see iteration_doorbell *)
+  sched_ep : int array;
+  sched_prio : int array;
+  sched_burst : int array;
+  mutable sched_len : int;
+  cached_epoch : int array;  (* one per communication buffer *)
   mutable wakeup_hook : (ep:int -> unit) option;
   mutable trace : Flipc_sim.Trace.t option;
   mutable obs : Obs.t option;
@@ -53,11 +75,14 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
             invalid_arg
               "Msg_engine.create: all comm buffers must share one config")
         rest);
+  let config = Comm_buffer.config (List.hd comms) in
+  let layouts = Array.of_list (List.map Comm_buffer.layout comms) in
+  let total_eps = Array.length layouts * config.Config.endpoints in
   {
     sim;
     node;
-    layouts = Array.of_list (List.map Comm_buffer.layout comms);
-    config = Comm_buffer.config (List.hd comms);
+    layouts;
+    config;
     port;
     dma;
     transport;
@@ -65,6 +90,7 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
     running = false;
     started = false;
     parked = None;
+    poked = false;
     idle = 0;
     prng = Prng.create ~seed:(0x5EED + node);
     trace = None;
@@ -76,10 +102,23 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
         recvs = 0;
         drops = 0;
         rejects = 0;
+        unroutable = 0;
         bad_dest = 0;
         forbidden = 0;
         parks = 0;
+        doorbell_hits = 0;
+        sched_rebuilds = 0;
+        rx_truncations = 0;
+        idle_scans_avoided = 0;
       };
+    shadow = Array.make total_eps 0;
+    pending = Array.make total_eps false;
+    hot = Array.make total_eps 0;
+    sched_ep = Array.make total_eps 0;
+    sched_prio = Array.make total_eps 0;
+    sched_burst = Array.make total_eps 0;
+    sched_len = 0;
+    cached_epoch = Array.make (Array.length layouts) 0;
     wakeup_hook = None;
   }
 
@@ -101,9 +140,14 @@ let set_obs t obs =
   probe "recvs" (fun () -> t.stats.recvs);
   probe "drops" (fun () -> t.stats.drops);
   probe "rejects" (fun () -> t.stats.rejects);
+  probe "unroutable" (fun () -> t.stats.unroutable);
   probe "bad_dest" (fun () -> t.stats.bad_dest);
   probe "forbidden" (fun () -> t.stats.forbidden);
-  probe "parks" (fun () -> t.stats.parks)
+  probe "parks" (fun () -> t.stats.parks);
+  probe "doorbell_hits" (fun () -> t.stats.doorbell_hits);
+  probe "sched_rebuilds" (fun () -> t.stats.sched_rebuilds);
+  probe "rx_truncations" (fun () -> t.stats.rx_truncations);
+  probe "idle_scans_avoided" (fun () -> t.stats.idle_scans_avoided)
 
 let obs t = t.obs
 
@@ -118,15 +162,24 @@ let emit t ev =
    attached: it costs host time only, never virtual time. *)
 let lat t f = match t.obs with Some o -> f (Obs.latency o) | None -> ()
 
+(* With no trace attached, [Format.ikfprintf] consumes the arguments
+   without interpreting the format string: the disabled path formats
+   nothing (unlike [Fmt.kstr], which builds and then discards the
+   string). *)
 let trace t fmt =
   match t.trace with
   | Some tr ->
       Flipc_sim.Trace.recordf tr ~now:(Sim.now t.sim)
         ~tag:(Printf.sprintf "engine-%d" t.node)
         fmt
-  | None -> Fmt.kstr (fun _ -> ()) fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
+(* [poked] stays set across an iteration: the engine only parks after a
+   full iteration during which nobody poked it, closing the race where a
+   poke lands mid-iteration (a no-op on a running engine) just before
+   the park decision. *)
 let poke t =
+  t.poked <- true;
   match t.parked with
   | Some resume ->
       t.parked <- None;
@@ -168,6 +221,12 @@ let reject t layout =
   t.stats.rejects <- t.stats.rejects + 1;
   bump_global t layout Layout.Engine_rejects
 
+(* A message with a null or unresolvable destination belongs to no
+   communication buffer; charging it to buffer 0's globals would falsify
+   that buffer's statistics, so it is counted at node level only. *)
+let reject_unroutable t =
+  t.stats.unroutable <- t.stats.unroutable + 1
+
 let charge_validity t =
   if t.config.Config.validity_checks then
     Mem_port.instr t.port t.config.Config.validity_check_instrs
@@ -189,14 +248,14 @@ let handle_incoming t image =
   in
   if Address.is_null dest then begin
     discard Event.Bad_destination (-1);
-    reject t t.layouts.(0)
+    reject_unroutable t
   end
   else
     let global_ep = Address.endpoint dest in
     match resolve t global_ep with
     | None ->
         discard Event.Bad_destination global_ep;
-        reject t t.layouts.(0)
+        reject_unroutable t
     | Some (layout, ep) -> (
         let kind_word =
           Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
@@ -245,6 +304,24 @@ let handle_incoming t image =
             discard Event.Bad_destination global_ep;
             reject t layout)
 
+(* Deposit incoming messages, at most [engine_rx_burst] per iteration: the
+   loop is non-preemptible, so one flooded node must not monopolize an
+   iteration and starve the transmit path. A truncated drain reports work
+   remaining, which keeps the engine polling (and never parking) until the
+   backlog clears. *)
+let drain_incoming t =
+  let budget = t.config.Config.engine_rx_burst in
+  let handled = ref 0 in
+  while !handled < budget && not (Queue.is_empty t.incoming) do
+    incr handled;
+    handle_incoming t (Queue.pop t.incoming)
+  done;
+  if not (Queue.is_empty t.incoming) then begin
+    t.stats.rx_truncations <- t.stats.rx_truncations + 1;
+    true
+  end
+  else !handled > 0
+
 (* Protection check: an endpoint may be restricted to one destination
    node ("restrict where messages can be sent"). 0 means unrestricted. *)
 let destination_allowed t layout ~ep ~dest =
@@ -253,13 +330,19 @@ let destination_allowed t layout ~ep ~dest =
   in
   allowed = 0 || (not (Address.is_null dest) && Address.node dest = allowed - 1)
 
+(* Outcome of one endpoint drain. Constant constructors: the hot path
+   allocates nothing. *)
+type drain_result =
+  | Empty  (** ring was already empty *)
+  | Drained  (** transmitted work and emptied the ring *)
+  | Truncated  (** hit the burst cap; the ring may hold more *)
+
 (* Transmit messages the application has released on one send endpoint,
    at most [burst] per call; with no configured burst the cap is the ring
    capacity. An uncapped drain loop would let one saturating producer
    starve every other endpoint and the receive path: the producer can
    refill the ring as fast as the engine empties it, so the engine's
-   non-preemptible loop must bound its work per endpoint per iteration.
-   Returns true if any work was done. *)
+   non-preemptible loop must bound its work per endpoint per iteration. *)
 let process_sends t layout ~global_ep ~ep ~burst =
   let limit =
     if burst > 0 then burst else t.config.Config.queue_capacity - 1
@@ -267,8 +350,12 @@ let process_sends t layout ~global_ep ~ep ~burst =
   let progressed = ref false in
   let transmitted = ref 0 in
   let continue = ref true in
+  let truncated = ref false in
   while !continue do
-    if !transmitted >= limit then continue := false
+    if !transmitted >= limit then begin
+      truncated := true;
+      continue := false
+    end
     else
       match Buffer_queue.engine_peek t.port layout ~ep with
       | None -> continue := false
@@ -304,8 +391,7 @@ let process_sends t layout ~global_ep ~ep ~burst =
                  match t.transport.transmit ~dst:dest image with
                  | Ok () ->
                      t.stats.sends <- t.stats.sends + 1;
-                     trace t "transmit: ep %d -> %s" ep
-                       (Fmt.str "%a" Address.pp dest);
+                     trace t "transmit: ep %d -> %a" ep Address.pp dest;
                      lat t (fun l ->
                          Latency.engine_tx l ~now:(Sim.now t.sim) ~dst_node
                            ~dst_ep);
@@ -322,7 +408,7 @@ let process_sends t layout ~global_ep ~ep ~burst =
               Msg_buffer.set_state t.port layout ~buf Msg_buffer.Complete;
               Buffer_queue.engine_advance t.port layout ~ep ~cursor)
   done;
-  !progressed
+  if !truncated then Truncated else if !progressed then Drained else Empty
 
 let park t =
   t.stats.parks <- t.stats.parks + 1;
@@ -343,15 +429,172 @@ let poll_delay t =
     let offset = Prng.float t.prng (2. *. span) -. span in
     max 0 (base + int_of_float offset)
 
-let iteration t =
-  t.stats.iterations <- t.stats.iterations + 1;
-  Sim.delay (poll_delay t);
-  bump_global t t.layouts.(0) Layout.Engine_iterations;
-  let did_work = ref false in
-  while not (Queue.is_empty t.incoming) do
-    did_work := true;
-    handle_incoming t (Queue.pop t.incoming)
+let scan_stamp t layout ~ep =
+  Mem_port.store t.port
+    (Layout.ep_field layout ~ep Layout.Scan_stamp)
+    (t.stats.iterations land 0x3FFFFFFF)
+
+(* Rebuild the cached priority schedule from the endpoint tables — the
+   only full scan the doorbell engine ever does, and it runs only when an
+   epoch word changed. The cached epoch is captured {e before} this scan
+   (in [check_epochs]): a table change racing with the rebuild bumps the
+   epoch again, so the next iteration rescans. Insertion into the
+   preallocated parallel arrays keeps (priority desc, endpoint asc) order
+   without a sort; allocation order is ascending, so the insertion scan
+   only has to move strictly-lower-priority entries. *)
+let rebuild_schedule t =
+  t.stats.sched_rebuilds <- t.stats.sched_rebuilds + 1;
+  t.sched_len <- 0;
+  let eps = t.config.Config.endpoints in
+  for li = 0 to Array.length t.layouts - 1 do
+    let layout = t.layouts.(li) in
+    for ep = 0 to eps - 1 do
+      let kind_word =
+        Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
+      in
+      if kind_word <> Endpoint_kind.free_word then begin
+        scan_stamp t layout ~ep;
+        if kind_word = Endpoint_kind.to_word Endpoint_kind.Send then begin
+          let g = (li * eps) + ep in
+          let priority =
+            Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Priority)
+          in
+          let burst =
+            Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Burst)
+          in
+          (* Re-sync the shadow from the live doorbell and force one
+             visit. The shadow may be stale across a free/reallocate of
+             this slot (the fresh doorbell could coincide with the old
+             shadow value and be missed); one possibly-empty visit per
+             rebuild buys an unconditional invariant: entering the
+             schedule implies being visited. *)
+          t.shadow.(g) <-
+            Mem_port.load t.port
+              (Layout.ep_field layout ~ep Layout.Send_pending);
+          t.pending.(g) <- true;
+          let i = ref t.sched_len in
+          while !i > 0 && t.sched_prio.(!i - 1) < priority do
+            t.sched_ep.(!i) <- t.sched_ep.(!i - 1);
+            t.sched_prio.(!i) <- t.sched_prio.(!i - 1);
+            t.sched_burst.(!i) <- t.sched_burst.(!i - 1);
+            decr i
+          done;
+          t.sched_ep.(!i) <- g;
+          t.sched_prio.(!i) <- priority;
+          t.sched_burst.(!i) <- burst;
+          t.sched_len <- t.sched_len + 1
+        end
+      end
+    done
+  done
+
+(* Compare each scheduled endpoint's doorbell with the engine's shadow;
+   a difference means the application released onto that queue since the
+   engine last looked. The shadow is updated here — before the drain — so
+   a release that lands mid-drain (bumping the doorbell again) re-raises
+   [pending] on the next check rather than being absorbed silently. *)
+let check_doorbells t =
+  let eps = t.config.Config.endpoints in
+  for i = 0 to t.sched_len - 1 do
+    let g = t.sched_ep.(i) in
+    let layout = t.layouts.(g / eps) in
+    let ep = g mod eps in
+    let v =
+      Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Send_pending)
+    in
+    if v <> t.shadow.(g) then begin
+      t.shadow.(g) <- v;
+      t.pending.(g) <- true;
+      t.hot.(g) <- t.config.Config.engine_park_after;
+      t.stats.doorbell_hits <- t.stats.doorbell_hits + 1
+    end
+  done
+
+(* One check of all communication buffers' schedule epochs; returns true
+   (and updates the cached copies) when any differs. The cached value is
+   the one read {e before} the rebuild's table scan — see
+   [rebuild_schedule]. *)
+let check_epochs t =
+  let stale = ref false in
+  for li = 0 to Array.length t.layouts - 1 do
+    let e =
+      Mem_port.load t.port
+        (Layout.global_addr t.layouts.(li) Layout.G_schedule_epoch)
+    in
+    if e <> t.cached_epoch.(li) then begin
+      t.cached_epoch.(li) <- e;
+      stale := true
+    end
   done;
+  !stale
+
+(* Work-proportional iteration: epoch load per buffer + doorbell load per
+   allocated send endpoint, then visits only pending endpoints. An idle
+   iteration touches no endpoint table entry at all — the full
+   buffers x endpoints scan below ([iteration_full_scan]) is what this
+   avoids. *)
+let iteration_doorbell t =
+  let did_work = ref (drain_incoming t) in
+  let rebuilt = check_epochs t in
+  if rebuilt then rebuild_schedule t;
+  let eps = t.config.Config.endpoints in
+  let visited = ref 0 in
+  (* A second check+visit pass runs when the first drained work: a
+     release landing while the engine drains a queue rings its doorbell
+     after the queue store, and the second check picks it up in the same
+     iteration. The pass count is bounded so a saturating producer
+     cannot pin the engine inside one iteration. *)
+  let pass = ref 0 in
+  let again = ref true in
+  while !again && !pass < 2 do
+    incr pass;
+    again := false;
+    check_doorbells t;
+    for i = 0 to t.sched_len - 1 do
+      let g = t.sched_ep.(i) in
+      (* Visit when the doorbell fired, and keep visiting for a while
+         after it last fired ([hot] countdown): an eager visit peeks the
+         ring cursors directly, so a release on a recently-active
+         endpoint is caught by loads already in flight rather than
+         waiting out a full poll cycle for the next doorbell check — the
+         wide-net discovery the old always-scanning engine got for free.
+         Endpoints with no recent traffic decay back to the single
+         doorbell load, keeping idle cost proportional to {e active}
+         endpoints, which is the point of the scheduler. *)
+      if t.pending.(g) || t.hot.(g) > 0 then begin
+        incr visited;
+        if !pass = 1 && t.hot.(g) > 0 then t.hot.(g) <- t.hot.(g) - 1;
+        let layout = t.layouts.(g / eps) in
+        let ep = g mod eps in
+        scan_stamp t layout ~ep;
+        match
+          process_sends t layout ~global_ep:g ~ep ~burst:t.sched_burst.(i)
+        with
+        | Empty -> t.pending.(g) <- false
+        | Drained ->
+            t.pending.(g) <- false;
+            t.hot.(g) <- t.config.Config.engine_park_after;
+            did_work := true;
+            again := true
+        | Truncated ->
+            (* Burst cap hit: leave the doorbell pending so the endpoint
+               is revisited next iteration even if no new release rings
+               it. *)
+            t.hot.(g) <- t.config.Config.engine_park_after;
+            did_work := true
+      end
+    done
+  done;
+  if (not rebuilt) && !visited = 0 then
+    t.stats.idle_scans_avoided <- t.stats.idle_scans_avoided + 1;
+  !did_work
+
+(* The original scan-everything iteration, kept verbatim as the
+   [Full_scan] ablation: per-iteration cost is proportional to configured
+   endpoints (plus a list build and sort), which the engine_scan bench
+   contrasts with the doorbell path. *)
+let iteration_full_scan t =
+  let did_work = ref (drain_incoming t) in
   (* Scan every communication buffer's allocated endpoints, collecting
      send endpoints with their transport priorities; transmit in priority
      order (real-time prioritization of the basic transport), respecting
@@ -368,9 +611,7 @@ let iteration t =
         in
         if kind_word <> Endpoint_kind.free_word then begin
           (* Record scan progress for this endpoint (engine bookkeeping). *)
-          Mem_port.store t.port
-            (Layout.ep_field layout ~ep Layout.Scan_stamp)
-            (t.stats.iterations land 0x3FFFFFFF);
+          scan_stamp t layout ~ep;
           if kind_word = Endpoint_kind.to_word Endpoint_kind.Send then begin
             let priority =
               Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Priority)
@@ -378,25 +619,66 @@ let iteration t =
             let burst =
               Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Burst)
             in
-            sends := (priority, (li * t.config.Config.endpoints) + ep, burst) :: !sends
+            sends :=
+              (priority, (li * t.config.Config.endpoints) + ep, burst)
+              :: !sends
           end
         end
       done)
     t.layouts;
   let ordered =
-    List.sort (fun (pa, ea, _) (pb, eb, _) ->
+    List.sort
+      (fun (pa, ea, _) (pb, eb, _) ->
         match Int.compare pb pa with 0 -> Int.compare ea eb | c -> c)
       !sends
   in
   List.iter
     (fun (_, global_ep, burst) ->
       match resolve t global_ep with
-      | Some (layout, ep) ->
-          if process_sends t layout ~global_ep ~ep ~burst then
-            did_work := true
+      | Some (layout, ep) -> (
+          match process_sends t layout ~global_ep ~ep ~burst with
+          | Empty -> ()
+          | Drained | Truncated -> did_work := true)
       | None -> ())
     ordered;
   !did_work
+
+let iteration t =
+  t.stats.iterations <- t.stats.iterations + 1;
+  Sim.delay (poll_delay t);
+  bump_global t t.layouts.(0) Layout.Engine_iterations;
+  match t.config.Config.sched_mode with
+  | Config.Doorbell -> iteration_doorbell t
+  | Config.Full_scan -> iteration_full_scan t
+
+(* Untimed pre-park re-check ([Mem_port.peek] only — no suspension
+   points, so the whole check plus [Sim.suspend] is one atomic step of
+   the cooperative simulation): is there really nothing to do? In
+   doorbell mode this re-reads every scheduled doorbell, establishing the
+   no-lost-wakeup invariant the property test exercises: a doorbell rung
+   at any point before the park decision is seen here, and one rung after
+   it finds the engine parked and [poke]s it awake. *)
+let quiescent t =
+  Queue.is_empty t.incoming
+  &&
+  match t.config.Config.sched_mode with
+  | Config.Full_scan -> true
+  | Config.Doorbell ->
+      let eps = t.config.Config.endpoints in
+      let quiet = ref true in
+      for i = 0 to t.sched_len - 1 do
+        let g = t.sched_ep.(i) in
+        if t.pending.(g) then quiet := false
+        else
+          let layout = t.layouts.(g / eps) in
+          let ep = g mod eps in
+          if
+            Mem_port.peek t.port
+              (Layout.ep_field layout ~ep Layout.Send_pending)
+            <> t.shadow.(g)
+          then quiet := false
+      done;
+      !quiet
 
 let start t =
   if t.started then invalid_arg "Msg_engine.start: already started";
@@ -405,10 +687,17 @@ let start t =
   let name = Printf.sprintf "msg-engine-%d" t.node in
   Sim.spawn ~name t.sim (fun () ->
       while t.running do
+        t.poked <- false;
         if iteration t then t.idle <- 0
         else begin
           t.idle <- t.idle + 1;
-          if t.running && t.idle >= t.config.Config.engine_park_after then
-            park t
+          (* Park only after an entire iteration during which no poke
+             arrived and the final untimed re-check finds no work: no
+             release can fall between the check and the suspension. *)
+          if
+            t.running
+            && t.idle >= t.config.Config.engine_park_after
+            && (not t.poked) && quiescent t
+          then park t
         end
       done)

@@ -9,8 +9,18 @@
     interaction is through the wait-free queue and counter structures.
 
     Each loop iteration costs {!Config.engine_poll_ns} plus the memory
-    traffic of scanning endpoint cursors; this polling cost is a real part
-    of message latency and is visible in the FIG4 reproduction.
+    traffic of discovering work; this polling cost is a real part of
+    message latency and is visible in the FIG4 reproduction.
+
+    {b Scheduling.} With {!Config.sched_mode} = [Doorbell] (the default)
+    the iteration is work-proportional: the engine consults one schedule
+    epoch word per communication buffer and one [Send_pending] doorbell
+    word per {e allocated} send endpoint, visits only endpoints whose
+    doorbell is raised, and rebuilds its cached priority schedule only
+    when the epoch changed — no allocation, no sort, and no contact with
+    the endpoint table on an idle poll. [Full_scan] keeps the original
+    scan of every configured endpoint as an ablation. Both respect
+    per-endpoint bursts and {!Config.engine_rx_burst}. See DESIGN.md §11.
 
     {b Parking.} A real engine spins forever. So that simulations
     terminate, an engine with no work for [engine_park_after] consecutive
@@ -34,10 +44,23 @@ type stats = {
   mutable recvs : int;
   mutable drops : int;  (** messages discarded: no posted receive buffer *)
   mutable rejects : int;  (** messages rejected by validity checks *)
+  mutable unroutable : int;
+      (** arrivals with a null or unresolvable destination — they belong
+          to no communication buffer, so they are counted here at node
+          level instead of being charged to some buffer's globals *)
   mutable bad_dest : int;  (** sends with an undeliverable destination *)
   mutable forbidden : int;
       (** sends refused by the endpoint's destination restriction *)
   mutable parks : int;
+  mutable doorbell_hits : int;  (** doorbell observations that raised work *)
+  mutable sched_rebuilds : int;
+      (** cached-schedule rebuilds (epoch changes); constant under
+          steady-state traffic *)
+  mutable rx_truncations : int;
+      (** iterations whose incoming drain hit {!Config.engine_rx_burst} *)
+  mutable idle_scans_avoided : int;
+      (** doorbell-mode iterations that visited no endpoint — each one a
+          full table scan the [Full_scan] engine would have done *)
 }
 
 type t

@@ -7,11 +7,13 @@ type t = {
   cache : Cache.t;
   port : Bus.port;
   name : string;
+  mutable loads : int;
+  mutable stores : int;
 }
 
 let create ~engine ~mem ~bus ~cache ~name =
   let port = Bus.attach bus cache in
-  { engine; mem; bus; cache; port; name }
+  { engine; mem; bus; cache; port; name; loads = 0; stores = 0 }
 
 let name t = t.name
 let engine t = t.engine
@@ -20,12 +22,21 @@ let bus t = t.bus
 let cache t = t.cache
 
 let load t addr =
+  t.loads <- t.loads + 1;
   Engine.delay (Bus.read t.bus ~port:t.port ~addr);
   Shared_mem.load_int t.mem addr
 
 let store t addr v =
+  t.stores <- t.stores + 1;
   Engine.delay (Bus.write t.bus ~port:t.port ~addr);
   Shared_mem.store_int t.mem addr v
+
+let load_count t = t.loads
+let store_count t = t.stores
+
+let reset_counts t =
+  t.loads <- 0;
+  t.stores <- 0
 
 let test_and_set t addr =
   Engine.delay (Bus.locked_rmw t.bus ~port:t.port ~addr);

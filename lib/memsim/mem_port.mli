@@ -57,3 +57,15 @@ val instr : t -> int -> unit
 
 val peek : t -> int -> int
 val poke : t -> int -> int -> unit
+
+(** {1 Operation accounting}
+
+    Word loads/stores issued through this port since creation (or the
+    last {!reset_counts}); [peek]/[poke] and block transfers are not
+    counted. The [engine_scan] bench uses these to show the engine's
+    idle-iteration memory traffic is proportional to active endpoints,
+    not configured endpoints. *)
+
+val load_count : t -> int
+val store_count : t -> int
+val reset_counts : t -> unit

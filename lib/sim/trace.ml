@@ -48,7 +48,10 @@ let record t ~now ~tag message =
 let recordf t ~now ~tag fmt =
   if t.enabled then
     Fmt.kstr (fun message -> push t { time = now; tag; message }) fmt
-  else Fmt.kstr (fun _ -> ()) fmt
+  else
+    (* [ikfprintf] consumes the arguments without interpreting the format
+       string: a disabled trace formats nothing. *)
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let iter t f =
   let cap = Array.length t.slots in

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Compare two benchmark JSON documents (the BENCH_*.json files written
+# by bench/main.exe) leaf by leaf:
+#
+#   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [MAX_REGRESS_PCT]
+#
+# Prints every numeric leaf present in both documents with its absolute
+# and relative change. When MAX_REGRESS_PCT is given, exits 1 if any
+# latency-like leaf (name containing p50/p99/latency/one_way/_us/_ns)
+# grew by more than that percentage — the intended CI use is diffing a
+# fresh run against a committed baseline to catch perf regressions
+# without hand-reading the tables.
+#
+# Needs python3 for the JSON walk; degrades to a plain textual diff
+# (informational, never failing) when it is missing.
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 BASELINE.json CANDIDATE.json [MAX_REGRESS_PCT]" >&2
+  exit 2
+fi
+base=$1
+cand=$2
+max=${3:-}
+
+for f in "$base" "$cand"; do
+  [ -f "$f" ] || { echo "bench_diff: no such file: $f" >&2; exit 2; }
+done
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench_diff: python3 not available; falling back to textual diff" >&2
+  diff -u "$base" "$cand" || true
+  exit 0
+fi
+
+python3 - "$base" "$cand" "$max" <<'EOF'
+import json, sys
+
+base_path, cand_path, max_pct = sys.argv[1], sys.argv[2], sys.argv[3]
+limit = float(max_pct) if max_pct else None
+
+def leaves(doc, prefix=""):
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            yield from leaves(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            yield from leaves(v, f"{prefix}[{i}]")
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        yield prefix, float(doc)
+
+base = dict(leaves(json.load(open(base_path))))
+cand = dict(leaves(json.load(open(cand_path))))
+
+LATENCY_MARKERS = ("p50", "p99", "latency", "one_way", "_us", "_ns")
+regressions = []
+shared = sorted(set(base) & set(cand))
+if not shared:
+    print("bench_diff: no numeric leaves in common", file=sys.stderr)
+    sys.exit(2)
+
+width = max(len(k) for k in shared)
+for key in shared:
+    old, new = base[key], cand[key]
+    delta = new - old
+    rel = (delta / old * 100.0) if old else float("inf") if delta else 0.0
+    marker = ""
+    latencyish = any(m in key.lower() for m in LATENCY_MARKERS)
+    if limit is not None and latencyish and old and rel > limit:
+        marker = "  <-- REGRESSION"
+        regressions.append((key, old, new, rel))
+    if abs(delta) > 1e-12 or marker:
+        print(f"{key:<{width}}  {old:>14.4f} -> {new:>14.4f}  ({rel:+7.2f}%){marker}")
+
+only = sorted(set(base) ^ set(cand))
+if only:
+    print(f"({len(only)} leaves present in only one document)")
+
+if regressions:
+    print(
+        f"bench_diff: {len(regressions)} latency leaves regressed "
+        f"by more than {limit}%",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print("bench_diff: ok" + (f" (threshold {limit}%)" if limit is not None else ""))
+EOF

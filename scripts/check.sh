@@ -42,6 +42,39 @@ else
   grep -q '"traceEvents":\[' "$obs_tmp/trace.json"
 fi
 
+echo "== perf smoke =="
+# Scheduler work-proportionality gate: a short ping-pong must keep the
+# engine's cached schedule stable (--max-rebuilds exits 1 when any
+# node's rebuild counter exceeds the budget — rebuilds on the
+# steady-state path mean the hot loop is allocating and sorting again),
+# and the doorbell counters must show the wait-free wakeup path in use.
+dune exec bin/flipc_cli.exe -- engine --json --exchanges 40 --max-rebuilds 4 \
+  >"$obs_tmp/engine.json"
+# One small engine_scan size (ENGINE_SCAN_SIZES skips the expensive
+# 256-endpoint full-scan ablation): the doorbell engine's idle
+# iteration budget is one epoch load plus one doorbell load per
+# allocated send endpoint — with one sender that is 2 loads/iteration;
+# fail if it ever exceeds 4. BENCH_engine_scan.json is a gitignored
+# artifact, so regenerating it here is harmless.
+ENGINE_SCAN_SIZES=8 dune exec bench/main.exe -- engine_scan >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('$obs_tmp/engine.json'))
+eng = doc['engine']
+assert doc['sched_mode'] == 'doorbell', 'doorbell scheduling not the default'
+assert eng['node0.engine.doorbell_hits'] > 0, 'no doorbell hits recorded'
+assert eng['node0.engine.idle_scans_avoided'] > 0, 'no idle scans avoided'
+scan = json.load(open('BENCH_engine_scan.json'))
+for row in scan['sizes']:
+    loads = row['doorbell']['idle_loads_per_iter']
+    assert loads <= 4.0, f'idle loads/iter over budget: {loads}'
+"
+else
+  grep -q '"sched_mode":"doorbell"' "$obs_tmp/engine.json"
+  grep -q '"experiment":"engine_scan"' BENCH_engine_scan.json
+fi
+
 echo "== format =="
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
