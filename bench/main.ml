@@ -1100,7 +1100,10 @@ let fault_sweep () =
         let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
         Mailbox.put data_addr (Api.address api data_ep);
         Api.connect api ack_ep (Mailbox.take ack_addr);
-        let r = Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg () in
+        let r =
+          Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+            ~ack_ep ~config:rcfg ()
+        in
         let deadline = Flipc_sim.Vtime.ms 500 in
         while
           Retrans.delivered r < messages
@@ -1194,6 +1197,186 @@ let fault_sweep () =
                  :: ("wire_drops", Json.Int dropped)
                  :: summary_fields s))
              rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* RETRANS-MODES: selective repeat vs go-back-N on a reorder-heavy     *)
+(* wire — the ablation behind the SACK rework. Reordering is the case  *)
+(* that separates the two: SR buffers the overtakers and never touches *)
+(* the wire again, while GBN discards them and replays the window.     *)
+
+let retrans_modes () =
+  let module Sim = Flipc_sim.Engine in
+  let module Mailbox = Flipc_sim.Sync.Mailbox in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Faulty = Flipc_net.Faulty in
+  let module Retrans = Flipc_flow.Retrans in
+  let module Provision = Flipc_flow.Provision in
+  let ok = function
+    | Ok v -> v
+    | Error e -> failwith (Api.error_to_string e)
+  in
+  let messages =
+    match Sys.getenv_opt "RETRANS_MODES_MESSAGES" with
+    | Some s -> ( try int_of_string s with _ -> 2_000)
+    | None -> 2_000
+  in
+  let run ~kind ?cost ~fault ~rto_ns ~gap_ns ~mode () =
+    let config = Provision.config_for ~base:Config.default ~buffers:12 in
+    let machine =
+      match cost with
+      | Some cost -> Machine.create ~config ~cost ~fault kind ()
+      | None -> Machine.create ~config ~fault kind ()
+    in
+    let rcfg =
+      {
+        Retrans.default_config with
+        Retrans.rto_ns;
+        max_rto_ns = 8 * rto_ns;
+        mode;
+      }
+    in
+    let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+    let latencies = ref [] in
+    let sstats = ref (0, 0, 0) and acks = ref 0 in
+    Machine.spawn_app machine ~node:1 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        Mailbox.put data_addr (Api.address api data_ep);
+        Api.connect api ack_ep (Mailbox.take ack_addr);
+        let r =
+          Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+            ~ack_ep ~config:rcfg ()
+        in
+        let deadline = Flipc_sim.Vtime.s 8 in
+        while
+          Retrans.delivered r < messages
+          && Sim.now (Machine.sim machine) < deadline
+        do
+          match Retrans.recv r with
+          | Some payload ->
+              (* Latency from first transmission: recovery cost lands in
+                 the tail, where a real-time system feels it. *)
+              let stamp = Int64.to_int (Bytes.get_int64_le payload 0) in
+              let lat = Sim.now (Machine.sim machine) - stamp in
+              latencies := (float_of_int lat /. 1_000.) :: !latencies
+          | None -> Mem_port.instr (Api.port api) 200
+        done;
+        acks := Retrans.acks_sent r);
+    Machine.spawn_app machine ~node:0 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        Mailbox.put ack_addr (Api.address api ack_ep);
+        Api.connect api data_ep (Mailbox.take data_addr);
+        let s =
+          Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+            ~config:rcfg ()
+        in
+        for _ = 1 to messages do
+          let payload = Bytes.create 8 in
+          Bytes.set_int64_le payload 0
+            (Int64.of_int (Sim.now (Machine.sim machine)));
+          (match Retrans.send s payload with
+          | Ok () -> ()
+          | Error `Timeout -> failwith "retrans_modes: sender timed out");
+          Sim.delay gap_ns
+        done;
+        (match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 2) with
+        | Ok () -> ()
+        | Error `Timeout -> failwith "retrans_modes: flush timed out");
+        sstats :=
+          (Retrans.retransmits s, Retrans.srtt_ns s, Retrans.rto_current_ns s));
+    Machine.run machine;
+    Machine.stop_engines machine;
+    Machine.run machine;
+    let reordered =
+      match Machine.fault_stats machine with
+      | Some f -> f.Faulty.reordered
+      | None -> 0
+    in
+    let retransmits, srtt_ns, rto_cur = !sstats in
+    ( Summary.of_samples (List.rev !latencies),
+      List.length !latencies,
+      retransmits,
+      !acks,
+      srtt_ns,
+      rto_cur,
+      reordered )
+  in
+  let fabrics =
+    [
+      ( "mesh",
+        Machine.Mesh { cols = 2; rows = 1 },
+        None,
+        Faulty.config ~reorder:0.3 ~reorder_hold_ns:100_000 ~seed:17 (),
+        200_000,
+        25_000 );
+      ( "ethernet",
+        Machine.Ethernet { nodes = 2 },
+        Some Flipc_memsim.Cost_model.pc_cluster,
+        Faulty.config ~reorder:0.3 ~reorder_hold_ns:500_000 ~seed:17 (),
+        1_000_000,
+        100_000 );
+    ]
+  in
+  let t =
+    Table.create
+      ~title:
+        (Fmt.str
+           "RETRANS-MODES: SR vs go-back-N, 30%% reordered wire (%d x 8B)"
+           messages)
+      [
+        "fabric"; "mode"; "delivered"; "retransmits"; "acks"; "srtt us";
+        "p50 us"; "p99 us";
+      ]
+  in
+  let points =
+    List.concat_map
+      (fun (fname, kind, cost, fault, rto_ns, gap_ns) ->
+        List.map
+          (fun (mname, mode) ->
+            let s, delivered, retransmits, acks, srtt, rto_cur, reordered =
+              run ~kind ?cost ~fault ~rto_ns ~gap_ns ~mode ()
+            in
+            Table.add_row t
+              [
+                fname;
+                mname;
+                Table.cell_i delivered;
+                Table.cell_i retransmits;
+                Table.cell_i acks;
+                Table.cell_us (float_of_int srtt /. 1_000.);
+                Table.cell_us s.Summary.p50;
+                Table.cell_us s.Summary.p99;
+              ];
+            Json.Obj
+              (("fabric", Json.String fname)
+              :: ("mode", Json.String mname)
+              :: ("delivered", Json.Int delivered)
+              :: ("retransmits", Json.Int retransmits)
+              :: ("acks_sent", Json.Int acks)
+              :: ("srtt_ns", Json.Int srtt)
+              :: ("rto_current_ns", Json.Int rto_cur)
+              :: ("wire_reordered", Json.Int reordered)
+              :: summary_fields s))
+          [ ("sr", Retrans.Selective_repeat); ("gbn", Retrans.Go_back_n) ])
+      fabrics
+  in
+  Table.print t;
+  Fmt.pr
+    "selective repeat holds overtaken frames at the receiver, so a@.\
+     reordered wire costs it (almost) no wire traffic; go-back-N@.\
+     replays the window for every hole and its p99 absorbs the RTO@.\
+     backoff. The adaptive estimator keeps srtt near the fabric RTT@.\
+     in both modes.@.@.";
+  write_bench_json "retrans_modes"
+    [
+      ("workload", Json.String "retrans channel, 8B msgs, reorder 30%");
+      ("messages", Json.Int messages);
+      ("message_bytes", Json.Int 8);
+      ("points", Json.List points);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1518,6 +1701,9 @@ let experiments =
     ("distribution", "DISTRIBUTION  one-way latency histogram", distribution);
     ("faults", "FAULTS  reliable channel vs injected loss (extension)",
      fault_sweep);
+    ("retrans_modes",
+     "RETRANS-MODES  selective repeat vs go-back-N ablation (extension)",
+     retrans_modes);
     ("micro", "MICRO  Bechamel data-structure benches", micro);
   ]
 

@@ -423,7 +423,10 @@ let faults_cmd =
         let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
         Mailbox.put data_addr (Api.address api data_ep);
         Api.connect api ack_ep (Mailbox.take ack_addr);
-        let r = Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg () in
+        let r =
+          Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+            ~ack_ep ~config:rcfg ()
+        in
         let deadline = Flipc_sim.Vtime.s 4 in
         while
           Retrans.delivered r < msgs && Sim.now (Machine.sim machine) < deadline
@@ -495,6 +498,262 @@ let faults_cmd =
     Term.(
       const run $ trace_out $ fabric $ loss $ dup $ reorder $ seed $ msgs
       $ payload)
+
+(* --- retrans --- *)
+
+let retrans_cmd =
+  let module Sim = Flipc_sim.Engine in
+  let module Mailbox = Flipc_sim.Sync.Mailbox in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Faulty = Flipc_net.Faulty in
+  let module Retrans = Flipc_flow.Retrans in
+  let module Provision = Flipc_flow.Provision in
+  let module Json = Flipc_obs.Json in
+  let fabric =
+    let fabric_conv =
+      Arg.enum [ ("mesh", `Mesh); ("ethernet", `Ethernet); ("scsi", `Scsi) ]
+    in
+    Arg.(
+      value & opt fabric_conv `Mesh
+      & info [ "fabric" ] ~docv:"FABRIC"
+          ~doc:"Underlying fabric: mesh, ethernet or scsi.")
+  in
+  let mode =
+    let mode_conv = Arg.enum [ ("sr", `Sr); ("gbn", `Gbn) ] in
+    Arg.(
+      value & opt mode_conv `Sr
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Retransmission mode: sr (selective repeat, default) or gbn \
+             (go-back-N ablation).")
+  in
+  let reorder =
+    Arg.(
+      value & opt float 0.3
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:"Packet reordering probability (0..1).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ] ~docv:"P" ~doc:"Packet drop probability (0..1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ] ~docv:"P" ~doc:"Packet duplication probability (0..1).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed for fault injection (runs replay bit-identically).")
+  in
+  let msgs =
+    Arg.(
+      value & opt int 400
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages to deliver reliably.")
+  in
+  let json_flag =
+    let doc = "Emit one machine-readable JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_ratio =
+    let doc =
+      "Fail (exit 1) when retransmits/messages exceeds $(docv). Selective \
+       repeat on a reorder-only wire should barely retransmit, so a small \
+       bound makes a sharp CI smoke check."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-retransmit-ratio" ] ~docv:"R" ~doc)
+  in
+  let run trace fabric mode reorder drop dup seed msgs payload json_out
+      max_ratio =
+    with_trace trace @@ fun () ->
+    let check_prob name p =
+      if p < 0. || p > 1. then begin
+        Fmt.epr "flipc retrans: %s must be in [0,1] (got %g)@." name p;
+        exit 2
+      end
+    in
+    check_prob "--reorder" reorder;
+    check_prob "--drop" drop;
+    check_prob "--dup" dup;
+    let kind, cost, rto_ns, reorder_hold_ns =
+      match fabric with
+      | `Mesh ->
+          ( Machine.Mesh { cols = 2; rows = 1 },
+            Flipc_memsim.Cost_model.paragon,
+            200_000,
+            100_000 )
+      | `Ethernet ->
+          ( Machine.Ethernet { nodes = 2 },
+            Flipc_memsim.Cost_model.pc_cluster,
+            1_000_000,
+            500_000 )
+      | `Scsi ->
+          ( Machine.Scsi { nodes = 2 },
+            Flipc_memsim.Cost_model.pc_cluster,
+            1_000_000,
+            500_000 )
+    in
+    let rmode, mode_name =
+      match mode with
+      | `Sr -> (Retrans.Selective_repeat, "sr")
+      | `Gbn -> (Retrans.Go_back_n, "gbn")
+    in
+    let fault =
+      Faulty.config ~drop ~duplicate:dup ~reorder ~reorder_hold_ns ~seed ()
+    in
+    let config = Provision.config_for ~base:Config.default ~buffers:12 in
+    let machine = Machine.create ~config ~cost ~fault kind () in
+    let rcfg =
+      {
+        Retrans.default_config with
+        Retrans.rto_ns;
+        max_rto_ns = 8 * rto_ns;
+        mode = rmode;
+      }
+    in
+    let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+    let ok = function
+      | Ok v -> v
+      | Error e -> failwith (Api.error_to_string e)
+    in
+    let latencies = ref [] in
+    let r_stats = ref (0, 0, 0, 0, 0) and s_stats = ref (0, 0, 0, 0) in
+    Machine.spawn_app machine ~node:1 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        Mailbox.put data_addr (Api.address api data_ep);
+        Api.connect api ack_ep (Mailbox.take ack_addr);
+        let r =
+          Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+            ~ack_ep ~config:rcfg ()
+        in
+        let deadline = Flipc_sim.Vtime.s 8 in
+        while
+          Retrans.delivered r < msgs && Sim.now (Machine.sim machine) < deadline
+        do
+          match Retrans.recv r with
+          | Some p ->
+              let stamp = Int64.to_int (Bytes.get_int64_le p 0) in
+              latencies :=
+                (float_of_int (Sim.now (Machine.sim machine) - stamp) /. 1_000.)
+                :: !latencies
+          | None -> Mem_port.instr (Api.port api) 200
+        done;
+        r_stats :=
+          ( Retrans.duplicates r,
+            Retrans.reordered r,
+            Retrans.ooo_buffered r,
+            Retrans.acks_sent r,
+            Retrans.reacks_suppressed r ));
+    Machine.spawn_app machine ~node:0 (fun api ->
+        let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        Mailbox.put ack_addr (Api.address api ack_ep);
+        Api.connect api data_ep (Mailbox.take data_addr);
+        let s =
+          Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+            ~config:rcfg ()
+        in
+        let bytes = min (max payload 8) (Retrans.capacity api) in
+        for _ = 1 to msgs do
+          let p = Bytes.create bytes in
+          Bytes.set_int64_le p 0 (Int64.of_int (Sim.now (Machine.sim machine)));
+          (match Retrans.send s p with
+          | Ok () -> ()
+          | Error `Timeout -> failwith "sender timed out: peer unreachable?");
+          Sim.delay (4 * rto_ns / 32)
+        done;
+        (match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 2) with
+        | Ok () -> ()
+        | Error `Timeout -> failwith "flush timed out: peer unreachable?");
+        s_stats :=
+          ( Retrans.retransmits s,
+            Retrans.backpressure s,
+            Retrans.srtt_ns s,
+            Retrans.rto_current_ns s ));
+    (try Machine.run machine with
+    | Flipc_sim.Engine.Process_failure (_, Failure msg) ->
+        Fmt.epr "flipc retrans: %s@." msg;
+        exit 1);
+    Machine.stop_engines machine;
+    Machine.run machine;
+    let duplicates, reordered, ooo_buffered, acks_sent, reacks_suppressed =
+      !r_stats
+    in
+    let retransmits, backpressure, srtt_ns, rto_cur = !s_stats in
+    let delivered = List.length !latencies in
+    let summary = Summary.of_samples (List.rev !latencies) in
+    let ratio =
+      if msgs = 0 then 0. else float_of_int retransmits /. float_of_int msgs
+    in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("mode", Json.String mode_name);
+                ("messages", Json.Int msgs);
+                ("delivered", Json.Int delivered);
+                ("retransmits", Json.Int retransmits);
+                ("retransmit_ratio", Json.Float ratio);
+                ("backpressure", Json.Int backpressure);
+                ("srtt_ns", Json.Int srtt_ns);
+                ("rto_current_ns", Json.Int rto_cur);
+                ("duplicates", Json.Int duplicates);
+                ("reordered", Json.Int reordered);
+                ("ooo_buffered", Json.Int ooo_buffered);
+                ("acks_sent", Json.Int acks_sent);
+                ("reacks_suppressed", Json.Int reacks_suppressed);
+                ("p50_us", Json.Float summary.Summary.p50);
+                ("p99_us", Json.Float summary.Summary.p99);
+              ]))
+    else begin
+      (match Machine.fault_stats machine with
+      | Some f ->
+          Fmt.pr
+            "wire faults: dropped=%d duplicated=%d reordered=%d delayed=%d@."
+            f.Faulty.dropped f.Faulty.duplicated f.Faulty.reordered
+            f.Faulty.delayed
+      | None -> ());
+      Fmt.pr
+        "receiver (%s): delivered=%d dup-discards=%d reordered=%d \
+         ooo-buffered=%d acks=%d reacks-suppressed=%d@."
+        mode_name delivered duplicates reordered ooo_buffered acks_sent
+        reacks_suppressed;
+      Fmt.pr
+        "sender: retransmits=%d (ratio %.3f) backpressure=%d srtt=%dns \
+         rto=%dns@."
+        retransmits ratio backpressure srtt_ns rto_cur;
+      if delivered > 0 then
+        Fmt.pr "delivery latency: %a us@." Summary.pp summary
+    end;
+    match max_ratio with
+    | Some bound when ratio > bound ->
+        Fmt.epr
+          "flipc retrans: retransmit ratio %.3f exceeds --max-retransmit-ratio \
+           %.3f@."
+          ratio bound;
+        exit 1
+    | _ -> ()
+  in
+  let doc =
+    "Reliable delivery over a reordering/lossy fabric with the selective \
+     repeat vs go-back-N ablation and the adaptive-RTO probes exposed; \
+     $(b,--max-retransmit-ratio) turns it into a CI smoke check."
+  in
+  Cmd.v
+    (Cmd.info "retrans" ~doc)
+    Term.(
+      const run $ trace_out $ fabric $ mode $ reorder $ drop $ dup $ seed
+      $ msgs $ payload $ json_flag $ max_ratio)
 
 (* --- trace --- *)
 
@@ -779,6 +1038,7 @@ let () =
        (Cmd.group info
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
-            throughput_cmd; bulk_cmd; faults_cmd; trace_cmd; metrics_cmd;
+            throughput_cmd; bulk_cmd; faults_cmd; retrans_cmd; trace_cmd;
+            metrics_cmd;
             engine_cmd; info_cmd;
           ]))

@@ -26,6 +26,8 @@ let register_probes api ~ep fields =
         fields
   | None -> ()
 
+type mode = Selective_repeat | Go_back_n
+
 type config = {
   window : int;
   rto_ns : int;
@@ -33,6 +35,7 @@ type config = {
   ack_every : int;
   max_retries : int;
   spin_ns : int;
+  mode : mode;
 }
 
 let default_config =
@@ -43,13 +46,18 @@ let default_config =
     ack_every = 1;
     max_retries = 30;
     spin_ns = 200;
+    mode = Selective_repeat;
   }
 
 let header_bytes = 8
+let sack_width = 64
+let ack_bytes = 12
 let capacity api = Api.payload_bytes api - header_bytes
 
 let validate c =
   if c.window < 1 then invalid_arg "Retrans: window < 1";
+  if c.window > sack_width then
+    invalid_arg "Retrans: window exceeds SACK bitmap width";
   if c.rto_ns < 1 || c.max_rto_ns < c.rto_ns then
     invalid_arg "Retrans: bad timeout bounds";
   if c.ack_every < 1 then invalid_arg "Retrans: ack_every < 1";
@@ -83,8 +91,18 @@ let encode_frame api buf ~seq payload =
   Bytes.blit payload 0 framed header_bytes len;
   Api.write_payload api buf framed
 
-(* An in-flight message awaiting acknowledgement. *)
-type pending = { seq : int; payload : Bytes.t; mutable retries : int }
+(* An in-flight message awaiting acknowledgement. [sacked] means the
+   receiver reported holding it out of order (selective repeat only);
+   [retransmitted] excludes the frame from RTT sampling (Karn's rule:
+   an ack for it could belong to either transmission). *)
+type pending = {
+  seq : int;
+  payload : Bytes.t;
+  mutable retries : int;
+  mutable sacked : bool;
+  mutable sent_at : int;
+  mutable retransmitted : bool;
+}
 
 type sender = {
   s_api : Api.t;
@@ -98,7 +116,12 @@ type sender = {
   mutable s_acked : int;
   mutable timer : int; (* virtual time of the last protocol progress *)
   mutable rto_cur : int;
+  mutable srtt : int; (* smoothed RTT, ns; 0 until the first sample *)
+  mutable rttvar : int;
+  mutable rtt_samples : int;
+  mutable stall_rounds : int; (* consecutive zero-send RTO rounds *)
   mutable s_retransmits : int;
+  mutable s_backpressure : int;
   mutable s_ack_drops : int;
 }
 
@@ -122,7 +145,12 @@ let create_sender api ~sim ~data_ep ~ack_ep ?(config = default_config) () =
       s_acked = 0;
       timer = Engine.now sim;
       rto_cur = config.rto_ns;
+      srtt = 0;
+      rttvar = 0;
+      rtt_samples = 0;
+      stall_rounds = 0;
       s_retransmits = 0;
+      s_backpressure = 0;
       s_ack_drops = 0;
     }
   in
@@ -132,9 +160,33 @@ let create_sender api ~sim ~data_ep ~ack_ep ?(config = default_config) () =
       ("acked", fun () -> s.s_acked);
       ("inflight", fun () -> Queue.length s.inflight);
       ("rto_ns", fun () -> s.rto_cur);
+      ("srtt_ns", fun () -> s.srtt);
+      ("rttvar_ns", fun () -> s.rttvar);
+      ("backpressure", fun () -> s.s_backpressure);
       ("ack_drops", fun () -> s.s_ack_drops);
     ];
   s
+
+(* RFC 6298-style estimator in integer nanoseconds:
+   RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|, SRTT <- 7/8 SRTT + 1/8 R. *)
+let rtt_sample s r =
+  if r >= 0 then begin
+    if s.rtt_samples = 0 then begin
+      s.srtt <- r;
+      s.rttvar <- r / 2
+    end
+    else begin
+      s.rttvar <- ((3 * s.rttvar) + abs (s.srtt - r)) / 4;
+      s.srtt <- ((7 * s.srtt) + r) / 8
+    end;
+    s.rtt_samples <- s.rtt_samples + 1
+  end
+
+(* SRTT + 4*RTTVAR, clamped between the configured static value (now a
+   floor) and the backoff cap; the static value alone until measured. *)
+let computed_rto s =
+  if s.rtt_samples = 0 then s.cfg.rto_ns
+  else min s.cfg.max_rto_ns (max s.cfg.rto_ns (s.srtt + (4 * s.rttvar)))
 
 let reclaim_into_pool s =
   let rec loop () =
@@ -146,13 +198,25 @@ let reclaim_into_pool s =
   in
   loop ()
 
+let apply_sack s ~cum sack =
+  if sack <> 0L then
+    Queue.iter
+      (fun p ->
+        if (not p.sacked) && p.seq > cum && p.seq <= cum + sack_width then
+          if Int64.logand sack (Int64.shift_left 1L (p.seq - cum - 1)) <> 0L
+          then p.sacked <- true)
+      s.inflight
+
 let absorb_acks s =
   let progress = ref false in
+  let sampled = ref false in
   let rec loop () =
     match Api.receive s.s_api s.ack_ep with
     | None -> ()
     | Some buf ->
-        let cum = Int32.to_int (Bytes.get_int32_le (Api.read_payload s.s_api buf 4) 0) in
+        let b = Api.read_payload s.s_api buf ack_bytes in
+        let cum = Int32.to_int (Bytes.get_int32_le b 0) in
+        let sack = Bytes.get_int64_le b 4 in
         (match Api.post_receive s.s_api s.ack_ep buf with
         | Ok () -> ()
         | Error _ -> Api.free_buffer s.s_api buf);
@@ -160,23 +224,38 @@ let absorb_acks s =
           s.s_acked <- cum;
           progress := true
         end;
+        (* SACK bits are relative to this ack's own cumulative value and
+           stay truthful even when the ack is stale: the receiver never
+           gives a buffered frame back to the wire. *)
+        if s.cfg.mode = Selective_repeat then apply_sack s ~cum sack;
         loop ()
   in
   loop ();
   s.s_ack_drops <- s.s_ack_drops + Api.drops_read_and_reset s.s_api s.ack_ep;
   if !progress then begin
+    let now = Engine.now s.sim in
     while
       (not (Queue.is_empty s.inflight))
       && (Queue.peek s.inflight).seq <= s.s_acked
     do
-      ignore (Queue.pop s.inflight)
+      let p = Queue.pop s.inflight in
+      (* Karn's rule; skip SACK-held frames too — their ack was issued
+         long before the cumulative counter finally swept past them. *)
+      if (not p.retransmitted) && not p.sacked then begin
+        rtt_sample s (now - p.sent_at);
+        sampled := true
+      end
     done;
-    s.rto_cur <- s.cfg.rto_ns;
-    s.timer <- Engine.now s.sim
+    (* RFC 6298 §5.7: a backed-off RTO stands until a frame is acked
+       without retransmission; recomputing from a stale (or absent)
+       estimate here would undo the backoff and re-trigger the storm. *)
+    if !sampled then s.rto_cur <- computed_rto s;
+    s.timer <- now;
+    s.stall_rounds <- 0
   end
 
 (* Take a transmit buffer, waiting (bounded) for the engine to hand back
-   one of ours; [None] only if the engine has stopped processing. *)
+   one of ours; [None] only if none came back within the spin budget. *)
 let take_buffer s =
   let rec wait spins =
     reclaim_into_pool s;
@@ -191,34 +270,46 @@ let take_buffer s =
   in
   wait 0
 
+(* Hand one frame to the transport. [`Backpressure] means it never
+   reached the wire this attempt — transmit pool starved or the endpoint
+   ring momentarily full — so the caller must not account a
+   (re)transmission; the protocol simply retries on a later round. *)
 let transmit s ~seq payload =
   match take_buffer s with
-  | None -> Error `Timeout
+  | None ->
+      s.s_backpressure <- s.s_backpressure + 1;
+      `Backpressure
   | Some buf -> (
       encode_frame s.s_api buf ~seq payload;
       match Api.send s.s_api s.data_ep buf with
-      | Ok () -> Ok ()
+      | Ok () ->
+          s.stall_rounds <- 0;
+          `Sent
       | Error _ ->
-          (* Queue momentarily full: surrender the slot; the next
-             retransmission round retries. *)
           Queue.push buf s.pool;
-          Ok ())
+          s.s_backpressure <- s.s_backpressure + 1;
+          `Backpressure)
 
 let check_retransmit s =
-  if
-    (not (Queue.is_empty s.inflight))
-    && Engine.now s.sim - s.timer >= s.rto_cur
-  then
+  let now = Engine.now s.sim in
+  if (not (Queue.is_empty s.inflight)) && now - s.timer >= s.rto_cur then
     if (Queue.peek s.inflight).retries >= s.cfg.max_retries then Error `Timeout
     else begin
-      (* Go-back-N: resend the whole unacknowledged window in order. *)
-      let failed = ref false in
+      (* Selective repeat resends only the holes (frames the receiver
+         has not reported holding); go-back-N resends the whole window. *)
+      let sent_any = ref false in
+      let blocked = ref false in
       Queue.iter
         (fun p ->
-          if not !failed then begin
+          if
+            (not !blocked)
+            && not (s.cfg.mode = Selective_repeat && p.sacked)
+          then
             match transmit s ~seq:p.seq p.payload with
-            | Ok () ->
+            | `Sent ->
+                sent_any := true;
                 p.retries <- p.retries + 1;
+                p.retransmitted <- true;
                 s.s_retransmits <- s.s_retransmits + 1;
                 emit s.s_api (fun () ->
                     let addr = Api.address s.s_api s.data_ep in
@@ -228,12 +319,28 @@ let check_retransmit s =
                         ep = Address.endpoint addr;
                         seq = p.seq;
                       })
-            | Error `Timeout -> failed := true
-          end)
+            | `Backpressure -> blocked := true)
         s.inflight;
-      s.rto_cur <- min (s.rto_cur * 2) s.cfg.max_rto_ns;
-      s.timer <- Engine.now s.sim;
-      if !failed then Error `Timeout else Ok ()
+      if !sent_any then begin
+        s.rto_cur <- min (s.rto_cur * 2) s.cfg.max_rto_ns;
+        s.timer <- Engine.now s.sim;
+        s.stall_rounds <- 0;
+        Ok ()
+      end
+      else if !blocked then begin
+        (* Nothing reached the wire: backpressure, not peer silence.
+           Retry on the next pump; only give up once the transport has
+           refused max_retries consecutive rounds — the engine has
+           genuinely stopped draining our rings. *)
+        s.stall_rounds <- s.stall_rounds + 1;
+        if s.stall_rounds > s.cfg.max_retries then Error `Timeout else Ok ()
+      end
+      else begin
+        (* Every outstanding frame is SACK-held by the receiver; nothing
+           to resend until the cumulative counter moves. *)
+        s.timer <- now;
+        Ok ()
+      end
     end
   else Ok ()
 
@@ -256,19 +363,38 @@ let send s payload =
   in
   match wait_window () with
   | Error `Timeout -> Error `Timeout
-  | Ok () -> (
+  | Ok () ->
       let seq = s.next_seq in
       let copy = Bytes.copy payload in
       if Queue.is_empty s.inflight then begin
         s.timer <- Engine.now s.sim;
-        s.rto_cur <- s.cfg.rto_ns
+        if s.rtt_samples > 0 then s.rto_cur <- computed_rto s
       end;
-      match transmit s ~seq copy with
-      | Error `Timeout -> Error `Timeout
-      | Ok () ->
-          s.next_seq <- seq + 1;
-          Queue.push { seq; payload = copy; retries = 0 } s.inflight;
-          Ok ())
+      let rec xmit stalls =
+        match transmit s ~seq copy with
+        | `Sent ->
+            s.next_seq <- seq + 1;
+            Queue.push
+              {
+                seq;
+                payload = copy;
+                retries = 0;
+                sacked = false;
+                sent_at = Engine.now s.sim;
+                retransmitted = false;
+              }
+              s.inflight;
+            Ok ()
+        | `Backpressure -> (
+            if stalls >= s.cfg.max_retries then Error `Timeout
+            else
+              match pump s with
+              | Error `Timeout -> Error `Timeout
+              | Ok () ->
+                  Mem_port.instr (Api.port s.s_api) s.cfg.spin_ns;
+                  xmit (stalls + 1))
+      in
+      xmit 0
 
 let flush s ~timeout_ns =
   let deadline = Engine.now s.sim + timeout_ns in
@@ -288,36 +414,52 @@ let in_flight s = Queue.length s.inflight
 let acked s = s.s_acked
 let retransmits s = s.s_retransmits
 let ack_drops s = s.s_ack_drops
+let backpressure s = s.s_backpressure
+let srtt_ns s = s.srtt
+let rttvar_ns s = s.rttvar
+let rto_current_ns s = s.rto_cur
 
 type receiver = {
   r_api : Api.t;
+  r_sim : Engine.t;
   r_cfg : config;
   r_data_ep : Api.endpoint;
   r_ack_ep : Api.endpoint;
+  ooo : (int, Bytes.t) Hashtbl.t; (* out-of-order frames held for SACK *)
   mutable expected : int; (* highest in-order sequence accepted *)
   mutable pending_ack : int;
+  mutable anomalies : int; (* duplicates/gaps since the last ack *)
+  mutable last_ack_at : int;
   mutable r_delivered : int;
   mutable r_duplicates : int;
   mutable r_reordered : int;
+  mutable r_ooo_buffered : int; (* total frames ever held out of order *)
   mutable r_acks_sent : int;
+  mutable r_reacks_suppressed : int;
   mutable r_drops : int;
 }
 
-let create_receiver api ~data_ep ~ack_ep ?(config = default_config) () =
+let create_receiver api ~sim ~data_ep ~ack_ep ?(config = default_config) () =
   validate config;
   post_up_to api data_ep (config.window + 2);
   let r =
     {
       r_api = api;
+      r_sim = sim;
       r_cfg = config;
       r_data_ep = data_ep;
       r_ack_ep = ack_ep;
+      ooo = Hashtbl.create 16;
       expected = 0;
       pending_ack = 0;
+      anomalies = 0;
+      last_ack_at = Engine.now sim;
       r_delivered = 0;
       r_duplicates = 0;
       r_reordered = 0;
+      r_ooo_buffered = 0;
       r_acks_sent = 0;
+      r_reacks_suppressed = 0;
       r_drops = 0;
     }
   in
@@ -327,9 +469,22 @@ let create_receiver api ~data_ep ~ack_ep ?(config = default_config) () =
       ("duplicates", fun () -> r.r_duplicates);
       ("reordered", fun () -> r.r_reordered);
       ("acks_sent", fun () -> r.r_acks_sent);
+      ("ooo_buffered", fun () -> r.r_ooo_buffered);
+      ("ooo_held", fun () -> Hashtbl.length r.ooo);
+      ("reacks_suppressed", fun () -> r.r_reacks_suppressed);
       ("transport_drops", fun () -> r.r_drops);
     ];
   r
+
+let sack_bitmap r =
+  let bits = ref 0L in
+  Hashtbl.iter
+    (fun seq _ ->
+      let off = seq - r.expected - 1 in
+      if off >= 0 && off < sack_width then
+        bits := Int64.logor !bits (Int64.shift_left 1L off))
+    r.ooo;
+  !bits
 
 let send_ack r =
   let buf =
@@ -343,54 +498,102 @@ let send_ack r =
   match buf with
   | None -> () (* pool exhausted; a later ack supersedes this one *)
   | Some buf -> (
-      let b = Bytes.create 4 in
+      let b = Bytes.create ack_bytes in
       Bytes.set_int32_le b 0 (Int32.of_int r.expected);
+      Bytes.set_int64_le b 4 (sack_bitmap r);
       Api.write_payload r.r_api buf b;
       match Api.send r.r_api r.r_ack_ep buf with
       | Ok () ->
           r.r_acks_sent <- r.r_acks_sent + 1;
-          r.pending_ack <- 0
+          r.pending_ack <- 0;
+          r.anomalies <- 0;
+          r.last_ack_at <- Engine.now r.r_sim
       | Error _ -> Api.free_buffer r.r_api buf)
+
+(* A duplicate or unbufferable gap carries no new acknowledgement state;
+   re-ack at most once per [ack_every] such anomalies, or once per
+   static RTO when the last ack is old enough that it may have been
+   lost. Anything more is the ack storm the transport then drops. *)
+let maybe_reack r =
+  r.anomalies <- r.anomalies + 1;
+  if
+    r.anomalies >= r.r_cfg.ack_every
+    || Engine.now r.r_sim - r.last_ack_at >= r.r_cfg.rto_ns
+  then send_ack r
+  else r.r_reacks_suppressed <- r.r_reacks_suppressed + 1
 
 let repost r buf =
   match Api.post_receive r.r_api r.r_data_ep buf with
   | Ok () -> ()
   | Error _ -> Api.free_buffer r.r_api buf
 
+let deliver r ~seq payload =
+  r.expected <- seq;
+  r.r_delivered <- r.r_delivered + 1;
+  r.pending_ack <- r.pending_ack + 1;
+  if r.pending_ack >= r.r_cfg.ack_every then send_ack r;
+  Some payload
+
 let rec recv r =
   r.r_drops <- r.r_drops + Api.drops_read_and_reset r.r_api r.r_data_ep;
-  match Api.receive r.r_api r.r_data_ep with
-  | None -> None
-  | Some buf ->
-      let header = Api.read_payload r.r_api buf header_bytes in
-      let seq = Int32.to_int (Bytes.get_int32_le header 0) in
-      let len = Int32.to_int (Bytes.get_int32_le header 4) in
-      if seq < 1 || len < 0 || len > capacity r.r_api then begin
-        (* Not a retransmission frame; skip it. *)
-        repost r buf;
-        recv r
-      end
-      else if seq = r.expected + 1 then begin
-        let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
-        repost r buf;
-        r.expected <- seq;
-        r.r_delivered <- r.r_delivered + 1;
-        r.pending_ack <- r.pending_ack + 1;
-        if r.pending_ack >= r.r_cfg.ack_every then send_ack r;
-        Some payload
-      end
-      else begin
-        repost r buf;
-        if seq <= r.expected then
-          r.r_duplicates <- r.r_duplicates + 1
-        else r.r_reordered <- r.r_reordered + 1;
-        (* Re-acknowledge immediately so the sender unsticks. *)
-        send_ack r;
-        recv r
-      end
+  match Hashtbl.find_opt r.ooo (r.expected + 1) with
+  | Some payload ->
+      (* The hole below a buffered frame closed earlier; drain without
+         touching the wire. *)
+      Hashtbl.remove r.ooo (r.expected + 1);
+      deliver r ~seq:(r.expected + 1) payload
+  | None -> (
+      match Api.receive r.r_api r.r_data_ep with
+      | None -> None
+      | Some buf ->
+          let header = Api.read_payload r.r_api buf header_bytes in
+          let seq = Int32.to_int (Bytes.get_int32_le header 0) in
+          let len = Int32.to_int (Bytes.get_int32_le header 4) in
+          if seq < 1 || len < 0 || len > capacity r.r_api then begin
+            (* Not a retransmission frame; skip it. *)
+            repost r buf;
+            recv r
+          end
+          else if seq = r.expected + 1 then begin
+            let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
+            repost r buf;
+            deliver r ~seq payload
+          end
+          else if seq <= r.expected then begin
+            repost r buf;
+            r.r_duplicates <- r.r_duplicates + 1;
+            maybe_reack r;
+            recv r
+          end
+          else if
+            r.r_cfg.mode = Selective_repeat
+            && seq <= r.expected + sack_width
+            && not (Hashtbl.mem r.ooo seq)
+          then begin
+            (* Buffer the out-of-order frame instead of discarding it,
+               and ack immediately: the new SACK bit is exactly what
+               stops the sender from retransmitting this frame. *)
+            let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
+            repost r buf;
+            Hashtbl.replace r.ooo seq payload;
+            r.r_reordered <- r.r_reordered + 1;
+            r.r_ooo_buffered <- r.r_ooo_buffered + 1;
+            send_ack r;
+            recv r
+          end
+          else begin
+            repost r buf;
+            if r.r_cfg.mode = Selective_repeat && Hashtbl.mem r.ooo seq then
+              r.r_duplicates <- r.r_duplicates + 1
+            else r.r_reordered <- r.r_reordered + 1;
+            maybe_reack r;
+            recv r
+          end)
 
 let delivered r = r.r_delivered
 let duplicates r = r.r_duplicates
 let reordered r = r.r_reordered
 let acks_sent r = r.r_acks_sent
+let reacks_suppressed r = r.r_reacks_suppressed
+let ooo_buffered r = r.r_ooo_buffered
 let transport_drops r = r.r_drops

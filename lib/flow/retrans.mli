@@ -7,7 +7,7 @@
     sender/receiver pair that turns raw endpoints into an exactly-once,
     in-order channel, implemented entirely above the transport.
 
-    {b Protocol.} Each data message carries an 8-byte library header
+    {b Data frames.} Each data message carries an 8-byte library header
     inside FLIPC's fixed-size payload:
 
     {v
@@ -16,39 +16,68 @@
       bytes 8..    application payload
     v}
 
-    The receiver delivers strictly in sequence (go-back-N): an in-order
-    message advances the cumulative counter and is handed to the
-    application exactly once; a duplicate or out-of-order message is
-    discarded and re-acknowledged. Acknowledgements flow on a dedicated
-    reverse endpoint pair, credit-style: each ack message carries the
-    receiver's {e cumulative} highest in-order sequence (int32 LE), so a
-    lost ack is repaired by any later ack. The sender keeps at most
-    [window] unacknowledged messages in flight (the ack doubles as the
-    credit return), retransmits the whole in-flight window when the
-    oldest message outlives the current timeout, and backs the timeout
-    off exponentially ([rto_ns] doubling up to [max_rto_ns]) until an
-    acknowledgement makes progress. After [max_retries] unanswered
-    rounds the sender reports [`Timeout] instead of spinning forever. *)
+    {b Acknowledgements} flow on a dedicated reverse endpoint pair,
+    credit-style, as 12-byte frames:
+
+    {v
+      bytes 0..3   cumulative highest in-order sequence (int32 LE)
+      bytes 4..11  SACK bitmap (int64 LE): bit i set means the receiver
+                   holds sequence cum+1+i out of order
+    v}
+
+    A lost ack is repaired by any later ack: both fields only describe
+    state the receiver never gives back.
+
+    {b Recovery.} The default mode is {e selective repeat}: the receiver
+    buffers up to [window] out-of-order payloads (the SACK bitmap
+    advertises them) and the sender retransmits only the unacknowledged
+    holes when the oldest in-flight message outlives the current
+    timeout. [Go_back_n] is kept as the ablation mode: out-of-order
+    arrivals are discarded and a timeout resends the whole window.
+
+    The retransmission timeout adapts to the measured round trip in the
+    RFC 6298 style — [SRTT], [RTTVAR] and [RTO = SRTT + 4*RTTVAR] —
+    with Karn's rule (a retransmitted or SACK-repaired frame is never
+    sampled). The configured [rto_ns] is only the initial value and
+    floor; an unanswered round still backs the live timeout off
+    exponentially up to [max_rto_ns]. After [max_retries] unanswered
+    retransmissions of the oldest frame the sender reports [`Timeout].
+    Local backpressure (transmit-pool starvation or a momentarily full
+    send ring) is {e not} counted toward that verdict: it is "no
+    progress this round" and the RTO loop retries, giving up only after
+    [max_retries] consecutive rounds in which nothing could reach the
+    wire at all. *)
+
+(** Recovery discipline; [Go_back_n] is the ablation mode. *)
+type mode = Selective_repeat | Go_back_n
 
 type config = {
-  window : int;  (** max unacknowledged messages in flight *)
-  rto_ns : int;  (** initial retransmission timeout (virtual ns) *)
-  max_rto_ns : int;  (** exponential-backoff cap *)
+  window : int;  (** max unacknowledged messages in flight (<= 64) *)
+  rto_ns : int;  (** initial retransmission timeout and floor (virtual ns) *)
+  max_rto_ns : int;  (** exponential-backoff / adaptive-RTO cap *)
   ack_every : int;
-      (** acknowledge every n in-order messages (1 = every message;
-          duplicates and gaps are always acknowledged immediately) *)
+      (** acknowledge every n in-order messages, and re-acknowledge at
+          most once per n duplicate/gap anomalies (1 = every one) *)
   max_retries : int;  (** retransmission rounds before [`Timeout] *)
   spin_ns : int;  (** CPU time charged per bounded-wait poll iteration *)
+  mode : mode;
 }
 
 (** [window = 8], [rto_ns = 1ms], [max_rto_ns = 8ms], [ack_every = 1],
-    [max_retries = 30], [spin_ns = 200]. The timeout must exceed the
-    fabric's round-trip time; 1 ms covers every fabric modelled here. *)
+    [max_retries = 30], [spin_ns = 200], [mode = Selective_repeat]. The
+    initial timeout must exceed the fabric's round-trip time; 1 ms
+    covers every fabric modelled here, and the estimator pulls the live
+    timeout toward the measured round trip from the first ack on. *)
 val default_config : config
 
 (** Largest application payload per message
     (= {!Flipc.Api.payload_bytes} - 8 bytes of sequence header). *)
 val capacity : Flipc.Api.t -> int
+
+(** SACK bitmap width: out-of-order frames at most this far above the
+    cumulative sequence can be advertised (and [window] may not exceed
+    it). *)
+val sack_width : int
 
 (** {1 Sender} *)
 
@@ -58,7 +87,7 @@ type sender
     endpoint [data_ep] and a receive endpoint [ack_ep] (the peer's ack
     channel targets it; ack receive buffers are posted here, sized from
     the window). [sim] supplies virtual time for the retransmission
-    timer. *)
+    timer and RTT samples. *)
 val create_sender :
   Flipc.Api.t ->
   sim:Flipc_sim.Engine.t ->
@@ -72,7 +101,8 @@ val create_sender :
     stashing a copy for retransmission. Blocks (bounded) while the window
     is full, pumping acknowledgements and retransmissions; [`Timeout]
     once the oldest in-flight message has been retransmitted
-    [max_retries] times without progress — the peer is unreachable.
+    [max_retries] times without progress — the peer is unreachable — or
+    after [max_retries] consecutive rounds of pure local backpressure.
     Raises [Invalid_argument] if the payload exceeds [capacity]. *)
 val send : sender -> Bytes.t -> (unit, [ `Timeout ]) result
 
@@ -90,8 +120,24 @@ val in_flight : sender -> int
 (** Highest cumulative sequence acknowledged by the peer. *)
 val acked : sender -> int
 
-(** Data messages retransmitted so far. *)
+(** Data messages actually retransmitted on the wire so far. Attempts
+    refused by the transport (see {!backpressure}) are not counted. *)
 val retransmits : sender -> int
+
+(** Transmit attempts that never reached the wire: the transmit pool
+    was starved or the send ring full at that moment. *)
+val backpressure : sender -> int
+
+(** Smoothed round-trip estimate in virtual ns (0 until the first
+    un-retransmitted frame is cumulatively acknowledged). *)
+val srtt_ns : sender -> int
+
+(** RTT variance estimate in virtual ns. *)
+val rttvar_ns : sender -> int
+
+(** The live retransmission timeout: [SRTT + 4*RTTVAR] clamped to
+    [rto_ns .. max_rto_ns], times any active exponential backoff. *)
+val rto_current_ns : sender -> int
 
 (** Ack messages the transport discarded at this endpoint (no posted
     buffer); recovery is inherent — any later ack supersedes them. *)
@@ -101,11 +147,13 @@ val ack_drops : sender -> int
 
 type receiver
 
-(** [create_receiver api ~data_ep ~ack_ep ()] posts receive buffers on
-    [data_ep] (sized from the window) and acknowledges through [ack_ep],
-    a send endpoint already connected to the sender's [ack_ep]. *)
+(** [create_receiver api ~sim ~data_ep ~ack_ep ()] posts receive buffers
+    on [data_ep] (sized from the window) and acknowledges through
+    [ack_ep], a send endpoint already connected to the sender's
+    [ack_ep]. [sim] supplies virtual time for re-ack rate limiting. *)
 val create_receiver :
   Flipc.Api.t ->
+  sim:Flipc_sim.Engine.t ->
   data_ep:Flipc.Api.endpoint ->
   ack_ep:Flipc.Api.endpoint ->
   ?config:config ->
@@ -113,23 +161,32 @@ val create_receiver :
   receiver
 
 (** [recv t] polls for the next in-sequence payload: exactly-once,
-    in-order. Duplicates and out-of-order arrivals are consumed,
-    counted and re-acknowledged internally. *)
+    in-order. Duplicates are consumed and counted; out-of-order
+    arrivals are buffered (selective repeat) or discarded
+    ([Go_back_n]), and re-acknowledged at most once per [ack_every]
+    anomalies or per static-RTO tick. *)
 val recv : receiver -> Bytes.t option
 
 (** In-order messages delivered to the application. *)
 val delivered : receiver -> int
 
-(** Messages discarded as already-delivered (retransmission overlap or
-    wire duplication). *)
+(** Messages discarded as already-delivered or already-buffered
+    (retransmission overlap or wire duplication). *)
 val duplicates : receiver -> int
 
-(** Messages discarded because they arrived beyond the next expected
-    sequence (go-back-N recovers them by retransmission). *)
+(** Messages that arrived beyond the next expected sequence: buffered
+    under selective repeat, discarded under [Go_back_n]. *)
 val reordered : receiver -> int
 
 (** Acknowledgement messages sent. *)
 val acks_sent : receiver -> int
+
+(** Re-acknowledgements suppressed by the anomaly rate limit. *)
+val reacks_suppressed : receiver -> int
+
+(** Total out-of-order payloads ever buffered for selective repeat
+    (the [ooo_held] probe exposes the live occupancy instead). *)
+val ooo_buffered : receiver -> int
 
 (** Data messages the transport discarded at this endpoint since
     creation (no posted buffer — the optimistic discard the paper

@@ -33,12 +33,31 @@ type stats = {
 
 (* Keyed on the shared Fabric.stats record by physical identity, like
    Mesh.contention_stall_ns: the record is mutable so it cannot be a hash
-   key, and fabrics live as long as their machines. *)
-let registry : (Fabric.stats * stats) list ref = ref []
+   key. The key is held weakly so a dead machine's fabric does not pin
+   its tally forever, dead entries are swept on every [wrap], and a hard
+   cap bounds the table even when stats records stay strongly rooted
+   elsewhere (e.g. Mesh's contention table). Wrapping the same inner
+   fabric twice finds one entry: both layers tally into it, so
+   [stats_of] stays unambiguous instead of answering for whichever wrap
+   registered last. *)
+type entry = { key : Fabric.stats Weak.t; tally : stats }
+
+let registry : entry list ref = ref []
+let registry_cap = 64
+let entry_key e = Weak.get e.key 0
+let sweep () = registry := List.filter (fun e -> entry_key e <> None) !registry
+
+let registry_size () =
+  sweep ();
+  List.length !registry
+
+let find_entry stats =
+  List.find_opt
+    (fun e -> match entry_key e with Some s -> s == stats | None -> false)
+    !registry
 
 let stats_of (fabric : Fabric.t) =
-  Option.map snd
-    (List.find_opt (fun (s, _) -> s == fabric.Fabric.stats) !registry)
+  Option.map (fun e -> e.tally) (find_entry fabric.Fabric.stats)
 
 let validate_prob name p =
   if p < 0.0 || p > 1.0 then
@@ -51,8 +70,21 @@ let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
   if c.reorder_hold_ns < 0 || c.jitter_ns < 0 then
     invalid_arg "Faulty.wrap: negative delay bound";
   let rng = Prng.create ~seed:c.seed in
-  let stats = { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 } in
-  registry := (inner.Fabric.stats, stats) :: !registry;
+  sweep ();
+  let stats =
+    match find_entry inner.Fabric.stats with
+    | Some e -> e.tally (* double wrap: merge into the existing tally *)
+    | None ->
+        let tally =
+          { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 }
+        in
+        let key = Weak.create 1 in
+        Weak.set key 0 (Some inner.Fabric.stats);
+        registry := { key; tally } :: !registry;
+        if List.length !registry > registry_cap then
+          registry := List.filteri (fun i _ -> i < registry_cap) !registry;
+        tally
+  in
   (match obs with
   | Some o ->
       let m = Flipc_obs.Obs.metrics o in

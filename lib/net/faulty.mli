@@ -66,5 +66,13 @@ val wrap :
 
 (** [stats_of fabric] finds the fault tally of a wrapped fabric (matched
     through the shared stats record, so both the wrapper and the underlying
-    fabric resolve), or [None] for an unwrapped fabric. *)
+    fabric resolve), or [None] for an unwrapped fabric. Wrapping the same
+    inner fabric more than once merges every layer's faults into a single
+    tally, so the answer does not depend on wrap order. *)
 val stats_of : Fabric.t -> stats option
+
+(** Live entries in the internal fabric→tally registry. Dead fabrics are
+    swept (the key is weak) and the table is hard-capped, so this stays
+    bounded across arbitrarily many machine creations; exposed for the
+    regression tests. *)
+val registry_size : unit -> int

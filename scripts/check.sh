@@ -75,6 +75,34 @@ else
   grep -q '"experiment":"engine_scan"' BENCH_engine_scan.json
 fi
 
+echo "== retrans smoke =="
+# Selective-repeat gate: on a reorder-only wire (no loss) the SACK
+# receiver buffers the overtaken frames, so the sender should barely
+# retransmit — the ratio bound exits 1 if selective repeat regresses
+# toward go-back-N behaviour. The retrans_modes bench then records the
+# SR-vs-GBN ablation (BENCH_retrans_modes.json is a gitignored
+# artifact) and the JSON is checked for the headline invariant:
+# selective repeat strictly fewer retransmits than go-back-N.
+dune exec bin/flipc_cli.exe -- retrans --reorder 0.3 --messages 300 \
+  --max-retransmit-ratio 0.15 >/dev/null
+RETRANS_MODES_MESSAGES=300 dune exec bench/main.exe -- retrans_modes >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('BENCH_retrans_modes.json'))
+points = {(p['fabric'], p['mode']): p for p in doc['points']}
+for fabric in ('mesh', 'ethernet'):
+    sr, gbn = points[(fabric, 'sr')], points[(fabric, 'gbn')]
+    assert sr['delivered'] == doc['messages'], f'{fabric}: sr lost messages'
+    assert gbn['delivered'] == doc['messages'], f'{fabric}: gbn lost messages'
+    assert sr['retransmits'] < gbn['retransmits'], \
+        f'{fabric}: selective repeat not cheaper than go-back-N'
+    assert sr['srtt_ns'] > 0, f'{fabric}: RTT estimator never sampled'
+"
+else
+  grep -q '"experiment":"retrans_modes"' BENCH_retrans_modes.json
+fi
+
 echo "== format =="
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt

@@ -135,29 +135,50 @@ type reliable_result = {
   reordered : int;
   transport_drops : int;
   fault_dropped : int;
+  acks_sent : int;
+  reacks_suppressed : int;
+  srtt_ns : int;
+  rto_current_ns : int;
+  elapsed_ns : int;
 }
 
-let run_reliable ~kind ?cost ~fault ~messages ~rto_ns () =
+let run_reliable ~kind ?cost ~fault ~messages ~rto_ns
+    ?(mode = Retrans.Selective_repeat) ?(ack_every = 1) () =
   let config = Provision.config_for ~base:Config.default ~buffers:12 in
   let machine =
     match cost with
     | Some cost -> Machine.create ~config ~cost ~fault kind ()
     | None -> Machine.create ~config ~fault kind ()
   in
-  let rcfg = { Retrans.default_config with Retrans.rto_ns; max_rto_ns = 8 * rto_ns } in
+  let rcfg =
+    {
+      Retrans.default_config with
+      Retrans.rto_ns;
+      max_rto_ns = 8 * rto_ns;
+      mode;
+      ack_every;
+    }
+  in
   let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
   let got = ref [] in
-  let rstats = ref (0, 0, 0) in
-  let sstats = ref 0 in
+  let rstats = ref (0, 0, 0, 0, 0) in
+  let sstats = ref (0, 0, 0) in
+  (* With ack_every > 1 the receiver still owes withheld tail acks after
+     the last delivery, so it must keep servicing retransmitted frames
+     until the sender's flush has returned. *)
+  let sender_done = ref false in
   Machine.spawn_app machine ~node:1 (fun api ->
       let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
       let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
       Mailbox.put data_addr (Api.address api data_ep);
       Api.connect api ack_ep (Mailbox.take ack_addr);
-      let r = Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg () in
+      let r =
+        Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
       let deadline = Vtime.ms 4_000 in
       while
-        Retrans.delivered r < messages
+        (Retrans.delivered r < messages || not !sender_done)
         && Sim.now (Machine.sim machine) < deadline
       do
         match Retrans.recv r with
@@ -165,7 +186,11 @@ let run_reliable ~kind ?cost ~fault ~messages ~rto_ns () =
         | None -> Mem_port.instr (Api.port api) 200
       done;
       rstats :=
-        (Retrans.duplicates r, Retrans.reordered r, Retrans.transport_drops r));
+        ( Retrans.duplicates r,
+          Retrans.reordered r,
+          Retrans.transport_drops r,
+          Retrans.acks_sent r,
+          Retrans.reacks_suppressed r ));
   Machine.spawn_app machine ~node:0 (fun api ->
       let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
       let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
@@ -183,11 +208,16 @@ let run_reliable ~kind ?cost ~fault ~messages ~rto_ns () =
       (match Retrans.flush s ~timeout_ns:(Vtime.ms 2_000) with
       | Ok () -> ()
       | Error `Timeout -> Alcotest.fail "flush timed out");
-      sstats := Retrans.retransmits s);
+      sender_done := true;
+      sstats :=
+        (Retrans.retransmits s, Retrans.srtt_ns s, Retrans.rto_current_ns s));
   Machine.run machine;
   Machine.stop_engines machine;
   Machine.run machine;
-  let duplicates, reordered, transport_drops = !rstats in
+  let duplicates, reordered, transport_drops, acks_sent, reacks_suppressed =
+    !rstats
+  in
+  let retransmits, srtt_ns, rto_current_ns = !sstats in
   let fault_dropped =
     match Machine.fault_stats machine with
     | Some f -> f.Faulty.dropped
@@ -195,11 +225,16 @@ let run_reliable ~kind ?cost ~fault ~messages ~rto_ns () =
   in
   {
     got = List.rev !got;
-    retransmits = !sstats;
+    retransmits;
     duplicates;
     reordered;
     transport_drops;
     fault_dropped;
+    acks_sent;
+    reacks_suppressed;
+    srtt_ns;
+    rto_current_ns;
+    elapsed_ns = Sim.now (Machine.sim machine);
   }
 
 let expect_exactly_once ~messages r =
@@ -294,7 +329,9 @@ let test_sender_times_out_on_dead_peer () =
       Mailbox.put data_addr (Api.address api data_ep);
       Api.connect api ack_ep (Mailbox.take ack_addr);
       (* Receiver exists but every packet (both directions) is dropped. *)
-      ignore (Retrans.create_receiver api ~data_ep ~ack_ep ~config:rcfg ()));
+      ignore
+        (Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+           ~ack_ep ~config:rcfg ()));
   Machine.spawn_app machine ~node:0 (fun api ->
       let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
       let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
@@ -313,6 +350,268 @@ let test_sender_times_out_on_dead_peer () =
   | Some (Error `Timeout) -> ()
   | Some (Ok ()) -> Alcotest.fail "flush succeeded with a 100% lossy wire"
   | None -> Alcotest.fail "sender never completed"
+
+(* ------------------------------------------------------------------ *)
+(* Selective repeat vs go-back-N, adaptive RTO, and the accounting
+   bugfix regressions.                                                  *)
+
+(* Reorder-heavy soak: for the same fault seed, selective repeat must
+   repair the stream with strictly fewer wire retransmissions than
+   go-back-N (which resends the whole window for every hole). *)
+let test_sr_beats_gbn_reorder_soak () =
+  let messages = 4_000 in
+  let run mode =
+    run_reliable
+      ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+      ~fault:(Faulty.config ~reorder:0.3 ~reorder_hold_ns:60_000 ~seed:21 ())
+      ~messages ~rto_ns:200_000 ~mode ()
+  in
+  let sr = run Retrans.Selective_repeat in
+  let gbn = run Retrans.Go_back_n in
+  expect_exactly_once ~messages sr;
+  expect_exactly_once ~messages gbn;
+  check_bool "go-back-N pays for every hole" true (gbn.retransmits > 0);
+  check_bool
+    (Fmt.str "selective repeat retransmits strictly fewer (%d < %d)"
+       sr.retransmits gbn.retransmits)
+    true
+    (sr.retransmits < gbn.retransmits);
+  check_bool "receiver held out-of-order frames" true (sr.reordered > 0)
+
+(* Clean-wire sender with a per-message or streaming load; returns the
+   self-measured mean send->ack round trip plus the estimator's view. *)
+let rtt_run ~rto_ns ~messages ~per_message () =
+  let config = Provision.config_for ~base:Config.default ~buffers:12 in
+  let machine = Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let rcfg =
+    {
+      Retrans.default_config with
+      Retrans.rto_ns;
+      max_rto_ns = max 8_000_000 (8 * rto_ns);
+    }
+  in
+  let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+  let total_rtt = ref 0 and out = ref (0, 0, 0) in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api ack_ep (Mailbox.take ack_addr);
+      let r =
+        Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      let deadline = Vtime.ms 4_000 in
+      while
+        Retrans.delivered r < messages
+        && Sim.now (Machine.sim machine) < deadline
+      do
+        match Retrans.recv r with
+        | Some _ -> ()
+        | None -> Mem_port.instr (Api.port api) 200
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      Mailbox.put ack_addr (Api.address api ack_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let s =
+        Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      for i = 1 to messages do
+        let t0 = Sim.now (Machine.sim machine) in
+        (match Retrans.send s (encode_int i) with
+        | Ok () -> ()
+        | Error `Timeout -> Alcotest.fail (Fmt.str "send %d timed out" i));
+        if per_message then begin
+          (match Retrans.flush s ~timeout_ns:(Vtime.ms 10) with
+          | Ok () -> ()
+          | Error `Timeout -> Alcotest.fail "per-message flush timed out");
+          total_rtt := !total_rtt + (Sim.now (Machine.sim machine) - t0)
+        end
+      done;
+      (match Retrans.flush s ~timeout_ns:(Vtime.ms 1_000) with
+      | Ok () -> ()
+      | Error `Timeout -> Alcotest.fail "flush timed out");
+      out := (Retrans.srtt_ns s, Retrans.rttvar_ns s, Retrans.rto_current_ns s));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let srtt, rttvar, rto_cur = !out in
+  ((if per_message then !total_rtt / messages else 0), srtt, rttvar, rto_cur)
+
+(* The estimator must converge on the fabric's actual round trip, and
+   the live RTO must track it rather than sit on the static config
+   value. Self-calibrating: the first (stop-and-wait, generous-floor)
+   run measures the true mesh RTT; the second run's floor is set well
+   below it, so only measurement can explain the final rto_current. *)
+let test_rto_tracks_measured_rtt () =
+  let measured, srtt, _, _ =
+    rtt_run ~rto_ns:1_000_000 ~messages:50 ~per_message:true ()
+  in
+  check_bool "stop-and-wait run measured a round trip" true (measured > 0);
+  check_bool
+    (Fmt.str "srtt within 2x of measured rtt (srtt=%dns measured=%dns)" srtt
+       measured)
+    true
+    (srtt >= measured / 2 && srtt <= 2 * measured);
+  let floor = max 1_000 (measured / 4) in
+  let _, srtt2, _, rto_cur = rtt_run ~rto_ns:floor ~messages:300 ~per_message:false () in
+  check_bool "streaming run sampled the rtt" true (srtt2 > 0);
+  check_bool
+    (Fmt.str "rto rose above its floor to the measured rtt (%dns > %dns)"
+       rto_cur floor)
+    true (rto_cur > floor);
+  check_bool "rto covers srtt" true (rto_cur >= srtt2)
+
+(* Bugfix regression: a full send ring must not inflate the retransmit
+   counter. With the engines stopped nothing ever drains the ring, so
+   every attempt past its capacity is pure backpressure; the sender must
+   give up with `Timeout after a bounded number of refused rounds and
+   report zero (re)transmissions, because none reached the wire. *)
+let test_backpressure_not_phantom_retransmits () =
+  let base = Provision.config_for ~base:Config.default ~buffers:24 in
+  let config = { base with Config.queue_capacity = 5 } in
+  let machine = Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let rcfg =
+    {
+      Retrans.default_config with
+      Retrans.rto_ns = 50_000;
+      max_rto_ns = 400_000;
+      max_retries = 5;
+    }
+  in
+  let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+  let result = ref None and stats = ref (0, 0) in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api ack_ep (Mailbox.take ack_addr);
+      ignore
+        (Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep
+           ~ack_ep ~config:rcfg ()));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      Mailbox.put ack_addr (Api.address api ack_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let s =
+        Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      (* Wedge the transport: stop both engines, then give their final
+         in-flight iteration time to retire while the rings are still
+         empty. *)
+      Machine.stop_engines machine;
+      Sim.delay (Vtime.us 10);
+      let rec go i =
+        if i > 40 then None
+        else
+          match Retrans.send s (encode_int i) with
+          | Ok () -> go (i + 1)
+          | Error `Timeout -> Some i
+      in
+      result := go 1;
+      stats := (Retrans.retransmits s, Retrans.backpressure s));
+  Machine.run machine;
+  let retransmits, backpressure = !stats in
+  check_bool "send eventually reports timeout" true (!result <> None);
+  check_bool "transport refused attempts" true (backpressure > 0);
+  check "no phantom retransmits counted" 0 retransmits
+
+(* Bugfix regression: transient transmit-pool starvation is not a dead
+   peer. With a 15-slot ring, a 10-buffer pool and engines that only
+   visit every ~600ms (jitter floor 450ms), the first RTO round drains
+   the pool while the ring still holds every buffer; take_buffer's spin
+   budget (100k spins x 200 instr x 20ns = 400ms) then expires with the
+   peer entirely healthy. The old code surfaced that as the same
+   `Timeout as max_retries expiry, aborting the send. *)
+let test_pool_starvation_recovers () =
+  let base = Provision.config_for ~base:Config.default ~buffers:32 in
+  let config =
+    { base with Config.queue_capacity = 16; engine_poll_ns = 600_000_000 }
+  in
+  let machine = Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let rcfg =
+    { Retrans.default_config with Retrans.rto_ns = 100_000; max_rto_ns = 800_000 }
+  in
+  let messages = 12 in
+  let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+  let got = ref [] and stats = ref (0, 0) in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Mailbox.put data_addr (Api.address api data_ep);
+      Api.connect api ack_ep (Mailbox.take ack_addr);
+      let r =
+        Retrans.create_receiver api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      let deadline = Vtime.ms 4_000 in
+      while
+        Retrans.delivered r < messages
+        && Sim.now (Machine.sim machine) < deadline
+      do
+        match Retrans.recv r with
+        | Some payload -> got := decode_int payload :: !got
+        | None -> Mem_port.instr (Api.port api) 200
+      done);
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      Mailbox.put ack_addr (Api.address api ack_ep);
+      Api.connect api data_ep (Mailbox.take data_addr);
+      let s =
+        Retrans.create_sender api ~sim:(Machine.sim machine) ~data_ep ~ack_ep
+          ~config:rcfg ()
+      in
+      for i = 1 to messages do
+        match Retrans.send s (encode_int i) with
+        | Ok () -> ()
+        | Error `Timeout ->
+            Alcotest.fail
+              (Fmt.str "transient starvation aborted send %d as peer-dead" i)
+      done;
+      (match Retrans.flush s ~timeout_ns:(Vtime.ms 3_000) with
+      | Ok () -> ()
+      | Error `Timeout -> Alcotest.fail "flush timed out");
+      stats := (Retrans.retransmits s, Retrans.backpressure s));
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  let retransmits, backpressure = !stats in
+  check "all messages delivered" messages (List.length !got);
+  check_bool "in order, exactly once" true
+    (List.rev !got = List.init messages (fun i -> i + 1));
+  check_bool "pool actually starved mid-run" true (backpressure > 0);
+  check_bool "recovery used real retransmissions" true (retransmits > 0)
+
+(* Bugfix regression: a duplicate burst must not become an ack storm.
+   Every dup used to trigger an immediate re-ack; with ack_every=4 the
+   receiver may now re-ack at most once per 4 anomalies plus one
+   RTO-tick refresh, so total acks stay near delivered/4 + dups/4. *)
+let test_reack_storm_rate_limited () =
+  let messages = 400 in
+  let rto_ns = 200_000 in
+  let r =
+    run_reliable
+      ~kind:(Machine.Mesh { cols = 2; rows = 1 })
+      ~fault:(Faulty.config ~duplicate:0.5 ~seed:13 ())
+      ~messages ~rto_ns ~ack_every:4 ()
+  in
+  expect_exactly_once ~messages r;
+  check_bool "wire duplicated heavily" true (r.duplicates > messages / 4);
+  check_bool "rate limiter suppressed re-acks" true (r.reacks_suppressed > 0);
+  let bound =
+    (messages / 4) + r.reordered + (r.duplicates / 4) + (r.elapsed_ns / rto_ns)
+    + 16
+  in
+  check_bool
+    (Fmt.str "ack volume capped (%d <= %d)" r.acks_sent bound)
+    true
+    (r.acks_sent <= bound)
 
 (* Property: for any small fault mix and seed, the reliable channel is
    exactly-once and in-order on the mesh. *)
@@ -361,5 +660,18 @@ let () =
           Alcotest.test_case "dead peer times out" `Quick
             test_sender_times_out_on_dead_peer;
           QCheck_alcotest.to_alcotest reliable_exactly_once_prop;
+        ] );
+      ( "selective-repeat",
+        [
+          Alcotest.test_case "SR beats GBN on reorder soak" `Slow
+            test_sr_beats_gbn_reorder_soak;
+          Alcotest.test_case "RTO tracks measured RTT" `Quick
+            test_rto_tracks_measured_rtt;
+          Alcotest.test_case "backpressure is not a retransmit" `Quick
+            test_backpressure_not_phantom_retransmits;
+          Alcotest.test_case "pool starvation recovers" `Quick
+            test_pool_starvation_recovers;
+          Alcotest.test_case "re-ack storm rate limited" `Quick
+            test_reack_storm_rate_limited;
         ] );
     ]

@@ -15,6 +15,7 @@ module Ethernet = Flipc_net.Ethernet
 module Scsi_bus = Flipc_net.Scsi_bus
 module Nic = Flipc_net.Nic
 module Dma = Flipc_net.Dma
+module Faulty = Flipc_net.Faulty
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -329,6 +330,73 @@ let test_dma_roundtrip_and_cost () =
   check "transfers" 2 (Dma.stats dma).Dma.transfers;
   check "bytes" 32 (Dma.stats dma).Dma.bytes
 
+(* --- Faulty wrapper registry --- *)
+
+(* A fabric whose wire is a plain counter: enough to drive Faulty.wrap
+   without a machine behind it. *)
+let counting_fabric () =
+  let arrived = ref 0 in
+  ( arrived,
+    {
+      Fabric.name = "counter";
+      node_count = 2;
+      send = (fun _ -> incr arrived);
+      set_handler = (fun _ _ -> ());
+      stats = Fabric.fresh_stats ();
+    } )
+
+(* Wrapping the same inner fabric twice must merge both layers' faults
+   into one tally: stats_of used to answer with whichever wrap
+   registered last, hiding the other layer entirely. *)
+let test_faulty_double_wrap_merges () =
+  let sim = Engine.create () in
+  let arrived, inner = counting_fabric () in
+  let w1 =
+    Faulty.wrap ~engine:sim ~config:(Faulty.config ~drop:1.0 ~seed:1 ()) inner
+  in
+  let w2 =
+    Faulty.wrap ~engine:sim
+      ~config:(Faulty.config ~duplicate:1.0 ~seed:2 ())
+      w1
+  in
+  Engine.spawn sim (fun () ->
+      for i = 1 to 10 do
+        w2.Fabric.send
+          (Packet.make ~src:0 ~dst:1 ~protocol:Packet.Raw ~seq:i
+             (Bytes.create 16))
+      done);
+  Engine.run sim;
+  let tally f =
+    match Faulty.stats_of f with
+    | Some t -> t
+    | None -> Alcotest.fail "wrapped fabric not in registry"
+  in
+  (* Outer layer duplicates every packet; inner layer drops every copy. *)
+  check "nothing reaches the wire" 0 !arrived;
+  check "outer layer's duplicates visible" 10 (tally w2).Faulty.duplicated;
+  check "inner layer's drops visible through the same entry" 20
+    (tally w2).Faulty.dropped;
+  check_bool "all three fabrics resolve to one tally" true
+    (tally inner == tally w1 && tally w1 == tally w2)
+
+(* The registry must stay bounded across arbitrarily many wraps: weak
+   keys let dead fabrics be swept, and a hard cap covers stats records
+   that stay strongly rooted elsewhere. *)
+let test_faulty_registry_bounded () =
+  let sim = Engine.create () in
+  for seed = 1 to 200 do
+    ignore
+      (Faulty.wrap ~engine:sim
+         ~config:(Faulty.config ~drop:0.5 ~seed ())
+         (snd (counting_fabric ())))
+  done;
+  check_bool "registry bounded after 200 wraps" true
+    (Faulty.registry_size () <= 64);
+  (* Nothing above kept its fabric alive; after a major collection the
+     weak sweep clears what the cap kept. *)
+  Gc.full_major ();
+  check_bool "dead fabrics swept" true (Faulty.registry_size () <= 16)
+
 let () =
   Alcotest.run "net"
     [
@@ -376,4 +444,11 @@ let () =
           Alcotest.test_case "wrong source" `Quick test_nic_wrong_source;
         ] );
       ("dma", [ Alcotest.test_case "roundtrip and cost" `Quick test_dma_roundtrip_and_cost ]);
+      ( "faulty-registry",
+        [
+          Alcotest.test_case "double wrap merges tallies" `Quick
+            test_faulty_double_wrap_merges;
+          Alcotest.test_case "registry stays bounded" `Quick
+            test_faulty_registry_bounded;
+        ] );
     ]
