@@ -1675,6 +1675,157 @@ let engine_scan () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* DOCTOR-OVERHEAD: cost of the correlation-and-diagnosis layer.       *)
+(* The msg_id stamp rides the state store the send path already makes  *)
+(* and every emit site is guarded behind Obs.tracing, so the virtual   *)
+(* timeline must be bit-identical whether observability is off, the    *)
+(* tracer records, or the invariant monitors watch every event —       *)
+(* tracing and monitoring cost host time only.                         *)
+
+let doctor_overhead () =
+  let module Sim = Flipc_sim.Engine in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Nameservice = Flipc.Nameservice in
+  let module Monitor = Flipc_obs.Monitor in
+  let n_exchanges = 400 in
+  let run mode =
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let obs = Machine.obs machine in
+    let mon =
+      match mode with
+      | `Off -> None
+      | `Trace ->
+          Flipc_obs.Tracer.enable (Flipc_obs.Obs.tracer obs);
+          None
+      | `Monitor -> Some (Machine.attach_monitor machine)
+    in
+    let ns = Machine.names machine in
+    let ok = Result.get_ok in
+    Machine.spawn_app ~name:"echo" machine ~node:1 (fun api ->
+        let rx = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        let tx = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        for _ = 1 to 2 do
+          ok (Api.post_receive api rx (ok (Api.allocate_buffer api)))
+        done;
+        Nameservice.register ns "echo" (Api.address api rx);
+        Api.connect api tx (Nameservice.lookup ns "reply");
+        let reply = ok (Api.allocate_buffer api) in
+        for _ = 1 to n_exchanges do
+          let rec poll () =
+            match Api.receive api rx with
+            | Some b -> b
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                poll ()
+          in
+          ok (Api.post_receive api rx (poll ()));
+          ok (Api.send api tx reply);
+          let rec reclaim () =
+            match Api.reclaim api tx with
+            | Some _ -> ()
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                reclaim ()
+          in
+          reclaim ()
+        done);
+    Machine.spawn_app ~name:"driver" machine ~node:0 (fun api ->
+        let rx = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+        let tx = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+        for _ = 1 to 2 do
+          ok (Api.post_receive api rx (ok (Api.allocate_buffer api)))
+        done;
+        Nameservice.register ns "reply" (Api.address api rx);
+        Api.connect api tx (Nameservice.lookup ns "echo");
+        let ping = ok (Api.allocate_buffer api) in
+        for _ = 1 to n_exchanges do
+          ok (Api.send api tx ping);
+          let rec reclaim () =
+            match Api.reclaim api tx with
+            | Some _ -> ()
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                reclaim ()
+          in
+          reclaim ();
+          let rec poll () =
+            match Api.receive api rx with
+            | Some b -> b
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                poll ()
+          in
+          ok (Api.post_receive api rx (poll ()))
+        done);
+    let t0 = Sys.time () in
+    Machine.run machine;
+    Machine.stop_engines machine;
+    Machine.run machine;
+    let host_ms = (Sys.time () -. t0) *. 1000. in
+    let virtual_ns = Sim.now (Machine.sim machine) in
+    let tracer = Flipc_obs.Obs.tracer obs in
+    let events =
+      match mon with
+      | Some m -> Monitor.events_seen m
+      | None -> Flipc_obs.Tracer.length tracer + Flipc_obs.Tracer.dropped tracer
+    in
+    let violations =
+      match mon with Some m -> List.length (Monitor.violations m) | None -> 0
+    in
+    (virtual_ns, host_ms, events, violations)
+  in
+  let v_off, h_off, _, _ = run `Off in
+  let v_tr, h_tr, e_tr, _ = run `Trace in
+  let v_mon, h_mon, e_mon, viol = run `Monitor in
+  let identical = v_off = v_tr && v_off = v_mon in
+  let t =
+    Table.create
+      ~title:
+        "DOCTOR-OVERHEAD: diagnosis layer cost (400 exchanges, 2-node mesh)"
+      [ "mode"; "virtual ms"; "host ms"; "events" ]
+  in
+  let row name v h e =
+    Table.add_row t
+      [
+        name;
+        Table.cell_us (float_of_int v /. 1.0e6);
+        Table.cell_us h;
+        Table.cell_i e;
+      ]
+  in
+  row "off" v_off h_off 0;
+  row "tracing" v_tr h_tr e_tr;
+  row "tracing+monitors" v_mon h_mon e_mon;
+  Table.print t;
+  Fmt.pr "disabled path zero virtual cost (timelines bit-identical): %b@.@."
+    identical;
+  let mode name v h e extra =
+    ( name,
+      Json.Obj
+        ([
+           ("virtual_ns", Json.Int v);
+           ("host_ms", Json.Float h);
+           ("events", Json.Int e);
+         ]
+        @ extra) )
+  in
+  write_bench_json "doctor_overhead"
+    [
+      ("workload", Json.String "pingpong 2x1, 400 exchanges");
+      ( "modes",
+        Json.Obj
+          [
+            mode "off" v_off h_off 0 [];
+            mode "tracing" v_tr h_tr e_tr [];
+            mode "monitors" v_mon h_mon e_mon
+              [ ("monitor_violations", Json.Int viol) ];
+          ] );
+      ("virtual_identical", Json.Bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1704,6 +1855,8 @@ let experiments =
     ("retrans_modes",
      "RETRANS-MODES  selective repeat vs go-back-N ablation (extension)",
      retrans_modes);
+    ("doctor_overhead", "DOCTOR-OVERHEAD  diagnosis layer cost (extension)",
+     doctor_overhead);
     ("micro", "MICRO  Bechamel data-structure benches", micro);
   ]
 

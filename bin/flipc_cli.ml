@@ -69,7 +69,9 @@ let with_trace file f =
       Flipc_obs.Obs.start_capture ();
       Fun.protect
         ~finally:(fun () ->
-          let json = Flipc_obs.Obs.captured_chrome_json () in
+          (* Merged multi-machine document: named process/thread rows per
+             machine plus cross-machine causal flow arrows (Causal). *)
+          let json = Flipc_obs.Causal.captured_chrome_json () in
           Flipc_obs.Obs.stop_capture ();
           let oc = open_out path in
           Flipc_obs.Json.to_channel oc json;
@@ -755,6 +757,266 @@ let retrans_cmd =
       const run $ trace_out $ fabric $ mode $ reorder $ drop $ dup $ seed
       $ msgs $ payload $ json_flag $ max_ratio)
 
+(* --- doctor --- *)
+
+let doctor_cmd =
+  let module Sim = Flipc_sim.Engine in
+  let module Vtime = Flipc_sim.Vtime in
+  let module Mailbox = Flipc_sim.Sync.Mailbox in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Faulty = Flipc_net.Faulty in
+  let module Retrans = Flipc_flow.Retrans in
+  let module Provision = Flipc_flow.Provision in
+  let module Monitor = Flipc_obs.Monitor in
+  let module Causal = Flipc_obs.Causal in
+  let module Json = Flipc_obs.Json in
+  let flows_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "flows" ] ~docv:"N"
+          ~doc:"Concurrent reliable flows on the 4x4 mesh (1-8).")
+  in
+  let msgs =
+    Arg.(
+      value & opt int 40
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages per flow.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.05
+      & info [ "drop" ] ~docv:"P" ~doc:"Packet drop probability (0..1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.02
+      & info [ "dup" ] ~docv:"P" ~doc:"Packet duplication probability (0..1).")
+  in
+  let reorder =
+    Arg.(
+      value & opt float 0.2
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:"Packet reordering probability (0..1).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed for fault injection (runs replay bit-identically).")
+  in
+  let assert_clean =
+    Arg.(
+      value & flag
+      & info [ "assert-clean" ]
+          ~doc:
+            "Exit 1 unless every flow completes, no watchdog fires and every \
+             invariant monitor stays clean — the CI health gate.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON object instead of text.")
+  in
+  let run trace flows msgs drop dup reorder seed assert_clean json_out =
+    with_trace trace @@ fun () ->
+    if flows < 1 || flows > 8 then begin
+      Fmt.epr "flipc doctor: --flows must be in [1,8]@.";
+      exit 2
+    end;
+    let check_prob name p =
+      if p < 0. || p > 1. then begin
+        Fmt.epr "flipc doctor: %s must be in [0,1] (got %g)@." name p;
+        exit 2
+      end
+    in
+    check_prob "--drop" drop;
+    check_prob "--dup" dup;
+    check_prob "--reorder" reorder;
+    let fault =
+      Faulty.config ~drop ~duplicate:dup ~reorder ~reorder_hold_ns:100_000
+        ~seed ()
+    in
+    let config = Provision.config_for ~base:Config.default ~buffers:16 in
+    let machine =
+      Machine.create ~config ~fault (Machine.Mesh { cols = 4; rows = 4 }) ()
+    in
+    let mon = Machine.attach_monitor machine in
+    let sim = Machine.sim machine in
+    let obs = Machine.obs machine in
+    let rcfg =
+      {
+        Retrans.default_config with
+        Retrans.rto_ns = 200_000;
+        max_rto_ns = 1_600_000;
+      }
+    in
+    (* A watchdog expiry aborts the run but keeps the flight recorder. *)
+    let stalled = ref None in
+    let stall wd ?mid () =
+      if !stalled = None then
+        stalled := Some (Monitor.Watchdog.report ?mid wd [ obs ]);
+      failwith (Printf.sprintf "watchdog '%s' expired" (Monitor.Watchdog.name wd))
+    in
+    let delivered = ref 0 and retransmits = ref 0 in
+    for flow = 0 to flows - 1 do
+      (* Disjoint node pairs across the 16-node mesh. *)
+      let src = flow and dst = 15 - flow in
+      let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+      let ok = function
+        | Ok v -> v
+        | Error e -> failwith (Api.error_to_string e)
+      in
+      let wname dir = Printf.sprintf "doctor-flow-%d-%s" flow dir in
+      Machine.spawn_app ~name:(wname "rx") machine ~node:dst (fun api ->
+          let data_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+          in
+          let ack_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ())
+          in
+          Mailbox.put data_addr (Api.address api data_ep);
+          Api.connect api ack_ep (Mailbox.take ack_addr);
+          let r =
+            Retrans.create_receiver api ~sim ~data_ep ~ack_ep ~config:rcfg ()
+          in
+          let wd = Monitor.Watchdog.create ~sim ~name:(wname "rx") () in
+          while Retrans.delivered r < msgs do
+            match Retrans.recv r with
+            | Some _ -> Monitor.Watchdog.progress wd
+            | None ->
+                if Monitor.Watchdog.expired wd then
+                  stall wd ~mid:(Api.last_recv_msg_id api) ();
+                Mem_port.instr (Api.port api) 200
+          done);
+      Machine.spawn_app ~name:(wname "tx") machine ~node:src (fun api ->
+          let data_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ())
+          in
+          let ack_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+          in
+          Mailbox.put ack_addr (Api.address api ack_ep);
+          Api.connect api data_ep (Mailbox.take data_addr);
+          let s =
+            Retrans.create_sender api ~sim ~data_ep ~ack_ep ~config:rcfg ()
+          in
+          let wd = Monitor.Watchdog.create ~sim ~name:(wname "tx") () in
+          let bytes = min 32 (Retrans.capacity api) in
+          for i = 1 to msgs do
+            let p = Bytes.make bytes (Char.chr (i land 0x7f)) in
+            (match Retrans.send s p with
+            | Ok () -> Monitor.Watchdog.progress wd
+            | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
+            Sim.delay 25_000
+          done;
+          (match Retrans.flush s ~timeout_ns:(Vtime.s 2) with
+          | Ok () -> ()
+          | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
+          retransmits := !retransmits + Retrans.retransmits s;
+          delivered := !delivered + msgs)
+    done;
+    (try Machine.run machine with
+    | Flipc_sim.Engine.Process_failure (_, Failure msg) ->
+        Fmt.epr "flipc doctor: %s@." msg);
+    Machine.stop_engines machine;
+    Machine.run machine;
+    let spans = Causal.spans [ obs ] in
+    let branches = Causal.retransmissions spans in
+    let expected = flows * msgs in
+    let clean = Monitor.clean mon && !stalled = None && !delivered = expected in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("flows", Json.Int flows);
+                ("messages_per_flow", Json.Int msgs);
+                ("expected", Json.Int expected);
+                ("delivered", Json.Int !delivered);
+                ("retransmits", Json.Int !retransmits);
+                ( "faults",
+                  match Machine.fault_stats machine with
+                  | Some f ->
+                      Json.Obj
+                        [
+                          ("dropped", Json.Int f.Faulty.dropped);
+                          ("duplicated", Json.Int f.Faulty.duplicated);
+                          ("reordered", Json.Int f.Faulty.reordered);
+                          ("delayed", Json.Int f.Faulty.delayed);
+                        ]
+                  | None -> Json.Null );
+                ("spans_traced", Json.Int (List.length spans));
+                ("retransmitted_frames", Json.Int (List.length branches));
+                ("monitor_events_seen", Json.Int (Monitor.events_seen mon));
+                ( "monitor_violations",
+                  Json.Int (List.length (Monitor.violations mon)) );
+                ("stalled", Json.Bool (!stalled <> None));
+                ("clean", Json.Bool clean);
+              ]))
+    else begin
+      Fmt.pr "flipc doctor: %d reliable flows x %d messages on a lossy 4x4 \
+              mesh@." flows msgs;
+      (match Machine.fault_stats machine with
+      | Some f ->
+          Fmt.pr
+            "wire faults: dropped=%d duplicated=%d reordered=%d delayed=%d@."
+            f.Faulty.dropped f.Faulty.duplicated f.Faulty.reordered
+            f.Faulty.delayed
+      | None -> ());
+      Fmt.pr "delivered %d/%d messages, %d retransmissions@." !delivered
+        expected !retransmits;
+      Fmt.pr "causal tracing: %d message spans reconstructed@."
+        (List.length spans);
+      (match branches with
+      | [] -> ()
+      | _ ->
+          Fmt.pr "frames transmitted more than once:@.";
+          List.iter
+            (fun (node, ep, seq, mids) ->
+              Fmt.pr "  node %d ep %d seq %d: mids %s@." node ep seq
+                (String.concat "," (List.map string_of_int mids)))
+            branches);
+      (* One sample span end to end, preferring a retransmitted frame's
+         (the most interesting causal history on a lossy wire). *)
+      (match
+         match branches with
+         | (_, _, _, mid :: _) :: _ -> Causal.find spans mid
+         | _ -> ( match spans with s :: _ -> Some s | [] -> None)
+       with
+      | Some s ->
+          Fmt.pr "sample span (msg %d, %s):@.@[<v 2>  %a@]@." s.Causal.mid
+            (Causal.stalled_stage s) Causal.pp_span s
+      | None -> ());
+      Fmt.pr "@[<v>%a@]@." Monitor.pp_report mon;
+      match !stalled with
+      | Some report -> Fmt.pr "%s@." report
+      | None -> ()
+    end;
+    if assert_clean && not clean then begin
+      if not json_out then
+        Fmt.epr
+          "flipc doctor: NOT clean (delivered %d/%d, %d violations, \
+           stalled=%b)@."
+          !delivered expected
+          (List.length (Monitor.violations mon))
+          (!stalled <> None);
+      exit 1
+    end
+  in
+  let doc =
+    "Self-diagnosis on a lossy mesh: run reliable flows with causal tracing, \
+     online invariant monitors and progress watchdogs attached, then report \
+     spans, retransmission branches and the invariant verdict. \
+     $(b,--assert-clean) turns it into a CI health gate."
+  in
+  Cmd.v
+    (Cmd.info "doctor" ~doc)
+    Term.(
+      const run $ trace_out $ flows_arg $ msgs $ drop $ dup $ reorder $ seed
+      $ assert_clean $ json_flag)
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -1038,7 +1300,7 @@ let () =
        (Cmd.group info
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
-            throughput_cmd; bulk_cmd; faults_cmd; retrans_cmd; trace_cmd;
-            metrics_cmd;
+            throughput_cmd; bulk_cmd; faults_cmd; retrans_cmd; doctor_cmd;
+            trace_cmd; metrics_cmd;
             engine_cmd; info_cmd;
           ]))

@@ -8,7 +8,22 @@ type t = {
   engine : Msg_engine.t;
   config : Config.t;
   layout : Layout.t;
+  mutable last_mid : int;
+  mutable last_recv_mid : int;
 }
+
+(* Causal message ids: one process-wide counter stamps every send (the
+   stamp rides in the state-word store the send already performs, so the
+   timed cost is zero). Process-global rather than per-attachment so an
+   id names one message across every machine in the simulation. 28 bits,
+   wrapping past 0 (0 = unstamped). *)
+let mid_counter = ref 0
+
+let fresh_mid () =
+  let next = !mid_counter + 1 in
+  let next = if next > Msg_buffer.max_msg_id then 1 else next in
+  mid_counter := next;
+  next
 
 type endpoint = {
   index : int;
@@ -33,7 +48,12 @@ let attach ~comm ~port ~engine =
     engine;
     config = Comm_buffer.config comm;
     layout = Comm_buffer.layout comm;
+    last_mid = 0;
+    last_recv_mid = 0;
   }
+
+let last_msg_id t = t.last_mid
+let last_recv_msg_id t = t.last_recv_mid
 
 let config t = t.config
 let layout t = t.layout
@@ -210,15 +230,17 @@ let send_with_dest t ep buf dest =
   if ep.ep_kind <> Endpoint_kind.Send then Error `Wrong_kind
   else if Address.is_null dest then Error `No_destination
   else
+    let mid = fresh_mid () in
     let r =
       with_lock t ~ep:ep.index (fun () ->
           Mem_port.instr t.port 6;
           Msg_buffer.set_dest t.port t.layout ~buf dest;
-          Msg_buffer.set_state t.port t.layout ~buf Msg_buffer.Idle;
+          Msg_buffer.set_state_and_id t.port t.layout ~buf ~mid Msg_buffer.Idle;
           release_on ~doorbell:true t ~ep:ep.index ~buf)
     in
     (match r with
     | Ok () ->
+        t.last_mid <- mid;
         (* Send-enqueue stamp: start of the per-message latency pipeline. *)
         let dst_node = Address.node dest in
         let dst_ep = Address.endpoint dest in
@@ -232,6 +254,7 @@ let send_with_dest t ep buf dest =
                 ep = Comm_buffer.ep_offset t.comm + ep.index;
                 dst_node;
                 dst_ep;
+                mid;
               })
     | Error _ -> ());
     r
@@ -271,14 +294,16 @@ let receive t ep =
   else
     match acquire_any t ep with
     | None -> None
-    | Some _ as r ->
+    | Some buf as r ->
+        t.last_recv_mid <- Msg_buffer.msg_id t.port t.layout ~buf;
         let node = Msg_engine.node t.engine in
         let global_ep = Comm_buffer.ep_offset t.comm + ep.index in
         lat t (fun o l ->
             Flipc_obs.Latency.recv_dequeued l ~now:(Flipc_obs.Obs.now o) ~node
               ~ep:global_ep);
         emit t (fun () ->
-            Flipc_obs.Event.Recv_dequeued { node; ep = global_ep });
+            Flipc_obs.Event.Recv_dequeued
+              { node; ep = global_ep; mid = t.last_recv_mid });
         r
 
 let reclaim t ep =
@@ -302,4 +327,13 @@ let receive_wait t ep thr =
 let drops t ep = Drop_counter.read t.port t.layout ~ep:ep.index
 
 let drops_read_and_reset t ep =
-  Drop_counter.read_and_reset t.port t.layout ~ep:ep.index
+  let count = Drop_counter.read_and_reset t.port t.layout ~ep:ep.index in
+  if count > 0 then
+    emit t (fun () ->
+        Flipc_obs.Event.Drops_read
+          {
+            node = Msg_engine.node t.engine;
+            ep = Comm_buffer.ep_offset t.comm + ep.index;
+            count;
+          });
+  count

@@ -43,6 +43,21 @@ val layout : t -> Layout.t
 val port : t -> Flipc_memsim.Mem_port.t
 val comm : t -> Comm_buffer.t
 
+(** {1 Causal message ids}
+
+    Every successful send stamps a process-unique 28-bit message id into
+    the message's state word (see {!Msg_buffer}); trace events along the
+    whole path carry it. These accessors let layers above (e.g.
+    {!Flipc_flow.Retrans}) correlate their own sequence numbers with the
+    id of the message they just sent or received. 0 = none yet. *)
+
+(** Id stamped by the most recent successful [send]/[send_to] on this
+    attachment. *)
+val last_msg_id : t -> int
+
+(** Id carried by the most recent message returned from [receive]. *)
+val last_recv_msg_id : t -> int
+
 (** Usable application payload per message. *)
 val payload_bytes : t -> int
 

@@ -142,6 +142,49 @@ let make_node ~sim ~fabric ~config ~cost ~app_cpus ~transport_maker
     heap_end = mem_bytes;
   }
 
+(* Untimed scan of a node's allocated endpoints: [(global, layout, local)]
+   for every endpoint whose [Ep_type] word is not the free marker. Peeks
+   only, so it is safe outside simulation processes (flight-recorder dumps
+   run from plain host code). *)
+let allocated_endpoints n =
+  Array.to_list n.comms
+  |> List.concat_map (fun c ->
+         let layout = Comm_buffer.layout c in
+         let eps = (Comm_buffer.config c).Config.endpoints in
+         let off = Comm_buffer.ep_offset c in
+         List.filter_map
+           (fun ep ->
+             let w =
+               Mem_port.peek n.coproc_port
+                 (Layout.ep_field layout ~ep Layout.Ep_type)
+             in
+             if w = Endpoint_kind.free_word then None
+             else Some (off + ep, layout, ep))
+           (List.init eps Fun.id))
+
+(* Flight-recorder contribution ({!Flipc_obs.Obs.add_reporter}): engine
+   counters and the cursor state of every allocated endpoint queue. *)
+let flight_report t fmt =
+  Array.iter
+    (fun n ->
+      let s = Msg_engine.stats n.engine in
+      Format.fprintf fmt
+        "node %d: engine iters=%d sends=%d recvs=%d drops=%d parks=%d@," n.id
+        s.Msg_engine.iterations s.Msg_engine.sends s.Msg_engine.recvs
+        s.Msg_engine.drops s.Msg_engine.parks;
+      List.iter
+        (fun (gep, layout, ep) ->
+          let q = Buffer_queue.snapshot n.coproc_port layout ~ep in
+          Format.fprintf fmt
+            "  ep %d: rel=%d proc=%d acq=%d (to_process=%d to_acquire=%d)%s@,"
+            gep q.Buffer_queue.release q.Buffer_queue.process
+            q.Buffer_queue.acquire
+            (Buffer_queue.to_process q)
+            (Buffer_queue.to_acquire q)
+            (if Buffer_queue.well_formed q then "" else "  ** MALFORMED **"))
+        (allocated_endpoints n))
+    t.nodes
+
 let create ?(config = Config.default) ?(cost = Cost_model.paragon)
     ?(mesh_config = Mesh.paragon_config) ?(app_cpus = 2)
     ?(transport = native_transport) ?(heap_bytes = 256 * 1024)
@@ -177,7 +220,12 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
       Msg_engine.set_obs n.engine obs;
       Msg_engine.start n.engine)
     nodes;
-  { sim; fabric; config; nodes; names = Nameservice.create (); obs }
+  Flipc_obs.Obs.set_label obs
+    (Printf.sprintf "flipc %s (%d nodes)" fabric.Fabric.name
+       fabric.Fabric.node_count);
+  let t = { sim; fabric; config; nodes; names = Nameservice.create (); obs } in
+  Flipc_obs.Obs.add_reporter obs (fun fmt -> flight_report t fmt);
+  t
 
 let sim t = t.sim
 let obs t = t.obs
@@ -245,6 +293,30 @@ let spawn_thread ?name ?(comm = 0) t ~node:i ~priority f =
   let n = node t i in
   let a = api t ~node:i ~cpu:0 ~comm () in
   Sched.spawn ?name n.sched ~priority (fun thr -> f thr a)
+
+let attach_monitor t =
+  let m = Flipc_obs.Monitor.attach t.obs in
+  Array.iter
+    (fun n ->
+      Flipc_obs.Monitor.add_check m ~rule:"queue.pointer_order" ~node:n.id
+        (fun () ->
+          List.fold_left
+            (fun acc (gep, layout, ep) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let q = Buffer_queue.snapshot n.coproc_port layout ~ep in
+                  if Buffer_queue.well_formed q then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "endpoint %d queue cursors out of order: release=%d \
+                          process=%d acquire=%d (capacity %d)"
+                         gep q.Buffer_queue.release q.Buffer_queue.process
+                         q.Buffer_queue.acquire q.Buffer_queue.capacity))
+            None (allocated_endpoints n)))
+    t.nodes;
+  m
 
 let run ?until t = Sim.run ?until t.sim
 let stop_engines t = Array.iter (fun n -> Msg_engine.stop n.engine) t.nodes

@@ -72,6 +72,13 @@ val names : t -> Nameservice.t
 
 val fabric : t -> Flipc_net.Fabric.t
 
+(** [attach_monitor t] attaches an online invariant monitor
+    ({!Flipc_obs.Monitor.attach}) to the machine's bundle and registers
+    per-node [queue.pointer_order] state checks over every allocated
+    endpoint queue (untimed cursor peeks against
+    {!Buffer_queue.well_formed}). Enables event tracing machine-wide. *)
+val attach_monitor : t -> Flipc_obs.Monitor.t
+
 (** Injected-fault tally when the machine was created with [?fault]. *)
 val fault_stats : t -> Flipc_net.Faulty.stats option
 

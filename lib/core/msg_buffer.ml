@@ -3,7 +3,15 @@ module Mem_port = Flipc_memsim.Mem_port
 type state = Idle | Complete
 
 let state_to_word = function Idle -> 0 | Complete -> 2
-let state_of_word = function 0 -> Some Idle | 2 -> Some Complete | _ -> None
+
+(* The state word's two low bits hold the state; the bits above carry the
+   28-bit causal message id stamped at send (0 = unstamped). Decoding
+   masks the id off so stamped words still parse. *)
+let state_of_word w =
+  match w land 3 with 0 -> Some Idle | 2 -> Some Complete | _ -> None
+
+let max_msg_id = 0xFFF_FFFF
+let mid_of_word w = (w lsr 2) land max_msg_id
 
 let set_dest port layout ~buf addr =
   Mem_port.store port
@@ -14,10 +22,23 @@ let dest port layout ~buf =
   Address.of_word
     (Mem_port.load port (Layout.buffer_addr layout buf + Layout.buf_dest_off))
 
+(* [set_state] preserves the message id already in the word: the engine
+   marking a deposited buffer [Complete] must not erase the sender's
+   stamp. The extra read is untimed ([peek]), so the store cost is
+   unchanged. *)
 let set_state port layout ~buf s =
+  let addr = Layout.buffer_addr layout buf + Layout.buf_state_off in
+  let old = Mem_port.peek port addr in
+  Mem_port.store port addr (old land lnot 3 lor state_to_word s)
+
+let set_state_and_id port layout ~buf ~mid s =
   Mem_port.store port
     (Layout.buffer_addr layout buf + Layout.buf_state_off)
-    (state_to_word s)
+    (((mid land max_msg_id) lsl 2) lor state_to_word s)
+
+let msg_id port layout ~buf =
+  mid_of_word
+    (Mem_port.peek port (Layout.buffer_addr layout buf + Layout.buf_state_off))
 
 let state port layout ~buf =
   state_of_word
@@ -46,6 +67,10 @@ let region layout ~buf =
 let dest_of_image bytes =
   if Bytes.length bytes < 4 then invalid_arg "Msg_buffer.dest_of_image: short";
   Address.of_word (Int32.to_int (Bytes.get_int32_le bytes 0))
+
+let msg_id_of_image bytes =
+  if Bytes.length bytes < 8 then 0
+  else mid_of_word (Int32.to_int (Bytes.get_int32_le bytes 4) land 0x3FFF_FFFF)
 
 let peek_state port layout ~buf =
   Mem_port.peek port (Layout.buffer_addr layout buf + Layout.buf_state_off)

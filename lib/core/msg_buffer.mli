@@ -10,7 +10,14 @@
     The state word is written by whichever side currently owns the buffer
     (the queue cursors serialize ownership), never concurrently:
     the application resets it to [idle] when queueing, the engine sets
-    [complete] when it has sent from or received into the buffer. *)
+    [complete] when it has sent from or received into the buffer.
+
+    {b Causal message ids.} Bits 2.. of the state word carry a 28-bit
+    process-unique message id, stamped by {!Api} in the same store that
+    resets the state on send — the id therefore travels inside the wire
+    image at zero extra memory-system cost and survives into the
+    receiver's buffer, where delivery events read it back. Id 0 means
+    "unstamped". *)
 
 module Mem_port = Flipc_memsim.Mem_port
 
@@ -19,11 +26,22 @@ type state = Idle | Complete
 val state_to_word : state -> int
 val state_of_word : int -> state option
 
+(** Largest representable message id (28 bits). *)
+val max_msg_id : int
+
 (** {1 Timed accessors (application or engine side)} *)
 
 val set_dest : Mem_port.t -> Layout.t -> buf:int -> Address.t -> unit
 val dest : Mem_port.t -> Layout.t -> buf:int -> Address.t
+
+(** [set_state] rewrites the state bits, preserving any stamped id. *)
 val set_state : Mem_port.t -> Layout.t -> buf:int -> state -> unit
+
+(** [set_state_and_id] writes state and message id in one store (the
+    send-path stamp). *)
+val set_state_and_id :
+  Mem_port.t -> Layout.t -> buf:int -> mid:int -> state -> unit
+
 val state : Mem_port.t -> Layout.t -> buf:int -> state option
 
 (** [write_payload port layout ~buf ?at data] writes [data] into the
@@ -48,6 +66,13 @@ val region : Layout.t -> buf:int -> int * int
 (** [dest_of_image bytes] decodes word 0 of a wire image. *)
 val dest_of_image : Bytes.t -> Address.t
 
-(** {1 Untimed introspection (tests only)} *)
+(** [msg_id_of_image bytes] decodes the stamped message id from word 1 of
+    a wire image (0 when short or unstamped). *)
+val msg_id_of_image : Bytes.t -> int
+
+(** {1 Untimed introspection (tracing, tests)} *)
 
 val peek_state : Mem_port.t -> Layout.t -> buf:int -> int
+
+(** The stamped message id of a local buffer (untimed). *)
+val msg_id : Mem_port.t -> Layout.t -> buf:int -> int

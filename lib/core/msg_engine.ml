@@ -195,7 +195,9 @@ let deliver t image =
   if not (Address.is_null dest) then begin
     let ep = Address.endpoint dest in
     lat t (fun l -> Latency.wire_rx l ~now:(Sim.now t.sim) ~node:t.node ~ep);
-    emit t (fun () -> Event.Wire_rx { node = t.node; ep })
+    emit t (fun () ->
+        Event.Wire_rx
+          { node = t.node; ep; mid = Msg_buffer.msg_id_of_image image })
   end;
   Queue.push image t.incoming;
   poke t
@@ -244,7 +246,14 @@ let handle_incoming t image =
   let discard reason global_ep =
     if global_ep >= 0 then
       lat t (fun l -> Latency.discarded l ~node:t.node ~ep:global_ep);
-    emit t (fun () -> Event.Drop { node = t.node; ep = global_ep; reason })
+    emit t (fun () ->
+        Event.Drop
+          {
+            node = t.node;
+            ep = global_ep;
+            mid = Msg_buffer.msg_id_of_image image;
+            reason;
+          })
   in
   if Address.is_null dest then begin
     discard Event.Bad_destination (-1);
@@ -288,7 +297,12 @@ let handle_incoming t image =
                     lat t (fun l ->
                         Latency.deposited l ~node:t.node ~ep:global_ep);
                     emit t (fun () ->
-                        Event.Deposit { node = t.node; ep = global_ep });
+                        Event.Deposit
+                          {
+                            node = t.node;
+                            ep = global_ep;
+                            mid = Msg_buffer.msg_id_of_image image;
+                          });
                     bump_global t layout Layout.Engine_recvs;
                     let sem =
                       Mem_port.load t.port
@@ -378,7 +392,13 @@ let process_sends t layout ~global_ep ~ep ~burst =
                 if not (Address.is_null dest) then
                   lat t (fun l -> Latency.send_refused l ~dst_node ~dst_ep);
                 emit t (fun () ->
-                    Event.Drop { node = t.node; ep = global_ep; reason })
+                    Event.Drop
+                      {
+                        node = t.node;
+                        ep = global_ep;
+                        mid = Msg_buffer.msg_id t.port layout ~buf;
+                        reason;
+                      })
               in
               (if not (destination_allowed t layout ~ep ~dest) then begin
                  t.stats.forbidden <- t.stats.forbidden + 1;
@@ -397,7 +417,13 @@ let process_sends t layout ~global_ep ~ep ~burst =
                            ~dst_ep);
                      emit t (fun () ->
                          Event.Engine_tx
-                           { node = t.node; ep = global_ep; dst_node; dst_ep });
+                           {
+                             node = t.node;
+                             ep = global_ep;
+                             dst_node;
+                             dst_ep;
+                             mid = Msg_buffer.msg_id_of_image image;
+                           });
                      bump_global t layout Layout.Engine_sends
                  | Error `Bad_dest ->
                      t.stats.bad_dest <- t.stats.bad_dest + 1;
@@ -506,7 +532,8 @@ let check_doorbells t =
       t.shadow.(g) <- v;
       t.pending.(g) <- true;
       t.hot.(g) <- t.config.Config.engine_park_after;
-      t.stats.doorbell_hits <- t.stats.doorbell_hits + 1
+      t.stats.doorbell_hits <- t.stats.doorbell_hits + 1;
+      emit t (fun () -> Event.Doorbell { node = t.node; ep = g })
     end
   done
 

@@ -273,8 +273,11 @@ let take_buffer s =
 (* Hand one frame to the transport. [`Backpressure] means it never
    reached the wire this attempt — transmit pool starved or the endpoint
    ring momentarily full — so the caller must not account a
-   (re)transmission; the protocol simply retries on a later round. *)
-let transmit s ~seq payload =
+   (re)transmission; the protocol simply retries on a later round.
+   Each traversal of the wire is a distinct stamped message, so the
+   Frame_tx event records the seq ↔ mid correlation (retransmissions of
+   one seq carry different mids). *)
+let transmit ?(re = false) s ~seq payload =
   match take_buffer s with
   | None ->
       s.s_backpressure <- s.s_backpressure + 1;
@@ -284,6 +287,16 @@ let transmit s ~seq payload =
       match Api.send s.s_api s.data_ep buf with
       | Ok () ->
           s.stall_rounds <- 0;
+          emit s.s_api (fun () ->
+              let addr = Api.address s.s_api s.data_ep in
+              Flipc_obs.Event.Frame_tx
+                {
+                  node = Address.node addr;
+                  ep = Address.endpoint addr;
+                  seq;
+                  mid = Api.last_msg_id s.s_api;
+                  retransmit = re;
+                });
           `Sent
       | Error _ ->
           Queue.push buf s.pool;
@@ -305,20 +318,12 @@ let check_retransmit s =
             (not !blocked)
             && not (s.cfg.mode = Selective_repeat && p.sacked)
           then
-            match transmit s ~seq:p.seq p.payload with
+            match transmit ~re:true s ~seq:p.seq p.payload with
             | `Sent ->
                 sent_any := true;
                 p.retries <- p.retries + 1;
                 p.retransmitted <- true;
-                s.s_retransmits <- s.s_retransmits + 1;
-                emit s.s_api (fun () ->
-                    let addr = Api.address s.s_api s.data_ep in
-                    Flipc_obs.Event.Retransmit
-                      {
-                        node = Address.node addr;
-                        ep = Address.endpoint addr;
-                        seq = p.seq;
-                      })
+                s.s_retransmits <- s.s_retransmits + 1
             | `Backpressure -> blocked := true)
         s.inflight;
       if !sent_any then begin
@@ -425,7 +430,8 @@ type receiver = {
   r_cfg : config;
   r_data_ep : Api.endpoint;
   r_ack_ep : Api.endpoint;
-  ooo : (int, Bytes.t) Hashtbl.t; (* out-of-order frames held for SACK *)
+  ooo : (int, Bytes.t * int) Hashtbl.t;
+      (* out-of-order (frame, msg id) held for SACK *)
   mutable expected : int; (* highest in-order sequence accepted *)
   mutable pending_ack : int;
   mutable anomalies : int; (* duplicates/gaps since the last ack *)
@@ -486,6 +492,13 @@ let sack_bitmap r =
     r.ooo;
   !bits
 
+let popcount64 bits =
+  let n = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand bits (Int64.shift_left 1L i) <> 0L then incr n
+  done;
+  !n
+
 let send_ack r =
   let buf =
     match Api.reclaim r.r_api r.r_ack_ep with
@@ -499,15 +512,25 @@ let send_ack r =
   | None -> () (* pool exhausted; a later ack supersedes this one *)
   | Some buf -> (
       let b = Bytes.create ack_bytes in
+      let sack = sack_bitmap r in
       Bytes.set_int32_le b 0 (Int32.of_int r.expected);
-      Bytes.set_int64_le b 4 (sack_bitmap r);
+      Bytes.set_int64_le b 4 sack;
       Api.write_payload r.r_api buf b;
       match Api.send r.r_api r.r_ack_ep buf with
       | Ok () ->
           r.r_acks_sent <- r.r_acks_sent + 1;
           r.pending_ack <- 0;
           r.anomalies <- 0;
-          r.last_ack_at <- Engine.now r.r_sim
+          r.last_ack_at <- Engine.now r.r_sim;
+          emit r.r_api (fun () ->
+              let addr = Api.address r.r_api r.r_data_ep in
+              Flipc_obs.Event.Ack_tx
+                {
+                  node = Address.node addr;
+                  ep = Address.endpoint addr;
+                  cum = r.expected;
+                  sacked = popcount64 sack;
+                })
       | Error _ -> Api.free_buffer r.r_api buf)
 
 (* A duplicate or unbufferable gap carries no new acknowledgement state;
@@ -527,9 +550,13 @@ let repost r buf =
   | Ok () -> ()
   | Error _ -> Api.free_buffer r.r_api buf
 
-let deliver r ~seq payload =
+let deliver r ~seq ~mid payload =
   r.expected <- seq;
   r.r_delivered <- r.r_delivered + 1;
+  emit r.r_api (fun () ->
+      let addr = Api.address r.r_api r.r_data_ep in
+      Flipc_obs.Event.Frame_deliver
+        { node = Address.node addr; ep = Address.endpoint addr; seq; mid });
   r.pending_ack <- r.pending_ack + 1;
   if r.pending_ack >= r.r_cfg.ack_every then send_ack r;
   Some payload
@@ -537,11 +564,11 @@ let deliver r ~seq payload =
 let rec recv r =
   r.r_drops <- r.r_drops + Api.drops_read_and_reset r.r_api r.r_data_ep;
   match Hashtbl.find_opt r.ooo (r.expected + 1) with
-  | Some payload ->
+  | Some (payload, mid) ->
       (* The hole below a buffered frame closed earlier; drain without
          touching the wire. *)
       Hashtbl.remove r.ooo (r.expected + 1);
-      deliver r ~seq:(r.expected + 1) payload
+      deliver r ~seq:(r.expected + 1) ~mid payload
   | None -> (
       match Api.receive r.r_api r.r_data_ep with
       | None -> None
@@ -556,8 +583,9 @@ let rec recv r =
           end
           else if seq = r.expected + 1 then begin
             let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
+            let mid = Api.last_recv_msg_id r.r_api in
             repost r buf;
-            deliver r ~seq payload
+            deliver r ~seq ~mid payload
           end
           else if seq <= r.expected then begin
             repost r buf;
@@ -574,8 +602,9 @@ let rec recv r =
                and ack immediately: the new SACK bit is exactly what
                stops the sender from retransmitting this frame. *)
             let payload = Api.read_payload r.r_api buf ~at:header_bytes len in
+            let mid = Api.last_recv_msg_id r.r_api in
             repost r buf;
-            Hashtbl.replace r.ooo seq payload;
+            Hashtbl.replace r.ooo seq (payload, mid);
             r.r_reordered <- r.r_reordered + 1;
             r.r_ooo_buffered <- r.r_ooo_buffered + 1;
             send_ack r;

@@ -196,7 +196,18 @@ let credits_available s = s.window - (s.sent - s.granted)
 
 let do_send s buf =
   ok (Api.send s.s_api s.s_data_ep buf);
-  s.sent <- s.sent + 1
+  s.sent <- s.sent + 1;
+  emit s.s_api (fun () ->
+      let addr = Api.address s.s_api s.s_data_ep in
+      Flipc_obs.Event.Window_send
+        {
+          node = Address.node addr;
+          ep = Address.endpoint addr;
+          mid = Api.last_msg_id s.s_api;
+          sent = s.sent;
+          granted = s.granted;
+          window = s.window;
+        })
 
 let send s buf =
   absorb_credits s;

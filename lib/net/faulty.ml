@@ -97,11 +97,21 @@ let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
       probe "reordered" (fun () -> stats.reordered);
       probe "delayed" (fun () -> stats.delayed)
   | None -> ());
+  (* FLIPC packets carry the wire image as payload, whose second word is
+     the stamped causal message id (lib/net cannot see Flipc.Msg_buffer,
+     so the layout knowledge — id in bits 2.. of the little-endian word
+     at byte 4 — is duplicated here). Other protocols get id 0. *)
+  let mid_of (p : Packet.t) =
+    let payload = p.Packet.payload in
+    if p.Packet.protocol = Packet.Flipc && Bytes.length payload >= 8 then
+      (Int32.to_int (Bytes.get_int32_le payload 4) land 0x3FFF_FFFF) lsr 2
+    else 0
+  in
   let fault kind (p : Packet.t) =
     match obs with
     | Some o when Flipc_obs.Obs.tracing o ->
         Flipc_obs.Obs.event o
-          (Flipc_obs.Event.Fault { node = p.Packet.src; kind })
+          (Flipc_obs.Event.Fault { node = p.Packet.src; kind; mid = mid_of p })
     | _ -> ()
   in
   let fires p = p > 0.0 && Prng.float rng 1.0 < p in

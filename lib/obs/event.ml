@@ -7,17 +7,47 @@ type drop_reason =
 type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
 
 type t =
-  | Send_enqueued of { node : int; ep : int; dst_node : int; dst_ep : int }
-  | Engine_tx of { node : int; ep : int; dst_node : int; dst_ep : int }
-  | Wire_rx of { node : int; ep : int }
-  | Deposit of { node : int; ep : int }
-  | Recv_dequeued of { node : int; ep : int }
-  | Drop of { node : int; ep : int; reason : drop_reason }
-  | Retransmit of { node : int; ep : int; seq : int }
+  | Send_enqueued of {
+      node : int;
+      ep : int;
+      dst_node : int;
+      dst_ep : int;
+      mid : int;
+    }
+  | Doorbell of { node : int; ep : int }
+  | Engine_tx of {
+      node : int;
+      ep : int;
+      dst_node : int;
+      dst_ep : int;
+      mid : int;
+    }
+  | Wire_rx of { node : int; ep : int; mid : int }
+  | Deposit of { node : int; ep : int; mid : int }
+  | Recv_dequeued of { node : int; ep : int; mid : int }
+  | Drop of { node : int; ep : int; mid : int; reason : drop_reason }
+  | Frame_tx of {
+      node : int;
+      ep : int;
+      seq : int;
+      mid : int;
+      retransmit : bool;
+    }
+  | Frame_deliver of { node : int; ep : int; seq : int; mid : int }
+  | Ack_tx of { node : int; ep : int; cum : int; sacked : int }
   | Credit_grant of { node : int; ep : int; count : int }
+  | Window_send of {
+      node : int;
+      ep : int;
+      mid : int;
+      sent : int;
+      granted : int;
+      window : int;
+    }
+  | Drops_read of { node : int; ep : int; count : int }
   | Engine_park of { node : int; idle : int }
   | Engine_wake of { node : int }
-  | Fault of { node : int; kind : fault_kind }
+  | Fault of { node : int; kind : fault_kind; mid : int }
   | Note of { node : int; tag : string; detail : string }
 
 let drop_reason_name = function
@@ -34,13 +64,19 @@ let fault_kind_name = function
 
 let name = function
   | Send_enqueued _ -> "send_enqueued"
+  | Doorbell _ -> "doorbell"
   | Engine_tx _ -> "engine_tx"
   | Wire_rx _ -> "wire_rx"
   | Deposit _ -> "deposit"
   | Recv_dequeued _ -> "recv_dequeued"
   | Drop _ -> "drop"
-  | Retransmit _ -> "retransmit"
+  | Frame_tx { retransmit; _ } ->
+      if retransmit then "retransmit" else "frame_tx"
+  | Frame_deliver _ -> "frame_deliver"
+  | Ack_tx _ -> "ack_tx"
   | Credit_grant _ -> "credit_grant"
+  | Window_send _ -> "window_send"
+  | Drops_read _ -> "drops_read"
   | Engine_park _ -> "engine_park"
   | Engine_wake _ -> "engine_wake"
   | Fault _ -> "fault"
@@ -48,36 +84,85 @@ let name = function
 
 let node = function
   | Send_enqueued { node; _ }
+  | Doorbell { node; _ }
   | Engine_tx { node; _ }
   | Wire_rx { node; _ }
   | Deposit { node; _ }
   | Recv_dequeued { node; _ }
   | Drop { node; _ }
-  | Retransmit { node; _ }
+  | Frame_tx { node; _ }
+  | Frame_deliver { node; _ }
+  | Ack_tx { node; _ }
   | Credit_grant { node; _ }
+  | Window_send { node; _ }
+  | Drops_read { node; _ }
   | Engine_park { node; _ }
   | Engine_wake { node; _ }
   | Fault { node; _ }
   | Note { node; _ } -> node
 
+let mid = function
+  | Send_enqueued { mid; _ }
+  | Engine_tx { mid; _ }
+  | Wire_rx { mid; _ }
+  | Deposit { mid; _ }
+  | Recv_dequeued { mid; _ }
+  | Drop { mid; _ }
+  | Frame_tx { mid; _ }
+  | Frame_deliver { mid; _ }
+  | Window_send { mid; _ }
+  | Fault { mid; _ } ->
+      if mid > 0 then Some mid else None
+  | Doorbell _ | Ack_tx _ | Credit_grant _ | Drops_read _ | Engine_park _
+  | Engine_wake _ | Note _ ->
+      None
+
 let args = function
-  | Send_enqueued { ep; dst_node; dst_ep; _ } | Engine_tx { ep; dst_node; dst_ep; _ }
-    ->
+  | Send_enqueued { ep; dst_node; dst_ep; mid; _ }
+  | Engine_tx { ep; dst_node; dst_ep; mid; _ } ->
       [
         ("ep", Json.Int ep);
         ("dst_node", Json.Int dst_node);
         ("dst_ep", Json.Int dst_ep);
+        ("mid", Json.Int mid);
       ]
-  | Wire_rx { ep; _ } | Deposit { ep; _ } | Recv_dequeued { ep; _ } ->
-      [ ("ep", Json.Int ep) ]
-  | Drop { ep; reason; _ } ->
-      [ ("ep", Json.Int ep); ("reason", Json.String (drop_reason_name reason)) ]
-  | Retransmit { ep; seq; _ } -> [ ("ep", Json.Int ep); ("seq", Json.Int seq) ]
+  | Doorbell { ep; _ } -> [ ("ep", Json.Int ep) ]
+  | Wire_rx { ep; mid; _ } | Deposit { ep; mid; _ } | Recv_dequeued { ep; mid; _ }
+    ->
+      [ ("ep", Json.Int ep); ("mid", Json.Int mid) ]
+  | Drop { ep; mid; reason; _ } ->
+      [
+        ("ep", Json.Int ep);
+        ("mid", Json.Int mid);
+        ("reason", Json.String (drop_reason_name reason));
+      ]
+  | Frame_tx { ep; seq; mid; retransmit; _ } ->
+      [
+        ("ep", Json.Int ep);
+        ("seq", Json.Int seq);
+        ("mid", Json.Int mid);
+        ("retransmit", Json.Bool retransmit);
+      ]
+  | Frame_deliver { ep; seq; mid; _ } ->
+      [ ("ep", Json.Int ep); ("seq", Json.Int seq); ("mid", Json.Int mid) ]
+  | Ack_tx { ep; cum; sacked; _ } ->
+      [ ("ep", Json.Int ep); ("cum", Json.Int cum); ("sacked", Json.Int sacked) ]
   | Credit_grant { ep; count; _ } ->
+      [ ("ep", Json.Int ep); ("count", Json.Int count) ]
+  | Window_send { ep; mid; sent; granted; window; _ } ->
+      [
+        ("ep", Json.Int ep);
+        ("mid", Json.Int mid);
+        ("sent", Json.Int sent);
+        ("granted", Json.Int granted);
+        ("window", Json.Int window);
+      ]
+  | Drops_read { ep; count; _ } ->
       [ ("ep", Json.Int ep); ("count", Json.Int count) ]
   | Engine_park { idle; _ } -> [ ("idle_iterations", Json.Int idle) ]
   | Engine_wake _ -> []
-  | Fault { kind; _ } -> [ ("kind", Json.String (fault_kind_name kind)) ]
+  | Fault { kind; mid; _ } ->
+      [ ("kind", Json.String (fault_kind_name kind)); ("mid", Json.Int mid) ]
   | Note { detail; _ } -> [ ("detail", Json.String detail) ]
 
 let pp fmt ev =

@@ -6,11 +6,20 @@
     indices {!Flipc.Address} carries), virtual timestamps are attached by
     {!Tracer}. The lifecycle events, in path order:
 
-    [Send_enqueued] (application queued a buffer) → [Engine_tx] (engine
-    handed the image to the transport) → [Wire_rx] (image arrived at the
-    destination engine) → [Deposit] (engine placed it in a posted
-    buffer) → [Recv_dequeued] (application took it). [Drop] replaces
-    [Deposit] when no buffer is posted or the message is refused. *)
+    [Send_enqueued] (application queued a buffer) → [Doorbell] (engine
+    noticed the endpoint's doorbell) → [Engine_tx] (engine handed the
+    image to the transport) → [Wire_rx] (image arrived at the destination
+    engine) → [Deposit] (engine placed it in a posted buffer) →
+    [Recv_dequeued] (application took it). [Drop] replaces [Deposit] when
+    no buffer is posted or the message is refused.
+
+    {b Causal message ids.} Every application send stamps a
+    process-unique [mid] into the message's state word (see
+    {!Flipc.Msg_buffer}); the lifecycle events above carry it, as do the
+    reliability-layer frame events and fault-injection markers, so
+    {!Causal} can stitch one message's full cross-machine path back
+    together. [mid = 0] means "unstamped/unknown" — {!val:mid} maps it to
+    [None]. *)
 
 type drop_reason =
   | No_posted_buffer  (** optimistic discard: receiver had no buffer *)
@@ -21,17 +30,52 @@ type drop_reason =
 type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
 
 type t =
-  | Send_enqueued of { node : int; ep : int; dst_node : int; dst_ep : int }
-  | Engine_tx of { node : int; ep : int; dst_node : int; dst_ep : int }
-  | Wire_rx of { node : int; ep : int }
-  | Deposit of { node : int; ep : int }
-  | Recv_dequeued of { node : int; ep : int }
-  | Drop of { node : int; ep : int; reason : drop_reason }
-  | Retransmit of { node : int; ep : int; seq : int }
+  | Send_enqueued of {
+      node : int;
+      ep : int;
+      dst_node : int;
+      dst_ep : int;
+      mid : int;
+    }
+  | Doorbell of { node : int; ep : int }
+      (** the engine observed this send endpoint's doorbell ring *)
+  | Engine_tx of {
+      node : int;
+      ep : int;
+      dst_node : int;
+      dst_ep : int;
+      mid : int;
+    }
+  | Wire_rx of { node : int; ep : int; mid : int }
+  | Deposit of { node : int; ep : int; mid : int }
+  | Recv_dequeued of { node : int; ep : int; mid : int }
+  | Drop of { node : int; ep : int; mid : int; reason : drop_reason }
+  | Frame_tx of {
+      node : int;
+      ep : int;
+      seq : int;
+      mid : int;
+      retransmit : bool;
+    }  (** {!Flipc_flow.Retrans} put frame [seq] on the wire as message
+           [mid]; retransmissions carry a fresh [mid], linked by [seq] *)
+  | Frame_deliver of { node : int; ep : int; seq : int; mid : int }
+      (** the receiver released frame [seq] to the application, in order *)
+  | Ack_tx of { node : int; ep : int; cum : int; sacked : int }
+      (** cumulative ack [cum] (+ [sacked] selective-ack bits) sent *)
   | Credit_grant of { node : int; ep : int; count : int }
+  | Window_send of {
+      node : int;
+      ep : int;
+      mid : int;
+      sent : int;
+      granted : int;
+      window : int;
+    }  (** {!Flipc_flow.Window} sender counters at the moment of a send *)
+  | Drops_read of { node : int; ep : int; count : int }
+      (** the application read-and-reset [count] drops on [ep] *)
   | Engine_park of { node : int; idle : int }
   | Engine_wake of { node : int }
-  | Fault of { node : int; kind : fault_kind }
+  | Fault of { node : int; kind : fault_kind; mid : int }
   | Note of { node : int; tag : string; detail : string }
       (** escape hatch for ad-hoc instrumentation *)
 
@@ -43,6 +87,9 @@ val name : t -> string
 
 (** The node the event happened on. *)
 val node : t -> int
+
+(** The causal message id the event carries, if stamped. *)
+val mid : t -> int option
 
 (** Structured payload for JSON export, deterministic field order. *)
 val args : t -> (string * Json.t) list

@@ -6,6 +6,9 @@ type t = {
   metrics : Metrics.t;
   tracer : Tracer.t;
   latency : Latency.t;
+  mutable label : string;
+  mutable watchers : (Flipc_sim.Vtime.t -> Event.t -> unit) list;
+  mutable reporters : (Format.formatter -> unit) list;
 }
 
 let next_id = ref 0
@@ -39,6 +42,9 @@ let create ?(tracing = false) ?(trace_capacity = 65_536) ?latency_capacity
       metrics = Metrics.create ();
       tracer = Tracer.create ~capacity:trace_capacity ~enabled:tracing ();
       latency = Latency.create ?sample_capacity:latency_capacity ();
+      label = Printf.sprintf "flipc machine %d" id;
+      watchers = [];
+      reporters = [];
     }
   in
   (match !capture_box with Some l -> l := t :: !l | None -> ());
@@ -50,12 +56,32 @@ let metrics t = t.metrics
 let tracer t = t.tracer
 let latency t = t.latency
 let now t = Engine.now t.sim
-let tracing t = Tracer.enabled t.tracer
-let event t ev = Tracer.emit t.tracer ~now:(Engine.now t.sim) ev
+let label t = t.label
+let set_label t s = t.label <- s
+
+(* Watchers piggyback on the tracing gate: every emit site already asks
+   [tracing] before building its event, so a registered watcher turns
+   those same sites on without touching them. *)
+let tracing t = Tracer.enabled t.tracer || t.watchers <> []
+
+let add_watcher t f = t.watchers <- t.watchers @ [ f ]
+
+let event t ev =
+  let now = Engine.now t.sim in
+  Tracer.emit t.tracer ~now ev;
+  match t.watchers with
+  | [] -> ()
+  | ws -> List.iter (fun f -> f now ev) ws
+
+let add_reporter t f = t.reporters <- t.reporters @ [ f ]
+let report t fmt = List.iter (fun f -> f fmt) t.reporters
 
 let chrome_json_of list =
   let events =
-    List.concat_map (fun t -> Tracer.chrome_events ~pid:t.id t.tracer) list
+    List.concat_map
+      (fun t ->
+        Tracer.chrome_events ~pid:t.id ~process_name:t.label t.tracer)
+      list
   in
   Json.Obj
     [

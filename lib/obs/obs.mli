@@ -34,13 +34,35 @@ val latency : t -> Latency.t
 (** Current virtual time. *)
 val now : t -> Flipc_sim.Vtime.t
 
-(** Whether the event tracer is recording — hot paths check this before
+(** Human-readable machine name, used as the Chrome process name
+    (default ["flipc machine <id>"]). *)
+val label : t -> string
+
+val set_label : t -> string -> unit
+
+(** Whether events should be constructed — true when the tracer records
+    {e or} a watcher is registered. Hot paths check this before
     constructing an event. *)
 val tracing : t -> bool
 
-(** [event t ev] records [ev] at the current virtual time (no-op when
-    tracing is off). *)
+(** [event t ev] records [ev] at the current virtual time and feeds it
+    to every registered watcher (no-op when {!tracing} is false). *)
 val event : t -> Event.t -> unit
+
+(** {1 Watchers and reporters}
+
+    Watchers are synchronous taps on the typed event stream — the online
+    invariant monitors ({!Monitor}) register one. Registering a watcher
+    makes {!tracing} true, so the existing emit guards feed it without
+    enabling the ring. Reporters contribute machine state to flight
+    recorder dumps ({!Monitor.Watchdog}): {!Flipc.Machine} registers one
+    that prints engine stats and endpoint queue depths. *)
+
+val add_watcher : t -> (Flipc_sim.Vtime.t -> Event.t -> unit) -> unit
+val add_reporter : t -> (Format.formatter -> unit) -> unit
+
+(** Run every registered reporter. *)
+val report : t -> Format.formatter -> unit
 
 (** Chrome [trace_event] document for this machine's tracer. *)
 val chrome_json : t -> Json.t

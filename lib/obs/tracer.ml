@@ -58,7 +58,7 @@ let chrome_metadata ~pid ~process_name nodes =
            ])
        nodes
 
-let chrome_events ?(pid = 0) t =
+let chrome_events ?(pid = 0) ?process_name t =
   let nodes =
     Ring.fold t.ring ~init:[] (fun acc e ->
         let n = Event.node e.ev in
@@ -68,12 +68,16 @@ let chrome_events ?(pid = 0) t =
   let events =
     List.rev (Ring.fold t.ring ~init:[] (fun acc e -> chrome_event ~pid e :: acc))
   in
-  chrome_metadata ~pid ~process_name:(Fmt.str "flipc machine %d" pid) nodes
-  @ events
+  let process_name =
+    match process_name with
+    | Some n -> n
+    | None -> Fmt.str "flipc machine %d" pid
+  in
+  chrome_metadata ~pid ~process_name nodes @ events
 
 let chrome_json ?pid t =
   Json.Obj
     [
-      ("traceEvents", Json.List (chrome_events ?pid t));
+      ("traceEvents", Json.List (chrome_events ?pid ?process_name:None t));
       ("displayTimeUnit", Json.String "ns");
     ]

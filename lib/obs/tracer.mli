@@ -39,8 +39,9 @@ val pp : Format.formatter -> t -> unit
 
 (** Chrome [trace_event] array entries (metadata + instant events),
     suitable for merging several tracers into one file. [pid]
-    distinguishes machines (default 0); nodes map to thread rows. *)
-val chrome_events : ?pid:int -> t -> Json.t list
+    distinguishes machines (default 0); nodes map to thread rows.
+    [process_name] overrides the "flipc machine <pid>" metadata row. *)
+val chrome_events : ?pid:int -> ?process_name:string -> t -> Json.t list
 
 (** A complete [{"traceEvents": [...]}] document for chrome://tracing
     or Perfetto. *)

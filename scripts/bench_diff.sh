@@ -11,6 +11,11 @@
 # fresh run against a committed baseline to catch perf regressions
 # without hand-reading the tables.
 #
+# Invariant-monitor counters (leaves containing "violations") are held
+# to a stricter rule regardless of the threshold: any increase fails,
+# because a run that starts double-delivering frames or leaking credits
+# is a correctness regression no percentage slack excuses.
+#
 # Needs python3 for the JSON walk; degrades to a plain textual diff
 # (informational, never failing) when it is missing.
 set -eu
@@ -54,6 +59,7 @@ cand = dict(leaves(json.load(open(cand_path))))
 
 LATENCY_MARKERS = ("p50", "p99", "latency", "one_way", "_us", "_ns")
 regressions = []
+violation_regressions = []
 shared = sorted(set(base) & set(cand))
 if not shared:
     print("bench_diff: no numeric leaves in common", file=sys.stderr)
@@ -69,12 +75,23 @@ for key in shared:
     if limit is not None and latencyish and old and rel > limit:
         marker = "  <-- REGRESSION"
         regressions.append((key, old, new, rel))
+    if "violations" in key.lower() and new > old:
+        marker = "  <-- INVARIANT VIOLATIONS"
+        violation_regressions.append((key, old, new))
     if abs(delta) > 1e-12 or marker:
         print(f"{key:<{width}}  {old:>14.4f} -> {new:>14.4f}  ({rel:+7.2f}%){marker}")
 
 only = sorted(set(base) ^ set(cand))
 if only:
     print(f"({len(only)} leaves present in only one document)")
+
+if violation_regressions:
+    print(
+        f"bench_diff: {len(violation_regressions)} monitor violation "
+        f"counters increased",
+        file=sys.stderr,
+    )
+    sys.exit(1)
 
 if regressions:
     print(

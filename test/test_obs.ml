@@ -156,7 +156,7 @@ let test_tracer_bounded_and_chrome () =
   Tracer.enable tr;
   for i = 1 to 12 do
     Tracer.emit tr ~now:(i * 10)
-      (Event.Wire_rx { node = 1; ep = i })
+      (Event.Wire_rx { node = 1; ep = i; mid = i })
   done;
   check "capped" 8 (Tracer.length tr);
   check "dropped" 4 (Tracer.dropped tr);
