@@ -420,6 +420,11 @@ let faults_cmd =
     in
     let latencies = ref [] in
     let r_stats = ref (0, 0, 0) and s_stats = ref (0, 0) in
+    (* The receiver lingers past its final delivery until the sender's
+       flush completes: a dropped final cumulative ack otherwise strands
+       the sender retransmitting at a peer that no longer posts buffers
+       (DESIGN.md §14). *)
+    let tx_done = ref false in
     Machine.spawn_app machine ~node:1 (fun api ->
         let data_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
         let ack_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
@@ -441,6 +446,12 @@ let faults_cmd =
                 :: !latencies
           | None -> Mem_port.instr (Api.port api) 200
         done;
+        while (not !tx_done) && Sim.now (Machine.sim machine) < deadline do
+          (match Retrans.recv r with
+          | Some _ -> ()
+          | None -> Sim.delay (4 * rto_ns / 32));
+          Mem_port.instr (Api.port api) 200
+        done;
         r_stats :=
           (Retrans.duplicates r, Retrans.reordered r, Retrans.transport_drops r));
     Machine.spawn_app machine ~node:0 (fun api ->
@@ -453,17 +464,21 @@ let faults_cmd =
             ~config:rcfg ()
         in
         let bytes = min (max payload 8) (Retrans.capacity api) in
-        for _ = 1 to msgs do
-          let p = Bytes.create bytes in
-          Bytes.set_int64_le p 0 (Int64.of_int (Sim.now (Machine.sim machine)));
-          (match Retrans.send s p with
-          | Ok () -> ()
-          | Error `Timeout -> failwith "sender timed out: peer unreachable?");
-          Sim.delay (4 * rto_ns / 32)
-        done;
-        (match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 1) with
-        | Ok () -> ()
-        | Error `Timeout -> failwith "flush timed out: peer unreachable?");
+        Fun.protect
+          ~finally:(fun () -> tx_done := true)
+          (fun () ->
+            for _ = 1 to msgs do
+              let p = Bytes.create bytes in
+              Bytes.set_int64_le p 0
+                (Int64.of_int (Sim.now (Machine.sim machine)));
+              (match Retrans.send s p with
+              | Ok () -> ()
+              | Error `Timeout -> failwith "sender timed out: peer unreachable?");
+              Sim.delay (4 * rto_ns / 32)
+            done;
+            match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 1) with
+            | Ok () -> ()
+            | Error `Timeout -> failwith "flush timed out: peer unreachable?");
         s_stats := (Retrans.retransmits s, Retrans.ack_drops s));
     (try Machine.run machine with
     | Flipc_sim.Engine.Process_failure (_, Failure msg) ->
@@ -869,6 +884,12 @@ let doctor_cmd =
         | Error e -> failwith (Api.error_to_string e)
       in
       let wname dir = Printf.sprintf "doctor-flow-%d-%s" flow dir in
+      (* Set by the sender once its flush completes; the receiver lingers
+         until then, re-acking retransmitted duplicates. Exiting at the
+         final delivery would strand the sender whenever the last
+         cumulative ack is dropped: nothing new arrives at the receiver,
+         so nothing re-triggers an ack (DESIGN.md §14). *)
+      let tx_done = ref false in
       Machine.spawn_app ~name:(wname "rx") machine ~node:dst (fun api ->
           let data_ep =
             ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
@@ -889,6 +910,12 @@ let doctor_cmd =
                 if Monitor.Watchdog.expired wd then
                   stall wd ~mid:(Api.last_recv_msg_id api) ();
                 Mem_port.instr (Api.port api) 200
+          done;
+          while (not !tx_done) && not (Monitor.Watchdog.expired wd) do
+            (match Retrans.recv r with
+            | Some _ -> ()
+            | None -> Sim.delay 25_000);
+            Mem_port.instr (Api.port api) 200
           done);
       Machine.spawn_app ~name:(wname "tx") machine ~node:src (fun api ->
           let data_ep =
@@ -904,16 +931,19 @@ let doctor_cmd =
           in
           let wd = Monitor.Watchdog.create ~sim ~name:(wname "tx") () in
           let bytes = min 32 (Retrans.capacity api) in
-          for i = 1 to msgs do
-            let p = Bytes.make bytes (Char.chr (i land 0x7f)) in
-            (match Retrans.send s p with
-            | Ok () -> Monitor.Watchdog.progress wd
-            | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
-            Sim.delay 25_000
-          done;
-          (match Retrans.flush s ~timeout_ns:(Vtime.s 2) with
-          | Ok () -> ()
-          | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
+          Fun.protect
+            ~finally:(fun () -> tx_done := true)
+            (fun () ->
+              for i = 1 to msgs do
+                let p = Bytes.make bytes (Char.chr (i land 0x7f)) in
+                (match Retrans.send s p with
+                | Ok () -> Monitor.Watchdog.progress wd
+                | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
+                Sim.delay 25_000
+              done;
+              match Retrans.flush s ~timeout_ns:(Vtime.s 2) with
+              | Ok () -> ()
+              | Error `Timeout -> stall wd ~mid:(Api.last_msg_id api) ());
           retransmits := !retransmits + Retrans.retransmits s;
           delivered := !delivered + msgs)
     done;
@@ -1016,6 +1046,407 @@ let doctor_cmd =
     Term.(
       const run $ trace_out $ flows_arg $ msgs $ drop $ dup $ reorder $ seed
       $ assert_clean $ json_flag)
+
+(* --- soakmatrix --- *)
+
+(* The standing adversarial gate: all-to-all reliable flows on every
+   fabric, swept across the whole fault matrix (uniform loss, Gilbert–
+   Elliott bursts, payload corruption, a single faulted link, and all of
+   it combined), with the frame checksum on, invariant monitors attached
+   and a progress watchdog per flow. Receivers verify every delivered
+   payload against the pattern the sender wrote, so a corrupt frame that
+   leaks past the checksum into the application is counted — the number
+   that must stay zero. *)
+let soakmatrix_cmd =
+  let module Sim = Flipc_sim.Engine in
+  let module Vtime = Flipc_sim.Vtime in
+  let module Mailbox = Flipc_sim.Sync.Mailbox in
+  let module Mem_port = Flipc_memsim.Mem_port in
+  let module Api = Flipc.Api in
+  let module Endpoint_kind = Flipc.Endpoint_kind in
+  let module Faulty = Flipc_net.Faulty in
+  let module Retrans = Flipc_flow.Retrans in
+  let module Provision = Flipc_flow.Provision in
+  let module Monitor = Flipc_obs.Monitor in
+  let module Json = Flipc_obs.Json in
+  let msgs_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages per flow.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 21
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed for fault injection (runs replay bit-identically).")
+  in
+  let fabric_filter =
+    Arg.(
+      value
+      & opt (enum [ ("all", `All); ("mesh", `Mesh); ("ethernet", `Ethernet);
+                    ("scsi", `Scsi) ]) `All
+      & info [ "fabric" ] ~docv:"FABRIC" ~doc:"Run one fabric only.")
+  in
+  let scenario_filter =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run one fault scenario only (uniform, burst, corrupt, perlink, \
+             combined).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_soak_matrix.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON document ('-' = stdout only).")
+  in
+  let assert_clean =
+    Arg.(
+      value & flag
+      & info [ "assert-clean" ]
+          ~doc:
+            "Exit 1 unless every cell is clean: all messages delivered, no \
+             invariant violation, no watchdog expiry, zero corrupt frames \
+             reaching the application.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the JSON document on stdout instead of the text table.")
+  in
+  let scenario_names =
+    [ "uniform"; "burst"; "corrupt"; "perlink"; "combined" ]
+  in
+  (* One directed bad link (node 0 toward its partner): drops, bursts and
+     corrupts while every other link stays clean. *)
+  let scenario_fault name ~seed ~hold ~half =
+    let bad_link () =
+      Faulty.config ~drop:0.15 ~corrupt:0.1
+        ~burst:(Faulty.burst ~p_good_bad:0.05 ~p_bad_good:0.3 ~drop_bad:0.5 ())
+        ~seed:(seed + 1) ()
+    in
+    let only_link_0 bad ~src ~dst =
+      if src = 0 && dst = half then Some bad else None
+    in
+    match name with
+    | "uniform" ->
+        ( Faulty.config ~drop:0.05 ~duplicate:0.02 ~reorder:0.15
+            ~reorder_hold_ns:hold ~seed (),
+          None )
+    | "burst" ->
+        ( Faulty.config
+            ~burst:
+              (Faulty.burst ~p_good_bad:0.05 ~p_bad_good:0.3 ~drop_bad:0.5 ())
+            ~seed (),
+          None )
+    | "corrupt" -> (Faulty.config ~corrupt:0.08 ~seed (), None)
+    | "perlink" ->
+        (Faulty.config ~seed (), Some (only_link_0 (bad_link ())))
+    | "combined" ->
+        ( Faulty.config ~drop:0.03 ~duplicate:0.02 ~reorder:0.1
+            ~reorder_hold_ns:hold ~corrupt:0.03
+            ~burst:
+              (Faulty.burst ~p_good_bad:0.03 ~p_bad_good:0.3 ~drop_bad:0.4 ())
+            ~seed (),
+          Some (only_link_0 (bad_link ())) )
+    | _ -> assert false
+  in
+  (* One soak cell: [nodes] flows, node i sending to node (i + n/2) mod n,
+     so every node both sends and receives through the faulted fabric. *)
+  let run_cell ~fabric_name ~kind ~cost ~nodes ~rto_ns ~pace_ns ~budget ~hold
+      ~msgs ~seed ~scenario =
+    let half = nodes / 2 in
+    let fault, links = scenario_fault scenario ~seed ~hold ~half in
+    let config =
+      {
+        (Provision.config_for ~base:Config.default ~buffers:16) with
+        Config.frame_checksum = true;
+      }
+    in
+    let machine =
+      Machine.create ~config ~cost ~fault ?fault_links:links kind ()
+    in
+    let mon = Machine.attach_monitor machine in
+    let sim = Machine.sim machine in
+    let rcfg =
+      {
+        Retrans.default_config with
+        Retrans.rto_ns;
+        max_rto_ns = 8 * rto_ns;
+      }
+    in
+    let stalled = ref 0 in
+    (* Counted once, in the Process_failure handler below. *)
+    let stall wd =
+      failwith
+        (Printf.sprintf "watchdog '%s' expired" (Monitor.Watchdog.name wd))
+    in
+    let delivered = ref 0
+    and retransmits = ref 0
+    and corrupt_leaks = ref 0 in
+    let payload_of ~flow ~idx ~bytes =
+      Bytes.init bytes (fun j -> Char.chr (((flow * 131) + (idx * 31) + j) land 0xff))
+    in
+    let ok = function
+      | Ok v -> v
+      | Error e -> failwith (Api.error_to_string e)
+    in
+    let senders_left = ref nodes in
+    for flow = 0 to nodes - 1 do
+      let src = flow and dst = (flow + half) mod nodes in
+      let data_addr = Mailbox.create () and ack_addr = Mailbox.create () in
+      let wname dir = Printf.sprintf "soak-%s-%s-%d-%s" fabric_name scenario flow dir in
+      (* rx on cpu 1, tx on cpu 0: each role gets its own memory port. *)
+      Machine.spawn_app ~name:(wname "rx") ~cpu:1 machine ~node:dst
+        (fun api ->
+          let data_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+          in
+          let ack_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ())
+          in
+          Mailbox.put data_addr (Api.address api data_ep);
+          Api.connect api ack_ep (Mailbox.take ack_addr);
+          let r =
+            Retrans.create_receiver api ~sim ~data_ep ~ack_ep ~config:rcfg ()
+          in
+          let wd = Monitor.Watchdog.create ~budget ~sim ~name:(wname "rx") () in
+          let bytes = min 32 (Retrans.capacity api) in
+          let next = ref 1 in
+          while Retrans.delivered r < msgs do
+            match Retrans.recv r with
+            | Some p ->
+                Monitor.Watchdog.progress wd;
+                if not (Bytes.equal p (payload_of ~flow ~idx:!next ~bytes))
+                then incr corrupt_leaks;
+                incr next;
+                incr delivered
+            | None ->
+                if Monitor.Watchdog.expired wd then stall wd;
+                Mem_port.instr (Api.port api) 200
+          done;
+          (* Linger: a dropped final ack leaves the sender retransmitting
+             a message we already have. Keep draining (recv re-acks
+             duplicates) until every sender in the cell has flushed; the
+             watchdog bounds the linger if a sender dies. *)
+          Monitor.Watchdog.progress wd;
+          while !senders_left > 0 && not (Monitor.Watchdog.expired wd) do
+            (match Retrans.recv r with
+            | Some _ -> ()
+            | None -> Sim.delay pace_ns);
+            Mem_port.instr (Api.port api) 200
+          done);
+      Machine.spawn_app ~name:(wname "tx") ~cpu:0 machine ~node:src
+        (fun api ->
+          let data_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ())
+          in
+          let ack_ep =
+            ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ())
+          in
+          Mailbox.put ack_addr (Api.address api ack_ep);
+          Api.connect api data_ep (Mailbox.take data_addr);
+          let s =
+            Retrans.create_sender api ~sim ~data_ep ~ack_ep ~config:rcfg ()
+          in
+          let wd = Monitor.Watchdog.create ~budget ~sim ~name:(wname "tx") () in
+          let bytes = min 32 (Retrans.capacity api) in
+          Fun.protect
+            ~finally:(fun () -> decr senders_left)
+            (fun () ->
+              for i = 1 to msgs do
+                (match Retrans.send s (payload_of ~flow ~idx:i ~bytes) with
+                | Ok () -> Monitor.Watchdog.progress wd
+                | Error `Timeout -> stall wd);
+                Sim.delay pace_ns
+              done;
+              (match Retrans.flush s ~timeout_ns:(Vtime.s 4) with
+              | Ok () -> ()
+              | Error `Timeout -> stall wd);
+              retransmits := !retransmits + Retrans.retransmits s))
+    done;
+    (* Each Process_failure kills exactly one simulation process; keep
+       running so the remaining flows finish and the cell reports how far
+       it got (the failure itself already marks the cell unclean). *)
+    let rec run_all stopping =
+      match
+        if stopping then Machine.stop_engines machine;
+        Machine.run machine
+      with
+      | () -> if not stopping then run_all true
+      | exception Flipc_sim.Engine.Process_failure (who, exn) ->
+          incr stalled;
+          Fmt.epr "flipc soakmatrix: %s/%s: %s: %s@." fabric_name scenario who
+            (Printexc.to_string exn);
+          run_all stopping
+    in
+    run_all false;
+    let corrupt_dropped = ref 0 in
+    for i = 0 to Machine.node_count machine - 1 do
+      let st = Flipc.Msg_engine.stats (Machine.msg_engine (Machine.node machine i)) in
+      corrupt_dropped := !corrupt_dropped + st.Flipc.Msg_engine.corrupt_frames
+    done;
+    let expected = nodes * msgs in
+    let violations = List.length (Monitor.violations mon) in
+    let clean =
+      Monitor.clean mon && !stalled = 0 && !delivered = expected
+      && !corrupt_leaks = 0
+    in
+    let faults_json =
+      match Machine.fault_stats machine with
+      | Some f ->
+          Json.Obj
+            [
+              ("dropped", Json.Int f.Faulty.dropped);
+              ("burst_dropped", Json.Int f.Faulty.burst_dropped);
+              ("duplicated", Json.Int f.Faulty.duplicated);
+              ("reordered", Json.Int f.Faulty.reordered);
+              ("delayed", Json.Int f.Faulty.delayed);
+              ("corrupted", Json.Int f.Faulty.corrupted);
+              ("ge_bursts", Json.Int f.Faulty.ge_bursts);
+              ("ge_bad_pkts", Json.Int f.Faulty.ge_bad_pkts);
+              ("ge_good_pkts", Json.Int f.Faulty.ge_good_pkts);
+            ]
+      | None -> Json.Null
+    in
+    ( clean,
+      Json.Obj
+        [
+          ("fabric", Json.String fabric_name);
+          ("scenario", Json.String scenario);
+          ("flows", Json.Int nodes);
+          ("expected", Json.Int expected);
+          ("delivered", Json.Int !delivered);
+          ("retransmits", Json.Int !retransmits);
+          ("corrupt_leaks", Json.Int !corrupt_leaks);
+          ("corrupt_frames_dropped", Json.Int !corrupt_dropped);
+          ("monitor_violations", Json.Int violations);
+          ("watchdogs_expired", Json.Int !stalled);
+          ("faults", faults_json);
+          ("clean", Json.Bool clean);
+        ] )
+  in
+  let run trace msgs seed fabric_sel scenario_sel out assert_flag json_out =
+    with_trace trace @@ fun () ->
+    if msgs < 1 then begin
+      Fmt.epr "flipc soakmatrix: --messages must be >= 1@.";
+      exit 2
+    end;
+    (if scenario_sel <> "all" && not (List.mem scenario_sel scenario_names)
+     then begin
+       Fmt.epr "flipc soakmatrix: unknown scenario %s@." scenario_sel;
+       exit 2
+     end);
+    (* Per-fabric tuning: (tag, name, kind, cost model, nodes, rto_ns,
+       pace_ns, watchdog budget, reorder_hold_ns). The 10 Mb/s shared
+       Ethernet serializes every frame (~120 us each), so 8 all-to-all
+       flows must pace well below medium capacity and start from an RTO
+       above the contended round trip, or the cell measures a congestion
+       collapse instead of fault recovery. *)
+    let fabrics =
+      [
+        ( `Mesh,
+          "mesh",
+          Machine.Mesh { cols = 4; rows = 4 },
+          Flipc_memsim.Cost_model.paragon,
+          16, 200_000, 25_000, Flipc_sim.Vtime.ms 50, 100_000 );
+        ( `Ethernet,
+          "ethernet",
+          Machine.Ethernet { nodes = 8 },
+          Flipc_memsim.Cost_model.pc_cluster,
+          8, 8_000_000, 2_000_000, Flipc_sim.Vtime.ms 500, 500_000 );
+        ( `Scsi,
+          "scsi",
+          Machine.Scsi { nodes = 4 },
+          Flipc_memsim.Cost_model.pc_cluster,
+          4, 1_000_000, 125_000, Flipc_sim.Vtime.ms 50, 500_000 );
+      ]
+      |> List.filter (fun (tag, _, _, _, _, _, _, _, _) ->
+             fabric_sel = `All || fabric_sel = tag)
+    in
+    let scenarios =
+      List.filter
+        (fun s -> scenario_sel = "all" || scenario_sel = s)
+        scenario_names
+    in
+    let cells =
+      List.concat_map
+        (fun (_, fabric_name, kind, cost, nodes, rto_ns, pace_ns, budget, hold)
+           ->
+          List.map
+            (fun scenario ->
+              run_cell ~fabric_name ~kind ~cost ~nodes ~rto_ns ~pace_ns ~budget
+                ~hold ~msgs ~seed ~scenario)
+            scenarios)
+        fabrics
+    in
+    let clean = List.for_all fst cells in
+    let doc =
+      Json.Obj
+        [
+          ("experiment", Json.String "soak_matrix");
+          ("messages_per_flow", Json.Int msgs);
+          ("seed", Json.Int seed);
+          ("cells", Json.List (List.map snd cells));
+          ("clean", Json.Bool clean);
+        ]
+    in
+    (if out <> "-" then begin
+       let oc = open_out out in
+       output_string oc (Json.to_string doc);
+       output_char oc '\n';
+       close_out oc
+     end);
+    if json_out then print_endline (Json.to_string doc)
+    else begin
+      Fmt.pr "flipc soakmatrix: %d cells x %d messages/flow (seed %d)@."
+        (List.length cells) msgs seed;
+      List.iter
+        (fun (cell_clean, j) ->
+          match j with
+          | Json.Obj fields ->
+              let str k =
+                match List.assoc k fields with
+                | Json.String s -> s
+                | _ -> "?"
+              in
+              let int k =
+                match List.assoc k fields with Json.Int i -> i | _ -> -1
+              in
+              Fmt.pr
+                "  %-8s %-8s delivered %d/%d retrans=%d corrupt-dropped=%d \
+                 leaks=%d violations=%d stalls=%d %s@."
+                (str "fabric") (str "scenario") (int "delivered")
+                (int "expected") (int "retransmits")
+                (int "corrupt_frames_dropped") (int "corrupt_leaks")
+                (int "monitor_violations") (int "watchdogs_expired")
+                (if cell_clean then "ok" else "NOT CLEAN")
+          | _ -> ())
+        cells;
+      if out <> "-" then Fmt.pr "wrote %s@." out
+    end;
+    if assert_flag && not clean then begin
+      if not json_out then Fmt.epr "flipc soakmatrix: NOT clean@.";
+      exit 1
+    end
+  in
+  let doc =
+    "Adversarial soak matrix: all-to-all reliable flows on \
+     mesh/Ethernet/SCSI swept across the fault matrix (uniform, burst, \
+     corrupt, per-link, combined) with frame checksums, invariant monitors \
+     and per-flow watchdogs. $(b,--assert-clean) turns it into the standing \
+     CI gate; the JSON lands in $(b,BENCH_soak_matrix.json) for \
+     $(b,bench_diff.sh)."
+  in
+  Cmd.v
+    (Cmd.info "soakmatrix" ~doc)
+    Term.(
+      const run $ trace_out $ msgs_arg $ seed_arg $ fabric_filter
+      $ scenario_filter $ out_arg $ assert_clean $ json_flag)
 
 (* --- trace --- *)
 
@@ -1301,6 +1732,7 @@ let () =
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
             throughput_cmd; bulk_cmd; faults_cmd; retrans_cmd; doctor_cmd;
+            soakmatrix_cmd;
             trace_cmd; metrics_cmd;
             engine_cmd; info_cmd;
           ]))

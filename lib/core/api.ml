@@ -236,6 +236,11 @@ let send_with_dest t ep buf dest =
           Mem_port.instr t.port 6;
           Msg_buffer.set_dest t.port t.layout ~buf dest;
           Msg_buffer.set_state_and_id t.port t.layout ~buf ~mid Msg_buffer.Idle;
+          (* Checksum last: it must cover the header words just written.
+             The engine only reads the buffer after the release below, so
+             the digest is what the wire will carry. *)
+          if Msg_buffer.checksum_enabled t.layout then
+            Msg_buffer.store_checksum t.port t.layout ~buf;
           release_on ~doorbell:true t ~ep:ep.index ~buf)
     in
     (match r with

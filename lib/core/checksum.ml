@@ -1,0 +1,41 @@
+(* FNV-1a, 32-bit. One multiply and one xor per byte: cheap enough for a
+   per-message software checksum on the library path, and any single-bit
+   or short-burst damage changes the digest with overwhelming
+   probability — which is all the corrupt-frame gate needs (it is not a
+   cryptographic integrity check). *)
+
+let fnv_offset = 0x811C9DC5
+let fnv_prime = 0x0100_0193
+let mask32 = 0xFFFF_FFFF
+let byte h b = (h lxor b) * fnv_prime land mask32
+
+(* The memory model constrains stored words to 30 non-negative bits
+   (see {!Flipc_memsim.Shared_mem}), so the digest that goes in the
+   frame trailer is the 32-bit hash with its top two bits xor-folded
+   back in — every input bit still affects the result. *)
+let fold30 h = (h lxor (h lsr 30)) land 0x3FFF_FFFF
+
+let of_bytes ?(pos = 0) ?len bytes =
+  let len = match len with Some l -> l | None -> Bytes.length bytes - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Checksum.of_bytes: range out of bounds";
+  let h = ref fnv_offset in
+  for i = pos to pos + len - 1 do
+    h := byte !h (Char.code (Bytes.unsafe_get bytes i))
+  done;
+  !h
+
+(* Word-at-a-time variant for the sender side, which reads the buffer
+   through {!Flipc_memsim.Mem_port} as little-endian 32-bit words: folds
+   each word's four bytes in LE order, so the digest equals
+   [of_bytes] over the serialized image. *)
+let of_words ~nwords word =
+  let h = ref fnv_offset in
+  for i = 0 to nwords - 1 do
+    let w = word i in
+    h := byte !h (w land 0xFF);
+    h := byte !h ((w lsr 8) land 0xFF);
+    h := byte !h ((w lsr 16) land 0xFF);
+    h := byte !h ((w lsr 24) land 0xFF)
+  done;
+  !h

@@ -1,0 +1,23 @@
+(** Cheap 32-bit frame checksum (FNV-1a).
+
+    When {!Config.t.frame_checksum} is on, every message buffer carries
+    this digest of the rest of its wire image in a 4-byte trailer (see
+    {!Msg_buffer}): the sender stores it at send, the receiving engine
+    recomputes it before demultiplexing and discards mismatching frames.
+    FNV-1a is a hash, not a MAC — it guards against wire damage (bit
+    flips), not adversaries. *)
+
+(** [of_bytes ?pos ?len b] digests [len] bytes of [b] starting at [pos]
+    (default: all of [b]). *)
+val of_bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+
+(** [of_words ~nwords word] digests [nwords] little-endian 32-bit words,
+    [word i] being the i-th; equal to {!of_bytes} over the serialized
+    image. Lets the sender hash straight out of simulated memory without
+    materializing the image. *)
+val of_words : nwords:int -> (int -> int) -> int
+
+(** [fold30 h] xor-folds the 32-bit digest down to the 30 non-negative
+    bits a {!Flipc_memsim.Shared_mem} word can hold — the form actually
+    stored in the frame trailer. *)
+val fold30 : int -> int

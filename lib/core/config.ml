@@ -18,10 +18,14 @@ type t = {
   validity_check_instrs : int;
   dma_setup_ns : int;
   dma_ns_per_byte : float;
+  frame_checksum : bool;
 }
 
 let header_bytes = 8
-let payload_bytes t = t.message_bytes - header_bytes
+let checksum_bytes = 4
+
+let payload_bytes t =
+  t.message_bytes - header_bytes - if t.frame_checksum then checksum_bytes else 0
 
 let default =
   {
@@ -40,6 +44,7 @@ let default =
     validity_check_instrs = 50;
     dma_setup_ns = 550;
     dma_ns_per_byte = 0.625;
+    frame_checksum = false;
   }
 
 let round_up n multiple = (n + multiple - 1) / multiple * multiple
@@ -47,7 +52,9 @@ let round_up n multiple = (n + multiple - 1) / multiple * multiple
 let with_message_bytes t n =
   { t with message_bytes = max 64 (round_up n 32) }
 
-let for_payload t n = with_message_bytes t (n + header_bytes)
+let for_payload t n =
+  with_message_bytes t
+    (n + header_bytes + if t.frame_checksum then checksum_bytes else 0)
 
 let validate t =
   if t.message_bytes < 64 then Error "message_bytes must be at least 64"
@@ -71,9 +78,10 @@ let validate_exn t =
   match validate t with Ok t -> t | Error m -> invalid_arg ("Config: " ^ m)
 
 let pp fmt t =
-  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s %s rx-burst=%d checks=%b}"
+  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s %s rx-burst=%d checks=%b%s}"
     t.message_bytes t.endpoints t.queue_capacity t.total_buffers
     (match t.lock_mode with Lock_free -> "lock-free" | Test_and_set -> "locked")
     (match t.layout_mode with Padded -> "padded" | Packed -> "packed")
     (match t.sched_mode with Doorbell -> "doorbell" | Full_scan -> "full-scan")
     t.engine_rx_burst t.validity_checks
+    (if t.frame_checksum then " cksum" else "")

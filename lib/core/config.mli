@@ -55,10 +55,20 @@ type t = {
   validity_check_instrs : int;  (** per-message instruction cost of checks *)
   dma_setup_ns : int;
   dma_ns_per_byte : float;
+  frame_checksum : bool;
+      (** carry a 32-bit {!Checksum} of the wire image in the last 4
+          bytes of every message; the engine verifies it on receive and
+          discards damaged frames. Costs 4 payload bytes plus the hash
+          computation on both ends; off by default (the paper's FLIPC
+          trusts the Paragon mesh). *)
 }
 
 (** 8 bytes: destination-address word + state word. *)
 val header_bytes : int
+
+(** 4 bytes: the frame-checksum trailer, charged against the payload only
+    when [frame_checksum] is on. *)
+val checksum_bytes : int
 
 val payload_bytes : t -> int
 

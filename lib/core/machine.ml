@@ -188,7 +188,7 @@ let flight_report t fmt =
 let create ?(config = Config.default) ?(cost = Cost_model.paragon)
     ?(mesh_config = Mesh.paragon_config) ?(app_cpus = 2)
     ?(transport = native_transport) ?(heap_bytes = 256 * 1024)
-    ?(comm_buffers = 1) ?fault kind () =
+    ?(comm_buffers = 1) ?fault ?fault_links kind () =
   if comm_buffers < 1 then invalid_arg "Machine.create: comm_buffers < 1";
   let config = Config.validate_exn config in
   let sim = Sim.create () in
@@ -206,9 +206,13 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
           ~config:Scsi_bus.default_config
   in
   let fabric =
-    match fault with
-    | Some fc -> Flipc_net.Faulty.wrap ~engine:sim ~config:fc ~obs fabric
-    | None -> fabric
+    match (fault, fault_links) with
+    | None, None -> fabric
+    | fc, links ->
+        (* Per-link overrides alone still need a wrapper; the fabric-wide
+           config defaults to clean so only the named links fault. *)
+        let fc = Option.value fc ~default:Flipc_net.Faulty.none in
+        Flipc_net.Faulty.wrap ~engine:sim ~config:fc ?links ~obs fabric
   in
   let nodes =
     Array.init fabric.Fabric.node_count

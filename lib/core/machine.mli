@@ -44,7 +44,12 @@ val native_transport : transport_maker
     @param app_cpus application CPUs per node (default 2, as on MP3 nodes)
     @param transport engine transport wiring (default {!native_transport})
     @param fault wrap the fabric in {!Flipc_net.Faulty} fault injection
-      (drop / duplicate / reorder / jitter); default none *)
+      (drop / burst loss / duplicate / reorder / jitter / corrupt);
+      default none
+    @param fault_links per-(src,dst)-link fault overrides
+      ({!Flipc_net.Faulty.links}); giving only [?fault_links] wraps the
+      fabric with a clean fabric-wide config so just the named links
+      fault *)
 val create :
   ?config:Config.t ->
   ?cost:Flipc_memsim.Cost_model.t ->
@@ -54,6 +59,7 @@ val create :
   ?heap_bytes:int ->
   ?comm_buffers:int ->
   ?fault:Flipc_net.Faulty.config ->
+  ?fault_links:Flipc_net.Faulty.links ->
   fabric_kind ->
   unit ->
   t

@@ -64,6 +64,47 @@ let region layout ~buf =
   ( Layout.buffer_addr layout buf,
     (Layout.config layout).Config.message_bytes )
 
+(* Frame checksum trailer: the last [Config.checksum_bytes] of the
+   message hold an FNV-1a digest of everything before them (header words
+   included, so a bit flip in the destination or state word is caught the
+   same as one in the payload). [payload_bytes] already excludes the
+   trailer when the feature is on, so the application cannot write over
+   it. *)
+
+let checksum_enabled layout = (Layout.config layout).Config.frame_checksum
+
+let checksum_off layout =
+  (Layout.config layout).Config.message_bytes - Config.checksum_bytes
+
+(* Timed like the send path it runs on: one block read of the covered
+   bytes (charged per cache line), an instruction charge for the hash
+   arithmetic (word-at-a-time), and the trailer store. *)
+let store_checksum port layout ~buf =
+  let base = Layout.buffer_addr layout buf in
+  let len = checksum_off layout in
+  let image = Mem_port.read_bytes port ~pos:base ~len in
+  Mem_port.instr port (len / 4);
+  Mem_port.store port (base + len) (Checksum.fold30 (Checksum.of_bytes image))
+
+(* Read the trailer as the full unsigned 32-bit word. The stored digest
+   is [Checksum.fold30]-folded so a clean trailer's top two bits are
+   always zero (the 30-bit [Shared_mem.store_int] word invariant), but
+   the wire image itself is raw bytes — corruption can flip those bits,
+   and masking them here would make such damage undetectable. *)
+let checksum_of_image bytes =
+  let len = Bytes.length bytes in
+  if len < Config.checksum_bytes then
+    invalid_arg "Msg_buffer.checksum_of_image: short"
+  else
+    Int32.to_int (Bytes.get_int32_le bytes (len - Config.checksum_bytes))
+    land 0xFFFF_FFFF
+
+let image_checksum_ok bytes =
+  let len = Bytes.length bytes in
+  len >= Config.checksum_bytes
+  && Checksum.fold30 (Checksum.of_bytes ~len:(len - Config.checksum_bytes) bytes)
+     = checksum_of_image bytes
+
 let dest_of_image bytes =
   if Bytes.length bytes < 4 then invalid_arg "Msg_buffer.dest_of_image: short";
   Address.of_word (Int32.to_int (Bytes.get_int32_le bytes 0))

@@ -70,6 +70,27 @@ val dest_of_image : Bytes.t -> Address.t
     a wire image (0 when short or unstamped). *)
 val msg_id_of_image : Bytes.t -> int
 
+(** {1 Frame checksum}
+
+    With {!Config.t.frame_checksum} on, the last {!Config.checksum_bytes}
+    of the message carry an FNV-1a digest ({!Checksum}) of everything
+    before them — header words included. {!Config.payload_bytes} already
+    excludes the trailer, so applications cannot overwrite it. *)
+
+val checksum_enabled : Layout.t -> bool
+
+(** [store_checksum port layout ~buf] digests the buffer's image and
+    stores the trailer; timed (block read + hash instructions + one
+    store). Call after the header words and payload are final. *)
+val store_checksum : Mem_port.t -> Layout.t -> buf:int -> unit
+
+(** The trailer value carried in a wire image. *)
+val checksum_of_image : Bytes.t -> int
+
+(** [image_checksum_ok bytes] recomputes the digest over the image and
+    compares it with the trailer; [false] for damaged or short frames. *)
+val image_checksum_ok : Bytes.t -> bool
+
 (** {1 Untimed introspection (tracing, tests)} *)
 
 val peek_state : Mem_port.t -> Layout.t -> buf:int -> int

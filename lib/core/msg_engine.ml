@@ -25,6 +25,7 @@ type stats = {
   mutable sched_rebuilds : int;
   mutable rx_truncations : int;
   mutable idle_scans_avoided : int;
+  mutable corrupt_frames : int;
 }
 
 type t = {
@@ -110,6 +111,7 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
         sched_rebuilds = 0;
         rx_truncations = 0;
         idle_scans_avoided = 0;
+        corrupt_frames = 0;
       };
     shadow = Array.make total_eps 0;
     pending = Array.make total_eps false;
@@ -147,7 +149,8 @@ let set_obs t obs =
   probe "doorbell_hits" (fun () -> t.stats.doorbell_hits);
   probe "sched_rebuilds" (fun () -> t.stats.sched_rebuilds);
   probe "rx_truncations" (fun () -> t.stats.rx_truncations);
-  probe "idle_scans_avoided" (fun () -> t.stats.idle_scans_avoided)
+  probe "idle_scans_avoided" (fun () -> t.stats.idle_scans_avoided);
+  probe "corrupt_frames" (fun () -> t.stats.corrupt_frames)
 
 let obs t = t.obs
 
@@ -238,9 +241,7 @@ let charge_validity t =
    receiving node is thereby always prepared to accept from the
    interconnect, which is what makes the optimistic protocol deadlock-free
    on a reliable fabric. *)
-let handle_incoming t image =
-  (* Demultiplex + protocol-framework dispatch on the coprocessor. *)
-  Mem_port.instr t.port 15;
+let handle_verified t image =
   let dest = Msg_buffer.dest_of_image image in
   charge_validity t;
   let discard reason global_ep =
@@ -317,6 +318,33 @@ let handle_incoming t image =
         | Some Endpoint_kind.Send | None ->
             discard Event.Bad_destination global_ep;
             reject t layout)
+
+let handle_incoming t image =
+  (* Demultiplex + protocol-framework dispatch on the coprocessor. *)
+  Mem_port.instr t.port 15;
+  (* Checksum first, before the destination word is even decoded: a
+     damaged frame's every bit — address, state, payload — is suspect, so
+     it must not reach demultiplexing, where a flipped destination bit
+     would deliver it to the wrong endpoint. The sender's reliability
+     layer sees the discard as a loss and retransmits. *)
+  if
+    t.config.Config.frame_checksum
+    && not
+         (Mem_port.instr t.port (Bytes.length image / 4);
+          Msg_buffer.image_checksum_ok image)
+  then begin
+    t.stats.corrupt_frames <- t.stats.corrupt_frames + 1;
+    trace t "discard: frame checksum mismatch";
+    emit t (fun () ->
+        Event.Drop
+          {
+            node = t.node;
+            ep = -1;
+            mid = Msg_buffer.msg_id_of_image image;
+            reason = Event.Corrupt_frame;
+          })
+  end
+  else handle_verified t image
 
 (* Deposit incoming messages, at most [engine_rx_burst] per iteration: the
    loop is non-preemptible, so one flooded node must not monopolize an

@@ -61,6 +61,11 @@ type stats = {
   mutable idle_scans_avoided : int;
       (** doorbell-mode iterations that visited no endpoint — each one a
           full table scan the [Full_scan] engine would have done *)
+  mutable corrupt_frames : int;
+      (** arrivals discarded by the frame-checksum check
+          ({!Config.t.frame_checksum}); nothing in a damaged frame — the
+          destination word included — can be trusted, so they are counted
+          at node level and never demultiplexed *)
 }
 
 type t

@@ -341,8 +341,13 @@ let check_retransmit s =
         if s.stall_rounds > s.cfg.max_retries then Error `Timeout else Ok ()
       end
       else begin
-        (* Every outstanding frame is SACK-held by the receiver; nothing
-           to resend until the cumulative counter moves. *)
+        (* Every outstanding frame is SACK-held by the receiver, yet the
+           cumulative counter has not moved for a whole RTO. The ack that
+           would have advanced it is evidently lost, and since we are not
+           sending anything, no duplicate will ever provoke a re-ack:
+           waiting longer deadlocks the tail of the stream. SACK state is
+           advisory — treat it as stale and let the next expiry resend. *)
+        Queue.iter (fun p -> p.sacked <- false) s.inflight;
         s.timer <- now;
         Ok ()
       end

@@ -1,12 +1,25 @@
 module Engine = Flipc_sim.Engine
 module Prng = Flipc_sim.Prng
 
+type ge = {
+  p_good_bad : float;
+  p_bad_good : float;
+  drop_good : float;
+  drop_bad : float;
+}
+
+let burst ?(p_good_bad = 0.01) ?(p_bad_good = 0.25) ?(drop_good = 0.0)
+    ?(drop_bad = 0.5) () =
+  { p_good_bad; p_bad_good; drop_good; drop_bad }
+
 type config = {
   drop : float;
   duplicate : float;
   reorder : float;
   reorder_hold_ns : int;
   jitter_ns : int;
+  corrupt : float;
+  burst : ge option;
   seed : int;
 }
 
@@ -17,18 +30,28 @@ let none =
     reorder = 0.0;
     reorder_hold_ns = 50_000;
     jitter_ns = 0;
+    corrupt = 0.0;
+    burst = None;
     seed = 1;
   }
 
 let config ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
-    ?(reorder_hold_ns = 50_000) ?(jitter_ns = 0) ?(seed = 1) () =
-  { drop; duplicate; reorder; reorder_hold_ns; jitter_ns; seed }
+    ?(reorder_hold_ns = 50_000) ?(jitter_ns = 0) ?(corrupt = 0.0) ?burst
+    ?(seed = 1) () =
+  { drop; duplicate; reorder; reorder_hold_ns; jitter_ns; corrupt; burst; seed }
+
+type links = src:int -> dst:int -> config option
 
 type stats = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable reordered : int;
   mutable delayed : int;
+  mutable corrupted : int;
+  mutable burst_dropped : int;
+  mutable ge_good_pkts : int;
+  mutable ge_bad_pkts : int;
+  mutable ge_bursts : int;
 }
 
 (* Keyed on the shared Fabric.stats record by physical identity, like
@@ -63,20 +86,95 @@ let validate_prob name p =
   if p < 0.0 || p > 1.0 then
     invalid_arg (Printf.sprintf "Faulty.wrap: %s not in [0,1]" name)
 
-let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
+let validate_config c =
   validate_prob "drop" c.drop;
   validate_prob "duplicate" c.duplicate;
   validate_prob "reorder" c.reorder;
+  validate_prob "corrupt" c.corrupt;
+  (match c.burst with
+  | Some g ->
+      validate_prob "burst.p_good_bad" g.p_good_bad;
+      validate_prob "burst.p_bad_good" g.p_bad_good;
+      validate_prob "burst.drop_good" g.drop_good;
+      validate_prob "burst.drop_bad" g.drop_bad
+  | None -> ());
   if c.reorder_hold_ns < 0 || c.jitter_ns < 0 then
-    invalid_arg "Faulty.wrap: negative delay bound";
-  let rng = Prng.create ~seed:c.seed in
+    invalid_arg "Faulty.wrap: negative delay bound"
+
+(* One fault lane: the per-fault PRNG streams plus the Gilbert–Elliott
+   channel state for one configuration (fabric-wide, or one (src,dst)
+   link override). Every fault kind draws from its own splitmix64 stream,
+   derived from the lane seed in a fixed order, so changing one fault's
+   probability can never shift the values another fault's decisions see —
+   seeded runs stay comparable across configs. The duplicate copy's
+   delay draws get their own streams too, so enabling duplication does
+   not perturb the primary copy's reorder/jitter sequence. *)
+type lane = {
+  lcfg : config;
+  drop_rng : Prng.t;
+  ge_rng : Prng.t;
+  dup_rng : Prng.t;
+  corrupt_rng : Prng.t;
+  reorder_rng : Prng.t;
+  jitter_rng : Prng.t;
+  dup_reorder_rng : Prng.t;
+  dup_jitter_rng : Prng.t;
+  mutable ge_bad : bool;
+}
+
+let make_lane ~seed c =
+  (* A zero hold cannot let anything overtake the held packet, so it
+     disables reordering outright instead of counting no-op "reorders". *)
+  let c = if c.reorder_hold_ns = 0 then { c with reorder = 0.0 } else c in
+  let root = Prng.create ~seed in
+  let drop_rng = Prng.split root in
+  let ge_rng = Prng.split root in
+  let dup_rng = Prng.split root in
+  let corrupt_rng = Prng.split root in
+  let reorder_rng = Prng.split root in
+  let jitter_rng = Prng.split root in
+  let dup_reorder_rng = Prng.split root in
+  let dup_jitter_rng = Prng.split root in
+  {
+    lcfg = c;
+    drop_rng;
+    ge_rng;
+    dup_rng;
+    corrupt_rng;
+    reorder_rng;
+    jitter_rng;
+    dup_reorder_rng;
+    dup_jitter_rng;
+    ge_bad = false;
+  }
+
+(* Mix the link endpoints into the per-link seed so two links sharing one
+   override config still fault independently. *)
+let link_seed base ~src ~dst =
+  base lxor (((src + 1) * 0x9E3779B1) + ((dst + 1) * 0x85EBCA77))
+
+let copy_packet (p : Packet.t) =
+  { p with Packet.payload = Bytes.copy p.Packet.payload }
+
+let wrap ~engine ~config:c ?links ?obs (inner : Fabric.t) =
+  validate_config c;
   sweep ();
   let stats =
     match find_entry inner.Fabric.stats with
     | Some e -> e.tally (* double wrap: merge into the existing tally *)
     | None ->
         let tally =
-          { dropped = 0; duplicated = 0; reordered = 0; delayed = 0 }
+          {
+            dropped = 0;
+            duplicated = 0;
+            reordered = 0;
+            delayed = 0;
+            corrupted = 0;
+            burst_dropped = 0;
+            ge_good_pkts = 0;
+            ge_bad_pkts = 0;
+            ge_bursts = 0;
+          }
         in
         let key = Weak.create 1 in
         Weak.set key 0 (Some inner.Fabric.stats);
@@ -95,8 +193,35 @@ let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
       probe "dropped" (fun () -> stats.dropped);
       probe "duplicated" (fun () -> stats.duplicated);
       probe "reordered" (fun () -> stats.reordered);
-      probe "delayed" (fun () -> stats.delayed)
+      probe "delayed" (fun () -> stats.delayed);
+      probe "corrupted" (fun () -> stats.corrupted);
+      probe "burst_dropped" (fun () -> stats.burst_dropped);
+      probe "ge_good_pkts" (fun () -> stats.ge_good_pkts);
+      probe "ge_bad_pkts" (fun () -> stats.ge_bad_pkts);
+      probe "ge_bursts" (fun () -> stats.ge_bursts)
   | None -> ());
+  let base_lane = make_lane ~seed:c.seed c in
+  (* Per-link override lanes, created on first use so the table only
+     holds links the configuration actually singles out. *)
+  let link_lanes : (int, lane) Hashtbl.t = Hashtbl.create 8 in
+  let lane_for ~src ~dst =
+    match links with
+    | None -> base_lane
+    | Some f -> (
+        match f ~src ~dst with
+        | None -> base_lane
+        | Some lc -> (
+            let k = (src lsl 20) lor (dst land 0xFFFFF) in
+            match Hashtbl.find_opt link_lanes k with
+            | Some lane -> lane
+            | None ->
+                validate_config lc;
+                let lane =
+                  make_lane ~seed:(link_seed lc.seed ~src ~dst) lc
+                in
+                Hashtbl.add link_lanes k lane;
+                lane))
+  in
   (* FLIPC packets carry the wire image as payload, whose second word is
      the stamped causal message id (lib/net cannot see Flipc.Msg_buffer,
      so the layout knowledge — id in bits 2.. of the little-endian word
@@ -114,18 +239,43 @@ let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
           (Flipc_obs.Event.Fault { node = p.Packet.src; kind; mid = mid_of p })
     | _ -> ()
   in
-  let fires p = p > 0.0 && Prng.float rng 1.0 < p in
+  let draw rng p = Prng.float rng 1.0 < p in
+  (* One Gilbert–Elliott step per packet: transition first, then the
+     current state's drop rate decides. Exactly two draws per packet keep
+     the chain's stream aligned across configs. *)
+  let step_ge lane g =
+    (if lane.ge_bad then begin
+       if draw lane.ge_rng g.p_bad_good then lane.ge_bad <- false
+     end
+     else if draw lane.ge_rng g.p_good_bad then begin
+       lane.ge_bad <- true;
+       stats.ge_bursts <- stats.ge_bursts + 1
+     end);
+    if lane.ge_bad then begin
+      stats.ge_bad_pkts <- stats.ge_bad_pkts + 1;
+      draw lane.ge_rng g.drop_bad
+    end
+    else begin
+      stats.ge_good_pkts <- stats.ge_good_pkts + 1;
+      draw lane.ge_rng g.drop_good
+    end
+  in
+  (* A delayed submission holds a private copy: the caller (or a fault on
+     another copy) may touch the payload bytes between scheduling and the
+     deferred send, and the held packet must not see that. *)
   let submit p delay =
     if delay = 0 then inner.Fabric.send p
     else
+      let held = copy_packet p in
       Engine.spawn_at ~name:"fault-delay" engine
         (Engine.now engine + delay)
-        (fun () -> inner.Fabric.send p)
+        (fun () -> inner.Fabric.send held)
   in
-  let copy_delay p =
+  let copy_delay lane ~reorder_rng ~jitter_rng p =
+    let c = lane.lcfg in
     let jitter =
       if c.jitter_ns > 0 then begin
-        let d = Prng.int rng (c.jitter_ns + 1) in
+        let d = Prng.int jitter_rng (c.jitter_ns + 1) in
         if d > 0 then begin
           stats.delayed <- stats.delayed + 1;
           fault Flipc_obs.Event.Fault_jitter p
@@ -135,26 +285,72 @@ let wrap ~engine ~config:c ?obs (inner : Fabric.t) =
       else 0
     in
     let hold =
-      if fires c.reorder then begin
+      if draw reorder_rng c.reorder then begin
         stats.reordered <- stats.reordered + 1;
         fault Flipc_obs.Event.Fault_reorder p;
-        1 + Prng.int rng (max 1 c.reorder_hold_ns)
+        1 + Prng.int reorder_rng c.reorder_hold_ns
       end
       else 0
     in
     jitter + hold
   in
-  let send p =
-    if fires c.drop then begin
-      stats.dropped <- stats.dropped + 1;
+  (* Flip 1–3 seeded bits in a fresh copy of the wire image. Mutating a
+     copy keeps the caller's bytes (and any duplicate) intact — only this
+     transmission is damaged, as on a real wire. *)
+  let corrupted_copy lane (p : Packet.t) =
+    let bytes = Bytes.copy p.Packet.payload in
+    let nbits = Bytes.length bytes * 8 in
+    if nbits > 0 then begin
+      let flips = 1 + Prng.int lane.corrupt_rng 3 in
+      for _ = 1 to flips do
+        let bit = Prng.int lane.corrupt_rng nbits in
+        let byte = bit lsr 3 in
+        let mask = 1 lsl (bit land 7) in
+        Bytes.set bytes byte
+          (Char.chr (Char.code (Bytes.get bytes byte) lxor mask))
+      done
+    end;
+    { p with Packet.payload = bytes }
+  in
+  let send (p : Packet.t) =
+    let lane = lane_for ~src:p.Packet.src ~dst:p.Packet.dst in
+    let c = lane.lcfg in
+    (* Sample every fault decision unconditionally, each from its own
+       stream, before acting on any of them: a fired drop must not
+       short-circuit (and thereby shift) the other faults' draws. *)
+    let uniform_drop = draw lane.drop_rng c.drop in
+    let ge_drop =
+      match c.burst with None -> false | Some g -> step_ge lane g
+    in
+    let duplicate = draw lane.dup_rng c.duplicate in
+    let corrupt_now = draw lane.corrupt_rng c.corrupt in
+    if uniform_drop || ge_drop then begin
+      if uniform_drop then stats.dropped <- stats.dropped + 1
+      else stats.burst_dropped <- stats.burst_dropped + 1;
       fault Flipc_obs.Event.Fault_drop p
     end
     else begin
-      submit p (copy_delay p);
-      if fires c.duplicate then begin
+      let first =
+        if corrupt_now then begin
+          stats.corrupted <- stats.corrupted + 1;
+          fault Flipc_obs.Event.Fault_corrupt p;
+          corrupted_copy lane p
+        end
+        else p
+      in
+      submit first
+        (copy_delay lane ~reorder_rng:lane.reorder_rng
+           ~jitter_rng:lane.jitter_rng first);
+      if duplicate then begin
         stats.duplicated <- stats.duplicated + 1;
         fault Flipc_obs.Event.Fault_duplicate p;
-        submit p (copy_delay p)
+        (* The duplicate is an independent clean copy of the original:
+           shared payload bytes would let one copy's corruption bleed
+           into the other. *)
+        let dup = copy_packet p in
+        submit dup
+          (copy_delay lane ~reorder_rng:lane.dup_reorder_rng
+             ~jitter_rng:lane.dup_jitter_rng dup)
       end
     end
   in

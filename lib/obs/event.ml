@@ -2,9 +2,15 @@ type drop_reason =
   | No_posted_buffer
   | Bad_destination
   | Corrupt_slot
+  | Corrupt_frame
   | Forbidden_destination
 
-type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
+type fault_kind =
+  | Fault_drop
+  | Fault_duplicate
+  | Fault_reorder
+  | Fault_jitter
+  | Fault_corrupt
 
 type t =
   | Send_enqueued of {
@@ -54,6 +60,7 @@ let drop_reason_name = function
   | No_posted_buffer -> "no_posted_buffer"
   | Bad_destination -> "bad_destination"
   | Corrupt_slot -> "corrupt_slot"
+  | Corrupt_frame -> "corrupt_frame"
   | Forbidden_destination -> "forbidden_destination"
 
 let fault_kind_name = function
@@ -61,6 +68,7 @@ let fault_kind_name = function
   | Fault_duplicate -> "duplicate"
   | Fault_reorder -> "reorder"
   | Fault_jitter -> "jitter"
+  | Fault_corrupt -> "corrupt"
 
 let name = function
   | Send_enqueued _ -> "send_enqueued"

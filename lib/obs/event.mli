@@ -25,9 +25,15 @@ type drop_reason =
   | No_posted_buffer  (** optimistic discard: receiver had no buffer *)
   | Bad_destination  (** undeliverable or null destination *)
   | Corrupt_slot  (** application queued a bad buffer pointer *)
+  | Corrupt_frame  (** frame checksum mismatch on receive: damaged in flight *)
   | Forbidden_destination  (** endpoint's destination restriction refused it *)
 
-type fault_kind = Fault_drop | Fault_duplicate | Fault_reorder | Fault_jitter
+type fault_kind =
+  | Fault_drop
+  | Fault_duplicate
+  | Fault_reorder
+  | Fault_jitter
+  | Fault_corrupt
 
 type t =
   | Send_enqueued of {

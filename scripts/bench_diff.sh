@@ -14,7 +14,11 @@
 # Invariant-monitor counters (leaves containing "violations") are held
 # to a stricter rule regardless of the threshold: any increase fails,
 # because a run that starts double-delivering frames or leaking credits
-# is a correctness regression no percentage slack excuses.
+# is a correctness regression no percentage slack excuses. Two more
+# absolute rules serve the soak matrix (BENCH_soak_matrix.json): any
+# "corrupt_leaks" leaf must be zero in the candidate (a corrupt frame
+# reaching the application is a checksum hole, full stop), and any
+# "delivered" leaf that decreases fails (reliability went backwards).
 #
 # Needs python3 for the JSON walk; degrades to a plain textual diff
 # (informational, never failing) when it is missing.
@@ -60,6 +64,8 @@ cand = dict(leaves(json.load(open(cand_path))))
 LATENCY_MARKERS = ("p50", "p99", "latency", "one_way", "_us", "_ns")
 regressions = []
 violation_regressions = []
+corrupt_leaks = []
+delivery_regressions = []
 shared = sorted(set(base) & set(cand))
 if not shared:
     print("bench_diff: no numeric leaves in common", file=sys.stderr)
@@ -78,6 +84,12 @@ for key in shared:
     if "violations" in key.lower() and new > old:
         marker = "  <-- INVARIANT VIOLATIONS"
         violation_regressions.append((key, old, new))
+    if "corrupt_leaks" in key.lower() and new > 0:
+        marker = "  <-- CORRUPT FRAME LEAK"
+        corrupt_leaks.append((key, old, new))
+    if key.lower().endswith("delivered") and new < old:
+        marker = "  <-- DELIVERY REGRESSION"
+        delivery_regressions.append((key, old, new))
     if abs(delta) > 1e-12 or marker:
         print(f"{key:<{width}}  {old:>14.4f} -> {new:>14.4f}  ({rel:+7.2f}%){marker}")
 
@@ -89,6 +101,22 @@ if violation_regressions:
     print(
         f"bench_diff: {len(violation_regressions)} monitor violation "
         f"counters increased",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+if corrupt_leaks:
+    print(
+        f"bench_diff: {len(corrupt_leaks)} corrupt_leaks counters are "
+        f"non-zero in the candidate",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+if delivery_regressions:
+    print(
+        f"bench_diff: {len(delivery_regressions)} delivered counters "
+        f"decreased",
         file=sys.stderr,
     )
     sys.exit(1)

@@ -130,6 +130,37 @@ else
   grep -q '"clean":true' "$obs_tmp/doctor.json"
 fi
 
+echo "== soak matrix gate =="
+# Adversarial fault matrix: all-to-all reliable flows on every fabric
+# (mesh / Ethernet / SCSI) swept across uniform loss, Gilbert-Elliott
+# burst loss, payload corruption (frame checksums on), a single faulted
+# link, and everything combined — with invariant monitors and per-flow
+# progress watchdogs attached. --assert-clean exits 1 unless every cell
+# delivers everything with zero violations, zero watchdog expiries and
+# zero corrupt frames leaking to the application. The seed is pinned so
+# the run replays bit-identically.
+dune exec bin/flipc_cli.exe -- soakmatrix --assert-clean --fault-seed 21 \
+  --out "$obs_tmp/soak_matrix.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('$obs_tmp/soak_matrix.json'))
+assert doc['clean'], 'soak matrix reported an unclean cell'
+assert len(doc['cells']) == 15, 'soak matrix did not cover the full matrix'
+for cell in doc['cells']:
+    where = (cell['fabric'], cell['scenario'])
+    assert cell['delivered'] == cell['expected'], f'{where}: lost messages'
+    assert cell['corrupt_leaks'] == 0, f'{where}: corrupt frame reached the app'
+    assert cell['monitor_violations'] == 0, f'{where}: invariant monitor fired'
+    assert cell['watchdogs_expired'] == 0, f'{where}: progress watchdog expired'
+corrupting = [c for c in doc['cells'] if c['scenario'] in ('corrupt', 'combined')]
+assert all(c['corrupt_frames_dropped'] > 0 for c in corrupting), \
+    'corruption scenarios injected no detected corruption'
+"
+else
+  grep -q '"clean":true}$' "$obs_tmp/soak_matrix.json"
+fi
+
 echo "== format =="
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt

@@ -397,6 +397,33 @@ let test_faulty_registry_bounded () =
   Gc.full_major ();
   check_bool "dead fabrics swept" true (Faulty.registry_size () <= 16)
 
+(* Eviction order under the cap: with more live fabrics than the cap
+   admits, the newest entries win — the oldest wraps lose their tallies
+   (stats_of answers None) while every recently wrapped fabric still
+   resolves. The fabrics are all strongly rooted, so only the cap (not
+   the weak sweep) can be responsible for the evictions. *)
+let test_faulty_registry_cap_eviction () =
+  let sim = Engine.create () in
+  let fabrics =
+    List.init 80 (fun i ->
+        let _, inner = counting_fabric () in
+        ignore
+          (Faulty.wrap ~engine:sim
+             ~config:(Faulty.config ~drop:0.5 ~seed:(i + 1) ())
+             inner);
+        inner)
+  in
+  check "registry pinned at the cap" 64 (Faulty.registry_size ());
+  let resolvable =
+    List.filter (fun f -> Faulty.stats_of f <> None) fabrics
+  in
+  check "only the newest cap-many entries survive" 64 (List.length resolvable);
+  (* The survivors are exactly the most recent wraps. *)
+  let newest = List.filteri (fun i _ -> i >= 16) fabrics in
+  check_bool "eviction is oldest-first" true
+    (List.for_all (fun f -> Faulty.stats_of f <> None) newest);
+  ignore (Sys.opaque_identity fabrics)
+
 let () =
   Alcotest.run "net"
     [
@@ -450,5 +477,7 @@ let () =
             test_faulty_double_wrap_merges;
           Alcotest.test_case "registry stays bounded" `Quick
             test_faulty_registry_bounded;
+          Alcotest.test_case "registry cap evicts oldest-first" `Quick
+            test_faulty_registry_cap_eviction;
         ] );
     ]
