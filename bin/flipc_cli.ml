@@ -53,7 +53,11 @@ let config_of locked packed checks =
 (* Every subcommand accepts --trace FILE: a process-wide capture window
    turns on typed event tracing for every machine the command builds
    (however deep inside a workload helper) and merges their timelines
-   into one Chrome trace_event document. *)
+   into one Chrome trace_event document.
+
+   --capture FILE is the persistent sibling: a streaming flight-data
+   sink (JSONL, one typed event per line) attached to every machine the
+   command creates, replayable offline with [flipc doctor --replay]. *)
 
 let trace_out =
   let doc =
@@ -62,13 +66,39 @@ let trace_out =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let with_trace file f =
-  match file with
-  | None -> f ()
-  | Some path ->
-      Flipc_obs.Obs.start_capture ();
-      Fun.protect
-        ~finally:(fun () ->
+let capture_out =
+  let doc =
+    "Write a persistent flight-data capture of the run to $(docv): compact \
+     JSONL, one self-describing event per line with virtual timestamps \
+     preserved, replayable offline with $(b,flipc doctor --replay)."
+  in
+  Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"FILE" ~doc)
+
+let obs_out =
+  Term.(const (fun trace capture -> (trace, capture)) $ trace_out $ capture_out)
+
+(* The sink the current command is streaming to, if any: doctor stamps
+   its run summary into the trailer so a replay can echo the live
+   context fields byte-for-byte. *)
+let active_sink : Flipc_obs.Sink.t option ref = ref None
+
+let with_trace (trace_file, capture_file) f =
+  let sink =
+    Option.map
+      (fun path ->
+        let s = Flipc_obs.Sink.create ~path () in
+        active_sink := Some s;
+        (* Attach to every machine the workload builds, however deep. *)
+        let unhook = Flipc_obs.Obs.on_create (Flipc_obs.Sink.attach s) in
+        (path, s, unhook))
+      capture_file
+  in
+  if trace_file <> None then Flipc_obs.Obs.start_capture ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace_file with
+      | None -> ()
+      | Some path ->
           (* Merged multi-machine document: named process/thread rows per
              machine plus cross-machine causal flow arrows (Causal). *)
           let json = Flipc_obs.Causal.captured_chrome_json () in
@@ -77,8 +107,16 @@ let with_trace file f =
           Flipc_obs.Json.to_channel oc json;
           output_char oc '\n';
           close_out oc;
-          Fmt.epr "trace written to %s@." path)
-        f
+          Fmt.epr "trace written to %s@." path);
+      match sink with
+      | None -> ()
+      | Some (path, s, unhook) ->
+          unhook ();
+          active_sink := None;
+          Flipc_obs.Sink.close s;
+          Fmt.epr "capture written to %s (%d events)@." path
+            (Flipc_obs.Sink.events_written s))
+    f
 
 (* --- latency --- *)
 
@@ -100,7 +138,7 @@ let latency_cmd =
   Cmd.v
     (Cmd.info "latency" ~doc)
     Term.(
-      const run $ trace_out $ payload $ exchanges $ cols $ rows $ locked
+      const run $ obs_out $ payload $ exchanges $ cols $ rows $ locked
       $ packed $ checks $ touch)
 
 (* --- sweep (FIG4) --- *)
@@ -131,7 +169,7 @@ let sweep_cmd =
   let doc = "Latency vs message size sweep (the paper's Figure 4)." in
   Cmd.v
     (Cmd.info "sweep" ~doc)
-    Term.(const run $ trace_out $ exchanges $ locked $ packed $ checks)
+    Term.(const run $ obs_out $ exchanges $ locked $ packed $ checks)
 
 (* --- compare --- *)
 
@@ -155,7 +193,7 @@ let compare_cmd =
   let doc = "Compare FLIPC with the NX, PAM and SUNMOS models." in
   Cmd.v
     (Cmd.info "compare" ~doc)
-    Term.(const run $ trace_out $ payload $ exchanges)
+    Term.(const run $ obs_out $ payload $ exchanges)
 
 (* --- streams --- *)
 
@@ -210,7 +248,7 @@ let streams_cmd =
   let doc = "Two priority streams with per-endpoint resource isolation." in
   Cmd.v
     (Cmd.info "streams" ~doc)
-    Term.(const run $ trace_out $ high_period $ low_period $ low_buffers $ ms)
+    Term.(const run $ obs_out $ high_period $ low_period $ low_buffers $ ms)
 
 (* --- rpc --- *)
 
@@ -240,7 +278,7 @@ let rpc_cmd =
   let doc = "Closed-loop RPC with statically provisioned server buffers." in
   Cmd.v
     (Cmd.info "rpc" ~doc)
-    Term.(const run $ trace_out $ clients $ requests)
+    Term.(const run $ obs_out $ clients $ requests)
 
 (* --- kkt --- *)
 
@@ -275,7 +313,7 @@ let kkt_cmd =
   let doc = "FLIPC with the portable KKT (RPC-per-message) engine." in
   Cmd.v
     (Cmd.info "kkt" ~doc)
-    Term.(const run $ trace_out $ fabric $ payload $ exchanges)
+    Term.(const run $ obs_out $ fabric $ payload $ exchanges)
 
 (* --- throughput --- *)
 
@@ -298,7 +336,7 @@ let throughput_cmd =
   let doc = "Streaming message-throughput measurement." in
   Cmd.v
     (Cmd.info "throughput" ~doc)
-    Term.(const run $ trace_out $ payload $ msgs)
+    Term.(const run $ obs_out $ payload $ msgs)
 
 (* --- bulk --- *)
 
@@ -331,7 +369,7 @@ let bulk_cmd =
       (float_of_int bytes /. !get_us)
   in
   let doc = "One-sided bulk put/get of a remote-memory region." in
-  Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ trace_out $ bytes)
+  Cmd.v (Cmd.info "bulk" ~doc) Term.(const run $ obs_out $ bytes)
 
 (* --- faults --- *)
 
@@ -513,7 +551,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc)
     Term.(
-      const run $ trace_out $ fabric $ loss $ dup $ reorder $ seed $ msgs
+      const run $ obs_out $ fabric $ loss $ dup $ reorder $ seed $ msgs
       $ payload)
 
 (* --- retrans --- *)
@@ -769,7 +807,7 @@ let retrans_cmd =
   Cmd.v
     (Cmd.info "retrans" ~doc)
     Term.(
-      const run $ trace_out $ fabric $ mode $ reorder $ drop $ dup $ seed
+      const run $ obs_out $ fabric $ mode $ reorder $ drop $ dup $ seed
       $ msgs $ payload $ json_flag $ max_ratio)
 
 (* --- doctor --- *)
@@ -834,8 +872,166 @@ let doctor_cmd =
       & info [ "json" ]
           ~doc:"Emit one machine-readable JSON object instead of text.")
   in
-  let run trace flows msgs drop dup reorder seed assert_clean json_out =
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Skip the live run: load a flight-data capture written by \
+             $(b,--capture) and re-derive the whole diagnosis (spans, \
+             monitor verdicts, stalled stages) offline. Produces the same \
+             report — byte-for-byte in $(b,--json) mode — as the run that \
+             wrote the capture.")
+  in
+  (* One report body for both modes: the live run passes its measured
+     context, a replay echoes the context stored in the capture trailer;
+     everything diagnostic (spans, verdicts, monitor state) is
+     recomputed from the event stream in both. *)
+  let report ~json_out ~assert_clean ~flows ~msgs ~expected ~delivered
+      ~retransmits ~faults ~stalled ~stall_report ~spans ~mon =
+    let branches = Causal.retransmissions spans in
+    let clean = Monitor.clean mon && (not stalled) && delivered = expected in
+    let verdicts =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let v = Causal.stalled_stage s in
+          Hashtbl.replace tbl v
+            (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0))
+        spans;
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("flows", Json.Int flows);
+                ("messages_per_flow", Json.Int msgs);
+                ("expected", Json.Int expected);
+                ("delivered", Json.Int delivered);
+                ("retransmits", Json.Int retransmits);
+                ("faults", faults);
+                ("spans_traced", Json.Int (List.length spans));
+                ("retransmitted_frames", Json.Int (List.length branches));
+                ( "span_verdicts",
+                  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) verdicts)
+                );
+                ("monitor_events_seen", Json.Int (Monitor.events_seen mon));
+                ( "monitor_violations",
+                  Json.Int (List.length (Monitor.violations mon)) );
+                ("stalled", Json.Bool stalled);
+                ("clean", Json.Bool clean);
+              ]))
+    else begin
+      Fmt.pr "flipc doctor: %d reliable flows x %d messages on a lossy 4x4 \
+              mesh@." flows msgs;
+      (match faults with
+      | Json.Obj
+          [
+            ("dropped", Json.Int d);
+            ("duplicated", Json.Int du);
+            ("reordered", Json.Int re);
+            ("delayed", Json.Int dl);
+          ] ->
+          Fmt.pr
+            "wire faults: dropped=%d duplicated=%d reordered=%d delayed=%d@."
+            d du re dl
+      | _ -> ());
+      Fmt.pr "delivered %d/%d messages, %d retransmissions@." delivered
+        expected retransmits;
+      Fmt.pr "causal tracing: %d message spans reconstructed@."
+        (List.length spans);
+      List.iter (fun (v, n) -> Fmt.pr "  %4d span(s): %s@." n v) verdicts;
+      (match branches with
+      | [] -> ()
+      | _ ->
+          Fmt.pr "frames transmitted more than once:@.";
+          List.iter
+            (fun (node, ep, seq, mids) ->
+              Fmt.pr "  node %d ep %d seq %d: mids %s@." node ep seq
+                (String.concat "," (List.map string_of_int mids)))
+            branches);
+      (* One sample span end to end, preferring a retransmitted frame's
+         (the most interesting causal history on a lossy wire). *)
+      (match
+         match branches with
+         | (_, _, _, mid :: _) :: _ -> Causal.find spans mid
+         | _ -> ( match spans with s :: _ -> Some s | [] -> None)
+       with
+      | Some s ->
+          Fmt.pr "sample span (msg %d, %s):@.@[<v 2>  %a@]@." s.Causal.mid
+            (Causal.stalled_stage s) Causal.pp_span s
+      | None -> ());
+      Fmt.pr "@[<v>%a@]@." Monitor.pp_report mon;
+      match stall_report with
+      | Some report -> Fmt.pr "%s@." report
+      | None -> ()
+    end;
+    if assert_clean && not clean then begin
+      if not json_out then
+        Fmt.epr
+          "flipc doctor: NOT clean (delivered %d/%d, %d violations, \
+           stalled=%b)@."
+          delivered expected
+          (List.length (Monitor.violations mon))
+          stalled;
+      exit 1
+    end
+  in
+  let replay_run path ~json_out ~assert_clean =
+    let module Replay = Flipc_obs.Replay in
+    match Replay.load path with
+    | Error e ->
+        Fmt.epr "flipc doctor: cannot replay %s: %s@." path e;
+        exit 2
+    | Ok capture ->
+        let summary =
+          match Replay.summary capture with
+          | Some s -> s
+          | None ->
+              Fmt.epr
+                "flipc doctor: %s has no run summary in its trailer — was it \
+                 written by flipc doctor --capture?@." path;
+              exit 2
+        in
+        let want_int name =
+          match Option.bind (Json.member name summary) Json.to_int with
+          | Some v -> v
+          | None ->
+              Fmt.epr "flipc doctor: capture summary lacks %S@." name;
+              exit 2
+        in
+        let spans = Replay.spans capture in
+        let mon =
+          Monitor.create
+            ~history:(fun mid ->
+              match Causal.find spans mid with
+              | Some span -> Fmt.str "@[<v>%a@]" Causal.pp_span span
+              | None -> "")
+            ()
+        in
+        List.iter
+          (fun r -> Monitor.feed mon ~now:r.Replay.r_ts r.Replay.r_ev)
+          (Replay.records capture);
+        report ~json_out ~assert_clean ~flows:(want_int "flows")
+          ~msgs:(want_int "messages_per_flow")
+          ~expected:(want_int "expected")
+          ~delivered:(want_int "delivered")
+          ~retransmits:(want_int "retransmits")
+          ~faults:
+            (Option.value (Json.member "faults" summary) ~default:Json.Null)
+          ~stalled:(Json.member "stalled" summary = Some (Json.Bool true))
+          ~stall_report:None ~spans ~mon
+  in
+  let run trace replay flows msgs drop dup reorder seed assert_clean json_out =
     with_trace trace @@ fun () ->
+    match replay with
+    | Some path -> replay_run path ~json_out ~assert_clean
+    | None ->
     if flows < 1 || flows > 8 then begin
       Fmt.epr "flipc doctor: --flows must be in [1,8]@.";
       exit 2
@@ -953,99 +1149,51 @@ let doctor_cmd =
     Machine.stop_engines machine;
     Machine.run machine;
     let spans = Causal.spans [ obs ] in
-    let branches = Causal.retransmissions spans in
     let expected = flows * msgs in
-    let clean = Monitor.clean mon && !stalled = None && !delivered = expected in
-    if json_out then
-      print_endline
-        (Json.to_string
-           (Json.Obj
-              [
-                ("flows", Json.Int flows);
-                ("messages_per_flow", Json.Int msgs);
-                ("expected", Json.Int expected);
-                ("delivered", Json.Int !delivered);
-                ("retransmits", Json.Int !retransmits);
-                ( "faults",
-                  match Machine.fault_stats machine with
-                  | Some f ->
-                      Json.Obj
-                        [
-                          ("dropped", Json.Int f.Faulty.dropped);
-                          ("duplicated", Json.Int f.Faulty.duplicated);
-                          ("reordered", Json.Int f.Faulty.reordered);
-                          ("delayed", Json.Int f.Faulty.delayed);
-                        ]
-                  | None -> Json.Null );
-                ("spans_traced", Json.Int (List.length spans));
-                ("retransmitted_frames", Json.Int (List.length branches));
-                ("monitor_events_seen", Json.Int (Monitor.events_seen mon));
-                ( "monitor_violations",
-                  Json.Int (List.length (Monitor.violations mon)) );
-                ("stalled", Json.Bool (!stalled <> None));
-                ("clean", Json.Bool clean);
-              ]))
-    else begin
-      Fmt.pr "flipc doctor: %d reliable flows x %d messages on a lossy 4x4 \
-              mesh@." flows msgs;
-      (match Machine.fault_stats machine with
+    let faults_json =
+      match Machine.fault_stats machine with
       | Some f ->
-          Fmt.pr
-            "wire faults: dropped=%d duplicated=%d reordered=%d delayed=%d@."
-            f.Faulty.dropped f.Faulty.duplicated f.Faulty.reordered
-            f.Faulty.delayed
-      | None -> ());
-      Fmt.pr "delivered %d/%d messages, %d retransmissions@." !delivered
-        expected !retransmits;
-      Fmt.pr "causal tracing: %d message spans reconstructed@."
-        (List.length spans);
-      (match branches with
-      | [] -> ()
-      | _ ->
-          Fmt.pr "frames transmitted more than once:@.";
-          List.iter
-            (fun (node, ep, seq, mids) ->
-              Fmt.pr "  node %d ep %d seq %d: mids %s@." node ep seq
-                (String.concat "," (List.map string_of_int mids)))
-            branches);
-      (* One sample span end to end, preferring a retransmitted frame's
-         (the most interesting causal history on a lossy wire). *)
-      (match
-         match branches with
-         | (_, _, _, mid :: _) :: _ -> Causal.find spans mid
-         | _ -> ( match spans with s :: _ -> Some s | [] -> None)
-       with
-      | Some s ->
-          Fmt.pr "sample span (msg %d, %s):@.@[<v 2>  %a@]@." s.Causal.mid
-            (Causal.stalled_stage s) Causal.pp_span s
-      | None -> ());
-      Fmt.pr "@[<v>%a@]@." Monitor.pp_report mon;
-      match !stalled with
-      | Some report -> Fmt.pr "%s@." report
-      | None -> ()
-    end;
-    if assert_clean && not clean then begin
-      if not json_out then
-        Fmt.epr
-          "flipc doctor: NOT clean (delivered %d/%d, %d violations, \
-           stalled=%b)@."
-          !delivered expected
-          (List.length (Monitor.violations mon))
-          (!stalled <> None);
-      exit 1
-    end
+          Json.Obj
+            [
+              ("dropped", Json.Int f.Faulty.dropped);
+              ("duplicated", Json.Int f.Faulty.duplicated);
+              ("reordered", Json.Int f.Faulty.reordered);
+              ("delayed", Json.Int f.Faulty.delayed);
+            ]
+      | None -> Json.Null
+    in
+    (* Stamp the run context into the capture trailer, so a replaying
+       doctor can echo the fields it cannot recompute from events. *)
+    (match !active_sink with
+    | Some sink ->
+        Flipc_obs.Sink.set_summary sink
+          (Json.Obj
+             [
+               ("flows", Json.Int flows);
+               ("messages_per_flow", Json.Int msgs);
+               ("expected", Json.Int expected);
+               ("delivered", Json.Int !delivered);
+               ("retransmits", Json.Int !retransmits);
+               ("faults", faults_json);
+               ("stalled", Json.Bool (!stalled <> None));
+             ])
+    | None -> ());
+    report ~json_out ~assert_clean ~flows ~msgs ~expected
+      ~delivered:!delivered ~retransmits:!retransmits ~faults:faults_json
+      ~stalled:(!stalled <> None) ~stall_report:!stalled ~spans ~mon
   in
   let doc =
     "Self-diagnosis on a lossy mesh: run reliable flows with causal tracing, \
      online invariant monitors and progress watchdogs attached, then report \
      spans, retransmission branches and the invariant verdict. \
-     $(b,--assert-clean) turns it into a CI health gate."
+     $(b,--assert-clean) turns it into a CI health gate; $(b,--capture) \
+     writes a flight-data file that $(b,--replay) re-diagnoses offline."
   in
   Cmd.v
     (Cmd.info "doctor" ~doc)
     Term.(
-      const run $ trace_out $ flows_arg $ msgs $ drop $ dup $ reorder $ seed
-      $ assert_clean $ json_flag)
+      const run $ obs_out $ replay_arg $ flows_arg $ msgs $ drop $ dup
+      $ reorder $ seed $ assert_clean $ json_flag)
 
 (* --- soakmatrix --- *)
 
@@ -1445,7 +1593,7 @@ let soakmatrix_cmd =
   Cmd.v
     (Cmd.info "soakmatrix" ~doc)
     Term.(
-      const run $ trace_out $ msgs_arg $ seed_arg $ fabric_filter
+      const run $ obs_out $ msgs_arg $ seed_arg $ fabric_filter
       $ scenario_filter $ out_arg $ assert_clean $ json_flag)
 
 (* --- trace --- *)
@@ -1505,7 +1653,7 @@ let trace_cmd =
     Fmt.pr "%a" Flipc_sim.Trace.dump tr
   in
   let doc = "Dump the messaging engines' event timeline for a few messages." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ trace_out $ msgs)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ obs_out $ msgs)
 
 (* --- metrics --- *)
 
@@ -1513,51 +1661,87 @@ let metrics_cmd =
   let module Obs = Flipc_obs.Obs in
   let module Metrics = Flipc_obs.Metrics in
   let module Latency = Flipc_obs.Latency in
+  let module Series = Flipc_obs.Series in
   let module Json = Flipc_obs.Json in
+  let module Vtime = Flipc_sim.Vtime in
   let json_flag =
     let doc = "Emit one machine-readable JSON object instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run trace json_out payload exchanges =
+  let prom_flag =
+    let doc =
+      "Emit the metrics snapshot as a Prometheus-style text exposition \
+       (counters, gauges, histogram summaries with quantile labels)."
+    in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let series_us =
+    let doc =
+      "Attach a virtual-time series sampler with $(docv)-microsecond windows \
+       and include the per-window counter rates, gauges and quantiles in the \
+       output."
+    in
+    Arg.(value & opt (some int) None & info [ "series" ] ~docv:"US" ~doc)
+  in
+  let run trace json_out prom payload exchanges series_us =
     with_trace trace @@ fun () ->
     let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let obs = Machine.obs machine in
+    let series =
+      Option.map
+        (fun us -> Series.attach ~interval:(Vtime.us us) obs)
+        series_us
+    in
     let r =
       Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:payload
         ~exchanges ()
     in
-    let obs = Machine.obs machine in
+    Option.iter Series.sample series;
     let snap = Metrics.snapshot (Obs.metrics obs) in
     let lat = Obs.latency obs in
-    if json_out then
+    if prom then print_string (Series.prom_of_snapshot snap)
+    else if json_out then
       print_endline
         (Json.to_string
            (Json.Obj
-              [
-                ("workload", Json.String "pingpong");
-                ("fabric", Json.String "mesh 2x1");
-                ("message_bytes", Json.Int r.Pingpong.message_bytes);
-                ("exchanges", Json.Int r.Pingpong.exchanges);
-                ( "aggregate_one_way_us",
-                  Json.Float r.Pingpong.aggregate_one_way_us );
-                ("metrics", Metrics.snapshot_json snap);
-                ("latency", Latency.json lat);
-              ]))
+              ([
+                 ("workload", Json.String "pingpong");
+                 ("fabric", Json.String "mesh 2x1");
+                 ("message_bytes", Json.Int r.Pingpong.message_bytes);
+                 ("exchanges", Json.Int r.Pingpong.exchanges);
+                 ( "aggregate_one_way_us",
+                   Json.Float r.Pingpong.aggregate_one_way_us );
+                 ("metrics", Metrics.snapshot_json snap);
+                 ("latency", Latency.json lat);
+               ]
+              @
+              match series with
+              | Some s -> [ ("series", Series.json s) ]
+              | None -> [])))
     else begin
       Fmt.pr "pingpong on a 2x1 mesh: %d exchanges of %dB messages@."
         r.Pingpong.exchanges r.Pingpong.message_bytes;
       Fmt.pr "aggregate one-way: %.2f us@.@." r.Pingpong.aggregate_one_way_us;
       Fmt.pr "metrics registry snapshot:@.%a@." Metrics.pp_snapshot snap;
-      Fmt.pr "per-message latency breakdown:@.%a" Latency.pp lat
+      Fmt.pr "per-message latency breakdown:@.%a" Latency.pp lat;
+      match series with
+      | Some s ->
+          Fmt.pr "@.series: %d window(s) sampled (use --json for contents)@."
+            (Series.window_count s)
+      | None -> ()
     end
   in
   let doc =
     "Run a short ping-pong workload and dump the machine's metrics-registry \
      snapshot and per-message latency breakdown (deterministic for a fixed \
-     configuration)."
+     configuration). $(b,--prom) switches to Prometheus text exposition; \
+     $(b,--series) adds windowed time-series output."
   in
   Cmd.v
     (Cmd.info "metrics" ~doc)
-    Term.(const run $ trace_out $ json_flag $ payload $ exchanges)
+    Term.(
+      const run $ obs_out $ json_flag $ prom_flag $ payload $ exchanges
+      $ series_us)
 
 (* --- engine --- *)
 
@@ -1666,7 +1850,7 @@ let engine_cmd =
   Cmd.v
     (Cmd.info "engine" ~doc)
     Term.(
-      const run $ trace_out $ json_flag $ endpoints $ full_scan $ max_rebuilds
+      const run $ obs_out $ json_flag $ endpoints $ full_scan $ max_rebuilds
       $ payload $ exchanges)
 
 (* --- info --- *)
@@ -1721,7 +1905,7 @@ let info_cmd =
   let doc = "Print configuration and communication-buffer layout details." in
   Cmd.v
     (Cmd.info "info" ~doc)
-    Term.(const run $ trace_out $ locked $ packed $ checks)
+    Term.(const run $ obs_out $ locked $ packed $ checks)
 
 let () =
   let doc = "FLIPC low-latency messaging system reproduction" in

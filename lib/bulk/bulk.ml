@@ -5,6 +5,8 @@ module Machine = Flipc.Machine
 module Nic = Flipc_net.Nic
 module Dma = Flipc_net.Dma
 module Packet = Flipc_net.Packet
+module Obs = Flipc_obs.Obs
+module Event = Flipc_obs.Event
 
 type config = {
   max_fragment : int;
@@ -37,6 +39,7 @@ type get_wait = {
   g_buf : Bytes.t;
   mutable g_received : int;
   mutable g_failed : bool;
+  mutable g_cancelled : bool;
   g_cv : Condvar.t;
 }
 
@@ -49,10 +52,22 @@ type t = {
   put_waits : (int, put_wait) Hashtbl.t;
   get_waits : (int, get_wait) Hashtbl.t;
   rx_puts : (int, rx_progress) Hashtbl.t;  (* transfer id -> progress *)
+  cancelled : (int, unit) Hashtbl.t;  (* transfer ids, suppress late frags *)
+  transfer_mids : (int, int) Hashtbl.t;  (* transfer id -> causal mid *)
   mutable next_region : int;
   mutable next_transfer : int;
   stats : stats;
 }
+
+(* Trace events go to the machine's bundle; one fresh causal message id
+   is stamped per transfer ({!Flipc.Api.fresh_msg_id}), so both sides'
+   bulk events join the same span. *)
+let emit t ev =
+  let o = Machine.obs t.machine in
+  if Obs.tracing o then Obs.event o (ev ())
+
+let mid_of_transfer t transfer =
+  Option.value (Hashtbl.find_opt t.transfer_mids transfer) ~default:0
 
 (* Opcodes in Packet.tag. *)
 let op_put_data = 0
@@ -87,7 +102,11 @@ let reject_put t (p : Packet.t) =
 
 let handle_put_data t (p : Packet.t) =
   let payload = p.Packet.payload in
-  if Bytes.length payload < 12 then reject_put t p
+  if Hashtbl.mem t.cancelled p.Packet.seq then
+    (* Late fragment of a cancelled transfer: drop it without an ack so
+       the transfer makes no further progress. *)
+    ()
+  else if Bytes.length payload < 12 then reject_put t p
   else
     let handle = get_i32 payload 0 in
     let offset = get_i32 payload 4 in
@@ -102,6 +121,10 @@ let handle_put_data t (p : Packet.t) =
         let data = Bytes.sub payload 12 data_len in
         Dma.write (Machine.dma node) ~pos:(r.r_base + offset) data;
         t.stats.fragments <- t.stats.fragments + 1;
+        emit t (fun () ->
+            Event.Bulk_chunk
+              { node = p.Packet.dst; transfer = p.Packet.seq; offset;
+                len = data_len; mid = mid_of_transfer t p.Packet.seq });
         let progress =
           match Hashtbl.find_opt t.rx_puts p.Packet.seq with
           | Some pr -> pr
@@ -113,6 +136,10 @@ let handle_put_data t (p : Packet.t) =
         progress.remaining <- progress.remaining - data_len;
         if progress.remaining <= 0 then begin
           Hashtbl.remove t.rx_puts p.Packet.seq;
+          emit t (fun () ->
+              Event.Bulk_complete
+                { node = p.Packet.dst; transfer = p.Packet.seq;
+                  mid = mid_of_transfer t p.Packet.seq });
           send_packet t ~src:p.Packet.dst ~dst:p.Packet.src ~op:op_put_ack
             ~transfer:p.Packet.seq
             (let b = Bytes.create 4 in
@@ -142,7 +169,7 @@ let handle_get_req t (p : Packet.t) =
          && offset + len <= r.r_len ->
       let node = Machine.node t.machine p.Packet.dst in
       let pos = ref 0 in
-      while !pos < len do
+      while !pos < len && not (Hashtbl.mem t.cancelled p.Packet.seq) do
         let frag = min t.config.max_fragment (len - !pos) in
         Sim.delay (stream_cost t.config frag);
         let data =
@@ -168,6 +195,7 @@ let handle_get_req t (p : Packet.t) =
 let handle_get_data t (p : Packet.t) =
   match Hashtbl.find_opt t.get_waits p.Packet.seq with
   | None -> ()
+  | Some w when w.g_cancelled || Hashtbl.mem t.cancelled p.Packet.seq -> ()
   | Some w ->
       let payload = p.Packet.payload in
       let offset = get_i32 payload 0 in
@@ -179,7 +207,17 @@ let handle_get_data t (p : Packet.t) =
         let frag = Bytes.length payload - 4 in
         Bytes.blit payload 4 w.g_buf offset frag;
         w.g_received <- w.g_received + frag;
-        if w.g_received >= Bytes.length w.g_buf then Condvar.broadcast w.g_cv
+        emit t (fun () ->
+            Event.Bulk_chunk
+              { node = p.Packet.dst; transfer = p.Packet.seq; offset;
+                len = frag; mid = mid_of_transfer t p.Packet.seq });
+        if w.g_received >= Bytes.length w.g_buf then begin
+          emit t (fun () ->
+              Event.Bulk_complete
+                { node = p.Packet.dst; transfer = p.Packet.seq;
+                  mid = mid_of_transfer t p.Packet.seq });
+          Condvar.broadcast w.g_cv
+        end
       end
 
 let create ?(config = default_config) machine =
@@ -192,6 +230,8 @@ let create ?(config = default_config) machine =
       put_waits = Hashtbl.create 16;
       get_waits = Hashtbl.create 16;
       rx_puts = Hashtbl.create 16;
+      cancelled = Hashtbl.create 16;
+      transfer_mids = Hashtbl.create 16;
       next_region = 0;
       next_transfer = 0;
       stats = { puts = 0; gets = 0; data_bytes = 0; fragments = 0; rejected = 0 };
@@ -238,6 +278,12 @@ let put t ~from ?(at = 0) region data =
   if at < 0 || at + len > region.r_len then
     invalid_arg "Bulk.put: range outside region";
   let id = fresh_transfer t in
+  let mid = Flipc.Api.fresh_msg_id () in
+  Hashtbl.replace t.transfer_mids id mid;
+  emit t (fun () ->
+      Event.Bulk_start
+        { node = from; dst_node = region.r_node; transfer = id;
+          op = Event.Bulk_put; total = len; mid });
   let wait = { put_status = None; put_cv = Condvar.create () } in
   Hashtbl.replace t.put_waits id wait;
   t.stats.puts <- t.stats.puts + 1;
@@ -255,7 +301,7 @@ let put t ~from ?(at = 0) region data =
     Bytes.blit data !pos out 12 frag;
     send_packet t ~src:from ~dst:region.r_node ~op:op_put_data ~transfer:id out;
     pos := !pos + frag;
-    if !pos >= len then continue := false
+    if !pos >= len || Hashtbl.mem t.cancelled id then continue := false
   done;
   let rec await () =
     match wait.put_status with
@@ -266,15 +312,23 @@ let put t ~from ?(at = 0) region data =
   in
   let status = await () in
   Hashtbl.remove t.put_waits id;
-  if status <> 0 then invalid_arg "Bulk.put: rejected by the owning node"
+  Hashtbl.remove t.transfer_mids id;
+  if status = 2 then invalid_arg "Bulk.put: cancelled"
+  else if status <> 0 then invalid_arg "Bulk.put: rejected by the owning node"
 
 let get t ~into ?(at = 0) region ~len =
   if at < 0 || len <= 0 || at + len > region.r_len then
     invalid_arg "Bulk.get: range outside region";
   let id = fresh_transfer t in
+  let mid = Flipc.Api.fresh_msg_id () in
+  Hashtbl.replace t.transfer_mids id mid;
+  emit t (fun () ->
+      Event.Bulk_start
+        { node = into; dst_node = region.r_node; transfer = id;
+          op = Event.Bulk_get; total = len; mid });
   let wait =
     { g_buf = Bytes.create len; g_received = 0; g_failed = false;
-      g_cv = Condvar.create () }
+      g_cancelled = false; g_cv = Condvar.create () }
   in
   Hashtbl.replace t.get_waits id wait;
   t.stats.gets <- t.stats.gets + 1;
@@ -286,12 +340,19 @@ let get t ~into ?(at = 0) region ~len =
   set_i32 req 8 len;
   send_packet t ~src:into ~dst:region.r_node ~op:op_get_req ~transfer:id req;
   let rec await () =
-    if wait.g_failed then begin
+    if wait.g_cancelled then begin
       Hashtbl.remove t.get_waits id;
+      Hashtbl.remove t.transfer_mids id;
+      invalid_arg "Bulk.get: cancelled"
+    end
+    else if wait.g_failed then begin
+      Hashtbl.remove t.get_waits id;
+      Hashtbl.remove t.transfer_mids id;
       invalid_arg "Bulk.get: rejected by the owning node"
     end
     else if wait.g_received >= len then begin
       Hashtbl.remove t.get_waits id;
+      Hashtbl.remove t.transfer_mids id;
       wait.g_buf
     end
     else begin
@@ -300,3 +361,27 @@ let get t ~into ?(at = 0) region ~len =
     end
   in
   await ()
+
+(* Mark a transfer as cancelled: the sender's streaming loop stops at
+   its next fragment boundary, late fragments are dropped on arrival,
+   and any blocked [put]/[get] is woken to raise. The cancel mark is
+   kept so straggler packets stay suppressed. *)
+let cancel t ~node ~transfer =
+  if not (Hashtbl.mem t.cancelled transfer) then begin
+    Hashtbl.replace t.cancelled transfer ();
+    emit t (fun () ->
+        Event.Bulk_cancel { node; transfer; mid = mid_of_transfer t transfer });
+    (match Hashtbl.find_opt t.put_waits transfer with
+    | Some w ->
+        w.put_status <- Some 2;
+        Condvar.broadcast w.put_cv
+    | None -> ());
+    (match Hashtbl.find_opt t.get_waits transfer with
+    | Some w ->
+        w.g_cancelled <- true;
+        Condvar.broadcast w.g_cv
+    | None -> ());
+    Hashtbl.remove t.rx_puts transfer
+  end
+
+let last_transfer t = t.next_transfer

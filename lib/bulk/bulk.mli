@@ -70,6 +70,17 @@ val put : t -> from:int -> ?at:int -> region -> Bytes.t -> unit
     offset [at] to node [into], blocking until complete. *)
 val get : t -> into:int -> ?at:int -> region -> len:int -> Bytes.t
 
+(** [cancel t ~node ~transfer] aborts an in-flight transfer: the
+    streaming side stops at its next fragment boundary, fragments still
+    in flight are dropped on arrival, and the blocked [put]/[get] raises
+    [Invalid_argument]. [node] is the node issuing the cancel (recorded
+    in the trace). Idempotent; unknown ids are ignored. *)
+val cancel : t -> node:int -> transfer:int -> unit
+
+(** Id of the most recently initiated transfer (for [cancel] in tests:
+    transfer ids are allocated sequentially from 1). *)
+val last_transfer : t -> int
+
 (** {1 Statistics} *)
 
 type stats = {

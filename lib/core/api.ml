@@ -25,6 +25,8 @@ let fresh_mid () =
   mid_counter := next;
   next
 
+let fresh_msg_id = fresh_mid
+
 type endpoint = {
   index : int;
   ep_kind : Endpoint_kind.t;

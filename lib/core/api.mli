@@ -58,6 +58,11 @@ val last_msg_id : t -> int
 (** Id carried by the most recent message returned from [receive]. *)
 val last_recv_msg_id : t -> int
 
+(** Draw a fresh id from the process-wide counter — for subsystems that
+    move data outside the per-message send path (e.g. {!Flipc_bulk}
+    stamping one id per bulk transfer so its events join causal spans). *)
+val fresh_msg_id : unit -> int
+
 (** Usable application payload per message. *)
 val payload_bytes : t -> int
 

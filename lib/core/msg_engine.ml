@@ -335,14 +335,14 @@ let handle_incoming t image =
   then begin
     t.stats.corrupt_frames <- t.stats.corrupt_frames + 1;
     trace t "discard: frame checksum mismatch";
+    (* mid 0, not the image's: a checksum-failed frame's id bits are as
+       suspect as the rest, and a corrupted id would attach this discard
+       to an unrelated span. The original send's span keeps its
+       [Fault_corrupt] marker, which Causal classifies as a wire-stage
+       corruption stall. *)
     emit t (fun () ->
         Event.Drop
-          {
-            node = t.node;
-            ep = -1;
-            mid = Msg_buffer.msg_id_of_image image;
-            reason = Event.Corrupt_frame;
-          })
+          { node = t.node; ep = -1; mid = 0; reason = Event.Corrupt_frame })
   end
   else handle_verified t image
 

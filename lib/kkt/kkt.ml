@@ -2,6 +2,8 @@ module Sim = Flipc_sim.Engine
 module Condvar = Flipc_sim.Sync.Condvar
 module Nic = Flipc_net.Nic
 module Packet = Flipc_net.Packet
+module Obs = Flipc_obs.Obs
+module Event = Flipc_obs.Event
 
 type config = {
   trap_ns : int;
@@ -25,9 +27,14 @@ type t = {
   pending : (int, pending) Hashtbl.t;  (* call id -> waiter *)
   mutable next_id : int;
   mutable completed : int;
+  (* Trace wiring: the observability bundle RPC lifecycle events go to,
+     and the caller's rule for recovering a causal message id from an
+     opaque payload (kkt_flipc reads the flipc image's stamped mid). *)
+  mutable obs : Obs.t option;
+  mid_of : Bytes.t -> int;
 }
 
-let create ?(config = default_config) ~sim () =
+let create ?(config = default_config) ?(mid_of = fun _ -> 0) ~sim () =
   {
     sim;
     config;
@@ -36,7 +43,16 @@ let create ?(config = default_config) ~sim () =
     pending = Hashtbl.create 16;
     next_id = 0;
     completed = 0;
+    obs = None;
+    mid_of;
   }
+
+let set_obs t obs = t.obs <- Some obs
+
+let emit t ev =
+  match t.obs with
+  | Some o when Obs.tracing o -> Obs.event o (ev ())
+  | _ -> ()
 
 let marshal_ns t len =
   int_of_float (Float.round (float_of_int len *. t.config.marshal_ns_per_byte))
@@ -49,12 +65,19 @@ let nic_of t node =
 let handle_request t (p : Packet.t) =
   (* Remote kernel: interrupt, dispatch, run the handler, send the reply. *)
   Sim.delay t.config.dispatch_ns;
+  let mid = t.mid_of p.Packet.payload in
+  let valid = Hashtbl.mem t.handlers p.Packet.dst in
+  emit t (fun () ->
+      Event.Kkt_dispatch { node = p.Packet.dst; id = p.Packet.seq; valid; mid });
   let reply =
     match Hashtbl.find_opt t.handlers p.Packet.dst with
     | Some handler -> handler p.Packet.payload
     | None -> Bytes.create 0
   in
   Sim.delay (marshal_ns t (Bytes.length reply));
+  emit t (fun () ->
+      Event.Kkt_reply
+        { node = p.Packet.dst; dst_node = p.Packet.src; id = p.Packet.seq; mid });
   Nic.send (nic_of t p.Packet.dst)
     (Packet.make ~src:p.Packet.dst ~dst:p.Packet.src ~protocol:Packet.Kkt
        ~tag:tag_reply ~seq:p.Packet.seq reply)
@@ -80,6 +103,8 @@ let call t ~src ~dst payload =
   ignore (nic_of t dst);
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
+  let mid = t.mid_of payload in
+  emit t (fun () -> Event.Kkt_call { node = src; dst_node = dst; id; mid });
   let waiter = { reply = None; cv = Condvar.create () } in
   Hashtbl.replace t.pending id waiter;
   (* Client kernel: trap in, marshal, transmit, block for the reply. *)
@@ -98,6 +123,7 @@ let call t ~src ~dst payload =
   let reply = wait () in
   Sim.delay t.config.trap_ns;
   t.completed <- t.completed + 1;
+  emit t (fun () -> Event.Kkt_complete { node = src; id; mid });
   reply
 
 let calls_completed t = t.completed

@@ -22,8 +22,20 @@ val default_config : config
 type t
 
 (** [create ~sim ~config ()] makes an empty transport domain; nodes join
-    via [attach]. *)
-val create : ?config:config -> sim:Flipc_sim.Engine.t -> unit -> t
+    via [attach]. [mid_of] recovers the causal message id carried inside
+    an opaque payload (default: none) so the RPC lifecycle events can
+    join the message's causal span. *)
+val create :
+  ?config:config ->
+  ?mid_of:(Bytes.t -> int) ->
+  sim:Flipc_sim.Engine.t ->
+  unit ->
+  t
+
+(** [set_obs t obs] routes RPC lifecycle events ([Kkt_call] →
+    [Kkt_dispatch] → [Kkt_reply] → [Kkt_complete]) to [obs] whenever its
+    tracing gate is open. *)
+val set_obs : t -> Flipc_obs.Obs.t -> unit
 
 (** [attach t ~nic] joins a node, claiming the NIC's KKT protocol
     callback. Must be called once per node before [call]s involving it. *)

@@ -36,11 +36,18 @@ let machine ?config ?cost ?kkt_config ?app_cpus kind () =
       | Some kkt -> kkt
       | None ->
           let kkt =
-            Kkt.create ?config:kkt_config ~sim:(Nic.engine nic) ()
+            (* RPC payloads are flipc wire images, so the stamped
+               message id is recoverable and KKT lifecycle events join
+               the message's causal span. *)
+            Kkt.create ?config:kkt_config
+              ~mid_of:Flipc.Msg_buffer.msg_id_of_image
+              ~sim:(Nic.engine nic) ()
           in
           domain := Some kkt;
           kkt
     in
     transport kkt ~node ~nic ~node_count ~deliver
   in
-  Machine.create ?config ?cost ?app_cpus ~transport:maker kind ()
+  let m = Machine.create ?config ?cost ?app_cpus ~transport:maker kind () in
+  (match !domain with Some kkt -> Kkt.set_obs kkt (Machine.obs m) | None -> ());
+  m

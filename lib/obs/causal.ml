@@ -16,8 +16,7 @@ let merged_entries obs_list =
     obs_list
   |> List.stable_sort (fun a b -> compare a.ts b.ts)
 
-let spans obs_list =
-  let entries = merged_entries obs_list in
+let spans_of_steps entries =
   let by_mid : (int, step list ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
   let push mid step =
@@ -57,6 +56,7 @@ let spans obs_list =
     (fun mid -> { mid; steps = List.rev !(Hashtbl.find by_mid mid) })
     !order
 
+let spans obs_list = spans_of_steps (merged_entries obs_list)
 let find spans mid = List.find_opt (fun s -> s.mid = mid) spans
 
 let stage_of ev =
@@ -77,15 +77,17 @@ let stage_of ev =
 
 (* What the message is waiting for, judged by the last event observed on
    its path — the vocabulary of watchdog reports. *)
-(* A span whose packet the fault injector dropped and that never reached
-   the far side: the drop fires inside the transmit path, so [Engine_tx]
-   can carry the same timestamp and sort after it — judge by the whole
-   span, not the last event. *)
-let wire_dropped span =
+(* A span whose packet the fault injector dropped or corrupted and that
+   never reached the far side: the fault fires inside the transmit path,
+   so [Engine_tx] can carry the same timestamp and sort after it — judge
+   by the whole span, not the last event. A corrupted frame's receiver-
+   side checksum discard carries mid 0 (the bits are untrusted), so the
+   original span shows only the [Fault_corrupt] marker. *)
+let lost_on_wire kind span =
   List.exists
     (fun s ->
       match s.ev with
-      | Event.Fault { kind = Event.Fault_drop; _ } -> true
+      | Event.Fault { kind = k; _ } -> k = kind
       | _ -> false)
     span.steps
   && not
@@ -98,8 +100,36 @@ let wire_dropped span =
             | _ -> false)
           span.steps)
 
+let wire_dropped span = lost_on_wire Event.Fault_drop span
+
+let corrupt_verdict =
+  "corrupted on the wire (receiver discarded the frame by checksum)"
+
+(* A corrupted frame can still reach the destination engine — [Wire_rx]
+   is stamped on arrival, before the checksum runs — so "corrupted and
+   discarded" means: a [Fault_corrupt] marker with no delivery evidence
+   after it (no deposit, dequeue or frame release; the checksum discard
+   itself carries mid 0, its id bits being untrustworthy). *)
+let corrupt_discarded span =
+  List.exists
+    (fun s ->
+      match s.ev with
+      | Event.Fault { kind = Event.Fault_corrupt; _ } -> true
+      | _ -> false)
+    span.steps
+  && not
+       (List.exists
+          (fun s ->
+            match s.ev with
+            | Event.Deposit _ | Event.Recv_dequeued _ | Event.Drop _
+            | Event.Frame_deliver _ ->
+                true
+            | _ -> false)
+          span.steps)
+
 let stalled_stage span =
   if wire_dropped span then "dropped on the wire (fault injection)"
+  else if corrupt_discarded span then corrupt_verdict
   else
     match List.rev span.steps with
     | [] -> "never sent (no events recorded)"
@@ -111,6 +141,7 @@ let stalled_stage span =
       | Event.Engine_tx _ -> "awaiting wire arrival (in the fabric)"
       | Event.Fault { kind = Event.Fault_drop; _ } ->
           "dropped on the wire (fault injection)"
+      | Event.Fault { kind = Event.Fault_corrupt; _ } -> corrupt_verdict
       | Event.Fault _ -> "awaiting wire arrival (in the fabric, after fault)"
       | Event.Wire_rx _ ->
           "awaiting deposit (arrived, engine has not queued it)"

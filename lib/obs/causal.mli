@@ -31,6 +31,11 @@ type span = { mid : int; steps : step list (** time order *) }
     first appearance. *)
 val spans : Obs.t list -> span list
 
+(** Same grouping over an explicit time-ordered step list — the entry
+    point for offline {!Replay} of captured traces. [spans obs_list] is
+    [spans_of_steps] of the merged live rings. *)
+val spans_of_steps : step list -> span list
+
 val find : span list -> int -> span option
 
 (** Short stage name of one event ("send", "engine_tx", "wire_rx", …). *)

@@ -12,6 +12,8 @@ type fault_kind =
   | Fault_jitter
   | Fault_corrupt
 
+type bulk_op = Bulk_put | Bulk_get
+
 type t =
   | Send_enqueued of {
       node : int;
@@ -55,6 +57,21 @@ type t =
   | Engine_wake of { node : int }
   | Fault of { node : int; kind : fault_kind; mid : int }
   | Note of { node : int; tag : string; detail : string }
+  | Kkt_call of { node : int; dst_node : int; id : int; mid : int }
+  | Kkt_dispatch of { node : int; id : int; valid : bool; mid : int }
+  | Kkt_reply of { node : int; dst_node : int; id : int; mid : int }
+  | Kkt_complete of { node : int; id : int; mid : int }
+  | Bulk_start of {
+      node : int;
+      dst_node : int;
+      transfer : int;
+      op : bulk_op;
+      total : int;
+      mid : int;
+    }
+  | Bulk_chunk of { node : int; transfer : int; offset : int; len : int; mid : int }
+  | Bulk_complete of { node : int; transfer : int; mid : int }
+  | Bulk_cancel of { node : int; transfer : int; mid : int }
 
 let drop_reason_name = function
   | No_posted_buffer -> "no_posted_buffer"
@@ -69,6 +86,8 @@ let fault_kind_name = function
   | Fault_reorder -> "reorder"
   | Fault_jitter -> "jitter"
   | Fault_corrupt -> "corrupt"
+
+let bulk_op_name = function Bulk_put -> "put" | Bulk_get -> "get"
 
 let name = function
   | Send_enqueued _ -> "send_enqueued"
@@ -89,6 +108,44 @@ let name = function
   | Engine_wake _ -> "engine_wake"
   | Fault _ -> "fault"
   | Note { tag; _ } -> tag
+  | Kkt_call _ -> "kkt_call"
+  | Kkt_dispatch _ -> "kkt_dispatch"
+  | Kkt_reply _ -> "kkt_reply"
+  | Kkt_complete _ -> "kkt_complete"
+  | Bulk_start _ -> "bulk_start"
+  | Bulk_chunk _ -> "bulk_chunk"
+  | Bulk_complete _ -> "bulk_complete"
+  | Bulk_cancel _ -> "bulk_cancel"
+
+(* Stable wire discriminator: unlike [name] it never depends on payload
+   ([Frame_tx] is always "frame_tx", [Note] is always "note"), so a
+   trace record round-trips through {!to_json}/{!of_json}. *)
+let kind = function
+  | Send_enqueued _ -> "send_enqueued"
+  | Doorbell _ -> "doorbell"
+  | Engine_tx _ -> "engine_tx"
+  | Wire_rx _ -> "wire_rx"
+  | Deposit _ -> "deposit"
+  | Recv_dequeued _ -> "recv_dequeued"
+  | Drop _ -> "drop"
+  | Frame_tx _ -> "frame_tx"
+  | Frame_deliver _ -> "frame_deliver"
+  | Ack_tx _ -> "ack_tx"
+  | Credit_grant _ -> "credit_grant"
+  | Window_send _ -> "window_send"
+  | Drops_read _ -> "drops_read"
+  | Engine_park _ -> "engine_park"
+  | Engine_wake _ -> "engine_wake"
+  | Fault _ -> "fault"
+  | Note _ -> "note"
+  | Kkt_call _ -> "kkt_call"
+  | Kkt_dispatch _ -> "kkt_dispatch"
+  | Kkt_reply _ -> "kkt_reply"
+  | Kkt_complete _ -> "kkt_complete"
+  | Bulk_start _ -> "bulk_start"
+  | Bulk_chunk _ -> "bulk_chunk"
+  | Bulk_complete _ -> "bulk_complete"
+  | Bulk_cancel _ -> "bulk_cancel"
 
 let node = function
   | Send_enqueued { node; _ }
@@ -107,7 +164,15 @@ let node = function
   | Engine_park { node; _ }
   | Engine_wake { node; _ }
   | Fault { node; _ }
-  | Note { node; _ } -> node
+  | Note { node; _ }
+  | Kkt_call { node; _ }
+  | Kkt_dispatch { node; _ }
+  | Kkt_reply { node; _ }
+  | Kkt_complete { node; _ }
+  | Bulk_start { node; _ }
+  | Bulk_chunk { node; _ }
+  | Bulk_complete { node; _ }
+  | Bulk_cancel { node; _ } -> node
 
 let mid = function
   | Send_enqueued { mid; _ }
@@ -119,7 +184,15 @@ let mid = function
   | Frame_tx { mid; _ }
   | Frame_deliver { mid; _ }
   | Window_send { mid; _ }
-  | Fault { mid; _ } ->
+  | Fault { mid; _ }
+  | Kkt_call { mid; _ }
+  | Kkt_dispatch { mid; _ }
+  | Kkt_reply { mid; _ }
+  | Kkt_complete { mid; _ }
+  | Bulk_start { mid; _ }
+  | Bulk_chunk { mid; _ }
+  | Bulk_complete { mid; _ }
+  | Bulk_cancel { mid; _ } ->
       if mid > 0 then Some mid else None
   | Doorbell _ | Ack_tx _ | Credit_grant _ | Drops_read _ | Engine_park _
   | Engine_wake _ | Note _ ->
@@ -172,6 +245,196 @@ let args = function
   | Fault { kind; mid; _ } ->
       [ ("kind", Json.String (fault_kind_name kind)); ("mid", Json.Int mid) ]
   | Note { detail; _ } -> [ ("detail", Json.String detail) ]
+  | Kkt_call { dst_node; id; mid; _ } | Kkt_reply { dst_node; id; mid; _ } ->
+      [
+        ("dst_node", Json.Int dst_node);
+        ("id", Json.Int id);
+        ("mid", Json.Int mid);
+      ]
+  | Kkt_dispatch { id; valid; mid; _ } ->
+      [ ("id", Json.Int id); ("valid", Json.Bool valid); ("mid", Json.Int mid) ]
+  | Kkt_complete { id; mid; _ } ->
+      [ ("id", Json.Int id); ("mid", Json.Int mid) ]
+  | Bulk_start { dst_node; transfer; op; total; mid; _ } ->
+      [
+        ("dst_node", Json.Int dst_node);
+        ("transfer", Json.Int transfer);
+        ("op", Json.String (bulk_op_name op));
+        ("total", Json.Int total);
+        ("mid", Json.Int mid);
+      ]
+  | Bulk_chunk { transfer; offset; len; mid; _ } ->
+      [
+        ("transfer", Json.Int transfer);
+        ("offset", Json.Int offset);
+        ("len", Json.Int len);
+        ("mid", Json.Int mid);
+      ]
+  | Bulk_complete { transfer; mid; _ } | Bulk_cancel { transfer; mid; _ } ->
+      [ ("transfer", Json.Int transfer); ("mid", Json.Int mid) ]
+
+(* ------------------------------------------------------------------ *)
+(* Self-describing trace records: kind + node + the variant's fields.  *)
+
+let to_json ev =
+  let fields =
+    match ev with
+    (* [args] drops the Note tag (it doubles as [name]); restore it. *)
+    | Note { tag; detail; _ } ->
+        [ ("tag", Json.String tag); ("detail", Json.String detail) ]
+    | ev -> args ev
+  in
+  Json.Obj
+    (("k", Json.String (kind ev)) :: ("node", Json.Int (node ev)) :: fields)
+
+let drop_reason_of_name = function
+  | "no_posted_buffer" -> Some No_posted_buffer
+  | "bad_destination" -> Some Bad_destination
+  | "corrupt_slot" -> Some Corrupt_slot
+  | "corrupt_frame" -> Some Corrupt_frame
+  | "forbidden_destination" -> Some Forbidden_destination
+  | _ -> None
+
+let fault_kind_of_name = function
+  | "drop" -> Some Fault_drop
+  | "duplicate" -> Some Fault_duplicate
+  | "reorder" -> Some Fault_reorder
+  | "jitter" -> Some Fault_jitter
+  | "corrupt" -> Some Fault_corrupt
+  | _ -> None
+
+let bulk_op_of_name = function
+  | "put" -> Some Bulk_put
+  | "get" -> Some Bulk_get
+  | _ -> None
+
+exception Bad_record of string
+
+let of_json doc =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad_record s)) fmt in
+  let int k =
+    match Json.member k doc with
+    | Some (Json.Int i) -> i
+    | _ -> fail "missing int field %S" k
+  in
+  let str k =
+    match Json.member k doc with
+    | Some (Json.String s) -> s
+    | _ -> fail "missing string field %S" k
+  in
+  let bool k =
+    match Json.member k doc with
+    | Some (Json.Bool b) -> b
+    | _ -> fail "missing bool field %S" k
+  in
+  match
+    let node = int "node" in
+    match str "k" with
+    | "send_enqueued" ->
+        Send_enqueued
+          {
+            node;
+            ep = int "ep";
+            dst_node = int "dst_node";
+            dst_ep = int "dst_ep";
+            mid = int "mid";
+          }
+    | "doorbell" -> Doorbell { node; ep = int "ep" }
+    | "engine_tx" ->
+        Engine_tx
+          {
+            node;
+            ep = int "ep";
+            dst_node = int "dst_node";
+            dst_ep = int "dst_ep";
+            mid = int "mid";
+          }
+    | "wire_rx" -> Wire_rx { node; ep = int "ep"; mid = int "mid" }
+    | "deposit" -> Deposit { node; ep = int "ep"; mid = int "mid" }
+    | "recv_dequeued" -> Recv_dequeued { node; ep = int "ep"; mid = int "mid" }
+    | "drop" ->
+        let reason =
+          match drop_reason_of_name (str "reason") with
+          | Some r -> r
+          | None -> fail "unknown drop reason %S" (str "reason")
+        in
+        Drop { node; ep = int "ep"; mid = int "mid"; reason }
+    | "frame_tx" ->
+        Frame_tx
+          {
+            node;
+            ep = int "ep";
+            seq = int "seq";
+            mid = int "mid";
+            retransmit = bool "retransmit";
+          }
+    | "frame_deliver" ->
+        Frame_deliver { node; ep = int "ep"; seq = int "seq"; mid = int "mid" }
+    | "ack_tx" ->
+        Ack_tx { node; ep = int "ep"; cum = int "cum"; sacked = int "sacked" }
+    | "credit_grant" -> Credit_grant { node; ep = int "ep"; count = int "count" }
+    | "window_send" ->
+        Window_send
+          {
+            node;
+            ep = int "ep";
+            mid = int "mid";
+            sent = int "sent";
+            granted = int "granted";
+            window = int "window";
+          }
+    | "drops_read" -> Drops_read { node; ep = int "ep"; count = int "count" }
+    | "engine_park" -> Engine_park { node; idle = int "idle_iterations" }
+    | "engine_wake" -> Engine_wake { node }
+    | "fault" ->
+        let kind =
+          match fault_kind_of_name (str "kind") with
+          | Some k -> k
+          | None -> fail "unknown fault kind %S" (str "kind")
+        in
+        Fault { node; kind; mid = int "mid" }
+    | "note" -> Note { node; tag = str "tag"; detail = str "detail" }
+    | "kkt_call" ->
+        Kkt_call
+          { node; dst_node = int "dst_node"; id = int "id"; mid = int "mid" }
+    | "kkt_dispatch" ->
+        Kkt_dispatch { node; id = int "id"; valid = bool "valid"; mid = int "mid" }
+    | "kkt_reply" ->
+        Kkt_reply
+          { node; dst_node = int "dst_node"; id = int "id"; mid = int "mid" }
+    | "kkt_complete" -> Kkt_complete { node; id = int "id"; mid = int "mid" }
+    | "bulk_start" ->
+        let op =
+          match bulk_op_of_name (str "op") with
+          | Some op -> op
+          | None -> fail "unknown bulk op %S" (str "op")
+        in
+        Bulk_start
+          {
+            node;
+            dst_node = int "dst_node";
+            transfer = int "transfer";
+            op;
+            total = int "total";
+            mid = int "mid";
+          }
+    | "bulk_chunk" ->
+        Bulk_chunk
+          {
+            node;
+            transfer = int "transfer";
+            offset = int "offset";
+            len = int "len";
+            mid = int "mid";
+          }
+    | "bulk_complete" ->
+        Bulk_complete { node; transfer = int "transfer"; mid = int "mid" }
+    | "bulk_cancel" ->
+        Bulk_cancel { node; transfer = int "transfer"; mid = int "mid" }
+    | k -> fail "unknown event kind %S" k
+  with
+  | ev -> Ok ev
+  | exception Bad_record msg -> Error msg
 
 let pp fmt ev =
   Fmt.pf fmt "n%d %-14s" (node ev) (name ev);

@@ -35,6 +35,8 @@ type fault_kind =
   | Fault_jitter
   | Fault_corrupt
 
+type bulk_op = Bulk_put | Bulk_get
+
 type t =
   | Send_enqueued of {
       node : int;
@@ -84,12 +86,37 @@ type t =
   | Fault of { node : int; kind : fault_kind; mid : int }
   | Note of { node : int; tag : string; detail : string }
       (** escape hatch for ad-hoc instrumentation *)
+  | Kkt_call of { node : int; dst_node : int; id : int; mid : int }
+      (** client [node] issued KKT call [id] (monotone per client) *)
+  | Kkt_dispatch of { node : int; id : int; valid : bool; mid : int }
+      (** server dispatched call [id]; [valid] = a handler was registered *)
+  | Kkt_reply of { node : int; dst_node : int; id : int; mid : int }
+  | Kkt_complete of { node : int; id : int; mid : int }
+      (** the client's blocking call returned *)
+  | Bulk_start of {
+      node : int;
+      dst_node : int;
+      transfer : int;
+      op : bulk_op;
+      total : int;  (** transfer length in bytes *)
+      mid : int;
+    }
+  | Bulk_chunk of { node : int; transfer : int; offset : int; len : int; mid : int }
+      (** the data-receiving side accepted one fragment *)
+  | Bulk_complete of { node : int; transfer : int; mid : int }
+  | Bulk_cancel of { node : int; transfer : int; mid : int }
 
 val drop_reason_name : drop_reason -> string
 val fault_kind_name : fault_kind -> string
+val bulk_op_name : bulk_op -> string
 
-(** Stable lower-case identifier ([Note] events use their tag). *)
+(** Display identifier ([Note] events use their tag, retransmitted
+    [Frame_tx] shows as "retransmit"). *)
 val name : t -> string
+
+(** Stable wire discriminator: payload-independent, one per constructor.
+    This — not {!name} — keys the {!to_json}/{!of_json} round-trip. *)
+val kind : t -> string
 
 (** The node the event happened on. *)
 val node : t -> int
@@ -99,5 +126,11 @@ val mid : t -> int option
 
 (** Structured payload for JSON export, deterministic field order. *)
 val args : t -> (string * Json.t) list
+
+(** Self-describing record: [{"k": kind, "node": n, ...fields}]. *)
+val to_json : t -> Json.t
+
+(** Inverse of {!to_json}. *)
+val of_json : Json.t -> (t, string) result
 
 val pp : Format.formatter -> t -> unit

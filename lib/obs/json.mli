@@ -4,7 +4,8 @@
     traces, bench result files) goes through this one deterministic
     serializer: fields render in the order given, floats as plain JSON
     numbers ([NaN]/[infinity] degrade to [null]), so identical runs
-    produce byte-identical files. Not a parser — output only. *)
+    produce byte-identical files. {!of_string} is the inverse, used by
+    {!Replay} to read trace captures back. *)
 
 type t =
   | Null
@@ -20,3 +21,13 @@ val to_string : t -> string
 
 (** [to_channel oc t] writes the compact rendering plus a newline. *)
 val to_channel : out_channel -> t -> unit
+
+(** [of_string s] parses one JSON document. Numeric literals without a
+    fraction or exponent become [Int]; the rest become [Float]. *)
+val of_string : string -> (t, string) result
+
+(** [member key doc] looks up [key] in an [Obj] ([None] otherwise). *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+val to_str : t -> string option

@@ -27,11 +27,9 @@ type rec_state = {
   q_recv : (int, (int * int * int) Queue.t) Hashtbl.t;
 }
 
-type stage_acc = {
-  samples : float Ring.t; (* microseconds *)
-  mutable count : int;
-  mutable sum_us : float;
-}
+(* Per-stage accumulator: a constant-storage sketch over microsecond
+   samples (exact count/sum, log-bucketed quantiles). *)
+type stage_acc = { sketch : Sketch.t }
 
 type t = {
   state : rec_state;
@@ -47,7 +45,7 @@ let stage_index = function
   | Recv_stage -> 2
   | Total_stage -> 3
 
-let create ?(sample_capacity = 65_536) () =
+let create () =
   {
     state =
       {
@@ -56,13 +54,7 @@ let create ?(sample_capacity = 65_536) () =
         q_handle = Hashtbl.create 32;
         q_recv = Hashtbl.create 32;
       };
-    stages =
-      Array.init 4 (fun _ ->
-          {
-            samples = Ring.create ~capacity:sample_capacity;
-            count = 0;
-            sum_us = 0.;
-          });
+    stages = Array.init 4 (fun _ -> { sketch = Sketch.create () });
     unmatched = 0;
     dropped_in_flight = 0;
     queue_cap = 65_536;
@@ -90,10 +82,7 @@ let push_capped t queue x =
 
 let observe t stage ~ns =
   let acc = t.stages.(stage_index stage) in
-  let us = float_of_int ns /. 1000. in
-  Ring.push acc.samples us;
-  acc.count <- acc.count + 1;
-  acc.sum_us <- acc.sum_us +. us
+  Sketch.observe acc.sketch (float_of_int ns /. 1000.)
 
 let send_enqueued t ~now ~dst_node ~dst_ep =
   push_capped t (q t.state.q_tx (key ~node:dst_node ~ep:dst_ep)) now
@@ -153,17 +142,10 @@ let recv_dequeued t ~now ~node ~ep =
       observe t Total_stage ~ns:(now - t0)
   | None -> t.unmatched <- t.unmatched + 1
 
-let stage_count t stage = t.stages.(stage_index stage).count
-let stage_samples t stage = Ring.to_list t.stages.(stage_index stage).samples
-
-let stage_mean_us t stage =
-  let acc = t.stages.(stage_index stage) in
-  if acc.count = 0 then None else Some (acc.sum_us /. float_of_int acc.count)
-
-let stage_summary t stage =
-  match stage_samples t stage with
-  | [] -> None
-  | samples -> Some (Summary.of_samples samples)
+let stage_count t stage = Sketch.count t.stages.(stage_index stage).sketch
+let stage_sum_us t stage = Sketch.sum t.stages.(stage_index stage).sketch
+let stage_mean_us t stage = Sketch.mean t.stages.(stage_index stage).sketch
+let stage_summary t stage = Sketch.summary t.stages.(stage_index stage).sketch
 
 let unmatched t = t.unmatched
 let dropped_in_flight t = t.dropped_in_flight

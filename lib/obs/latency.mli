@@ -26,7 +26,8 @@
     breakdowns. Engine-discarded messages are retired via {!discarded}
     and counted in {!dropped_in_flight}.
 
-    All storage is bounded (drop-oldest windows, capped match queues). *)
+    All storage is bounded: per-stage accumulators are constant-size
+    log-bucketed sketches ({!Sketch}) and match queues are capped. *)
 
 type t
 
@@ -35,9 +36,7 @@ type stage = Send_stage | Wire_stage | Recv_stage | Total_stage
 val stage_name : stage -> string
 val all_stages : stage list
 
-(** [create ()] with a per-stage sample window of [sample_capacity]
-    (default 65536) most-recent messages. *)
-val create : ?sample_capacity:int -> unit -> t
+val create : unit -> t
 
 (** {1 Stamping (called by the instrumented stack)} *)
 
@@ -60,16 +59,16 @@ val recv_dequeued : t -> now:int -> node:int -> ep:int -> unit
 
 (** {1 Results} *)
 
-(** Messages that completed this stage (all-time). *)
+(** Messages that completed this stage (all-time, exact). *)
 val stage_count : t -> stage -> int
 
-(** Retained per-stage samples in microseconds, oldest first. *)
-val stage_samples : t -> stage -> float list
+(** All-time sum in microseconds (exact). *)
+val stage_sum_us : t -> stage -> float
 
 (** All-time mean in microseconds ([None] before any sample). *)
 val stage_mean_us : t -> stage -> float option
 
-(** Percentiles over the retained window. *)
+(** Sketch percentiles + exact moments over all observations. *)
 val stage_summary : t -> stage -> Flipc_stats.Summary.t option
 
 (** Stamps that found no partner (fault-injected fabrics, shed queue

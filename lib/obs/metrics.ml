@@ -4,11 +4,9 @@ module Histogram = Flipc_stats.Histogram
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
 
-type histo = {
-  window : float Ring.t; (* most recent samples *)
-  mutable count : int; (* all-time observations *)
-  mutable sum : float;
-}
+(* Histograms are log-bucketed sketches: constant storage, exact
+   count/sum, quantiles within one bucket width (see {!Sketch}). *)
+type histo = { sketch : Sketch.t }
 
 type value =
   | Counter of counter
@@ -72,21 +70,19 @@ let gauge t name =
 let set g v = g.g <- v
 let gauge_value g = g.g
 
-let histogram ?(capacity = 65_536) t name =
+let histogram t name =
   find_or_add t name
     ~cast:(function Histo h -> Some h | _ -> None)
     ~make:(fun () ->
-      let h = { window = Ring.create ~capacity; count = 0; sum = 0. } in
+      let h = { sketch = Sketch.create () } in
       Hashtbl.replace t.tbl name (Histo h);
       h)
 
-let observe h v =
-  Ring.push h.window v;
-  h.count <- h.count + 1;
-  h.sum <- h.sum +. v
-
-let histo_count h = h.count
-let histo_samples h = Ring.to_list h.window
+let observe h v = Sketch.observe h.sketch v
+let histo_count h = Sketch.count h.sketch
+let histo_sum h = Sketch.sum h.sketch
+let histo_quantile h p = Sketch.quantile h.sketch p
+let histo_summary h = Sketch.summary h.sketch
 
 let probe t name f =
   check_name name;
@@ -100,12 +96,7 @@ let probe t name f =
 type snap_value =
   | Snap_counter of int
   | Snap_gauge of float
-  | Snap_histogram of {
-      count : int;
-      sum : float;
-      window_dropped : int;
-      summary : Summary.t option;
-    }
+  | Snap_histogram of { count : int; sum : float; summary : Summary.t option }
 
 type snapshot = (string * snap_value) list
 
@@ -118,15 +109,11 @@ let snapshot t =
         | Gauge g -> Snap_gauge g.g
         | Probe f -> Snap_gauge (f ())
         | Histo h ->
-            let samples = Ring.to_list h.window in
             Snap_histogram
               {
-                count = h.count;
-                sum = h.sum;
-                window_dropped = Ring.dropped h.window;
-                summary =
-                  (if samples = [] then None
-                   else Some (Summary.of_samples samples));
+                count = Sketch.count h.sketch;
+                sum = Sketch.sum h.sketch;
+                summary = Sketch.summary h.sketch;
               }
       in
       (name, sv) :: acc)
@@ -176,11 +163,10 @@ let snapshot_json snap =
                if Float.is_integer g && Float.abs g < 1e15 then
                  Json.Int (int_of_float g)
                else Json.Float g
-           | Snap_histogram { count; sum; window_dropped; summary } ->
+           | Snap_histogram { count; sum; summary } ->
                Json.Obj
                  (("count", Json.Int count)
                   :: ("sum", Json.Float sum)
-                  :: ("window_dropped", Json.Int window_dropped)
                   ::
                   (match summary with
                   | None -> []

@@ -15,9 +15,9 @@
       [Window]'s credit-drop count are exported without double
       bookkeeping). Probes are read at snapshot time.
 
-    Histograms keep a bounded window of recent samples (drop-oldest, see
-    {!Ring}) plus all-time count and sum; snapshot percentiles are over
-    the retained window. *)
+    Histograms are log-bucketed sketches ({!Sketch}): constant storage
+    regardless of observation volume, exact all-time count and sum,
+    quantiles accurate to within one geometric bucket width. *)
 
 type t
 type counter
@@ -38,17 +38,21 @@ val gauge : t -> string -> gauge
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
-(** [histogram t name] finds or registers a histogram whose sample
-    window holds [capacity] (default 65536) most-recent observations. *)
-val histogram : ?capacity:int -> t -> string -> histo
+(** [histogram t name] finds or registers a sketch-backed histogram. *)
+val histogram : t -> string -> histo
 
 val observe : histo -> float -> unit
 
-(** All-time observation count (including evicted samples). *)
+(** All-time observation count (exact). *)
 val histo_count : histo -> int
 
-(** The retained sample window, oldest first. *)
-val histo_samples : histo -> float list
+(** All-time sum (exact). *)
+val histo_sum : histo -> float
+
+(** Sketch quantile for [p] in [0,1]; [None] when empty. *)
+val histo_quantile : histo -> float -> float option
+
+val histo_summary : histo -> Flipc_stats.Summary.t option
 
 (** [probe t name f] registers (or replaces) a pull-metric: [f ()] is
     read at each snapshot and reported as a gauge. *)
@@ -60,11 +64,10 @@ type snap_value =
   | Snap_counter of int
   | Snap_gauge of float
   | Snap_histogram of {
-      count : int;  (** all-time observations *)
-      sum : float;  (** all-time sum *)
-      window_dropped : int;  (** samples evicted from the window *)
+      count : int;  (** all-time observations (exact) *)
+      sum : float;  (** all-time sum (exact) *)
       summary : Flipc_stats.Summary.t option;
-          (** percentiles over the retained window; [None] when empty *)
+          (** sketch percentiles + exact moments; [None] when empty *)
     }
 
 (** Sorted by metric name: deterministic and diffable. *)

@@ -13,7 +13,9 @@ type violation = {
 type check = { c_rule : string; c_node : int; c_fn : unit -> string option }
 
 type t = {
-  obs : Obs.t;
+  (* Causal-history provider for violation reports: live monitors close
+     over their machine's ring, replay monitors over the loaded trace. *)
+  history : int -> string;
   limit : int;
   mutable violations : violation list; (* newest first *)
   mutable events_seen : int;
@@ -27,6 +29,14 @@ type t = {
   win_granted : (int * int, int) Hashtbl.t;
   dropped : (int * int, int) Hashtbl.t;
   drops_read : (int * int, int) Hashtbl.t;
+  (* KKT RPC state: last call id per client node, outstanding calls *)
+  kkt_last_id : (int, int) Hashtbl.t;
+  kkt_outstanding : (int * int, unit) Hashtbl.t;
+  (* Bulk transfer state, keyed by transfer id *)
+  bulk_total : (int, int) Hashtbl.t;
+  bulk_next : (int, int) Hashtbl.t; (* next expected chunk offset *)
+  bulk_bytes : (int, int) Hashtbl.t; (* bytes accepted so far *)
+  bulk_cancelled : (int, unit) Hashtbl.t;
 }
 
 let get tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:0
@@ -37,15 +47,9 @@ let record t ~now ~rule ~node ~ep ~mid detail =
   if not (Hashtbl.mem t.fired site) then begin
     Hashtbl.add t.fired site ();
     if List.length t.violations < t.limit then begin
-      (* The offending message's causal history, reconstructed from this
-         machine's ring at the moment of detection. *)
-      let history =
-        if mid > 0 then
-          match Causal.find (Causal.spans [ t.obs ]) mid with
-          | Some span -> Fmt.str "@[<v>%a@]" Causal.pp_span span
-          | None -> ""
-        else ""
-      in
+      (* The offending message's causal history, reconstructed at the
+         moment of detection. *)
+      let history = if mid > 0 then t.history mid else "" in
       t.violations <- { at = now; rule; node; mid; detail; history } :: t.violations
     end
   end
@@ -131,6 +135,75 @@ let on_event t now ev =
           (Printf.sprintf
              "application read %d drops but the engine recorded only %d" read
              dropped)
+  (* KKT RPC rules: call ids are allocated monotonically per client and
+     a completion must match an outstanding call. The call id doubles as
+     the dedup site's endpoint. *)
+  | Event.Kkt_call { node; id; mid; _ } ->
+      let last = get t.kkt_last_id node in
+      if id <= last then
+        record t ~now ~rule:"kkt.slot_reuse" ~node ~ep:id ~mid
+          (Printf.sprintf
+             "call id %d issued out of order (last allocated %d): pending-slot \
+              reuse"
+             id last)
+      else set t.kkt_last_id node id;
+      Hashtbl.replace t.kkt_outstanding (node, id) ()
+  | Event.Kkt_dispatch { node; id; valid; mid } ->
+      if not valid then
+        record t ~now ~rule:"kkt.key_validity" ~node ~ep:id ~mid
+          (Printf.sprintf
+             "call id %d dispatched on a node with no registered handler \
+              (invalid key)"
+             id)
+  | Event.Kkt_complete { node; id; mid } ->
+      if Hashtbl.mem t.kkt_outstanding (node, id) then
+        Hashtbl.remove t.kkt_outstanding (node, id)
+      else
+        record t ~now ~rule:"kkt.no_reply_without_request" ~node ~ep:id ~mid
+          (Printf.sprintf "call id %d completed with no outstanding request" id)
+  (* Bulk transfer rules: chunks must arrive contiguously from the first
+     observed offset, completion implies every byte arrived, and a
+     cancelled transfer makes no further progress. The transfer id
+     doubles as the dedup site's endpoint. *)
+  | Event.Bulk_start { transfer; total; _ } ->
+      set t.bulk_total transfer total;
+      set t.bulk_bytes transfer 0
+  | Event.Bulk_chunk { node; transfer; offset; len; mid } ->
+      if Hashtbl.mem t.bulk_cancelled transfer then
+        record t ~now ~rule:"bulk.no_progress_after_cancel" ~node ~ep:transfer
+          ~mid
+          (Printf.sprintf "chunk at offset %d accepted after cancel" offset)
+      else begin
+        (match Hashtbl.find_opt t.bulk_next transfer with
+        | Some next when offset <> next ->
+            record t ~now ~rule:"bulk.chunk_contiguity" ~node ~ep:transfer ~mid
+              (Printf.sprintf
+                 "chunk at offset %d but next expected offset is %d (hole or \
+                  overlap)"
+                 offset next)
+        | _ -> ());
+        set t.bulk_next transfer (offset + len);
+        set t.bulk_bytes transfer (get t.bulk_bytes transfer + len)
+      end
+  | Event.Bulk_complete { node; transfer; mid } ->
+      if Hashtbl.mem t.bulk_cancelled transfer then
+        record t ~now ~rule:"bulk.no_progress_after_cancel" ~node ~ep:transfer
+          ~mid "transfer completed after cancel"
+      else begin
+        match Hashtbl.find_opt t.bulk_total transfer with
+        | None ->
+            record t ~now ~rule:"bulk.completion_implies_all_chunks" ~node
+              ~ep:transfer ~mid "transfer completed but was never started"
+        | Some total ->
+            let got = get t.bulk_bytes transfer in
+            if got < total then
+              record t ~now ~rule:"bulk.completion_implies_all_chunks" ~node
+                ~ep:transfer ~mid
+                (Printf.sprintf "transfer completed with %d of %d bytes" got
+                   total)
+      end
+  | Event.Bulk_cancel { transfer; _ } ->
+      Hashtbl.replace t.bulk_cancelled transfer ()
   | _ -> ());
   (* Registered machine-state checks (queue pointer ordering, ...) run on
      every event: they are untimed peeks, and the triggering event lends
@@ -146,24 +219,38 @@ let on_event t now ev =
               detail)
     t.checks
 
-let attach ?(limit = 16) obs =
-  let t =
-    {
-      obs;
-      limit;
-      violations = [];
-      events_seen = 0;
-      fired = Hashtbl.create 16;
-      checks = [];
-      deliver_last = Hashtbl.create 16;
-      ack_cum = Hashtbl.create 16;
-      tx_last = Hashtbl.create 16;
-      grant_count = Hashtbl.create 16;
-      win_granted = Hashtbl.create 16;
-      dropped = Hashtbl.create 16;
-      drops_read = Hashtbl.create 16;
-    }
+let create ?(limit = 16) ?(history = fun _ -> "") () =
+  {
+    history;
+    limit;
+    violations = [];
+    events_seen = 0;
+    fired = Hashtbl.create 16;
+    checks = [];
+    deliver_last = Hashtbl.create 16;
+    ack_cum = Hashtbl.create 16;
+    tx_last = Hashtbl.create 16;
+    grant_count = Hashtbl.create 16;
+    win_granted = Hashtbl.create 16;
+    dropped = Hashtbl.create 16;
+    drops_read = Hashtbl.create 16;
+    kkt_last_id = Hashtbl.create 16;
+    kkt_outstanding = Hashtbl.create 16;
+    bulk_total = Hashtbl.create 16;
+    bulk_next = Hashtbl.create 16;
+    bulk_bytes = Hashtbl.create 16;
+    bulk_cancelled = Hashtbl.create 16;
+  }
+
+let feed t ~now ev = on_event t now ev
+
+let attach ?limit obs =
+  let history mid =
+    match Causal.find (Causal.spans [ obs ]) mid with
+    | Some span -> Fmt.str "@[<v>%a@]" Causal.pp_span span
+    | None -> ""
   in
+  let t = create ?limit ~history () in
   (* Violation reports want the causal history, so monitoring implies
      recording: enable the ring along with the watcher tap. *)
   Tracer.enable (Obs.tracer obs);

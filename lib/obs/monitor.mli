@@ -22,9 +22,21 @@
       cumulative counters never regress.
     - [drops.read_reset] — the application's read-and-reset drop counts
       never exceed the drops the engine recorded.
+    - [kkt.slot_reuse] / [kkt.key_validity] /
+      [kkt.no_reply_without_request] — KKT call ids stay monotone per
+      client, requests only dispatch to registered handlers, and every
+      completion matches an outstanding call.
+    - [bulk.chunk_contiguity] / [bulk.completion_implies_all_chunks] /
+      [bulk.no_progress_after_cancel] — bulk chunks arrive contiguously,
+      completion implies every byte arrived, and cancelled transfers
+      make no further progress.
     - machine-registered state checks (e.g. endpoint queue pointer
       ordering, registered by {!Flipc.Machine.attach_monitor}) run on
-      every event via {!add_check}. *)
+      every event via {!add_check}.
+
+    Monitors also run detached from any machine: {!create} + {!feed}
+    drive the same rule engine over a replayed event stream
+    ({!Replay}), producing the same violations as the live run. *)
 
 type violation = {
   at : Flipc_sim.Vtime.t;
@@ -36,6 +48,16 @@ type violation = {
 }
 
 type t
+
+(** [create ()] builds a detached monitor: feed it events explicitly
+    with {!feed}. [limit] caps retained violations (default 16; each
+    site reports at most once); [history] supplies the rendered causal
+    span for a violation's mid (default: none). *)
+val create : ?limit:int -> ?history:(int -> string) -> unit -> t
+
+(** [feed t ~now ev] runs every rule against one event — the same code
+    path a live watcher uses. *)
+val feed : t -> now:Flipc_sim.Vtime.t -> Event.t -> unit
 
 (** [attach obs] registers the monitor on [obs]. [limit] caps retained
     violations (default 16; each site reports at most once). Also

@@ -30,8 +30,19 @@ let capturing () = !capture_box <> None
 let captured () =
   match !capture_box with Some l -> List.rev !l | None -> []
 
-let create ?(tracing = false) ?(trace_capacity = 65_536) ?latency_capacity
-    ~sim () =
+(* Creation hooks: tooling (e.g. a trace sink behind a CLI `--capture`
+   flag) registers one to be handed every bundle the process creates,
+   however deep inside workload helpers. *)
+let hooks : (int * (t -> unit)) list ref = ref []
+let next_hook = ref 0
+
+let on_create f =
+  incr next_hook;
+  let hid = !next_hook in
+  hooks := !hooks @ [ (hid, f) ];
+  fun () -> hooks := List.filter (fun (h, _) -> h <> hid) !hooks
+
+let create ?(tracing = false) ?(trace_capacity = 65_536) ~sim () =
   let id = !next_id in
   incr next_id;
   let tracing = tracing || capturing () in
@@ -41,13 +52,14 @@ let create ?(tracing = false) ?(trace_capacity = 65_536) ?latency_capacity
       sim;
       metrics = Metrics.create ();
       tracer = Tracer.create ~capacity:trace_capacity ~enabled:tracing ();
-      latency = Latency.create ?sample_capacity:latency_capacity ();
+      latency = Latency.create ();
       label = Printf.sprintf "flipc machine %d" id;
       watchers = [];
       reporters = [];
     }
   in
   (match !capture_box with Some l -> l := t :: !l | None -> ());
+  List.iter (fun (_, f) -> f t) !hooks;
   t
 
 let id t = t.id

@@ -14,14 +14,10 @@ type t
 
 (** [create ~sim ()] builds a bundle on [sim]'s clock. [tracing]
     enables the event tracer from the start ([trace_capacity] bounds
-    it); [latency_capacity] bounds the per-stage sample windows. *)
+    it). Latency accumulators are constant-size sketches and need no
+    capacity. *)
 val create :
-  ?tracing:bool ->
-  ?trace_capacity:int ->
-  ?latency_capacity:int ->
-  sim:Flipc_sim.Engine.t ->
-  unit ->
-  t
+  ?tracing:bool -> ?trace_capacity:int -> sim:Flipc_sim.Engine.t -> unit -> t
 
 (** Process-unique id (creation order); the [pid] in Chrome exports. *)
 val id : t -> int
@@ -80,6 +76,12 @@ val capturing : unit -> bool
 
 (** Bundles created during the active capture window, oldest first. *)
 val captured : unit -> t list
+
+(** [on_create f] registers a hook run on every subsequently created
+    bundle (after capture-window registration); returns a disposer.
+    {!Sink.attach} uses this to capture machines built deep inside
+    workload helpers. *)
+val on_create : (t -> unit) -> unit -> unit
 
 (** Merged Chrome trace of every captured bundle (machines become
     processes, nodes become threads). *)

@@ -1,0 +1,121 @@
+module Vtime = Flipc_sim.Vtime
+
+type record = { r_ts : Vtime.t; r_pid : int; r_ev : Event.t }
+
+type t = {
+  version : int;
+  meta : (string * Json.t) list;
+  records : record list; (* file (= emission) order *)
+  machines : (int * string) list; (* pid -> label, from the trailer *)
+  summary : Json.t option;
+}
+
+let version t = t.version
+let meta t = t.meta
+let records t = t.records
+let machines t = t.machines
+let summary t = t.summary
+
+let parse_line ~lineno line state =
+  let version, meta, records, machines, summary = state in
+  match Json.of_string line with
+  | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | Ok doc -> (
+      match Json.member "flipc_trace" doc with
+      | Some (Json.Int v) ->
+          let meta =
+            match Json.member "meta" doc with
+            | Some (Json.Obj fields) -> fields
+            | _ -> []
+          in
+          Ok (Some v, meta, records, machines, summary)
+      | Some _ -> Error (Printf.sprintf "line %d: bad version field" lineno)
+      | None -> (
+          match Json.member "machines" doc with
+          | Some (Json.List ms) ->
+              let machines =
+                List.filter_map
+                  (fun m ->
+                    match
+                      ( Option.bind (Json.member "pid" m) Json.to_int,
+                        Option.bind (Json.member "label" m) Json.to_str )
+                    with
+                    | Some pid, Some label -> Some (pid, label)
+                    | _ -> None)
+                  ms
+              in
+              Ok (version, meta, records, machines, Json.member "summary" doc)
+          | _ -> (
+              match
+                ( Option.bind (Json.member "t" doc) Json.to_int,
+                  Option.bind (Json.member "pid" doc) Json.to_int )
+              with
+              | Some ts, Some pid -> (
+                  match Event.of_json doc with
+                  | Ok ev ->
+                      Ok
+                        ( version,
+                          meta,
+                          { r_ts = Vtime.ns ts; r_pid = pid; r_ev = ev }
+                          :: records,
+                          machines,
+                          summary )
+                  | Error msg ->
+                      Error (Printf.sprintf "line %d: %s" lineno msg))
+              | _ ->
+                  Error
+                    (Printf.sprintf "line %d: not a trace record" lineno))))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let finally () = close_in_noerr ic in
+      Fun.protect ~finally (fun () ->
+          let rec loop lineno state =
+            match input_line ic with
+            | exception End_of_file -> Ok state
+            | "" -> loop (lineno + 1) state
+            | line -> (
+                match parse_line ~lineno line state with
+                | Ok state -> loop (lineno + 1) state
+                | Error _ as e -> e)
+          in
+          match loop 1 (None, [], [], [], None) with
+          | Error _ as e -> e
+          | Ok (None, _, _, _, _) ->
+              Error "not a flipc trace (missing header line)"
+          | Ok (Some version, meta, records, machines, summary) ->
+              if version <> Sink.format_version then
+                Error
+                  (Printf.sprintf "unsupported trace version %d (want %d)"
+                     version Sink.format_version)
+              else
+                Ok
+                  {
+                    version;
+                    meta;
+                    records = List.rev records;
+                    machines;
+                    summary;
+                  })
+
+(* File order is global emission order; the stable re-sort by timestamp
+   mirrors what [Causal.spans] does to live rings, so span construction
+   sees the records in an identical order. *)
+let steps t =
+  List.map
+    (fun r ->
+      {
+        Causal.ts = r.r_ts;
+        pid = r.r_pid;
+        machine =
+          (match List.assoc_opt r.r_pid t.machines with
+          | Some label -> label
+          | None -> Printf.sprintf "flipc machine %d" r.r_pid);
+        ev = r.r_ev;
+      })
+    t.records
+  |> List.stable_sort (fun (a : Causal.step) b -> compare a.ts b.ts)
+
+let spans t = Causal.spans_of_steps (steps t)

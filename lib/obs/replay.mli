@@ -1,0 +1,37 @@
+(** Offline trace replay: parse a {!Sink} capture back into typed
+    events and drive the live diagnosis machinery on it.
+
+    [flipc doctor --replay out.trace] uses this to reproduce a live
+    run's report from a file alone: {!steps} feeds
+    {!Causal.spans_of_steps} for span reconstruction, and the records
+    feed a detached {!Monitor} ({!Monitor.create}/{!Monitor.feed}) for
+    the full rule catalogue — same spans, same violations, same
+    stalled-stage verdicts as the run that wrote the capture. *)
+
+type record = { r_ts : Flipc_sim.Vtime.t; r_pid : int; r_ev : Event.t }
+type t
+
+(** [load path] parses a capture; [Error] carries the first offending
+    line. Unknown trailing fields are ignored; version mismatches are
+    errors. *)
+val load : string -> (t, string) result
+
+val version : t -> int
+val meta : t -> (string * Json.t) list
+
+(** Event records in file (= emission) order. *)
+val records : t -> record list
+
+(** [pid -> label] from the trailer (empty if the capture was cut off
+    before close). *)
+val machines : t -> (int * string) list
+
+(** The run summary the capturing command stored, if any. *)
+val summary : t -> Json.t option
+
+(** Records as causal steps (machine labels resolved), time-ordered the
+    same way {!Causal.spans} orders live rings. *)
+val steps : t -> Causal.step list
+
+(** [Causal.spans_of_steps (steps t)]. *)
+val spans : t -> Causal.span list

@@ -1,0 +1,174 @@
+module Vtime = Flipc_sim.Vtime
+module Summary = Flipc_stats.Summary
+
+(* Numeric view of a snapshot: counters as exact ints, gauges/probes as
+   floats, histograms as (count, summary). Sorted by name (inherited
+   from [Metrics.snapshot]). *)
+type probe_val =
+  | P_counter of int
+  | P_gauge of float
+  | P_histo of int * Summary.t option
+
+let probe_snapshot metrics =
+  List.map
+    (fun (name, v) ->
+      match v with
+      | Metrics.Snap_counter c -> (name, P_counter c)
+      | Metrics.Snap_gauge g -> (name, P_gauge g)
+      | Metrics.Snap_histogram { count; summary; _ } ->
+          (name, P_histo (count, summary)))
+    (Metrics.snapshot metrics)
+
+type t = {
+  obs : Obs.t;
+  interval : int; (* ns *)
+  mutable w_start : int; (* ns, start of the open window *)
+  mutable prev : (string * probe_val) list; (* snapshot at last close *)
+  windows : Json.t Ring.t;
+}
+
+let prev_counter prev name =
+  match List.assoc_opt name prev with Some (P_counter c) -> c | _ -> 0
+
+let prev_histo_count prev name =
+  match List.assoc_opt name prev with Some (P_histo (c, _)) -> c | _ -> 0
+
+(* Close [w_start, w_end): per-counter deltas and rates against the last
+   closed snapshot, instantaneous gauges, histogram count deltas plus
+   current sketch quantiles. *)
+let close_window t ~w_end =
+  let cur = probe_snapshot (Obs.metrics t.obs) in
+  let span_ns = w_end - t.w_start in
+  let span_s = float_of_int span_ns /. 1e9 in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | P_counter c ->
+            let delta = c - prev_counter t.prev name in
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("delta", Json.Int delta);
+                    ( "rate_per_s",
+                      Json.Float
+                        (if span_s > 0. then float_of_int delta /. span_s
+                         else 0.) );
+                  ] )
+        | _ -> None)
+      cur
+  in
+  let gauges =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | P_gauge g ->
+            Some
+              ( name,
+                if Float.is_integer g && Float.abs g < 1e15 then
+                  Json.Int (int_of_float g)
+                else Json.Float g )
+        | _ -> None)
+      cur
+  in
+  let histos =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | P_histo (count, summary) ->
+            Some
+              ( name,
+                Json.Obj
+                  (("count_delta", Json.Int (count - prev_histo_count t.prev name))
+                   ::
+                   (match summary with
+                   | None -> []
+                   | Some s ->
+                       [
+                         ("p50", Json.Float s.Summary.p50);
+                         ("p99", Json.Float s.Summary.p99);
+                       ])) )
+        | _ -> None)
+      cur
+  in
+  Ring.push t.windows
+    (Json.Obj
+       [
+         ("start_ns", Json.Int t.w_start);
+         ("end_ns", Json.Int w_end);
+         ("counters", Json.Obj counters);
+         ("gauges", Json.Obj gauges);
+         ("histos", Json.Obj histos);
+       ]);
+  t.prev <- cur;
+  t.w_start <- w_end
+
+(* Windows close lazily on the first event past a boundary, so a quiet
+   stretch folds into one window spanning several intervals (window
+   bounds stay interval-aligned; rates use the true span). *)
+let roll t now =
+  let now_ns = Vtime.to_ns now in
+  let elapsed = now_ns - t.w_start in
+  if elapsed >= t.interval then
+    close_window t ~w_end:(t.w_start + t.interval * (elapsed / t.interval))
+
+let attach ?(interval = Vtime.us 100) ?(capacity = 512) obs =
+  let t =
+    {
+      obs;
+      interval = Vtime.to_ns interval;
+      w_start = Vtime.to_ns (Obs.now obs);
+      prev = probe_snapshot (Obs.metrics obs);
+      windows = Ring.create ~capacity;
+    }
+  in
+  Obs.add_watcher obs (fun now _ev -> roll t now);
+  t
+
+(* Close the current partial window at the clock's now (end-of-run
+   flush; no-op if nothing elapsed). *)
+let sample t =
+  let now_ns = Vtime.to_ns (Obs.now t.obs) in
+  if now_ns > t.w_start then close_window t ~w_end:now_ns
+
+let window_count t = Ring.length t.windows
+let json t = Json.List (Ring.to_list t.windows)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition over a metrics snapshot.           *)
+
+let prom_name name =
+  "flipc_" ^ String.map (function '.' | '-' -> '_' | c -> c) name
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" x
+
+let prom_of_snapshot snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      match v with
+      | Metrics.Snap_counter c ->
+          line "# TYPE %s counter" p;
+          line "%s %d" p c
+      | Metrics.Snap_gauge g ->
+          line "# TYPE %s gauge" p;
+          line "%s %s" p (prom_float g)
+      | Metrics.Snap_histogram { count; sum; summary } ->
+          line "# TYPE %s summary" p;
+          (match summary with
+          | None -> ()
+          | Some s ->
+              line "%s{quantile=\"0.5\"} %s" p (prom_float s.Summary.p50);
+              line "%s{quantile=\"0.95\"} %s" p (prom_float s.Summary.p95);
+              line "%s{quantile=\"0.99\"} %s" p (prom_float s.Summary.p99));
+          line "%s_sum %s" p (prom_float sum);
+          line "%s_count %d" p count)
+    snap;
+  Buffer.contents buf

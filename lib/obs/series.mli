@@ -1,0 +1,39 @@
+(** Virtual-time time-series sampler over the metrics registry.
+
+    Scale claims need windowed rates and per-window percentiles, not one
+    end-of-run snapshot. A series tap divides virtual time into
+    fixed-interval windows and closes each one with the counter deltas
+    (and per-second rates), instantaneous gauge values, and histogram
+    count deltas plus current sketch quantiles accumulated during it.
+
+    Windows close {e lazily}, driven by the machine's own event stream
+    (a watcher tap — host-time cost only, never virtual time): the first
+    event past a window boundary closes the elapsed span, so a quiet
+    stretch folds into one wider (still interval-aligned) window rather
+    than fabricating empty ones. Call {!sample} at end of run to flush
+    the final partial window. Retained windows are ring-bounded. *)
+
+type t
+
+(** [attach obs] registers the tap. [interval] is the window width in
+    virtual time (default 100 us); [capacity] bounds retained windows
+    (default 512, drop-oldest). Registering the watcher makes
+    {!Obs.tracing} true. *)
+val attach : ?interval:Flipc_sim.Vtime.t -> ?capacity:int -> Obs.t -> t
+
+(** Close the current partial window at the machine's current virtual
+    time (no-op if nothing has elapsed). *)
+val sample : t -> unit
+
+val window_count : t -> int
+
+(** Retained windows, oldest first. Each window is an object with
+    [start_ns], [end_ns], [counters] (per-name delta + rate_per_s),
+    [gauges] and [histos] (count_delta + p50/p99). *)
+val json : t -> Json.t
+
+(** Prometheus-style text exposition of a snapshot: counters and gauges
+    verbatim, histograms as summaries with quantile labels plus
+    [_sum]/[_count]; names are prefixed [flipc_] with dots and dashes
+    mapped to underscores. *)
+val prom_of_snapshot : Metrics.snapshot -> string

@@ -1,0 +1,79 @@
+module Vtime = Flipc_sim.Vtime
+
+type t = {
+  oc : out_channel;
+  path : string;
+  mutable machines : Obs.t list; (* newest first *)
+  mutable events : int;
+  mutable summary : Json.t option;
+  mutable closed : bool;
+}
+
+let format_version = 1
+
+let create ?(meta = []) ~path () =
+  let oc = open_out path in
+  Json.to_channel oc
+    (Json.Obj
+       [ ("flipc_trace", Json.Int format_version); ("meta", Json.Obj meta) ]);
+  {
+    oc;
+    path;
+    machines = [];
+    events = 0;
+    summary = None;
+    closed = false;
+  }
+
+let record t ~now ~pid ev =
+  if not t.closed then begin
+    let fields =
+      match Event.to_json ev with Json.Obj f -> f | other -> [ ("ev", other) ]
+    in
+    Json.to_channel t.oc
+      (Json.Obj
+         (("t", Json.Int (Vtime.to_ns now)) :: ("pid", Json.Int pid) :: fields));
+    t.events <- t.events + 1
+  end
+
+let attach t obs =
+  if not (List.exists (fun o -> Obs.id o = Obs.id obs) t.machines) then begin
+    t.machines <- obs :: t.machines;
+    let pid = Obs.id obs in
+    (* Spill whatever the ring already holds (mid-run attach), then
+       stream every later event through a watcher — so a wrapping ring
+       loses nothing once the sink is attached. *)
+    List.iter
+      (fun (e : Tracer.entry) -> record t ~now:e.ts ~pid e.ev)
+      (Tracer.to_list (Obs.tracer obs));
+    Obs.add_watcher obs (fun now ev -> record t ~now ~pid ev)
+  end
+
+let set_summary t summary = t.summary <- Some summary
+let events_written t = t.events
+let path t = t.path
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    let machines =
+      List.sort (fun a b -> compare (Obs.id a) (Obs.id b)) t.machines
+    in
+    Json.to_channel t.oc
+      (Json.Obj
+         (( "machines",
+            Json.List
+              (List.map
+                 (fun o ->
+                   Json.Obj
+                     [
+                       ("pid", Json.Int (Obs.id o));
+                       ("label", Json.String (Obs.label o));
+                     ])
+                 machines) )
+         ::
+         (match t.summary with
+         | None -> []
+         | Some s -> [ ("summary", s) ])));
+    close_out t.oc
+  end

@@ -1,0 +1,47 @@
+(** Streaming trace sink: persistent flight-data capture.
+
+    Spills typed events to a compact JSONL file as they happen, so a
+    failure that out-lives the in-memory ring can still be diagnosed
+    offline ({!Replay} + [flipc doctor --replay]). The CLI wires one up
+    behind [--capture out.trace] on every subcommand, attaching it to
+    each machine the run creates via {!Obs.on_create}.
+
+    {b File format} (one JSON document per line):
+    - header: [{"flipc_trace":1,"meta":{...}}] — version + free-form
+      run metadata;
+    - records: [{"t":<ns>,"pid":<obs id>,"k":<kind>,...fields}] — one
+      self-describing {!Event.t} per line ({!Event.to_json}), virtual
+      timestamps preserved exactly, in emission order;
+    - trailer: [{"machines":[{"pid":..,"label":..}],"summary":...}] —
+      machine labels (only final at close) and an optional run summary
+      a replaying doctor echoes back.
+
+    Attaching first spills the machine's current ring contents, then
+    streams every subsequent event through a watcher — so attaching at
+    creation captures everything regardless of ring wrap, and a mid-run
+    attach captures the retained tail plus the whole future. *)
+
+type t
+
+(** The trace format version written in the header line. *)
+val format_version : int
+
+(** [create ~path ()] opens [path] and writes the versioned header. *)
+val create : ?meta:(string * Json.t) list -> path:string -> unit -> t
+
+(** [attach t obs] spills [obs]'s retained ring, then streams its
+    future events (registers a watcher, making {!Obs.tracing} true).
+    Idempotent per bundle. *)
+val attach : t -> Obs.t -> unit
+
+(** [record t ~now ~pid ev] writes one event record directly. *)
+val record : t -> now:Flipc_sim.Vtime.t -> pid:int -> Event.t -> unit
+
+(** [set_summary t j] attaches a run summary to the trailer. *)
+val set_summary : t -> Json.t -> unit
+
+val events_written : t -> int
+val path : t -> string
+
+(** Write the trailer and close the file. Further events are ignored. *)
+val close : t -> unit

@@ -1,0 +1,119 @@
+(* Log-bucketed quantile sketch: constant storage no matter how many
+   observations arrive. Positive values land in geometric buckets with
+   ratio gamma = 2^(1/8) (~9% width, so a quantile read is within ~4.4%
+   of the true value); count/sum/sum-of-squares/min/max are kept exactly,
+   so means and extremes carry no sketch error at all. *)
+
+let gamma_log = log 2.0 /. 8.0
+
+(* Bucket i covers (gamma^(i-1), gamma^i]. Offset shifts the index range
+   so values from ~1e-9 up to ~1e15 (plenty for ns..hours in us units)
+   fit in a fixed array; anything outside clamps to the end buckets. *)
+let offset = 240
+let bucket_capacity = 656
+
+type t = {
+  buckets : int array;  (* positive observations, log-bucketed *)
+  mutable nonpos : int;  (* observations <= 0.0 (exact zero for latencies) *)
+  mutable count : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  {
+    buckets = Array.make bucket_capacity 0;
+    nonpos = 0;
+    count = 0;
+    sum = 0.0;
+    sumsq = 0.0;
+    minv = Float.infinity;
+    maxv = Float.neg_infinity;
+  }
+
+let clear t =
+  Array.fill t.buckets 0 bucket_capacity 0;
+  t.nonpos <- 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.sumsq <- 0.0;
+  t.minv <- Float.infinity;
+  t.maxv <- Float.neg_infinity
+
+let index_of v =
+  let i = offset + int_of_float (Float.ceil (log v /. gamma_log)) in
+  if i < 0 then 0 else if i >= bucket_capacity then bucket_capacity - 1 else i
+
+(* Geometric midpoint of bucket i: gamma^(i - offset - 1/2). *)
+let value_of i = exp (gamma_log *. (float_of_int (i - offset) -. 0.5))
+
+let observe t v =
+  if Float.is_nan v then ()
+  else begin
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    t.sumsq <- t.sumsq +. (v *. v);
+    if v < t.minv then t.minv <- v;
+    if v > t.maxv then t.maxv <- v;
+    if v > 0.0 then
+      let i = index_of v in
+      t.buckets.(i) <- t.buckets.(i) + 1
+    else t.nonpos <- t.nonpos + 1
+  end
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.minv
+let max_value t = t.maxv
+let mean t = if t.count = 0 then None else Some (t.sum /. float_of_int t.count)
+
+let quantile t p =
+  if t.count = 0 then None
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
+    let seen = ref t.nonpos in
+    let v =
+      if !seen >= rank then Stdlib.min 0.0 t.minv
+      else begin
+        let result = ref t.maxv in
+        (try
+           for i = 0 to bucket_capacity - 1 do
+             seen := !seen + t.buckets.(i);
+             if !seen >= rank then begin
+               result := value_of i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end
+    in
+    (* Exact extremes bound the sketch estimate. *)
+    Some (Float.max t.minv (Float.min t.maxv v))
+  end
+
+let stddev t =
+  if t.count = 0 then None
+  else
+    let n = float_of_int t.count in
+    let m = t.sum /. n in
+    let var = Float.max 0.0 ((t.sumsq /. n) -. (m *. m)) in
+    Some (sqrt var)
+
+let summary t : Flipc_stats.Summary.t option =
+  if t.count = 0 then None
+  else
+    Some
+      {
+        Flipc_stats.Summary.n = t.count;
+        mean = t.sum /. float_of_int t.count;
+        stddev = (match stddev t with Some s -> s | None -> 0.0);
+        min = t.minv;
+        max = t.maxv;
+        p50 = (match quantile t 0.50 with Some v -> v | None -> 0.0);
+        p95 = (match quantile t 0.95 with Some v -> v | None -> 0.0);
+        p99 = (match quantile t 0.99 with Some v -> v | None -> 0.0);
+      }

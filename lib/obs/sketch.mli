@@ -1,0 +1,38 @@
+(** Log-bucketed quantile sketch with constant memory.
+
+    Replaces the old grow-forever / ring-windowed sample lists behind
+    {!Metrics} histograms and {!Latency} stage accumulators. Positive
+    observations land in geometric buckets of ratio [2^(1/8)] (fixed
+    {!bucket_capacity} slots, out-of-range values clamp to the edge
+    buckets), so a quantile read is accurate to within one bucket width
+    (~9%, i.e. ≤ ~4.4% from the geometric midpoint). Count, sum,
+    sum-of-squares, min and max are exact regardless of volume. *)
+
+type t
+
+(** Number of allocated bucket slots — a compile-time constant, so the
+    storage bound is independent of observation count. *)
+val bucket_capacity : int
+
+val create : unit -> t
+val clear : t -> unit
+
+(** [observe t v] records one observation. [NaN] is ignored. *)
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+
+(** Exact extremes; [infinity] / [neg_infinity] when empty. *)
+val min_value : t -> float
+
+val max_value : t -> float
+val mean : t -> float option
+val stddev : t -> float option
+
+(** [quantile t p] for [p] in [0,1]; estimate clamped to [min,max]. *)
+val quantile : t -> float -> float option
+
+(** Full {!Flipc_stats.Summary.t} (percentiles from the sketch, moments
+    exact); [None] when empty. *)
+val summary : t -> Flipc_stats.Summary.t option

@@ -19,6 +19,10 @@
 # "corrupt_leaks" leaf must be zero in the candidate (a corrupt frame
 # reaching the application is a checksum hole, full stop), and any
 # "delivered" leaf that decreases fails (reliability went backwards).
+# Finally, any candidate leaf containing "identical" must be >= 1:
+# those record that runs with telemetry disabled stay bit-identical in
+# virtual time (BENCH_doctor_overhead.json), and 0 means the
+# observability layer leaked cost into the simulated timeline.
 #
 # Needs python3 for the JSON walk; degrades to a plain textual diff
 # (informational, never failing) when it is missing.
@@ -90,6 +94,8 @@ for key in shared:
     if key.lower().endswith("delivered") and new < old:
         marker = "  <-- DELIVERY REGRESSION"
         delivery_regressions.append((key, old, new))
+    if "identical" in key.lower() and new < 1:
+        marker = "  <-- TELEMETRY TIMELINE DIVERGED"
     if abs(delta) > 1e-12 or marker:
         print(f"{key:<{width}}  {old:>14.4f} -> {new:>14.4f}  ({rel:+7.2f}%){marker}")
 
@@ -117,6 +123,19 @@ if delivery_regressions:
     print(
         f"bench_diff: {len(delivery_regressions)} delivered counters "
         f"decreased",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+# Checked over every candidate leaf (not just shared ones) so a fresh
+# baseline cannot hide a diverged timeline.
+identical_failures = [
+    (k, v) for k, v in cand.items() if "identical" in k.lower() and v < 1
+]
+if identical_failures:
+    print(
+        f"bench_diff: {len(identical_failures)} 'identical' leaves are 0 "
+        f"in the candidate (telemetry leaked into the virtual timeline)",
         file=sys.stderr,
     )
     sys.exit(1)

@@ -22,10 +22,17 @@ echo "== observability smoke =="
 # surfaces: `flipc metrics --json` must emit parseable JSON and --trace
 # must emit a parseable Chrome trace_event document.
 dune exec test/test_obs.exe -- -c >/dev/null
+dune exec test/test_flight.exe -- -c >/dev/null
 obs_tmp=$(mktemp -d)
 trap 'rm -rf "$obs_tmp"' EXIT
 dune exec bin/flipc_cli.exe -- metrics --json --exchanges 40 \
   --trace "$obs_tmp/trace.json" >"$obs_tmp/metrics.json"
+# Prometheus exposition: the time-series surface must emit well-formed
+# families (TYPE lines + flipc_-prefixed samples).
+dune exec bin/flipc_cli.exe -- metrics --prom --exchanges 40 \
+  >"$obs_tmp/metrics.prom"
+grep -q '^# TYPE flipc_' "$obs_tmp/metrics.prom"
+grep -q '^flipc_' "$obs_tmp/metrics.prom"
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$obs_tmp/metrics.json" >/dev/null
   python3 -c "
@@ -111,9 +118,18 @@ echo "== doctor gate =="
 # formerly hanging soak seed is pinned: QCHECK_SEED=12 used to spin
 # forever in a raw-channel receive loop after an optimistic discard
 # (see DESIGN.md §13); under window flow control and watchdogs it must
-# pass, not hang.
+# pass, not hang. The live run streams its flight data to a capture
+# file, and an offline replay of that file must re-derive the exact
+# same report — byte-for-byte — or the black-box debugging story is
+# broken.
 dune exec bin/flipc_cli.exe -- doctor --assert-clean --json \
-  >"$obs_tmp/doctor.json"
+  --capture "$obs_tmp/doctor.trace" >"$obs_tmp/doctor.json"
+dune exec bin/flipc_cli.exe -- doctor --assert-clean --json \
+  --replay "$obs_tmp/doctor.trace" >"$obs_tmp/doctor_replay.json"
+cmp "$obs_tmp/doctor.json" "$obs_tmp/doctor_replay.json" || {
+  echo "doctor replay diverged from the live report" >&2
+  exit 1
+}
 QCHECK_SEED=12 dune exec test/test_soak.exe >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 -c "

@@ -1,0 +1,730 @@
+(* Flight-data pipeline tests: the JSON parser, the log-bucketed
+   quantile sketch under a million observations, the event wire
+   round-trip, capture -> replay fidelity (spans and monitor verdicts
+   recomputed offline must match the live run, including truncated-ring
+   and mid-run-attach captures), the corrupt-discard stalled-stage
+   verdict, the KKT/bulk invariant rules, and the time-series tap with
+   its Prometheus exposition. *)
+
+module Sim = Flipc_sim.Engine
+module Vtime = Flipc_sim.Vtime
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Mem_port = Flipc_memsim.Mem_port
+module Topology = Flipc_net.Topology
+module Mesh = Flipc_net.Mesh
+module Nic = Flipc_net.Nic
+module Faulty = Flipc_net.Faulty
+module Config = Flipc.Config
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Endpoint_kind = Flipc.Endpoint_kind
+module Kkt = Flipc_kkt.Kkt
+module Bulk = Flipc_bulk.Bulk
+module Json = Flipc_obs.Json
+module Sketch = Flipc_obs.Sketch
+module Event = Flipc_obs.Event
+module Obs = Flipc_obs.Obs
+module Tracer = Flipc_obs.Tracer
+module Metrics = Flipc_obs.Metrics
+module Causal = Flipc_obs.Causal
+module Monitor = Flipc_obs.Monitor
+module Sink = Flipc_obs.Sink
+module Replay = Flipc_obs.Replay
+module Series = Flipc_obs.Series
+module Summary = Flipc_stats.Summary
+module Pingpong = Flipc_workload.Pingpong
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Api.error_to_string e)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i =
+    i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1))
+  in
+  at 0
+
+let finish machine =
+  Machine.run machine;
+  Machine.stop_engines machine;
+  Machine.run machine
+
+let with_temp_trace f =
+  let path = Filename.temp_file "flipc_flight" ".trace" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- JSON parser --- *)
+
+let test_json_roundtrip () =
+  let docs =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 1.5;
+      Json.Float (-0.25);
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \" \\ \n \t quote";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("l", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      let s = Json.to_string doc in
+      match Json.of_string s with
+      | Ok parsed ->
+          check_bool (Printf.sprintf "roundtrip %s" s) true (parsed = doc)
+      | Error e -> Alcotest.fail (Printf.sprintf "parse %s: %s" s e))
+    docs
+
+let test_json_parse_forms () =
+  (* Written-by-hand inputs the serializer would not produce. *)
+  (match Json.of_string "  { \"a\" : [ 1 , 2.5 , \"\\u0041\" ] }  " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "A" ]) ])
+    ->
+      ()
+  | Ok j -> Alcotest.fail ("unexpected parse: " ^ Json.to_string j)
+  | Error e -> Alcotest.fail e);
+  check_bool "number without point is Int" true
+    (Json.of_string "123" = Ok (Json.Int 123));
+  check_bool "exponent makes a Float" true
+    (Json.of_string "1e3" = Ok (Json.Float 1000.));
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok j ->
+          Alcotest.fail
+            (Printf.sprintf "accepted %S as %s" bad (Json.to_string j))
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "123abc"; "\"unterminated"; "nul" ]
+
+let test_json_member_accessors () =
+  let doc = Json.Obj [ ("x", Json.Int 7); ("s", Json.String "hi") ] in
+  check_bool "member hit" true (Json.member "x" doc = Some (Json.Int 7));
+  check_bool "member miss" true (Json.member "zz" doc = None);
+  check_bool "to_int" true (Option.bind (Json.member "x" doc) Json.to_int = Some 7);
+  check_bool "to_str" true
+    (Option.bind (Json.member "s" doc) Json.to_str = Some "hi")
+
+(* --- sketch: exact counts, bounded memory, quantile accuracy --- *)
+
+(* Deterministic PRNG so the soak replays identically everywhere. *)
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 0x5DEECE66D) + 0xB) land max_int;
+    float_of_int ((!state lsr 16) land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+let test_sketch_soak_million () =
+  let n = 1_000_000 in
+  let next = lcg 42 in
+  let s = Sketch.create () in
+  let values = Array.init n (fun _ -> exp (next () *. 10.)) in
+  Array.iter (Sketch.observe s) values;
+  check "count exact" n (Sketch.count s);
+  let exact_sum = Array.fold_left ( +. ) 0. values in
+  check_bool "sum exact (same accumulation order)" true
+    (Float.abs (Sketch.sum s -. exact_sum) /. exact_sum < 1e-12);
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  check_bool "min exact" true (Sketch.min_value s = sorted.(0));
+  check_bool "max exact" true (Sketch.max_value s = sorted.(n - 1));
+  List.iter
+    (fun p ->
+      let exact = sorted.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+      match Sketch.quantile s p with
+      | None -> Alcotest.fail "quantile on populated sketch"
+      | Some q ->
+          let rel = Float.abs (q -. exact) /. exact in
+          if rel > 0.05 then
+            Alcotest.fail
+              (Printf.sprintf "p%g: sketch %g vs exact %g (rel %.3f)" p q
+                 exact rel))
+    [ 0.5; 0.9; 0.95; 0.99 ];
+  (* The whole point: memory stays a constant array of buckets no
+     matter how many observations arrive. *)
+  check_bool "bucket array is constant-size" true (Sketch.bucket_capacity < 1024)
+
+let test_metrics_histogram_million () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "soak.us" in
+  let next = lcg 7 in
+  let n = 1_000_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = 1. +. (next () *. 999.) in
+    sum := !sum +. v;
+    Metrics.observe h v
+  done;
+  check "histo count exact under soak" n (Metrics.histo_count h);
+  check_bool "histo sum exact" true
+    (Float.abs (Metrics.histo_sum h -. !sum) /. !sum < 1e-12);
+  match Metrics.histo_summary h with
+  | None -> Alcotest.fail "summary on populated histogram"
+  | Some s ->
+      check "summary n" n s.Summary.n;
+      check_bool "p50 in range" true (s.Summary.p50 > 400. && s.Summary.p50 < 600.)
+
+(* --- event wire round-trip, all constructors --- *)
+
+let all_events =
+  [
+    Event.Send_enqueued { node = 1; ep = 2; dst_node = 3; dst_ep = 4; mid = 5 };
+    Event.Doorbell { node = 1; ep = 2 };
+    Event.Engine_tx { node = 1; ep = 2; dst_node = 3; dst_ep = 4; mid = 5 };
+    Event.Wire_rx { node = 3; ep = 4; mid = 5 };
+    Event.Deposit { node = 3; ep = 4; mid = 5 };
+    Event.Recv_dequeued { node = 3; ep = 4; mid = 5 };
+    Event.Drop { node = 3; ep = -1; mid = 0; reason = Event.Corrupt_frame };
+    Event.Drop { node = 3; ep = 4; mid = 5; reason = Event.No_posted_buffer };
+    Event.Frame_tx { node = 1; ep = 2; seq = 9; mid = 5; retransmit = true };
+    Event.Frame_deliver { node = 3; ep = 4; seq = 9; mid = 5 };
+    Event.Ack_tx { node = 3; ep = 4; cum = 9; sacked = 2 };
+    Event.Credit_grant { node = 3; ep = 4; count = 8 };
+    Event.Window_send { node = 1; ep = 2; mid = 5; sent = 3; granted = 7; window = 4 };
+    Event.Drops_read { node = 3; ep = 4; count = 2 };
+    Event.Engine_park { node = 1; idle = 17 };
+    Event.Engine_wake { node = 1 };
+    Event.Fault { node = 0; kind = Event.Fault_corrupt; mid = 5 };
+    Event.Fault { node = 0; kind = Event.Fault_drop; mid = 5 };
+    Event.Note { node = 1; tag = "tag"; detail = "free text, \"quoted\"" };
+    Event.Kkt_call { node = 0; dst_node = 1; id = 3; mid = 5 };
+    Event.Kkt_dispatch { node = 1; id = 3; valid = false; mid = 5 };
+    Event.Kkt_reply { node = 1; dst_node = 0; id = 3; mid = 5 };
+    Event.Kkt_complete { node = 0; id = 3; mid = 5 };
+    Event.Bulk_start
+      { node = 0; dst_node = 1; transfer = 2; op = Event.Bulk_put; total = 4096; mid = 5 };
+    Event.Bulk_start
+      { node = 1; dst_node = 0; transfer = 3; op = Event.Bulk_get; total = 64; mid = 6 };
+    Event.Bulk_chunk { node = 1; transfer = 2; offset = 0; len = 1024; mid = 5 };
+    Event.Bulk_complete { node = 1; transfer = 2; mid = 5 };
+    Event.Bulk_cancel { node = 0; transfer = 2; mid = 5 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      let j = Event.to_json ev in
+      (* The wire form must survive an actual print/parse cycle too. *)
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" (Event.kind ev) e)
+      | Ok j' -> (
+          match Event.of_json j' with
+          | Ok ev' ->
+              check_bool (Event.kind ev) true (ev = ev')
+          | Error e ->
+              Alcotest.fail (Printf.sprintf "%s: %s" (Event.kind ev) e)))
+    all_events;
+  (* Kinds are pairwise distinct except for payload variants of the
+     same constructor. *)
+  check_bool "kind is payload-independent" true
+    (Event.kind (List.nth all_events 6) = Event.kind (List.nth all_events 7))
+
+(* --- capture -> replay fidelity --- *)
+
+let span_digest spans =
+  List.map
+    (fun s -> (s.Causal.mid, List.length s.Causal.steps, Causal.stalled_stage s))
+    spans
+
+let test_capture_replay_live_run () =
+  with_temp_trace @@ fun path ->
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  let sink = Sink.create ~path () in
+  Sink.attach sink obs;
+  let mon = Machine.attach_monitor machine in
+  ignore
+    (Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:64 ~exchanges:40
+       ()
+      : Pingpong.result);
+  Sink.close sink;
+  let live_spans = Causal.spans [ obs ] in
+  check_bool "live run produced spans" true (live_spans <> []);
+  match Replay.load path with
+  | Error e -> Alcotest.fail e
+  | Ok capture ->
+      check_bool "replayed spans = live spans" true
+        (span_digest (Replay.spans capture) = span_digest live_spans);
+      let rmon = Monitor.create () in
+      List.iter
+        (fun r -> Monitor.feed rmon ~now:r.Replay.r_ts r.Replay.r_ev)
+        (Replay.records capture);
+      check "replayed events_seen" (Monitor.events_seen mon)
+        (Monitor.events_seen rmon);
+      check "replayed violations"
+        (List.length (Monitor.violations mon))
+        (List.length (Monitor.violations rmon))
+
+(* Synthetic flow emitter shared by the truncation/attach tests: each
+   mid either completes its lifecycle or is dropped on the wire. *)
+let emit_flow obs ~mid ~dropped =
+  Obs.event obs
+    (Event.Send_enqueued { node = 0; ep = 0; dst_node = 1; dst_ep = 0; mid });
+  Obs.event obs
+    (Event.Engine_tx { node = 0; ep = 0; dst_node = 1; dst_ep = 0; mid });
+  if dropped then Obs.event obs (Event.Fault { node = 0; kind = Event.Fault_drop; mid })
+  else begin
+    Obs.event obs (Event.Wire_rx { node = 1; ep = 0; mid });
+    Obs.event obs (Event.Deposit { node = 1; ep = 0; mid });
+    Obs.event obs (Event.Recv_dequeued { node = 1; ep = 0; mid })
+  end
+
+let test_capture_survives_ring_truncation () =
+  with_temp_trace @@ fun path ->
+  let sim = Sim.create () in
+  (* Ring holds 8 events; the run emits 5x that. *)
+  let obs = Obs.create ~tracing:true ~trace_capacity:8 ~sim () in
+  let sink = Sink.create ~path () in
+  Sink.attach sink obs;
+  for mid = 1 to 8 do
+    emit_flow obs ~mid ~dropped:(mid mod 3 = 0)
+  done;
+  Sink.close sink;
+  check_bool "ring actually truncated" true (Tracer.dropped (Obs.tracer obs) > 0);
+  match Replay.load path with
+  | Error e -> Alcotest.fail e
+  | Ok capture ->
+      (* The capture streamed past the ring: every event survives. *)
+      check "all events captured"
+        (Tracer.length (Obs.tracer obs) + Tracer.dropped (Obs.tracer obs))
+        (List.length (Replay.records capture));
+      check "all 8 spans recovered offline" 8
+        (List.length (Replay.spans capture));
+      (* The live ring kept only a suffix; whatever it can still see
+         must agree with the replay's view of those same messages. *)
+      List.iter
+        (fun live ->
+          match Causal.find (Replay.spans capture) live.Causal.mid with
+          | None -> Alcotest.fail "live span missing from replay"
+          | Some r ->
+              check_bool "replay at least as complete" true
+                (List.length r.Causal.steps >= List.length live.Causal.steps))
+        (Causal.spans [ obs ])
+
+let test_capture_mid_run_attach () =
+  with_temp_trace @@ fun path ->
+  let sim = Sim.create () in
+  let obs = Obs.create ~tracing:true ~trace_capacity:4096 ~sim () in
+  emit_flow obs ~mid:1 ~dropped:false;
+  emit_flow obs ~mid:2 ~dropped:true;
+  (* Attach after the fact: the retained ring is spilled, then the
+     future streams. *)
+  let sink = Sink.create ~path () in
+  Sink.attach sink obs;
+  Sink.attach sink obs (* idempotent: no duplicate spill *);
+  emit_flow obs ~mid:3 ~dropped:false;
+  Sink.close sink;
+  match Replay.load path with
+  | Error e -> Alcotest.fail e
+  | Ok capture ->
+      check "ring spill + live tail" 13 (List.length (Replay.records capture));
+      check_bool "pre-attach and post-attach spans agree with live" true
+        (span_digest (Replay.spans capture) = span_digest (Causal.spans [ obs ]))
+
+let capture_replay_prop =
+  QCheck.Test.make ~name:"spans (replay (capture run)) = spans run" ~count:30
+    QCheck.(
+      pair (int_range 1 40) (list_of_size (Gen.int_range 1 40) bool))
+    (fun (capacity_scale, flows) ->
+      with_temp_trace @@ fun path ->
+      let sim = Sim.create () in
+      let obs =
+        Obs.create ~tracing:true ~trace_capacity:(capacity_scale * 256) ~sim ()
+      in
+      let sink = Sink.create ~path () in
+      Sink.attach sink obs;
+      let mon = Monitor.attach obs in
+      List.iteri (fun i dropped -> emit_flow obs ~mid:(i + 1) ~dropped) flows;
+      Sink.close sink;
+      match Replay.load path with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok capture ->
+          let rmon = Monitor.create () in
+          List.iter
+            (fun r -> Monitor.feed rmon ~now:r.Replay.r_ts r.Replay.r_ev)
+            (Replay.records capture);
+          span_digest (Replay.spans capture) = span_digest (Causal.spans [ obs ])
+          && Monitor.events_seen rmon = Monitor.events_seen mon
+          && List.length (Monitor.violations rmon)
+             = List.length (Monitor.violations mon))
+
+let test_replay_rejects_garbage () =
+  with_temp_trace @@ fun path ->
+  let oc = open_out path in
+  output_string oc "{\"t\":1,\"pid\":0,\"k\":\"doorbell\",\"node\":0,\"ep\":0}\n";
+  close_out oc;
+  (match Replay.load path with
+  | Error e -> check_bool "missing header reported" true (contains ~needle:"header" e)
+  | Ok _ -> Alcotest.fail "accepted a capture with no header");
+  let oc = open_out path in
+  output_string oc "{\"flipc_trace\":999,\"meta\":{}}\n";
+  close_out oc;
+  match Replay.load path with
+  | Error e -> check_bool "version mismatch reported" true (contains ~needle:"version" e)
+  | Ok _ -> Alcotest.fail "accepted a future format version"
+
+(* --- corrupt-discard stalled-stage verdict (seeded, live) --- *)
+
+let test_corrupt_stalled_stage () =
+  let fault = Faulty.config ~corrupt:0.4 ~seed:3 () in
+  let config = { Config.default with Config.frame_checksum = true } in
+  let machine =
+    Machine.create ~config ~fault (Machine.Mesh { cols = 2; rows = 1 }) ()
+  in
+  let obs = Machine.obs machine in
+  Tracer.enable (Obs.tracer obs);
+  let sim = Machine.sim machine in
+  let addr = Mailbox.create () in
+  let msgs = 10 in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+      for _ = 1 to 2 do
+        ok (Api.post_receive api ep (ok (Api.allocate_buffer api)))
+      done;
+      Mailbox.put addr (Api.address api ep);
+      (* Corrupted frames never arrive, so poll for a fixed virtual
+         window instead of a delivery count. *)
+      let deadline = Vtime.ms 10 in
+      let rec poll () =
+        (match Api.receive api ep with
+        | Some b -> ignore (Api.post_receive api ep b : (unit, _) result)
+        | None -> Mem_port.instr (Api.port api) 100);
+        if Sim.now sim < deadline then poll ()
+      in
+      poll ());
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let tx = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      Api.connect api tx (Mailbox.take addr);
+      for _ = 1 to msgs do
+        ok (Api.send api tx (ok (Api.allocate_buffer api)));
+        let rec reclaim () =
+          match Api.reclaim api tx with
+          | Some _ -> ()
+          | None ->
+              Mem_port.instr (Api.port api) 50;
+              reclaim ()
+        in
+        reclaim ();
+        Sim.delay (Vtime.us 30)
+      done);
+  finish machine;
+  (match Machine.fault_stats machine with
+  | Some f -> check_bool "seed injected corruption" true (f.Faulty.corrupted > 0)
+  | None -> Alcotest.fail "fault stats missing");
+  let spans = Causal.spans [ obs ] in
+  let corrupted =
+    List.filter
+      (fun s ->
+        List.exists
+          (fun st ->
+            match st.Causal.ev with
+            | Event.Fault { kind = Event.Fault_corrupt; _ } -> true
+            | _ -> false)
+          s.Causal.steps)
+      spans
+  in
+  check_bool "some span carries the corrupt marker" true (corrupted <> []);
+  List.iter
+    (fun s ->
+      let v = Causal.stalled_stage s in
+      if not (contains ~needle:"corrupted on the wire" v) then
+        Alcotest.fail
+          (Format.asprintf "span %d verdict %S:@.%a" s.Causal.mid v
+             Causal.pp_span s))
+    corrupted
+
+(* --- KKT and bulk invariant rules, synthetic streams --- *)
+
+let synth () =
+  let sim = Sim.create () in
+  let obs = Obs.create ~sim () in
+  let mon = Monitor.attach obs in
+  (obs, mon)
+
+let rule_fired mon rule =
+  List.exists (fun v -> v.Monitor.rule = rule) (Monitor.violations mon)
+
+let test_rule_kkt_slot_reuse () =
+  let obs, mon = synth () in
+  Obs.event obs (Event.Kkt_call { node = 0; dst_node = 1; id = 1; mid = 0 });
+  Obs.event obs (Event.Kkt_call { node = 0; dst_node = 1; id = 2; mid = 0 });
+  (* A different client node has its own id space. *)
+  Obs.event obs (Event.Kkt_call { node = 3; dst_node = 1; id = 1; mid = 0 });
+  check_bool "monotone ids are clean" true (Monitor.clean mon);
+  Obs.event obs (Event.Kkt_call { node = 0; dst_node = 1; id = 2; mid = 0 });
+  check_bool "reused id fires" true (rule_fired mon "kkt.slot_reuse")
+
+let test_rule_kkt_key_validity () =
+  let _, mon =
+    let obs, mon = synth () in
+    Obs.event obs (Event.Kkt_dispatch { node = 1; id = 1; valid = true; mid = 0 });
+    check_bool "valid dispatch clean" true (Monitor.clean mon);
+    Obs.event obs (Event.Kkt_dispatch { node = 2; id = 2; valid = false; mid = 0 });
+    (obs, mon)
+  in
+  check_bool "invalid key fires" true (rule_fired mon "kkt.key_validity")
+
+let test_rule_kkt_no_reply_without_request () =
+  let obs, mon = synth () in
+  Obs.event obs (Event.Kkt_call { node = 0; dst_node = 1; id = 1; mid = 0 });
+  Obs.event obs (Event.Kkt_complete { node = 0; id = 1; mid = 0 });
+  check_bool "matched call/complete clean" true (Monitor.clean mon);
+  Obs.event obs (Event.Kkt_complete { node = 0; id = 7; mid = 0 });
+  check_bool "orphan completion fires" true
+    (rule_fired mon "kkt.no_reply_without_request")
+
+let bulk_start obs ~transfer ~total =
+  Obs.event obs
+    (Event.Bulk_start
+       { node = 0; dst_node = 1; transfer; op = Event.Bulk_put; total; mid = 0 })
+
+let test_rule_bulk_contiguity () =
+  let obs, mon = synth () in
+  bulk_start obs ~transfer:1 ~total:30;
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 0; len = 10; mid = 0 });
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 10; len = 10; mid = 0 });
+  check_bool "contiguous chunks clean" true (Monitor.clean mon);
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 25; len = 5; mid = 0 });
+  check_bool "hole fires" true (rule_fired mon "bulk.chunk_contiguity")
+
+let test_rule_bulk_completion_requires_all_chunks () =
+  let obs, mon = synth () in
+  bulk_start obs ~transfer:1 ~total:20;
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 0; len = 20; mid = 0 });
+  Obs.event obs (Event.Bulk_complete { node = 1; transfer = 1; mid = 0 });
+  check_bool "full transfer clean" true (Monitor.clean mon);
+  bulk_start obs ~transfer:2 ~total:20;
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 2; offset = 0; len = 10; mid = 0 });
+  Obs.event obs (Event.Bulk_complete { node = 1; transfer = 2; mid = 0 });
+  check_bool "short completion fires" true
+    (rule_fired mon "bulk.completion_implies_all_chunks")
+
+let test_rule_bulk_no_progress_after_cancel () =
+  let obs, mon = synth () in
+  bulk_start obs ~transfer:1 ~total:30;
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 0; len = 10; mid = 0 });
+  Obs.event obs (Event.Bulk_cancel { node = 0; transfer = 1; mid = 0 });
+  check_bool "cancel itself is clean" true (Monitor.clean mon);
+  Obs.event obs (Event.Bulk_chunk { node = 1; transfer = 1; offset = 10; len = 10; mid = 0 });
+  check_bool "post-cancel chunk fires" true
+    (rule_fired mon "bulk.no_progress_after_cancel")
+
+(* --- KKT and bulk live instrumentation --- *)
+
+let traced_kinds obs =
+  List.map (fun e -> Event.kind e.Tracer.ev) (Tracer.to_list (Obs.tracer obs))
+
+let test_kkt_events_live () =
+  let sim = Sim.create () in
+  let topology = Topology.create ~cols:2 ~rows:2 in
+  let fabric = Mesh.create ~engine:sim ~topology ~config:Mesh.paragon_config in
+  let nics = Array.init 4 (fun node -> Nic.create ~engine:sim ~fabric ~node) in
+  let kkt = Kkt.create ~sim () in
+  Array.iter (fun nic -> Kkt.attach kkt ~nic) nics;
+  let obs = Obs.create ~tracing:true ~sim () in
+  Kkt.set_obs kkt obs;
+  let mon = Monitor.attach obs in
+  Kkt.serve kkt ~node:1 (fun req -> req);
+  Sim.spawn sim (fun () ->
+      ignore (Kkt.call kkt ~src:0 ~dst:1 (Bytes.create 32) : Bytes.t);
+      (* Second call to a node with NO registered handler: the kernel
+         replies empty, and the key-validity rule must flag it. *)
+      ignore (Kkt.call kkt ~src:0 ~dst:2 (Bytes.create 8) : Bytes.t));
+  Sim.run sim;
+  let kinds = traced_kinds obs in
+  List.iter
+    (fun k -> check_bool k true (List.mem k kinds))
+    [ "kkt_call"; "kkt_dispatch"; "kkt_reply"; "kkt_complete" ];
+  check_bool "invalid key caught live" true (rule_fired mon "kkt.key_validity");
+  check_bool "only that rule fired" true
+    (List.for_all
+       (fun v -> v.Monitor.rule = "kkt.key_validity")
+       (Monitor.violations mon))
+
+let test_bulk_events_live () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  let mon = Machine.attach_monitor machine in
+  let bulk = Bulk.create machine in
+  let region = Bulk.export bulk ~node:1 ~len:16384 in
+  Machine.spawn_app machine ~node:0 (fun _api ->
+      Bulk.put bulk ~from:0 region (Bytes.create 10_000);
+      ignore (Bulk.get bulk ~into:0 region ~len:8192 : Bytes.t));
+  finish machine;
+  let kinds = traced_kinds obs in
+  List.iter
+    (fun k -> check_bool k true (List.mem k kinds))
+    [ "bulk_start"; "bulk_chunk"; "bulk_complete" ];
+  check_bool "bulk protocol satisfies its own invariants" true
+    (Monitor.clean mon);
+  (* Both transfers carry distinct causal mids into their spans. *)
+  let bulk_mids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           match e.Tracer.ev with
+           | Event.Bulk_start { mid; _ } -> Some mid
+           | _ -> None)
+         (Tracer.to_list (Obs.tracer obs)))
+  in
+  check "one mid per transfer" 2 (List.length bulk_mids);
+  check_bool "mids stamped" true (List.for_all (fun m -> m > 0) bulk_mids)
+
+let test_bulk_cancel_live () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  let mon = Machine.attach_monitor machine in
+  let bulk = Bulk.create machine in
+  let region = Bulk.export bulk ~node:1 ~len:(256 * 1024) in
+  let outcome = ref "no exception" in
+  Machine.spawn_app machine ~node:0 (fun _api ->
+      try Bulk.put bulk ~from:0 region (Bytes.create (200 * 1024))
+      with Invalid_argument m -> outcome := m);
+  Machine.spawn_app machine ~node:0 (fun _api ->
+      Flipc_sim.Engine.delay (Vtime.us 200);
+      Bulk.cancel bulk ~node:0 ~transfer:(Bulk.last_transfer bulk));
+  finish machine;
+  check_str "put raised the cancel" "Bulk.put: cancelled" !outcome;
+  let kinds = traced_kinds obs in
+  check_bool "cancel traced" true (List.mem "bulk_cancel" kinds);
+  check_bool "streaming started before cancel" true (List.mem "bulk_chunk" kinds);
+  check_bool "no chunk after cancel reached the monitor" true (Monitor.clean mon)
+
+(* --- time-series tap and Prometheus exposition --- *)
+
+let test_series_windows () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  let series = Series.attach ~interval:(Vtime.us 50) obs in
+  ignore
+    (Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:64 ~exchanges:40
+       ()
+      : Pingpong.result);
+  Series.sample series;
+  check_bool "windows sampled" true (Series.window_count series > 1);
+  match Series.json series with
+  | Json.List windows ->
+      check "json matches count" (Series.window_count series)
+        (List.length windows);
+      let bound name w =
+        match Option.bind (Json.member name w) Json.to_int with
+        | Some v -> v
+        | None -> Alcotest.fail (name ^ " missing from window")
+      in
+      let last = List.length windows - 1 in
+      List.iteri
+        (fun i w ->
+          check_bool "window has positive width" true
+            (bound "end_ns" w > bound "start_ns" w);
+          (* Interior windows close on interval boundaries; only the
+             final one is cut short where the run ended. *)
+          if i < last then
+            check_bool "window is interval-aligned" true
+              ((bound "end_ns" w - bound "start_ns" w) mod 50_000 = 0);
+          check_bool "window has sections" true
+            (Json.member "counters" w <> None
+            && Json.member "gauges" w <> None
+            && Json.member "histos" w <> None))
+        windows
+  | j -> Alcotest.fail ("series json not a list: " ^ Json.to_string j)
+
+let test_prom_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "node0.engine.tx-frames");
+  Metrics.set (Metrics.gauge m "queue.depth") 4.5;
+  let h = Metrics.histogram m "lat.us" in
+  List.iter (Metrics.observe h) [ 1.; 2.; 3. ];
+  let text = Series.prom_of_snapshot (Metrics.snapshot m) in
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle text))
+    [
+      "# TYPE flipc_node0_engine_tx_frames counter";
+      "flipc_node0_engine_tx_frames 3";
+      "# TYPE flipc_queue_depth gauge";
+      "flipc_queue_depth 4.5";
+      "# TYPE flipc_lat_us summary";
+      "flipc_lat_us{quantile=\"0.99\"}";
+      "flipc_lat_us_count 3";
+      "flipc_lat_us_sum 6";
+    ]
+
+let () =
+  Alcotest.run "flight"
+    [
+      ( "json-parser",
+        [
+          Alcotest.test_case "print/parse roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "hand-written forms and errors" `Quick
+            test_json_parse_forms;
+          Alcotest.test_case "member accessors" `Quick test_json_member_accessors;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "10^6-observation soak" `Slow
+            test_sketch_soak_million;
+          Alcotest.test_case "metrics histogram soak" `Slow
+            test_metrics_histogram_million;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "wire roundtrip, all constructors" `Quick
+            test_event_json_roundtrip;
+        ] );
+      ( "capture-replay",
+        [
+          Alcotest.test_case "live run replays identically" `Quick
+            test_capture_replay_live_run;
+          Alcotest.test_case "capture outlives ring truncation" `Quick
+            test_capture_survives_ring_truncation;
+          Alcotest.test_case "mid-run attach" `Quick test_capture_mid_run_attach;
+          QCheck_alcotest.to_alcotest capture_replay_prop;
+          Alcotest.test_case "rejects garbage" `Quick test_replay_rejects_garbage;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "corrupt discard names the wire stage" `Quick
+            test_corrupt_stalled_stage;
+        ] );
+      ( "kkt-bulk-rules",
+        [
+          Alcotest.test_case "kkt slot reuse" `Quick test_rule_kkt_slot_reuse;
+          Alcotest.test_case "kkt key validity" `Quick test_rule_kkt_key_validity;
+          Alcotest.test_case "kkt orphan completion" `Quick
+            test_rule_kkt_no_reply_without_request;
+          Alcotest.test_case "bulk chunk contiguity" `Quick
+            test_rule_bulk_contiguity;
+          Alcotest.test_case "bulk completion needs all chunks" `Quick
+            test_rule_bulk_completion_requires_all_chunks;
+          Alcotest.test_case "bulk progress after cancel" `Quick
+            test_rule_bulk_no_progress_after_cancel;
+        ] );
+      ( "live-instrumentation",
+        [
+          Alcotest.test_case "kkt rpc lifecycle traced" `Quick
+            test_kkt_events_live;
+          Alcotest.test_case "bulk transfers traced" `Quick test_bulk_events_live;
+          Alcotest.test_case "bulk cancel" `Quick test_bulk_cancel_live;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "windowed sampling" `Quick test_series_windows;
+          Alcotest.test_case "prometheus exposition" `Quick test_prom_exposition;
+        ] );
+    ]
