@@ -810,6 +810,294 @@ let retrans_cmd =
       const run $ obs_out $ fabric $ mode $ reorder $ drop $ dup $ seed
       $ msgs $ payload $ json_flag $ max_ratio)
 
+(* --- firehose --- *)
+
+let firehose_cmd =
+  let module Firehose = Flipc_workload.Firehose in
+  let module Sketch = Flipc_obs.Sketch in
+  let module Json = Flipc_obs.Json in
+  let senders =
+    Arg.(value & opt int 2
+         & info [ "senders" ] ~docv:"M" ~doc:"Sender nodes.")
+  in
+  let receivers =
+    Arg.(value & opt int 2
+         & info [ "receivers" ] ~docv:"N" ~doc:"Receiver nodes.")
+  in
+  let duration =
+    Arg.(value & opt int 2000
+         & info [ "duration-us" ] ~docv:"US"
+             ~doc:"Open-loop generation window per sender (virtual us).")
+  in
+  let mean_gap =
+    Arg.(value & opt int 2000
+         & info [ "mean-gap-ns" ] ~docv:"NS"
+             ~doc:"Mean inter-arrival gap per sender (offered load).")
+  in
+  let arrival =
+    let arrival_conv =
+      Arg.enum
+        [ ("poisson", `P); ("periodic", `D); ("jittered", `J); ("bursty", `B) ]
+    in
+    Arg.(value & opt arrival_conv `P
+         & info [ "arrival" ] ~docv:"KIND"
+             ~doc:"Arrival process: poisson, periodic, jittered or bursty.")
+  in
+  let jitter =
+    Arg.(value & opt float 0.3
+         & info [ "jitter" ] ~docv:"F"
+             ~doc:"Jitter fraction for --arrival jittered.")
+  in
+  let arrival_burst =
+    Arg.(value & opt int 8
+         & info [ "arrival-burst" ] ~docv:"K"
+             ~doc:"Arrivals per burst for --arrival bursty.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Arrival PRNG seed (runs replay bit-identically).")
+  in
+  let payload =
+    Arg.(value & opt int 32
+         & info [ "payload" ] ~docv:"BYTES"
+             ~doc:"Payload bytes per message (>= 8 for the sojourn stamp).")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K" ~doc:"Engine shards per node.")
+  in
+  let streams =
+    Arg.(value & opt int 1
+         & info [ "streams" ] ~docv:"S"
+             ~doc:
+               "Endpoint pairs per node; streams spread across engine \
+                shards (endpoint g is owned by shard g mod K).")
+  in
+  let tx_batch =
+    Arg.(value & opt int 1
+         & info [ "tx-batch" ] ~docv:"K"
+             ~doc:"Engine-side DMA descriptor-chain batch.")
+  in
+  let queue_capacity =
+    Arg.(value & opt int Config.default.Config.queue_capacity
+         & info [ "queue-capacity" ] ~docv:"SLOTS"
+             ~doc:
+               "Ring slots per endpoint (holds SLOTS-1 buffers); bursts \
+                and batches are capped by the ring depth.")
+  in
+  let total_buffers =
+    Arg.(value & opt int Config.default.Config.total_buffers
+         & info [ "total-buffers" ] ~docv:"N"
+             ~doc:"Message buffers per communication buffer.")
+  in
+  let send_burst =
+    Arg.(value & opt int 1
+         & info [ "send-burst" ] ~docv:"K"
+             ~doc:"Application send burst (messages per doorbell).")
+  in
+  let recv_burst =
+    Arg.(value & opt int 1
+         & info [ "recv-burst" ] ~docv:"K"
+             ~doc:"Application receive burst (messages per drain).")
+  in
+  let wallclock =
+    Arg.(value & opt int 0
+         & info [ "wallclock" ] ~docv:"DOMAINS"
+             ~doc:
+               "Opt-in wall-clock mode: run DOMAINS independent machines on \
+                real OCaml domains (0 = deterministic virtual time, the \
+                default).")
+  in
+  let assert_clean =
+    Arg.(value & flag
+         & info [ "assert-clean" ]
+             ~doc:
+               "Attach the online invariant monitor and fail (exit 1) on any \
+                violation.")
+  in
+  let min_ratio =
+    Arg.(value & opt (some float) None
+         & info [ "min-delivered-ratio" ] ~docv:"R"
+             ~doc:
+               "Fail (exit 1) when delivered/offered falls below $(docv) — \
+                turns the command into a CI smoke gate.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one machine-readable JSON object instead of text.")
+  in
+  let run trace senders receivers duration mean_gap arrival jitter
+      arrival_burst seed streams payload shards tx_batch queue_capacity
+      total_buffers send_burst recv_burst wallclock assert_clean min_ratio
+      json_out =
+    with_trace trace @@ fun () ->
+    let arrival =
+      match arrival with
+      | `P -> `Poisson
+      | `D -> `Periodic
+      | `J -> `Jittered jitter
+      | `B -> `Bursty arrival_burst
+    in
+    let config =
+      {
+        Config.default with
+        Config.engine_shards = shards;
+        engine_tx_batch = tx_batch;
+        app_send_burst = send_burst;
+        app_recv_burst = recv_burst;
+        queue_capacity;
+        total_buffers;
+      }
+    in
+    let q sk p =
+      match Sketch.quantile sk p with Some v -> v | None -> 0.
+    in
+    let engines_json engines =
+      Json.List
+        (List.map
+           (fun (node, shard, s) ->
+             Json.Obj
+               [
+                 ("node", Json.Int node);
+                 ("shard", Json.Int shard);
+                 ("iterations", Json.Int s.Flipc.Msg_engine.iterations);
+                 ("sends", Json.Int s.Flipc.Msg_engine.sends);
+                 ("recvs", Json.Int s.Flipc.Msg_engine.recvs);
+                 ("drops", Json.Int s.Flipc.Msg_engine.drops);
+                 ("parks", Json.Int s.Flipc.Msg_engine.parks);
+                 ("doorbell_hits", Json.Int s.Flipc.Msg_engine.doorbell_hits);
+               ])
+           engines)
+    in
+    let report (r : Firehose.result) =
+      let sk = r.Firehose.sojourn_us in
+      if json_out then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("senders", Json.Int r.Firehose.senders);
+                  ("receivers", Json.Int r.Firehose.receivers);
+                  ("duration_us", Json.Int r.Firehose.duration_us);
+                  ("offered", Json.Int r.Firehose.offered);
+                  ("sent", Json.Int r.Firehose.sent);
+                  ("shed", Json.Int r.Firehose.shed);
+                  ("delivered", Json.Int r.Firehose.delivered);
+                  ("rx_drops", Json.Int r.Firehose.rx_drops);
+                  ("elapsed_us", Json.Float r.Firehose.elapsed_us);
+                  ("offered_per_sec", Json.Float r.Firehose.offered_per_sec);
+                  ( "delivered_per_sec",
+                    Json.Float r.Firehose.delivered_per_sec );
+                  ("delivered_ratio", Json.Float r.Firehose.delivered_ratio);
+                  ("sojourn_p50_us", Json.Float (q sk 0.50));
+                  ("sojourn_p99_us", Json.Float (q sk 0.99));
+                  ("sojourn_p999_us", Json.Float (q sk 0.999));
+                  ("violations", Json.Int r.Firehose.violations);
+                  ("engines", engines_json r.Firehose.engines);
+                ]))
+      else begin
+        Fmt.pr
+          "firehose: %d senders -> %d receivers, %dus window, mean gap %dns@."
+          r.Firehose.senders r.Firehose.receivers r.Firehose.duration_us
+          mean_gap;
+        Fmt.pr
+          "offered %d (%.0f kmsg/s) | delivered %d (%.0f kmsg/s) | shed %d | \
+           rx-drops %d | ratio %.3f@."
+          r.Firehose.offered
+          (r.Firehose.offered_per_sec /. 1000.)
+          r.Firehose.delivered
+          (r.Firehose.delivered_per_sec /. 1000.)
+          r.Firehose.shed r.Firehose.rx_drops r.Firehose.delivered_ratio;
+        Fmt.pr "sojourn: p50 %.1fus p99 %.1fus p999 %.1fus (n=%d)@."
+          (q sk 0.50) (q sk 0.99) (q sk 0.999) (Sketch.count sk);
+        List.iter
+          (fun (node, shard, s) ->
+            if
+              s.Flipc.Msg_engine.sends > 0
+              || s.Flipc.Msg_engine.recvs > 0
+              || shards > 1
+            then
+              Fmt.pr
+                "  node %d shard %d: iters=%d sends=%d recvs=%d drops=%d \
+                 parks=%d doorbells=%d@."
+                node shard s.Flipc.Msg_engine.iterations
+                s.Flipc.Msg_engine.sends s.Flipc.Msg_engine.recvs
+                s.Flipc.Msg_engine.drops s.Flipc.Msg_engine.parks
+                s.Flipc.Msg_engine.doorbell_hits)
+          r.Firehose.engines;
+        if assert_clean then
+          Fmt.pr "monitor: %d violation(s)@." r.Firehose.violations
+      end;
+      r
+    in
+    let gate (ratio, violations) =
+      if assert_clean && violations > 0 then begin
+        Fmt.epr "flipc firehose: %d monitor violation(s)@." violations;
+        exit 1
+      end;
+      match min_ratio with
+      | Some bound when ratio < bound ->
+          Fmt.epr
+            "flipc firehose: delivered ratio %.3f below \
+             --min-delivered-ratio %.3f@."
+            ratio bound;
+          exit 1
+      | _ -> ()
+    in
+    if wallclock > 0 then begin
+      let w =
+        Firehose.measure_wallclock ~config ~monitor:assert_clean
+          ~domains:wallclock ~senders ~receivers ~duration_us:duration
+          ~mean_gap_ns:mean_gap ~arrival ~seed ~streams ~payload_bytes:payload
+          ()
+      in
+      let rs = List.map report w.Firehose.per_domain in
+      let sk = w.Firehose.merged_sojourn_us in
+      Fmt.pr
+        "wallclock: %d domains, %.2fs host time, %.0f kmsg/s aggregate; \
+         merged sojourn p50 %.1fus p99 %.1fus@."
+        wallclock w.Firehose.wall_s
+        (w.Firehose.wall_delivered_per_sec /. 1000.)
+        (q sk 0.50) (q sk 0.99);
+      let offered = List.fold_left (fun a r -> a + r.Firehose.offered) 0 rs in
+      let delivered =
+        List.fold_left (fun a r -> a + r.Firehose.delivered) 0 rs
+      in
+      let violations =
+        List.fold_left (fun a r -> a + r.Firehose.violations) 0 rs
+      in
+      gate
+        ( (if offered = 0 then 1.
+           else float_of_int delivered /. float_of_int offered),
+          violations )
+    end
+    else
+      let r =
+        report
+          (Firehose.measure ~config ~monitor:assert_clean ~senders ~receivers
+             ~duration_us:duration ~mean_gap_ns:mean_gap ~arrival ~seed ~streams
+             ~payload_bytes:payload ())
+      in
+      gate (r.Firehose.delivered_ratio, r.Firehose.violations)
+  in
+  let doc =
+    "Open-loop sustained-load throughput: M senders firehose N receivers at \
+     an external arrival rate, reporting offered vs delivered rate, shed \
+     load and sojourn quantiles; $(b,--min-delivered-ratio) and \
+     $(b,--assert-clean) turn it into a CI smoke gate, $(b,--wallclock) runs \
+     independent machines on real OCaml domains."
+  in
+  Cmd.v
+    (Cmd.info "firehose" ~doc)
+    Term.(
+      const run $ obs_out $ senders $ receivers $ duration $ mean_gap
+      $ arrival $ jitter $ arrival_burst $ seed $ streams $ payload $ shards
+      $ tx_batch $ queue_capacity $ total_buffers
+      $ send_burst $ recv_burst $ wallclock $ assert_clean $ min_ratio
+      $ json_flag)
+
 (* --- doctor --- *)
 
 let doctor_cmd =
@@ -1915,8 +2203,8 @@ let () =
        (Cmd.group info
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
-            throughput_cmd; bulk_cmd; faults_cmd; retrans_cmd; doctor_cmd;
-            soakmatrix_cmd;
+            throughput_cmd; firehose_cmd; bulk_cmd; faults_cmd; retrans_cmd;
+            doctor_cmd; soakmatrix_cmd;
             trace_cmd; metrics_cmd;
             engine_cmd; info_cmd;
           ]))

@@ -5,7 +5,7 @@ module Rt_semaphore = Flipc_rt.Rt_semaphore
 type t = {
   comm : Comm_buffer.t;
   port : Mem_port.t;
-  engine : Msg_engine.t;
+  engines : Msg_engine.t array;  (* the node's engine shards, index = shard *)
   config : Config.t;
   layout : Layout.t;
   mutable last_mid : int;
@@ -16,14 +16,12 @@ type t = {
    stamp rides in the state-word store the send already performs, so the
    timed cost is zero). Process-global rather than per-attachment so an
    id names one message across every machine in the simulation. 28 bits,
-   wrapping past 0 (0 = unstamped). *)
-let mid_counter = ref 0
+   wrapping past 0 (0 = unstamped). Atomic because the wall-clock
+   firehose mode runs independent machines on separate domains; the
+   virtual-time path is unaffected (single domain, same sequence). *)
+let mid_counter = Atomic.make 0
 
-let fresh_mid () =
-  let next = !mid_counter + 1 in
-  let next = if next > Msg_buffer.max_msg_id then 1 else next in
-  mid_counter := next;
-  next
+let fresh_mid () = (Atomic.fetch_and_add mid_counter 1 mod Msg_buffer.max_msg_id) + 1
 
 let fresh_msg_id = fresh_mid
 
@@ -43,11 +41,12 @@ let error_to_string = function
   | `Wrong_kind -> "wrong endpoint kind"
   | `No_destination -> "no destination connected"
 
-let attach ~comm ~port ~engine =
+let attach ~comm ~port ~engines =
+  if Array.length engines = 0 then invalid_arg "Api.attach: no engines";
   {
     comm;
     port;
-    engine;
+    engines;
     config = Comm_buffer.config comm;
     layout = Comm_buffer.layout comm;
     last_mid = 0;
@@ -62,7 +61,17 @@ let layout t = t.layout
 let port t = t.port
 let comm t = t.comm
 let payload_bytes t = Config.payload_bytes t.config
-let obs t = Msg_engine.obs t.engine
+let node t = Msg_engine.node t.engines.(0)
+let obs t = Msg_engine.obs t.engines.(0)
+
+(* The engine shard that owns local endpoint [ep] — the same map the
+   machine's delivery router uses, so doorbell pokes always reach the
+   engine that will drain the queue (no lost wakeups across shards). *)
+let owner_engine t ~ep =
+  let count = Array.length t.engines in
+  if count = 1 then t.engines.(0)
+  else
+    t.engines.(Msg_engine.owner_shard ~count (Comm_buffer.ep_offset t.comm + ep))
 
 let emit t ev =
   match obs t with
@@ -97,7 +106,23 @@ let bump_word t addr = Mem_port.store t.port addr ((Mem_port.peek t.port addr + 
    release-then-ring is what makes wakeups lossless). The engine compares
    the word against its private shadow; any change means "look at this
    queue". *)
-let ring_doorbell t ~ep = bump_word t (ep_field t ~ep Layout.Send_pending)
+let ring_doorbell t ~ep =
+  bump_word t (ep_field t ~ep Layout.Send_pending);
+  (* Summary second: the engine captures the summary before scanning the
+     per-endpoint words, so ring-then-summarize keeps wakeups lossless —
+     an engine that saw the new summary scans after this point and finds
+     the ring; one that missed it is forced to rescan by the changed
+     summary on its next look. Unlike [Send_pending] (single writer: the
+     endpoint's owner), the summary is shared by every application on the
+     communication buffer, so the bump must be a locked increment — a
+     plain load+store pair can lose an increment to a concurrent ringer,
+     leaving the word equal to the engine's shadow and the doorbell
+     unseen forever. *)
+  ignore
+    (Mem_port.fetch_add t.port
+       (Layout.global_addr t.layout Layout.G_doorbell_seq)
+       1
+      : int)
 
 (* Schedule-invalidation epoch: bumped after any endpoint-table change
    the engine's cached schedule depends on. Several attachments may share
@@ -110,8 +135,18 @@ let ring_doorbell t ~ep = bump_word t (ep_field t ~ep Layout.Send_pending)
    since a send both rings its doorbell and pokes, but it would leave
    e.g. a priority change invisible for an unbounded idle stretch). *)
 let bump_epoch t =
-  bump_word t (Layout.global_addr t.layout Layout.G_schedule_epoch);
-  Msg_engine.poke t.engine
+  (* Locked for the same reason as the doorbell summary: the epoch word
+     is written by every application sharing the buffer, and a lost
+     increment can leave the word equal to an engine's cached copy with
+     a table change unseen. *)
+  ignore
+    (Mem_port.fetch_add t.port
+       (Layout.global_addr t.layout Layout.G_schedule_epoch)
+       1
+      : int);
+  (* Every shard caches its own slice of the schedule off the same epoch
+     word, so a table change must wake them all. *)
+  Array.iter Msg_engine.poke t.engines
 
 let allocate_endpoint t ~kind ?semaphore ?(priority = 0) ?(burst = 0)
     ?allowed_node () =
@@ -178,7 +213,7 @@ let set_burst t ep burst =
 let address t ep =
   (* Addresses carry node-global endpoint indices so the engine can
      demultiplex across multiple communication buffers. *)
-  Address.make ~node:(Msg_engine.node t.engine)
+  Address.make ~node:(node t)
     ~endpoint:(Comm_buffer.ep_offset t.comm + ep.index)
 let endpoint_index ep = ep.index
 let kind ep = ep.ep_kind
@@ -222,9 +257,10 @@ let release_on ?(doorbell = false) t ~ep ~buf =
   | Ok () ->
       (* Order matters: queue release, then doorbell, then poke. The
          engine re-checks doorbells before parking, so a ring that lands
-         while it runs is never lost; the poke wakes it if parked. *)
+         while it runs is never lost; the poke wakes it if parked. The
+         poke goes to the shard that owns this endpoint. *)
       if doorbell then ring_doorbell t ~ep;
-      Msg_engine.poke t.engine;
+      Msg_engine.poke (owner_engine t ~ep);
       Ok ()
   | Error `Full -> Error `Full
 
@@ -257,7 +293,7 @@ let send_with_dest t ep buf dest =
         emit t (fun () ->
             Flipc_obs.Event.Send_enqueued
               {
-                node = Msg_engine.node t.engine;
+                node = node t;
                 ep = Comm_buffer.ep_offset t.comm + ep.index;
                 dst_node;
                 dst_ep;
@@ -303,7 +339,7 @@ let receive t ep =
     | None -> None
     | Some buf as r ->
         t.last_recv_mid <- Msg_buffer.msg_id t.port t.layout ~buf;
-        let node = Msg_engine.node t.engine in
+        let node = node t in
         let global_ep = Comm_buffer.ep_offset t.comm + ep.index in
         lat t (fun o l ->
             Flipc_obs.Latency.recv_dequeued l ~now:(Flipc_obs.Obs.now o) ~node
@@ -317,6 +353,141 @@ let reclaim t ep =
   if ep.ep_kind <> Endpoint_kind.Send then
     invalid_arg "Api.reclaim: not a send endpoint"
   else acquire_any t ep
+
+(* {2 Burst operations}
+
+   The batched hot path ({!Config.t.app_send_burst} / [app_recv_burst];
+   DESIGN.md §16). Each burst pays one cursor round-trip on the
+   underlying queue ({!Buffer_queue.app_release_burst} /
+   [app_acquire_burst]) and — on the send side — rings the doorbell and
+   pokes the owning engine shard exactly once, however many messages it
+   carries. Wakeups stay lossless by the same argument as the singleton
+   path: all queue stores precede the one ring, which precedes the one
+   poke, and the engine re-checks doorbells before parking. *)
+
+let send_burst t ep bufs =
+  if ep.ep_kind <> Endpoint_kind.Send then Error `Wrong_kind
+  else
+    let dest =
+      Address.of_word
+        (Mem_port.load t.port (ep_field t ~ep:ep.index Layout.Dest_addr))
+    in
+    if Address.is_null dest then Error `No_destination
+    else
+      let count = Array.length bufs in
+      if count = 0 then Ok 0
+      else
+        with_lock t ~ep:ep.index (fun () ->
+            let mids = Array.make count 0 in
+            let addrs = Array.make count 0 in
+            for i = 0 to count - 1 do
+              let buf = bufs.(i) in
+              let mid = fresh_mid () in
+              mids.(i) <- mid;
+              addrs.(i) <- Layout.buffer_addr t.layout buf;
+              Mem_port.instr t.port 6;
+              Msg_buffer.set_dest t.port t.layout ~buf dest;
+              Msg_buffer.set_state_and_id t.port t.layout ~buf ~mid
+                Msg_buffer.Idle;
+              (* Checksum last, as in the singleton send: it must cover
+                 the header words just written. *)
+              if Msg_buffer.checksum_enabled t.layout then
+                Msg_buffer.store_checksum t.port t.layout ~buf
+            done;
+            let n =
+              Buffer_queue.app_release_burst t.port t.layout ~ep:ep.index
+                ~buf_addrs:addrs ~count
+            in
+            (* Overflowed buffers (i >= n) were never released: the caller
+               still owns them and their header writes are inert. *)
+            if n > 0 then begin
+              ring_doorbell t ~ep:ep.index;
+              Msg_engine.poke (owner_engine t ~ep:ep.index);
+              t.last_mid <- mids.(n - 1);
+              let dst_node = Address.node dest in
+              let dst_ep = Address.endpoint dest in
+              let src_node = node t in
+              let src_ep = Comm_buffer.ep_offset t.comm + ep.index in
+              for i = 0 to n - 1 do
+                lat t (fun o l ->
+                    Flipc_obs.Latency.send_enqueued l
+                      ~now:(Flipc_obs.Obs.now o) ~dst_node ~dst_ep);
+                emit t (fun () ->
+                    Flipc_obs.Event.Send_enqueued
+                      {
+                        node = src_node;
+                        ep = src_ep;
+                        dst_node;
+                        dst_ep;
+                        mid = mids.(i);
+                      })
+              done
+            end;
+            Ok n)
+
+let acquire_burst t ep ~out =
+  let max = Array.length out in
+  if max = 0 then 0
+  else
+    with_lock t ~ep:ep.index (fun () ->
+        let addrs = Array.make max 0 in
+        let n =
+          Buffer_queue.app_acquire_burst t.port t.layout ~ep:ep.index ~max
+            ~out:addrs
+        in
+        for i = 0 to n - 1 do
+          match Layout.buffer_of_addr t.layout addrs.(i) with
+          | Some buf -> out.(i) <- buf
+          | None -> invalid_arg "Api: corrupt buffer pointer in own queue"
+        done;
+        n)
+
+let receive_burst t ep ~out =
+  if ep.ep_kind <> Endpoint_kind.Recv then
+    invalid_arg "Api.receive_burst: not a receive endpoint"
+  else
+    let n = acquire_burst t ep ~out in
+    if n > 0 then begin
+      let node = node t in
+      let global_ep = Comm_buffer.ep_offset t.comm + ep.index in
+      for i = 0 to n - 1 do
+        let mid = Msg_buffer.msg_id t.port t.layout ~buf:out.(i) in
+        t.last_recv_mid <- mid;
+        lat t (fun o l ->
+            Flipc_obs.Latency.recv_dequeued l ~now:(Flipc_obs.Obs.now o) ~node
+              ~ep:global_ep);
+        emit t (fun () ->
+            Flipc_obs.Event.Recv_dequeued { node; ep = global_ep; mid })
+      done
+    end;
+    n
+
+let post_receive_burst t ep bufs =
+  if ep.ep_kind <> Endpoint_kind.Recv then Error `Wrong_kind
+  else
+    let count = Array.length bufs in
+    if count = 0 then Ok 0
+    else
+      with_lock t ~ep:ep.index (fun () ->
+          let addrs = Array.make count 0 in
+          for i = 0 to count - 1 do
+            Mem_port.instr t.port 4;
+            Msg_buffer.set_state t.port t.layout ~buf:bufs.(i) Msg_buffer.Idle;
+            addrs.(i) <- Layout.buffer_addr t.layout bufs.(i)
+          done;
+          let n =
+            Buffer_queue.app_release_burst t.port t.layout ~ep:ep.index
+              ~buf_addrs:addrs ~count
+          in
+          (* No doorbell: receive queues are drained on deposit, not on a
+             Send_pending ring; the poke covers the parked-engine case. *)
+          if n > 0 then Msg_engine.poke (owner_engine t ~ep:ep.index);
+          Ok n)
+
+let reclaim_burst t ep ~out =
+  if ep.ep_kind <> Endpoint_kind.Send then
+    invalid_arg "Api.reclaim_burst: not a send endpoint"
+  else acquire_burst t ep ~out
 
 let receive_wait t ep thr =
   match ep.sem with
@@ -339,7 +510,7 @@ let drops_read_and_reset t ep =
     emit t (fun () ->
         Flipc_obs.Event.Drops_read
           {
-            node = Msg_engine.node t.engine;
+            node = node t;
             ep = Comm_buffer.ep_offset t.comm + ep.index;
             count;
           });

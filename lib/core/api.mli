@@ -31,11 +31,14 @@ type error =
 
 val error_to_string : error -> string
 
-(** [attach ~comm ~port ~engine] creates an attachment. *)
+(** [attach ~comm ~port ~engines] creates an attachment. [engines] is the
+    node's engine shard array in shard-index order (a single engine on an
+    unsharded node); every doorbell poke this attachment performs goes to
+    the shard that {!Msg_engine.owner_shard} assigns the endpoint. *)
 val attach :
   comm:Comm_buffer.t ->
   port:Flipc_memsim.Mem_port.t ->
-  engine:Msg_engine.t ->
+  engines:Msg_engine.t array ->
   t
 
 val config : t -> Config.t
@@ -168,6 +171,36 @@ val reclaim : t -> endpoint -> buffer option
     a message is available. Raises [Invalid_argument] if the endpoint has
     no semaphore. *)
 val receive_wait : t -> endpoint -> Flipc_rt.Sched.thread -> buffer
+
+(** {1 Burst transfer}
+
+    The batched hot path (DESIGN.md §16): each call pays one queue-cursor
+    round-trip for the whole run, and the send side rings the doorbell
+    and pokes the owning engine shard exactly once per burst. Semantics
+    are identical to a loop of the singleton operations — same FIFO
+    order, same per-message latency stamps and trace events — only the
+    bookkeeping traffic is coalesced. Sized by {!Config.t.app_send_burst}
+    / [app_recv_burst] in the stock workloads; burst size 1 degenerates
+    to the singleton cost plus one instruction, which is the ablation
+    baseline. *)
+
+(** [send_burst t ep bufs] queues [bufs] (in array order) to the
+    connected destination, returning how many were accepted — fewer than
+    [Array.length bufs] when the queue fills; the caller keeps ownership
+    of the overflow. *)
+val send_burst : t -> endpoint -> buffer array -> (int, error) result
+
+(** [receive_burst t ep ~out] removes up to [Array.length out] delivered
+    messages into [out], oldest first, returning the count. *)
+val receive_burst : t -> endpoint -> out:buffer array -> int
+
+(** [post_receive_burst t ep bufs] posts [bufs] as empty receive buffers,
+    returning how many the queue accepted. *)
+val post_receive_burst : t -> endpoint -> buffer array -> (int, error) result
+
+(** [reclaim_burst t ep ~out] recovers up to [Array.length out] processed
+    send buffers into [out], returning the count. *)
+val reclaim_burst : t -> endpoint -> out:buffer array -> int
 
 (** {1 Drop accounting} *)
 

@@ -43,10 +43,83 @@ let app_acquire port layout ~ep =
     Some buf_addr
   end
 
+(* Burst variants: same single-writer protocol, one cursor round-trip for
+   the whole run. [app_release_burst] loads [Release]+[Acquire] once,
+   stores each slot, then publishes all of them with a single [Release]
+   store (the slots must be globally visible before the cursor moves, as
+   above); [app_acquire_burst] loads [Acquire]+[Process] once, reads up
+   to [max] slots, and retires them with one [Acquire] store. Writer
+   ownership is unchanged, so the wait-free argument carries over
+   verbatim — batching only coalesces the cursor traffic. *)
+
+let app_release_burst port layout ~ep ~buf_addrs ~count =
+  Mem_port.instr port 4;
+  let release_addr = Layout.ep_field layout ~ep Layout.Release in
+  let release = Mem_port.load port release_addr in
+  let acquire =
+    Mem_port.load port (Layout.ep_field layout ~ep Layout.Acquire)
+  in
+  let cap = capacity layout in
+  let space = (acquire - release - 1 + (2 * cap)) mod cap in
+  let n = min count space in
+  if n > 0 then begin
+    let cursor = ref release in
+    for i = 0 to n - 1 do
+      Mem_port.instr port 1;
+      Mem_port.store port
+        (Layout.slot_addr layout ~ep ~slot:!cursor)
+        buf_addrs.(i);
+      cursor := next layout !cursor
+    done;
+    Mem_port.store port release_addr !cursor
+  end;
+  n
+
+let app_acquire_burst port layout ~ep ~max ~out =
+  Mem_port.instr port 4;
+  let acquire_addr = Layout.ep_field layout ~ep Layout.Acquire in
+  let acquire = Mem_port.load port acquire_addr in
+  let process = Mem_port.load port (Layout.ep_field layout ~ep Layout.Process) in
+  let cap = capacity layout in
+  let ready = (process - acquire + cap) mod cap in
+  let n = min max (min ready (Array.length out)) in
+  if n > 0 then begin
+    let cursor = ref acquire in
+    for i = 0 to n - 1 do
+      Mem_port.instr port 1;
+      out.(i) <- Mem_port.load port (Layout.slot_addr layout ~ep ~slot:!cursor);
+      cursor := next layout !cursor
+    done;
+    Mem_port.store port acquire_addr !cursor
+  end;
+  n
+
 let engine_peek port layout ~ep =
   Mem_port.instr port 3;
   let process = Mem_port.load port (Layout.ep_field layout ~ep Layout.Process) in
   let release = Mem_port.load port (Layout.ep_field layout ~ep Layout.Release) in
+  if process = release then None
+  else
+    let buf_addr =
+      Mem_port.load port (Layout.slot_addr layout ~ep ~slot:process)
+    in
+    Some (buf_addr, process)
+
+(* Engine-side burst cursor management. [Release] is written by the
+   application, so every [engine_peek] load of it is a coherence miss on
+   a contended ring; a batching engine fetches it once
+   ([engine_fetch_release]) and peeks against the cached value
+   ([engine_peek_at]). Safe under the single-writer discipline: [Release]
+   only advances, so a stale value under-drains — it can never fabricate
+   an unreleased slot — and the caller refreshes on apparent-empty, which
+   makes the cached path observationally identical to [engine_peek]. *)
+let engine_fetch_release port layout ~ep =
+  Mem_port.instr port 1;
+  Mem_port.load port (Layout.ep_field layout ~ep Layout.Release)
+
+let engine_peek_at port layout ~ep ~release =
+  Mem_port.instr port 2;
+  let process = Mem_port.load port (Layout.ep_field layout ~ep Layout.Process) in
   if process = release then None
   else
     let buf_addr =

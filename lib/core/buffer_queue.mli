@@ -40,11 +40,42 @@ val app_release :
     [None] if none is ready. *)
 val app_acquire : Mem_port.t -> Layout.t -> ep:int -> int option
 
+(** [app_release_burst port layout ~ep ~buf_addrs ~count] inserts the
+    first [count] addresses of [buf_addrs] at the head with one cursor
+    round-trip: the remote ([Acquire]) and own ([Release]) cursors are
+    loaded once, every slot is stored, and a single [Release] store
+    publishes the whole run. Returns how many were inserted — less than
+    [count] when the ring fills (the overflow is {e not} inserted; the
+    caller still owns those buffers). *)
+val app_release_burst :
+  Mem_port.t -> Layout.t -> ep:int -> buf_addrs:int array -> count:int -> int
+
+(** [app_acquire_burst port layout ~ep ~max ~out] reclaims up to [max]
+    processed buffers (bounded by [Array.length out]) into [out] with one
+    cursor round-trip, returning how many were filled. Oldest first, same
+    order [app_acquire] would have produced. *)
+val app_acquire_burst :
+  Mem_port.t -> Layout.t -> ep:int -> max:int -> out:int array -> int
+
 (** {1 Engine side} *)
 
 (** [engine_peek port layout ~ep] is the next buffer to process, with the
     current process cursor, without advancing. *)
 val engine_peek : Mem_port.t -> Layout.t -> ep:int -> (int * int) option
+
+(** [engine_fetch_release port layout ~ep] reads the application's
+    [Release] cursor once, for use with {!engine_peek_at}. A batching
+    engine pays this coherence miss once per drain instead of once per
+    message. *)
+val engine_fetch_release : Mem_port.t -> Layout.t -> ep:int -> int
+
+(** [engine_peek_at port layout ~ep ~release] is {!engine_peek} against a
+    cached [Release] value. A stale [release] can only under-report (the
+    cursor never retreats), so callers refresh with
+    {!engine_fetch_release} on [None] before concluding the ring is
+    empty. *)
+val engine_peek_at :
+  Mem_port.t -> Layout.t -> ep:int -> release:int -> (int * int) option
 
 (** [engine_advance port layout ~ep ~cursor] moves the process cursor past
     the slot returned by [engine_peek]. *)

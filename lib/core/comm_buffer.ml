@@ -24,6 +24,7 @@ let create ?(base = 0) ?(ep_offset = 0) config mem =
   set Layout.G_queue_capacity config.Config.queue_capacity;
   set Layout.G_total_buffers config.Config.total_buffers;
   set Layout.G_schedule_epoch 0;
+  set Layout.G_doorbell_seq 0;
   let upto n = List.init n Fun.id in
   {
     config;

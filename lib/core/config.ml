@@ -19,6 +19,10 @@ type t = {
   dma_setup_ns : int;
   dma_ns_per_byte : float;
   frame_checksum : bool;
+  engine_shards : int;
+  engine_tx_batch : int;
+  app_send_burst : int;
+  app_recv_burst : int;
 }
 
 let header_bytes = 8
@@ -45,6 +49,10 @@ let default =
     dma_setup_ns = 550;
     dma_ns_per_byte = 0.625;
     frame_checksum = false;
+    engine_shards = 1;
+    engine_tx_batch = 1;
+    app_send_burst = 1;
+    app_recv_burst = 1;
   }
 
 let round_up n multiple = (n + multiple - 1) / multiple * multiple
@@ -72,16 +80,27 @@ let validate t =
   else if t.engine_rx_burst < 1 then Error "engine_rx_burst must be >= 1"
   else if t.dma_setup_ns < 0 || t.dma_ns_per_byte < 0. then
     Error "DMA costs must be >= 0"
+  else if t.engine_shards < 1 || t.engine_shards > 64 then
+    Error "engine_shards must be in [1, 64]"
+  else if t.engine_tx_batch < 1 then Error "engine_tx_batch must be >= 1"
+  else if t.app_send_burst < 1 then Error "app_send_burst must be >= 1"
+  else if t.app_recv_burst < 1 then Error "app_recv_burst must be >= 1"
   else Ok t
 
 let validate_exn t =
   match validate t with Ok t -> t | Error m -> invalid_arg ("Config: " ^ m)
 
 let pp fmt t =
-  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s %s rx-burst=%d checks=%b%s}"
+  Fmt.pf fmt "{msg=%dB eps=%d q=%d bufs=%d %s %s %s rx-burst=%d checks=%b%s%s%s}"
     t.message_bytes t.endpoints t.queue_capacity t.total_buffers
     (match t.lock_mode with Lock_free -> "lock-free" | Test_and_set -> "locked")
     (match t.layout_mode with Padded -> "padded" | Packed -> "packed")
     (match t.sched_mode with Doorbell -> "doorbell" | Full_scan -> "full-scan")
     t.engine_rx_burst t.validity_checks
     (if t.frame_checksum then " cksum" else "")
+    (if t.engine_shards > 1 then Fmt.str " shards=%d" t.engine_shards else "")
+    (if t.engine_tx_batch > 1 || t.app_send_burst > 1 || t.app_recv_burst > 1
+     then
+       Fmt.str " batch=tx%d/send%d/recv%d" t.engine_tx_batch t.app_send_burst
+         t.app_recv_burst
+     else "")

@@ -61,6 +61,33 @@ type t = {
           discards damaged frames. Costs 4 payload bytes plus the hash
           computation on both ends; off by default (the paper's FLIPC
           trusts the Paragon mesh). *)
+  engine_shards : int;
+      (** messaging engines per node (default 1). With [s] shards the
+          node's endpoint space is partitioned by residue: shard [k] owns
+          node-global endpoint [g] iff [g mod s = k]. Each shard runs its
+          own engine loop with its own doorbell schedule and rx drain;
+          the wait-free structures need no new locking because ownership
+          stays single-writer per side. Shards are cooperative
+          virtual-time processes (deterministic round-robin through the
+          event heap); real-domain parallelism is an opt-in property of
+          the firehose workload, never of the simulated machine. See
+          DESIGN.md §16. *)
+  engine_tx_batch : int;
+      (** engine-side transmit coalescing (default 1 = the unbatched
+          ablation): within one endpoint drain, messages after the first
+          of each [engine_tx_batch]-sized run reuse the DMA channel
+          programming (no [dma_setup_ns]) and the already-resident
+          dispatch path (reduced per-message instruction charge). *)
+  app_send_burst : int;
+      (** application-side send burst used by batching-aware workloads
+          (default 1 = the unbatched ablation): enqueue up to this many
+          messages per doorbell ring + engine poke via {!Api.send_burst},
+          amortizing the queue-cursor round-trip. *)
+  app_recv_burst : int;
+      (** application-side receive burst used by batching-aware
+          workloads (default 1 = the unbatched ablation): drain up to
+          this many messages per buffer-queue pointer round-trip via
+          {!Api.receive_burst}. *)
 }
 
 (** 8 bytes: destination-address word + state word. *)

@@ -28,6 +28,7 @@ type global =
   | Engine_drops
   | Engine_rejects
   | G_schedule_epoch
+  | G_doorbell_seq
 
 type writer = App | Engine | Setup
 
@@ -128,9 +129,12 @@ let compute ?(base = 0) config =
   if base < 0 || base mod cache_line_bytes <> 0 then
     invalid_arg "Layout.compute: base must be a non-negative line multiple";
   let globals_bytes, ep_stride =
+    (* Padded: two lines of headers/stats plus a third line owned by the
+       doorbell summary word ([G_doorbell_seq]). Packed: headers, stats,
+       epoch and summary appended contiguously. *)
     match config.Config.layout_mode with
-    | Config.Padded -> (64, 128)
-    | Config.Packed -> (44, 64)
+    | Config.Padded -> (96, 128)
+    | Config.Packed -> (48, 64)
   in
   let ep_table_off = base + globals_bytes in
   let slots_off = ep_table_off + (config.Config.endpoints * ep_stride) in
@@ -190,6 +194,17 @@ let global_addr t g =
       match t.config.Config.layout_mode with
       | Config.Padded -> t.base + 20
       | Config.Packed -> t.base + stats_base + 20)
+  | G_doorbell_seq -> (
+      (* Application-written doorbell summary, bumped after every
+         per-endpoint doorbell ring; the engine polls this one word per
+         iteration instead of [sched_len] shadow words. Padded: a line of
+         its own — the word is write-hot on the application side and
+         poll-hot on the engine side, so sharing a line with either
+         side's other traffic would put the miss back on every iteration.
+         Packed: appended to the shared jumble, pre-tuning spirit. *)
+      match t.config.Config.layout_mode with
+      | Config.Padded -> t.base + 64
+      | Config.Packed -> t.base + stats_base + 24)
 
 let check_ep t ep =
   if ep < 0 || ep >= t.config.Config.endpoints then

@@ -80,6 +80,13 @@ type global =
           on endpoint allocate/free and priority/burst changes; the engine
           rebuilds its cached priority schedule only when this word
           differs from its cached copy. Application-written, engine-read *)
+  | G_doorbell_seq
+      (** doorbell summary: bumped by the application interface after
+          every per-endpoint doorbell ring. The engine polls this one
+          word per iteration and scans the per-endpoint doorbell words
+          only when it changed, which keeps idle-iteration load traffic
+          flat in the endpoint count. Application-written, engine-read;
+          on the padded layout it owns a cache line *)
 
 (** Who writes a field during steady-state operation; drives the
     no-concurrent-writers and line-disjointness property tests. *)

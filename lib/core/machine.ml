@@ -55,7 +55,7 @@ type node = {
   cpu_ports : Mem_port.t array;
   coproc_port : Mem_port.t;
   comms : Comm_buffer.t array;
-  engine : Msg_engine.t;
+  engines : Msg_engine.t array;  (* one per shard; index = shard id *)
   nic : Nic.t;
   dma : Dma.t;
   sched : Sched.t;
@@ -103,27 +103,43 @@ let make_node ~sim ~fabric ~config ~cost ~app_cpus ~transport_maker
       ~ns_per_byte:config.Config.dma_ns_per_byte
   in
   let node_count = fabric.Fabric.node_count in
-  (* The transport maker needs a delivery path before the engine exists;
-     break the cycle with a forward reference. *)
-  let engine_ref = ref None in
+  let shards = config.Config.engine_shards in
+  (* The transport maker needs a delivery path before the engines exist;
+     break the cycle with a forward reference. Arrivals route to the
+     shard owning the destination endpoint — the same [owner_shard] map
+     the doorbell-poke path uses, so a shard only ever sees frames for
+     endpoints it drains. Null or unresolvable destinations go to shard
+     0, whose unroutable counter keeps the node-level accounting. *)
+  let engines_ref = ref [||] in
   let deliver image =
-    match !engine_ref with
-    | Some engine -> Msg_engine.deliver engine image
-    | None -> ()
+    let engines = !engines_ref in
+    if Array.length engines > 0 then
+      let shard =
+        if shards = 1 then 0
+        else
+          let dest = Msg_buffer.dest_of_image image in
+          if Address.is_null dest then 0
+          else Msg_engine.owner_shard ~count:shards (Address.endpoint dest)
+      in
+      Msg_engine.deliver engines.(shard) image
   in
   let transport = transport_maker ~node:id ~nic ~node_count ~deliver in
-  let engine =
-    Msg_engine.create ~sim ~node:id ~comms:(Array.to_list comms)
-      ~port:coproc_port ~dma ~transport
+  let engines =
+    Array.init shards (fun shard ->
+        Msg_engine.create ~shard:(shard, shards) ~sim ~node:id
+          ~comms:(Array.to_list comms) ~port:coproc_port ~dma ~transport ())
   in
-  engine_ref := Some engine;
-  Msg_engine.set_wakeup_hook engine (fun ~ep ->
-      (* The hook receives a node-global endpoint index. *)
-      let eps = config.Config.endpoints in
-      let comm = comms.(ep / eps) in
-      match Comm_buffer.semaphore comm ~ep:(ep mod eps) with
-      | Some sem -> Rt_semaphore.post sem
-      | None -> ());
+  engines_ref := engines;
+  Array.iter
+    (fun engine ->
+      Msg_engine.set_wakeup_hook engine (fun ~ep ->
+          (* The hook receives a node-global endpoint index. *)
+          let eps = config.Config.endpoints in
+          let comm = comms.(ep / eps) in
+          match Comm_buffer.semaphore comm ~ep:(ep mod eps) with
+          | Some sem -> Rt_semaphore.post sem
+          | None -> ()))
+    engines;
   let sched = Sched.create ~engine:sim ~cpus:app_cpus in
   {
     id;
@@ -132,7 +148,7 @@ let make_node ~sim ~fabric ~config ~cost ~app_cpus ~transport_maker
     cpu_ports;
     coproc_port;
     comms;
-    engine;
+    engines;
     nic;
     dma;
     sched;
@@ -167,11 +183,18 @@ let allocated_endpoints n =
 let flight_report t fmt =
   Array.iter
     (fun n ->
-      let s = Msg_engine.stats n.engine in
-      Format.fprintf fmt
-        "node %d: engine iters=%d sends=%d recvs=%d drops=%d parks=%d@," n.id
-        s.Msg_engine.iterations s.Msg_engine.sends s.Msg_engine.recvs
-        s.Msg_engine.drops s.Msg_engine.parks;
+      Array.iter
+        (fun engine ->
+          let s = Msg_engine.stats engine in
+          let shard_tag =
+            if Msg_engine.shard_count engine = 1 then ""
+            else Printf.sprintf " s%d" (Msg_engine.shard engine)
+          in
+          Format.fprintf fmt
+            "node %d:%s engine iters=%d sends=%d recvs=%d drops=%d parks=%d@,"
+            n.id shard_tag s.Msg_engine.iterations s.Msg_engine.sends
+            s.Msg_engine.recvs s.Msg_engine.drops s.Msg_engine.parks)
+        n.engines;
       List.iter
         (fun (gep, layout, ep) ->
           let q = Buffer_queue.snapshot n.coproc_port layout ~ep in
@@ -221,8 +244,11 @@ let create ?(config = Config.default) ?(cost = Cost_model.paragon)
   in
   Array.iter
     (fun n ->
-      Msg_engine.set_obs n.engine obs;
-      Msg_engine.start n.engine)
+      Array.iter
+        (fun engine ->
+          Msg_engine.set_obs engine obs;
+          Msg_engine.start engine)
+        n.engines)
     nodes;
   Flipc_obs.Obs.set_label obs
     (Printf.sprintf "flipc %s (%d nodes)" fabric.Fabric.name
@@ -264,7 +290,8 @@ let alloc_heap n bytes =
   base
 
 let heap_remaining n = n.heap_end - round_up n.heap_next 32
-let msg_engine n = n.engine
+let msg_engine n = n.engines.(0)
+let msg_engines n = Array.to_list n.engines
 let nic n = n.nic
 let bus n = n.bus
 let sched n = n.sched
@@ -284,7 +311,7 @@ let api t ~node:i ?(cpu = 0) ?(comm = 0) () =
   | Some api -> api
   | None ->
       let api =
-        Api.attach ~comm:c ~port:(app_port n ~cpu) ~engine:n.engine
+        Api.attach ~comm:c ~port:(app_port n ~cpu) ~engines:n.engines
       in
       n.apis.(comm).(cpu) <- Some api;
       api
@@ -323,4 +350,6 @@ let attach_monitor t =
   m
 
 let run ?until t = Sim.run ?until t.sim
-let stop_engines t = Array.iter (fun n -> Msg_engine.stop n.engine) t.nodes
+
+let stop_engines t =
+  Array.iter (fun n -> Array.iter Msg_engine.stop n.engines) t.nodes

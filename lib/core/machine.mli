@@ -118,7 +118,17 @@ val comm : node -> Comm_buffer.t
 val comm_buffers : node -> int
 
 val comm_at : node -> int -> Comm_buffer.t
+
+(** The node's first (shard-0) messaging engine — the only one when
+    {!Config.t.engine_shards} is 1. *)
 val msg_engine : node -> Msg_engine.t
+
+(** All of the node's engine shards, in shard-index order. Shard [k] owns
+    exactly the node-global endpoints [g] with
+    [Msg_engine.owner_shard ~count g = k]; the machine routes arrivals
+    and doorbell pokes with that same map. *)
+val msg_engines : node -> Msg_engine.t list
+
 val nic : node -> Flipc_net.Nic.t
 val bus : node -> Flipc_memsim.Bus.t
 val sched : node -> Flipc_rt.Sched.t

@@ -31,6 +31,8 @@ type stats = {
 type t = {
   sim : Sim.t;
   node : int;
+  shard : int;  (* this engine's shard index in [0, shard_count) *)
+  shard_count : int;
   layouts : Layout.t array;  (* one communication buffer per element *)
   config : Config.t;
   port : Mem_port.t;
@@ -42,6 +44,19 @@ type t = {
   mutable parked : (unit -> unit) option;
   mutable poked : bool;
   mutable idle : int;
+  mutable rx_chain : int;
+      (* deposits so far in the current incoming drain; every
+         [engine_tx_batch]'th reprograms the DMA descriptor chain, the
+         rest ride it (see [handle_verified]) *)
+  rx_release : int array;
+      (* per-global-endpoint cached receive-ring [Release] cursor, valid
+         while [rx_release_gen] matches [rx_gen] — one coherence miss per
+         endpoint per incoming drain instead of one per deposit *)
+  rx_release_gen : int array;
+  mutable rx_gen : int;
+  rx_recv_accum : int array;
+      (* per-comm-buffer deposit count accumulated over one drain; a
+         batching engine flushes each as a single [Engine_recvs] bump *)
   prng : Prng.t;
   stats : stats;
   (* Doorbell scheduler state (engine-private; see DESIGN.md §11).
@@ -60,12 +75,18 @@ type t = {
   sched_burst : int array;
   mutable sched_len : int;
   cached_epoch : int array;  (* one per communication buffer *)
+  shadow_seq : int array;
+      (* last observed G_doorbell_seq per communication buffer; the
+         per-endpoint shadow scan runs only when one changed *)
   mutable wakeup_hook : (ep:int -> unit) option;
   mutable trace : Flipc_sim.Trace.t option;
   mutable obs : Obs.t option;
 }
 
-let create ~sim ~node ~comms ~port ~dma ~transport =
+let create ?(shard = (0, 1)) ~sim ~node ~comms ~port ~dma ~transport () =
+  let shard_index, shard_count = shard in
+  if shard_count < 1 || shard_index < 0 || shard_index >= shard_count then
+    invalid_arg "Msg_engine.create: bad shard";
   (match comms with
   | [] -> invalid_arg "Msg_engine.create: need at least one comm buffer"
   | first :: rest ->
@@ -82,6 +103,8 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
   {
     sim;
     node;
+    shard = shard_index;
+    shard_count;
     layouts;
     config;
     port;
@@ -93,7 +116,15 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
     parked = None;
     poked = false;
     idle = 0;
-    prng = Prng.create ~seed:(0x5EED + node);
+    rx_chain = 0;
+    rx_release = Array.make total_eps (-1);
+    rx_release_gen = Array.make total_eps (-1);
+    rx_gen = 0;
+    rx_recv_accum = Array.make (Array.length layouts) 0;
+    (* Shard 0 keeps the historical stream so single-shard timelines are
+       bit-identical with pre-sharding builds; higher shards decorrelate
+       their poll jitter. *)
+    prng = Prng.create ~seed:(0x5EED + node + (shard_index * 0x1003F));
     trace = None;
     obs = None;
     stats =
@@ -121,20 +152,40 @@ let create ~sim ~node ~comms ~port ~dma ~transport =
     sched_burst = Array.make total_eps 0;
     sched_len = 0;
     cached_epoch = Array.make (Array.length layouts) 0;
+    shadow_seq = Array.make (Array.length layouts) 0;
     wakeup_hook = None;
   }
 
 let node t = t.node
+let shard t = t.shard
+let shard_count t = t.shard_count
 let stats t = t.stats
 let set_wakeup_hook t f = t.wakeup_hook <- Some f
 let set_trace t trace = t.trace <- Some trace
 
+(* Which shard of a [count]-way partition owns node-global endpoint [g].
+   The machine's delivery router and the application library's poke
+   target use this same function, which is what makes per-shard
+   ownership airtight: nothing else ever maps an endpoint to an
+   engine. *)
+let owner_shard ~count g = if count = 1 then 0 else g mod count
+
+(* Probe names: the single-shard machine keeps the historical
+   [node<i>.engine.*] names; sharded engines key theirs by zero-padded
+   shard id ([node<i>.engine.s03.*]) so the registry's name-sorted
+   snapshot enumerates shards in index order — stable across runs and
+   shard counts. *)
+let probe_prefix t =
+  if t.shard_count = 1 then Printf.sprintf "node%d.engine" t.node
+  else Printf.sprintf "node%d.engine.s%02d" t.node t.shard
+
 let set_obs t obs =
   t.obs <- Some obs;
   let m = Obs.metrics obs in
+  let prefix = probe_prefix t in
   let probe name f =
     Flipc_obs.Metrics.probe m
-      (Printf.sprintf "node%d.engine.%s" t.node name)
+      (Printf.sprintf "%s.%s" prefix name)
       (fun () -> float_of_int (f ()))
   in
   probe "iterations" (fun () -> t.stats.iterations);
@@ -173,7 +224,9 @@ let trace t fmt =
   match t.trace with
   | Some tr ->
       Flipc_sim.Trace.recordf tr ~now:(Sim.now t.sim)
-        ~tag:(Printf.sprintf "engine-%d" t.node)
+        ~tag:
+          (if t.shard_count = 1 then Printf.sprintf "engine-%d" t.node
+           else Printf.sprintf "engine-%d.%d" t.node t.shard)
         fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
@@ -221,6 +274,15 @@ let resolve t global_ep =
 let bump_global t layout g =
   let addr = Layout.global_addr layout g in
   Mem_port.store t.port addr (Mem_port.peek t.port addr + 1)
+
+(* Batched counter flush: the globals line is shared with the
+   application's own counters, so every engine bump is a coherence miss
+   on a busy node. A batching engine accumulates deltas host-side and
+   flushes once per drain. *)
+let bump_global_n t layout g n =
+  if n > 0 then
+    let addr = Layout.global_addr layout g in
+    Mem_port.store t.port addr (Mem_port.peek t.port addr + n)
 
 let reject t layout =
   t.stats.rejects <- t.stats.rejects + 1;
@@ -272,7 +334,37 @@ let handle_verified t image =
         in
         match Endpoint_kind.of_word kind_word with
         | Some Endpoint_kind.Recv -> (
-            match Buffer_queue.engine_peek t.port layout ~ep with
+            (* Batched cursor reads on the deposit path: within one
+               incoming drain the app-owned [Release] of each receive
+               ring is fetched once and cached ([rx_gen] stamps the
+               drain), refreshed only when the cached view looks empty —
+               so an apparent ring-full is re-checked before a message is
+               dropped, and the cached path drops exactly when
+               [engine_peek] would. Unbatched knob keeps the per-deposit
+               peek, the ablation baseline. *)
+            let peek () =
+              if t.config.Config.engine_tx_batch = 1 then
+                Buffer_queue.engine_peek t.port layout ~ep
+              else begin
+                let fresh () =
+                  let r = Buffer_queue.engine_fetch_release t.port layout ~ep in
+                  t.rx_release.(global_ep) <- r;
+                  t.rx_release_gen.(global_ep) <- t.rx_gen;
+                  r
+                in
+                let release =
+                  if t.rx_release_gen.(global_ep) = t.rx_gen then
+                    t.rx_release.(global_ep)
+                  else fresh ()
+                in
+                match Buffer_queue.engine_peek_at t.port layout ~ep ~release with
+                | Some _ as hit -> hit
+                | None ->
+                    Buffer_queue.engine_peek_at t.port layout ~ep
+                      ~release:(fresh ())
+              end
+            in
+            match peek () with
             | None ->
                 Drop_counter.engine_increment t.port layout ~ep;
                 t.stats.drops <- t.stats.drops + 1;
@@ -290,7 +382,15 @@ let handle_verified t image =
                     reject t layout;
                     Buffer_queue.engine_advance t.port layout ~ep ~cursor
                 | Some buf ->
-                    Dma.write t.dma ~pos:buf_addr image;
+                    (* Deposit-side descriptor-chain reuse, mirroring the
+                       transmit batch: within one incoming drain, only
+                       every [engine_tx_batch]'th deposit reprograms the
+                       DMA channel. *)
+                    let first_of_batch =
+                      t.rx_chain mod t.config.Config.engine_tx_batch = 0
+                    in
+                    t.rx_chain <- t.rx_chain + 1;
+                    Dma.write ~setup:first_of_batch t.dma ~pos:buf_addr image;
                     Msg_buffer.set_state t.port layout ~buf Msg_buffer.Complete;
                     Buffer_queue.engine_advance t.port layout ~ep ~cursor;
                     t.stats.recvs <- t.stats.recvs + 1;
@@ -304,7 +404,12 @@ let handle_verified t image =
                             ep = global_ep;
                             mid = Msg_buffer.msg_id_of_image image;
                           });
-                    bump_global t layout Layout.Engine_recvs;
+                    if t.config.Config.engine_tx_batch = 1 then
+                      bump_global t layout Layout.Engine_recvs
+                    else
+                      t.rx_recv_accum.(global_ep / t.config.Config.endpoints) <-
+                        t.rx_recv_accum.(global_ep / t.config.Config.endpoints)
+                        + 1;
                     let sem =
                       Mem_port.load t.port
                         (Layout.ep_field layout ~ep Layout.Sem_flag)
@@ -319,9 +424,12 @@ let handle_verified t image =
             discard Event.Bad_destination global_ep;
             reject t layout)
 
-let handle_incoming t image =
-  (* Demultiplex + protocol-framework dispatch on the coprocessor. *)
-  Mem_port.instr t.port 15;
+let handle_incoming t ~first image =
+  (* Demultiplex + protocol-framework dispatch on the coprocessor. The
+     first frame of each [engine_tx_batch] run in a drain pays the full
+     dispatch; followers reuse the hot demux state — the receive-side
+     mirror of the transmit dispatch discount. *)
+  Mem_port.instr t.port (if first then 15 else 4);
   (* Checksum first, before the destination word is even decoded: a
      damaged frame's every bit — address, state, payload — is suspect, so
      it must not reach demultiplexing, where a flipped destination bit
@@ -353,11 +461,23 @@ let handle_incoming t image =
    backlog clears. *)
 let drain_incoming t =
   let budget = t.config.Config.engine_rx_burst in
+  let tx_batch = t.config.Config.engine_tx_batch in
+  t.rx_chain <- 0;
+  t.rx_gen <- t.rx_gen + 1;
   let handled = ref 0 in
   while !handled < budget && not (Queue.is_empty t.incoming) do
+    let first = tx_batch = 1 || !handled mod tx_batch = 0 in
     incr handled;
-    handle_incoming t (Queue.pop t.incoming)
+    handle_incoming t ~first (Queue.pop t.incoming)
   done;
+  if tx_batch > 1 then
+    Array.iteri
+      (fun li n ->
+        if n > 0 then begin
+          t.rx_recv_accum.(li) <- 0;
+          bump_global_n t t.layouts.(li) Layout.Engine_recvs n
+        end)
+      t.rx_recv_accum;
   if not (Queue.is_empty t.incoming) then begin
     t.stats.rx_truncations <- t.stats.rx_truncations + 1;
     true
@@ -389,22 +509,48 @@ let process_sends t layout ~global_ep ~ep ~burst =
   let limit =
     if burst > 0 then burst else t.config.Config.queue_capacity - 1
   in
+  let tx_batch = t.config.Config.engine_tx_batch in
   let progressed = ref false in
   let transmitted = ref 0 in
   let continue = ref true in
   let truncated = ref false in
+  (* Batched cursor reads: fetch the app-owned [Release] once per drain
+     and peek against the cached value, refreshing only on apparent-empty
+     — one coherence miss per drain instead of one per message. The
+     unbatched knob setting keeps the per-message [engine_peek], the
+     ablation baseline. *)
+  let release = ref (-1) in
+  let ok_sends = ref 0 in
+  if tx_batch > 1 then
+    release := Buffer_queue.engine_fetch_release t.port layout ~ep;
+  let peek () =
+    if tx_batch = 1 then Buffer_queue.engine_peek t.port layout ~ep
+    else
+      match Buffer_queue.engine_peek_at t.port layout ~ep ~release:!release with
+      | Some _ as hit -> hit
+      | None ->
+          release := Buffer_queue.engine_fetch_release t.port layout ~ep;
+          Buffer_queue.engine_peek_at t.port layout ~ep ~release:!release
+  in
   while !continue do
     if !transmitted >= limit then begin
       truncated := true;
       continue := false
     end
     else
-      match Buffer_queue.engine_peek t.port layout ~ep with
+      match peek () with
       | None -> continue := false
       | Some (buf_addr, cursor) -> (
           progressed := true;
           incr transmitted;
-          Mem_port.instr t.port 12;
+          (* Batched transmit: the first message of each [engine_tx_batch]
+             run pays full dispatch (12 instrs) and programs the DMA
+             descriptor chain; followers in the same run reuse the chain —
+             reduced dispatch, no [setup_ns]. A batch never outlives this
+             drain, so correctness is untouched: every message still moves
+             through the identical peek/DMA/transmit/advance sequence. *)
+          let first_of_batch = (!transmitted - 1) mod tx_batch = 0 in
+          Mem_port.instr t.port (if first_of_batch then 12 else 3);
           charge_validity t;
           match Layout.buffer_of_addr layout buf_addr with
           | None ->
@@ -435,7 +581,7 @@ let process_sends t layout ~global_ep ~ep ~burst =
                end
                else begin
                  let pos, len = Msg_buffer.region layout ~buf in
-                 let image = Dma.read t.dma ~pos ~len in
+                 let image = Dma.read ~setup:first_of_batch t.dma ~pos ~len in
                  match t.transport.transmit ~dst:dest image with
                  | Ok () ->
                      t.stats.sends <- t.stats.sends + 1;
@@ -452,7 +598,9 @@ let process_sends t layout ~global_ep ~ep ~burst =
                              dst_ep;
                              mid = Msg_buffer.msg_id_of_image image;
                            });
-                     bump_global t layout Layout.Engine_sends
+                     if tx_batch = 1 then
+                       bump_global t layout Layout.Engine_sends
+                     else incr ok_sends
                  | Error `Bad_dest ->
                      t.stats.bad_dest <- t.stats.bad_dest + 1;
                      refused Event.Bad_destination
@@ -462,6 +610,9 @@ let process_sends t layout ~global_ep ~ep ~burst =
               Msg_buffer.set_state t.port layout ~buf Msg_buffer.Complete;
               Buffer_queue.engine_advance t.port layout ~ep ~cursor)
   done;
+  (* Batched counter flush, mirroring the deposit path: one globals-line
+     store per drain instead of one per transmitted message. *)
+  if tx_batch > 1 then bump_global_n t layout Layout.Engine_sends !ok_sends;
   if !truncated then Truncated else if !progressed then Drained else Empty
 
 let park t =
@@ -503,6 +654,11 @@ let rebuild_schedule t =
   for li = 0 to Array.length t.layouts - 1 do
     let layout = t.layouts.(li) in
     for ep = 0 to eps - 1 do
+      (* Shard ownership gate: a sharded engine schedules (and stamps)
+         only its own residue class, so every engine-written endpoint
+         word keeps exactly one writer. Unowned entries cost this rebuild
+         nothing — not even the [Ep_type] load. *)
+      if owner_shard ~count:t.shard_count ((li * eps) + ep) = t.shard then begin
       let kind_word =
         Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Ep_type)
       in
@@ -539,6 +695,7 @@ let rebuild_schedule t =
           t.sched_len <- t.sched_len + 1
         end
       end
+      end
     done
   done
 
@@ -547,23 +704,46 @@ let rebuild_schedule t =
    engine last looked. The shadow is updated here — before the drain — so
    a release that lands mid-drain (bumping the doorbell again) re-raises
    [pending] on the next check rather than being absorbed silently. *)
+(* Doorbell aggregation: the application bumps one summary word per
+   communication buffer after every per-endpoint ring, so a check costs
+   one load per buffer — a cache hit while nothing rang — and the
+   [sched_len]-wide shadow scan runs only behind a changed summary. That
+   is what keeps doorbell idle load traffic flat as the endpoint table
+   grows (the engine_scan bench gates on it). The summary is captured
+   {e before} the per-endpoint scan: a ring racing the scan leaves the
+   summary ahead of the engine's copy, forcing a rescan next iteration,
+   so the release-then-ring wakeup ordering stays lossless. Sharded
+   engines share the summary read-only; a ring owned by another shard
+   causes a scan that finds nothing, never a missed one. *)
 let check_doorbells t =
   let eps = t.config.Config.endpoints in
-  for i = 0 to t.sched_len - 1 do
-    let g = t.sched_ep.(i) in
-    let layout = t.layouts.(g / eps) in
-    let ep = g mod eps in
-    let v =
-      Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Send_pending)
+  let changed = ref false in
+  for li = 0 to Array.length t.layouts - 1 do
+    let s =
+      Mem_port.load t.port
+        (Layout.global_addr t.layouts.(li) Layout.G_doorbell_seq)
     in
-    if v <> t.shadow.(g) then begin
-      t.shadow.(g) <- v;
-      t.pending.(g) <- true;
-      t.hot.(g) <- t.config.Config.engine_park_after;
-      t.stats.doorbell_hits <- t.stats.doorbell_hits + 1;
-      emit t (fun () -> Event.Doorbell { node = t.node; ep = g })
+    if s <> t.shadow_seq.(li) then begin
+      t.shadow_seq.(li) <- s;
+      changed := true
     end
-  done
+  done;
+  if !changed then
+    for i = 0 to t.sched_len - 1 do
+      let g = t.sched_ep.(i) in
+      let layout = t.layouts.(g / eps) in
+      let ep = g mod eps in
+      let v =
+        Mem_port.load t.port (Layout.ep_field layout ~ep Layout.Send_pending)
+      in
+      if v <> t.shadow.(g) then begin
+        t.shadow.(g) <- v;
+        t.pending.(g) <- true;
+        t.hot.(g) <- t.config.Config.engine_park_after;
+        t.stats.doorbell_hits <- t.stats.doorbell_hits + 1;
+        emit t (fun () -> Event.Doorbell { node = t.node; ep = g })
+      end
+    done
 
 (* One check of all communication buffers' schedule epochs; returns true
    (and updates the cached copies) when any differs. The cached value is
@@ -739,7 +919,10 @@ let start t =
   if t.started then invalid_arg "Msg_engine.start: already started";
   t.started <- true;
   t.running <- true;
-  let name = Printf.sprintf "msg-engine-%d" t.node in
+  let name =
+    if t.shard_count = 1 then Printf.sprintf "msg-engine-%d" t.node
+    else Printf.sprintf "msg-engine-%d.s%d" t.node t.shard
+  in
   Sim.spawn ~name t.sim (fun () ->
       while t.running do
         t.poked <- false;

@@ -73,17 +73,39 @@ type t
 (** [create ~comms ...] builds an engine serving one or more communication
     buffers (all sharing one {!Config.t}); several buffers support multiple
     mutually untrusting applications per node. Addresses carry node-global
-    endpoint indices ([buffer_index * Config.endpoints + local]). *)
+    endpoint indices ([buffer_index * Config.endpoints + local]).
+
+    [?shard] is [(index, count)]: this engine is shard [index] of a
+    [count]-way partition of the node's endpoints and owns exactly the
+    node-global endpoints [g] with [g mod count = index] (see
+    {!owner_shard}). It schedules, stamps and drains only those, so every
+    engine-written endpoint word keeps a single writer and the wait-free
+    structures need no new synchronization. Default [(0, 1)]: the whole
+    node, bit-identical to the pre-sharding engine. See DESIGN.md §16. *)
 val create :
+  ?shard:int * int ->
   sim:Flipc_sim.Engine.t ->
   node:int ->
   comms:Comm_buffer.t list ->
   port:Flipc_memsim.Mem_port.t ->
   dma:Flipc_net.Dma.t ->
   transport:transport ->
+  unit ->
   t
 
 val node : t -> int
+
+(** This engine's shard index, and the node's shard count. *)
+val shard : t -> int
+
+val shard_count : t -> int
+
+(** [owner_shard ~count g] is the shard owning node-global endpoint [g]
+    under a [count]-way partition. The machine's delivery router and the
+    application library's doorbell-poke target both use this exact
+    function — the single source of endpoint-to-engine mapping. *)
+val owner_shard : count:int -> int -> int
+
 val stats : t -> stats
 
 (** [deliver t image] hands an arriving wire image to the engine (called by
@@ -115,7 +137,10 @@ val set_trace : t -> Flipc_sim.Trace.t -> unit
 (** [set_obs t obs] attaches an observability bundle: the engine stamps
     per-message latency stages, emits typed trace events (when the
     bundle's tracer is enabled) and exports its {!stats} fields as
-    [node<i>.engine.*] pull-probes on the bundle's registry. *)
+    pull-probes on the bundle's registry — [node<i>.engine.*] for a
+    single-shard engine (the historical names), [node<i>.engine.s<kk>.*]
+    (zero-padded shard id) when sharded, so name-sorted metric snapshots
+    enumerate shards deterministically in index order. *)
 val set_obs : t -> Flipc_obs.Obs.t -> unit
 
 val obs : t -> Flipc_obs.Obs.t option

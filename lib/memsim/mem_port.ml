@@ -44,6 +44,12 @@ let test_and_set t addr =
   Shared_mem.store_int t.mem addr 1;
   old = 0
 
+let fetch_add t addr n =
+  Engine.delay (Bus.locked_rmw t.bus ~port:t.port ~addr);
+  let old = Shared_mem.load_int t.mem addr in
+  Shared_mem.store_int t.mem addr (old + n);
+  old
+
 let clear t addr = store t addr 0
 
 let lines_cost t ~pos ~len ~write =

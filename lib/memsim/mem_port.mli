@@ -40,6 +40,13 @@ val store : t -> int -> int -> unit
     the Paragon model. *)
 val test_and_set : t -> int -> bool
 
+(** [fetch_add t addr n] atomically adds [n] to the word at [addr] and
+    returns the previous value. Bus-locked, same cost as
+    {!test_and_set}; the multi-producer doorbell summary word is its
+    one hot-path user — plain load+store there would lose increments
+    when two applications ring concurrently. *)
+val fetch_add : t -> int -> int -> int
+
 (** [clear t addr] releases a test-and-set lock with an ordinary store. *)
 val clear : t -> int -> unit
 

@@ -29,21 +29,22 @@ let create ~engine ~mem ~bus ~setup_ns ~ns_per_byte =
 
 let stats t = t.stats
 
-let charge t len =
+let charge ?(setup = true) t len =
   t.stats.transfers <- t.stats.transfers + 1;
   t.stats.bytes <- t.stats.bytes + len;
   Engine.delay
-    (t.setup_ns + int_of_float (Float.round (float_of_int len *. t.ns_per_byte)))
+    ((if setup then t.setup_ns else 0)
+    + int_of_float (Float.round (float_of_int len *. t.ns_per_byte)))
 
-let read t ~pos ~len =
-  charge t len;
+let read ?setup t ~pos ~len =
+  charge ?setup t len;
   let stall = Bus.dma_access t.bus ~write:false ~addr:pos ~len in
   t.stats.hidden_stall_ns <- t.stats.hidden_stall_ns + stall;
   Shared_mem.read_bytes t.mem ~pos ~len
 
-let write t ~pos data =
+let write ?setup t ~pos data =
   let len = Bytes.length data in
-  charge t len;
+  charge ?setup t len;
   let stall = Bus.dma_access t.bus ~write:true ~addr:pos ~len in
   t.stats.hidden_stall_ns <- t.stats.hidden_stall_ns + stall;
   Shared_mem.write_bytes t.mem ~pos data

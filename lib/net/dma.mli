@@ -29,9 +29,16 @@ val create :
 
 val stats : t -> stats
 
-(** [read t ~pos ~len] pulls [len] bytes out of node memory (timed). *)
-val read : t -> pos:int -> len:int -> Bytes.t
+(** [read t ~pos ~len] pulls [len] bytes out of node memory (timed).
+    [~setup:false] skips the [setup_ns] channel-programming charge — for
+    the second and later transfers of an engine-side batch, where the
+    descriptor chain is already programmed ({!Flipc.Config.t}
+    [engine_tx_batch]); per-byte serialization and coherence snooping are
+    still charged in full. *)
+val read : ?setup:bool -> t -> pos:int -> len:int -> Bytes.t
 
 (** [write t ~pos data] deposits [data] into node memory (timed), e.g.
-    directly into an application's posted receive buffer. *)
-val write : t -> pos:int -> Bytes.t -> unit
+    directly into an application's posted receive buffer. [~setup:false]
+    as for {!read}: followers of an engine-side deposit batch reuse the
+    programmed descriptor chain. *)
+val write : ?setup:bool -> t -> pos:int -> Bytes.t -> unit

@@ -63,6 +63,19 @@ let observe t v =
     else t.nonpos <- t.nonpos + 1
   end
 
+(* Bucket-wise sum: both sketches use the same fixed geometry, so merging
+   loses nothing beyond the resolution each already had. *)
+let merge ~into src =
+  for i = 0 to bucket_capacity - 1 do
+    into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+  done;
+  into.nonpos <- into.nonpos + src.nonpos;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  into.sumsq <- into.sumsq +. src.sumsq;
+  if src.minv < into.minv then into.minv <- src.minv;
+  if src.maxv > into.maxv then into.maxv <- src.maxv
+
 let count t = t.count
 let sum t = t.sum
 let min_value t = t.minv

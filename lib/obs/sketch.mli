@@ -20,6 +20,11 @@ val clear : t -> unit
 (** [observe t v] records one observation. [NaN] is ignored. *)
 val observe : t -> float -> unit
 
+(** [merge ~into src] folds [src]'s observations into [into] (bucket-wise;
+    exact for count/sum/extremes, no resolution loss for quantiles).
+    [src] is unchanged. *)
+val merge : into:t -> t -> unit
+
 val count : t -> int
 val sum : t -> float
 

@@ -24,6 +24,20 @@
 # virtual time (BENCH_doctor_overhead.json), and 0 means the
 # observability layer leaked cost into the simulated timeline.
 #
+# Two absolute rules hold on the candidate alone, so they bind even
+# when the baseline predates the experiment: any leaf containing
+# "speedup" must be >= 2.0 (the batching ablation's contract in
+# BENCH_firehose.json), and any doorbell-mode "idle_loads_per_iter"
+# leaf must be <= 8.0 — the work-proportional engine's idle iteration
+# touches a constant number of words no matter how many endpoints are
+# configured (BENCH_engine_scan.json sweeps to 16384 to prove it).
+#
+# A BASELINE file that does not exist yet is not an error: the
+# candidate is new, so the diff passes with a notice and the
+# candidate-only absolute rules still run (baseline "/dev/null" or any
+# missing path both work). This is what lets a freshly added
+# experiment ride the same CI lane before its first baseline commit.
+#
 # Needs python3 for the JSON walk; degrades to a plain textual diff
 # (informational, never failing) when it is missing.
 set -eu
@@ -36,9 +50,11 @@ base=$1
 cand=$2
 max=${3:-}
 
-for f in "$base" "$cand"; do
-  [ -f "$f" ] || { echo "bench_diff: no such file: $f" >&2; exit 2; }
-done
+[ -f "$cand" ] || { echo "bench_diff: no such file: $cand" >&2; exit 2; }
+if [ ! -s "$base" ]; then
+  echo "bench_diff: no baseline at $base — candidate is new, checking absolute rules only"
+  base=""
+fi
 
 if ! command -v python3 >/dev/null 2>&1; then
   echo "bench_diff: python3 not available; falling back to textual diff" >&2
@@ -62,7 +78,7 @@ def leaves(doc, prefix=""):
     elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
         yield prefix, float(doc)
 
-base = dict(leaves(json.load(open(base_path))))
+base = dict(leaves(json.load(open(base_path)))) if base_path else {}
 cand = dict(leaves(json.load(open(cand_path))))
 
 LATENCY_MARKERS = ("p50", "p99", "latency", "one_way", "_us", "_ns")
@@ -71,11 +87,11 @@ violation_regressions = []
 corrupt_leaks = []
 delivery_regressions = []
 shared = sorted(set(base) & set(cand))
-if not shared:
+if base_path and not shared:
     print("bench_diff: no numeric leaves in common", file=sys.stderr)
     sys.exit(2)
 
-width = max(len(k) for k in shared)
+width = max((len(k) for k in shared), default=0)
 for key in shared:
     old, new = base[key], cand[key]
     delta = new - old
@@ -136,6 +152,35 @@ if identical_failures:
     print(
         f"bench_diff: {len(identical_failures)} 'identical' leaves are 0 "
         f"in the candidate (telemetry leaked into the virtual timeline)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+# Candidate-only absolute rules (bind with or without a baseline).
+speedup_failures = [
+    (k, v) for k, v in cand.items() if "speedup" in k.lower() and v < 2.0
+]
+if speedup_failures:
+    for k, v in speedup_failures:
+        print(f"{k}: {v:.3f} < 2.0  <-- BATCHING SPEEDUP BELOW CONTRACT")
+    print(
+        f"bench_diff: {len(speedup_failures)} 'speedup' leaves below the "
+        f"2.0x contract",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+idle_failures = [
+    (k, v)
+    for k, v in cand.items()
+    if "doorbell" in k.lower() and k.endswith("idle_loads_per_iter") and v > 8.0
+]
+if idle_failures:
+    for k, v in idle_failures:
+        print(f"{k}: {v:.1f} > 8.0  <-- IDLE SCAN NOT WORK-PROPORTIONAL")
+    print(
+        f"bench_diff: {len(idle_failures)} doorbell idle_loads_per_iter "
+        f"leaves above the flat-idle bound",
         file=sys.stderr,
     )
     sys.exit(1)

@@ -82,6 +82,39 @@ else
   grep -q '"experiment":"engine_scan"' BENCH_engine_scan.json
 fi
 
+echo "== firehose smoke =="
+# Open-loop throughput path: a bounded, seeded firehose run with the
+# batching knobs on must deliver at least 90% of the offered load with
+# zero invariant-monitor violations (--assert-clean attaches the
+# monitor; --min-delivered-ratio makes the ratio a hard exit code).
+# A second cell turns on engine sharding with multiple streams per
+# node and checks the per-shard metrics snapshot: every (node, shard)
+# pair must appear, in deterministic node-major shard order.
+dune exec bin/flipc_cli.exe -- firehose --senders 2 --receivers 2 \
+  --duration-us 300 --mean-gap-ns 2000 --seed 11 \
+  --tx-batch 8 --send-burst 4 --recv-burst 4 \
+  --assert-clean --min-delivered-ratio 0.9 --json >"$obs_tmp/firehose.json"
+dune exec bin/flipc_cli.exe -- firehose --senders 2 --receivers 2 \
+  --duration-us 300 --mean-gap-ns 8000 --seed 11 --streams 4 --shards 2 \
+  --assert-clean --min-delivered-ratio 0.9 --json >"$obs_tmp/firehose_sharded.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('$obs_tmp/firehose.json'))
+assert doc['violations'] == 0, 'firehose: invariant monitor fired'
+assert doc['delivered_ratio'] >= 0.9, 'firehose: delivered ratio regressed'
+sharded = json.load(open('$obs_tmp/firehose_sharded.json'))
+pairs = [(e['node'], e['shard']) for e in sharded['engines']]
+assert pairs == [(n, s) for n in range(4) for s in range(2)], \
+    f'firehose: bad per-shard snapshot order: {pairs}'
+assert all(e['sends'] + e['recvs'] > 0 for e in sharded['engines']), \
+    'firehose: an engine shard saw no traffic'
+"
+else
+  grep -q '"violations":0' "$obs_tmp/firehose.json"
+  grep -q '"shard":1' "$obs_tmp/firehose_sharded.json"
+fi
+
 echo "== retrans smoke =="
 # Selective-repeat gate: on a reorder-only wire (no loss) the SACK
 # receiver buffers the overtaken frames, so the sender should barely
