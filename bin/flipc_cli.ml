@@ -1884,6 +1884,249 @@ let soakmatrix_cmd =
       const run $ obs_out $ msgs_arg $ seed_arg $ fabric_filter
       $ scenario_filter $ out_arg $ assert_clean $ json_flag)
 
+(* --- stack --- *)
+
+(* The layered-transport gate: every {!Flipc_flow.Transport} composition
+   Stackflow can build, swept across fault scenarios — but only where
+   the stack makes a delivery promise. The optimistic stacks (bare
+   channel, window-over-channel) and the retrans-over-window tower run
+   on the clean fabric only: the first two guarantee nothing under
+   loss, and the tower is excluded by the stacking rule (a dropped data
+   frame permanently consumes a window credit, so reliability must sit
+   below flow control on a lossy base). Retrans-over-channel is the
+   reliable composition and must deliver exactly-once through the whole
+   fault sweep. *)
+let stack_cmd =
+  let module Vtime = Flipc_sim.Vtime in
+  let module Faulty = Flipc_net.Faulty in
+  let module Stackflow = Flipc_workload.Stackflow in
+  let module Json = Flipc_obs.Json in
+  let msgs_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages per flow.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 31
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed for fault injection (runs replay bit-identically).")
+  in
+  let stack_names =
+    [
+      ("channel", Stackflow.Bare_channel);
+      ("window", Stackflow.Window_over_channel);
+      ("retrans", Stackflow.Retrans_over_channel);
+      ("tower", Stackflow.Retrans_over_window);
+    ]
+  in
+  let stack_filter =
+    Arg.(
+      value & opt string "all"
+      & info [ "stack" ] ~docv:"NAME"
+          ~doc:
+            "Run one composition only (channel, window, retrans, tower).")
+  in
+  let scenario_names =
+    [ "clean"; "uniform"; "burst"; "corrupt"; "perlink"; "combined" ]
+  in
+  let scenario_filter =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run one fault scenario only (clean, uniform, burst, corrupt, \
+             perlink, combined).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_stack.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON document ('-' = stdout only).")
+  in
+  let assert_clean =
+    Arg.(
+      value & flag
+      & info [ "assert-clean" ]
+          ~doc:
+            "Exit 1 unless every cell is clean: all messages delivered \
+             exactly once, no invariant violation, no watchdog expiry, zero \
+             corrupt payloads reaching the application.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the JSON document on stdout instead of the text table.")
+  in
+  let nodes = 4 in
+  let half = nodes / 2 in
+  let hold = 100_000 in
+  let scenario_fault name ~seed =
+    let bad_link () =
+      Faulty.config ~drop:0.15 ~corrupt:0.1
+        ~burst:(Faulty.burst ~p_good_bad:0.05 ~p_bad_good:0.3 ~drop_bad:0.5 ())
+        ~seed:(seed + 1) ()
+    in
+    let only_link_0 bad ~src ~dst =
+      if src = 0 && dst = half then Some bad else None
+    in
+    match name with
+    | "clean" -> (None, None)
+    | "uniform" ->
+        ( Some
+            (Faulty.config ~drop:0.05 ~duplicate:0.02 ~reorder:0.15
+               ~reorder_hold_ns:hold ~seed ()),
+          None )
+    | "burst" ->
+        ( Some
+            (Faulty.config
+               ~burst:
+                 (Faulty.burst ~p_good_bad:0.05 ~p_bad_good:0.3 ~drop_bad:0.5
+                    ())
+               ~seed ()),
+          None )
+    | "corrupt" -> (Some (Faulty.config ~corrupt:0.08 ~seed ()), None)
+    | "perlink" ->
+        (Some (Faulty.config ~seed ()), Some (only_link_0 (bad_link ())))
+    | "combined" ->
+        ( Some
+            (Faulty.config ~drop:0.03 ~duplicate:0.02 ~reorder:0.1
+               ~reorder_hold_ns:hold ~corrupt:0.03
+               ~burst:
+                 (Faulty.burst ~p_good_bad:0.03 ~p_bad_good:0.3 ~drop_bad:0.4
+                    ())
+               ~seed ()),
+          Some (only_link_0 (bad_link ())) )
+    | _ -> assert false
+  in
+  (* Which scenarios a composition promises to survive. *)
+  let scenarios_for stack =
+    match stack with
+    | Stackflow.Retrans_over_channel -> scenario_names
+    | Stackflow.Bare_channel | Stackflow.Window_over_channel
+    | Stackflow.Retrans_over_window ->
+        [ "clean" ]
+  in
+  let run_cell ~stack ~scenario ~msgs ~seed =
+    let fault, links = scenario_fault scenario ~seed in
+    let r =
+      Stackflow.run ~stack ?fault ?fault_links:links
+        ~kind:(Machine.Mesh { cols = 2; rows = 2 })
+        ~nodes ~messages:msgs ()
+    in
+    ( r.Stackflow.clean,
+      Json.Obj
+        [
+          ("stack", Json.String (Stackflow.stack_name stack));
+          ("scenario", Json.String scenario);
+          ("flows", Json.Int nodes);
+          ("expected", Json.Int r.Stackflow.expected);
+          ("delivered", Json.Int r.Stackflow.delivered);
+          ("retransmits", Json.Int r.Stackflow.retransmits);
+          ("corrupt_leaks", Json.Int r.Stackflow.corrupt_leaks);
+          ("transport_drops", Json.Int r.Stackflow.transport_drops);
+          ("monitor_violations", Json.Int r.Stackflow.monitor_violations);
+          ("watchdogs_expired", Json.Int r.Stackflow.watchdogs_expired);
+          ("clean", Json.Bool r.Stackflow.clean);
+        ] )
+  in
+  let run trace msgs seed stack_sel scenario_sel out assert_flag json_out =
+    with_trace trace @@ fun () ->
+    if msgs < 1 then begin
+      Fmt.epr "flipc stack: --messages must be >= 1@.";
+      exit 2
+    end;
+    (if stack_sel <> "all" && not (List.mem_assoc stack_sel stack_names) then begin
+       Fmt.epr "flipc stack: unknown stack %s@." stack_sel;
+       exit 2
+     end);
+    (if scenario_sel <> "all" && not (List.mem scenario_sel scenario_names)
+     then begin
+       Fmt.epr "flipc stack: unknown scenario %s@." scenario_sel;
+       exit 2
+     end);
+    let cells =
+      List.concat_map
+        (fun (sname, stack) ->
+          if stack_sel <> "all" && stack_sel <> sname then []
+          else
+            scenarios_for stack
+            |> List.filter (fun s ->
+                   scenario_sel = "all" || scenario_sel = s)
+            |> List.map (fun scenario -> run_cell ~stack ~scenario ~msgs ~seed))
+        stack_names
+    in
+    if cells = [] then begin
+      Fmt.epr
+        "flipc stack: no cells selected (the %s stack only runs the clean \
+         scenario)@."
+        stack_sel;
+      exit 2
+    end;
+    let clean = List.for_all fst cells in
+    let doc =
+      Json.Obj
+        [
+          ("experiment", Json.String "stack_matrix");
+          ("messages_per_flow", Json.Int msgs);
+          ("seed", Json.Int seed);
+          ("cells", Json.List (List.map snd cells));
+          ("clean", Json.Bool clean);
+        ]
+    in
+    (if out <> "-" then begin
+       let oc = open_out out in
+       output_string oc (Json.to_string doc);
+       output_char oc '\n';
+       close_out oc
+     end);
+    if json_out then print_endline (Json.to_string doc)
+    else begin
+      Fmt.pr "flipc stack: %d cells x %d messages/flow (seed %d)@."
+        (List.length cells) msgs seed;
+      List.iter
+        (fun (cell_clean, j) ->
+          match j with
+          | Json.Obj fields ->
+              let str k =
+                match List.assoc k fields with
+                | Json.String s -> s
+                | _ -> "?"
+              in
+              let int k =
+                match List.assoc k fields with Json.Int i -> i | _ -> -1
+              in
+              Fmt.pr
+                "  %-22s %-8s delivered %d/%d retrans=%d drops=%d leaks=%d \
+                 violations=%d stalls=%d %s@."
+                (str "stack") (str "scenario") (int "delivered")
+                (int "expected") (int "retransmits") (int "transport_drops")
+                (int "corrupt_leaks") (int "monitor_violations")
+                (int "watchdogs_expired")
+                (if cell_clean then "ok" else "NOT CLEAN")
+          | _ -> ())
+        cells;
+      if out <> "-" then Fmt.pr "wrote %s@." out
+    end;
+    if assert_flag && not clean then begin
+      if not json_out then Fmt.epr "flipc stack: NOT clean@.";
+      exit 1
+    end
+  in
+  let doc =
+    "Layered-transport matrix: every Stackflow composition (bare channel, \
+     window flow control, retransmission, the full tower) on a mesh, each \
+     swept across the fault scenarios it promises to survive. \
+     $(b,--assert-clean) turns it into a CI gate; the JSON lands in \
+     $(b,BENCH_stack.json)."
+  in
+  Cmd.v (Cmd.info "stack" ~doc)
+    Term.(
+      const run $ obs_out $ msgs_arg $ seed_arg $ stack_filter
+      $ scenario_filter $ out_arg $ assert_clean $ json_flag)
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -2204,7 +2447,7 @@ let () =
           [
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
             throughput_cmd; firehose_cmd; bulk_cmd; faults_cmd; retrans_cmd;
-            doctor_cmd; soakmatrix_cmd;
+            doctor_cmd; soakmatrix_cmd; stack_cmd;
             trace_cmd; metrics_cmd;
             engine_cmd; info_cmd;
           ]))

@@ -60,6 +60,11 @@ let config t = t.config
 let layout t = t.layout
 let port t = t.port
 let comm t = t.comm
+let now t = Flipc_sim.Engine.now (Flipc_memsim.Mem_port.engine t.port)
+
+let instr_ns t =
+  (Flipc_memsim.Bus.cost_model (Flipc_memsim.Mem_port.bus t.port))
+    .Flipc_memsim.Cost_model.instr_ns
 let payload_bytes t = Config.payload_bytes t.config
 let node t = Msg_engine.node t.engines.(0)
 let obs t = Msg_engine.obs t.engines.(0)

@@ -46,6 +46,17 @@ val layout : t -> Layout.t
 val port : t -> Flipc_memsim.Mem_port.t
 val comm : t -> Comm_buffer.t
 
+(** Current virtual time on this attachment's clock (the simulation
+    engine behind its memory port). Blocking library layers use it for
+    deadline-based timeouts, so every layer's timeout is expressed in
+    the same unit — virtual nanoseconds — regardless of fabric. *)
+val now : t -> Flipc_sim.Vtime.t
+
+(** The cost model's nanoseconds per instruction on this attachment's
+    port: the conversion factor between legacy spin-count timeout
+    budgets and virtual-time deadlines. *)
+val instr_ns : t -> int
+
 (** {1 Causal message ids}
 
     Every successful send stamps a process-unique 28-bit message id into

@@ -97,31 +97,39 @@ let send t payload =
         queue_buf t (wait ()) payload
       end
 
-let send_timeout t ?(max_spins = 100_000) payload =
+let send_deadline t ~deadline payload =
   reclaim_into_pool t;
   match Queue.take_opt t.pool with
   | Some buf -> (queue_buf t buf payload :> (unit, [ error | `Timeout ]) result)
   | None ->
       if t.t_sent = 0 then Error `No_buffer
       else begin
-        (* Same wait as [send], but bounded: if the engine never hands a
-           transmitted buffer back (stopped engine, dead node), report
-           [`Timeout] instead of spinning forever. *)
-        let rec wait spins =
+        (* Same wait as [send], but bounded by a virtual-clock deadline:
+           if the engine never hands a transmitted buffer back (stopped
+           engine, dead node), report [`Timeout] instead of spinning
+           forever. *)
+        let rec wait () =
           match Api.reclaim t.t_api t.t_ep with
           | Some buf -> Ok buf
           | None ->
-              if spins >= max_spins then Error `Timeout
+              if Api.now t.t_api >= deadline then Error `Timeout
               else begin
                 Mem_port.instr (Api.port t.t_api) 10;
-                wait (spins + 1)
+                wait ()
               end
         in
-        match wait 0 with
+        match wait () with
         | Error `Timeout -> Error `Timeout
         | Ok buf ->
             (queue_buf t buf payload :> (unit, [ error | `Timeout ]) result)
       end
+
+(* Deprecated spin-count variant: each legacy spin polled once and burned
+   10 instructions, so the equivalent time budget is
+   [max_spins * 10 * instr_ns] from now. *)
+let send_timeout t ?(max_spins = 100_000) payload =
+  let deadline = Api.now t.t_api + (max_spins * 10 * Api.instr_ns t.t_api) in
+  send_deadline t ~deadline payload
 
 let sent t = t.t_sent
 

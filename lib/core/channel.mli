@@ -53,11 +53,20 @@ val send : tx -> Bytes.t -> (unit, error) result
     is full. *)
 val try_send : tx -> Bytes.t -> (unit, error) result
 
-(** [send_timeout t payload] is [send] with a bounded wait: when the pool
-    is empty it polls for a reclaimable buffer at most [max_spins] times
-    (default 100_000) before returning [`Timeout] — the recourse when the
-    engine may have stopped processing (the unbounded [send] would spin
-    forever). *)
+(** [send_deadline t ~deadline payload] is [send] with a bounded wait:
+    when the pool is empty it polls for a reclaimable buffer until the
+    virtual clock ({!Api.now}) reaches [deadline] (absolute, virtual ns)
+    before returning [`Timeout] — the recourse when the engine may have
+    stopped processing (the unbounded [send] would spin forever). *)
+val send_deadline :
+  tx -> deadline:int -> Bytes.t -> (unit, [ error | `Timeout ]) result
+
+(** [send_timeout t payload] is the deprecated spin-count variant of
+    {!send_deadline}: [max_spins] (default 100_000) legacy polls are
+    converted to the equivalent virtual-time budget
+    ([max_spins * 10 * instr_ns] from now), so the actual duration
+    depends on the node's cost model. New code should state a deadline
+    directly. *)
 val send_timeout :
   tx -> ?max_spins:int -> Bytes.t -> (unit, [ error | `Timeout ]) result
 

@@ -28,15 +28,33 @@ let add t ep =
           invalid_arg
             "Endpoint_group.add: member must share the group's semaphore")
   | None -> ());
-  t.members <- Array.append t.members [| ep |]
+  t.members <- Array.append t.members [| ep |];
+  (* Close the lost-wakeup window: a message deposited on [ep] before it
+     joined the group already posted (and had consumed) the shared
+     semaphore while no member could surface it, so threads blocked in
+     [receive_any_wait] would sleep forever on traffic that is already
+     here. One spurious post makes every waiter rescan; the Mesa-style
+     wait loop absorbs it harmlessly when the queue is empty. *)
+  match t.sem with Some sem -> Rt_semaphore.post sem | None -> ()
 
 let remove t ep =
-  t.members <-
-    Array.of_list
-      (List.filter
-         (fun e -> Api.endpoint_index e <> Api.endpoint_index ep)
-         (Array.to_list t.members));
-  if t.next >= Array.length t.members then t.next <- 0
+  let removed = ref (-1) in
+  Array.iteri
+    (fun i e ->
+      if Api.endpoint_index e = Api.endpoint_index ep then removed := i)
+    t.members;
+  match !removed with
+  | -1 -> ()
+  | i ->
+      let n = Array.length t.members in
+      t.members <-
+        Array.init (n - 1) (fun j ->
+            if j < i then t.members.(j) else t.members.(j + 1));
+      (* Members above the removed slot shift down one; a cursor that
+         pointed into that region must shift with them or the scan
+         starts one member late, permanently skipping its fair turn. *)
+      if t.next > i then t.next <- t.next - 1;
+      if t.next >= Array.length t.members then t.next <- 0
 
 let members t = Array.to_list t.members
 let size t = Array.length t.members

@@ -18,9 +18,15 @@ val semaphore : t -> Flipc_rt.Rt_semaphore.t option
 
 (** [add t ep] adds a receive endpoint. Raises [Invalid_argument] on a
     send endpoint, a duplicate, or (if the group blocks) an endpoint whose
-    semaphore differs from the group's. *)
+    semaphore differs from the group's. If the group has a semaphore it is
+    posted once, so threads already blocked in [receive_any_wait] rescan
+    and pick up any messages the new member was holding before it joined
+    (their deposit-time posts were consumed by fruitless rescans). *)
 val add : t -> Api.endpoint -> unit
 
+(** [remove t ep] drops a member (no-op if absent). The round-robin
+    cursor tracks the compaction, so the rotation continues from the same
+    member it would have visited next and no survivor loses its turn. *)
 val remove : t -> Api.endpoint -> unit
 val members : t -> Api.endpoint list
 val size : t -> int

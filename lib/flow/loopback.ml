@@ -1,0 +1,105 @@
+module Engine = Flipc_sim.Engine
+module Prng = Flipc_sim.Prng
+
+type side = {
+  eng : Engine.t;
+  inbound : Bytes.t Queue.t;
+  depth : int;
+  cap : int;
+  idle_ns : int;
+  rng : Prng.t; (* shared by both sides *)
+  drop : float;
+  dup : float;
+  mutable peer : side option;
+  mutable closed : bool;
+  mutable s_sent : int;
+  mutable s_received : int;
+  mutable s_drops : int;
+}
+
+type t = side
+
+let create_pair ?(capacity = 2048) ?(depth = 64) ?(idle_ns = 50) ?(drop = 0.)
+    ?(dup = 0.) ?(seed = 0) eng () =
+  if capacity < 1 then invalid_arg "Loopback: capacity < 1";
+  if depth < 1 then invalid_arg "Loopback: depth < 1";
+  if idle_ns < 1 then invalid_arg "Loopback: idle_ns < 1";
+  let rng = Prng.create ~seed in
+  let make () =
+    {
+      eng;
+      inbound = Queue.create ();
+      depth;
+      cap = capacity;
+      idle_ns;
+      rng;
+      drop;
+      dup;
+      peer = None;
+      closed = false;
+      s_sent = 0;
+      s_received = 0;
+      s_drops = 0;
+    }
+  in
+  let a = make () and b = make () in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+let capacity t = t.cap
+let now t = Engine.now t.eng
+let idle t = Engine.delay t.idle_ns
+let pump t = if t.closed then Error `Closed else Ok ()
+
+(* Deliver into the peer's queue with optimistic-discard semantics: a
+   full queue loses the message (counted), it never refuses the send. *)
+let deliver peer payload =
+  if Queue.length peer.inbound >= peer.depth then
+    peer.s_drops <- peer.s_drops + 1
+  else Queue.push (Bytes.copy payload) peer.inbound
+
+let try_send t payload =
+  if Bytes.length payload > t.cap then
+    invalid_arg "Loopback.try_send: payload exceeds capacity";
+  if t.closed then Error `Closed
+  else
+    match t.peer with
+    | None -> Error `Closed
+    | Some peer ->
+        if peer.closed then Error `Peer_dead
+        else begin
+          t.s_sent <- t.s_sent + 1;
+          if t.drop > 0. && Prng.float t.rng 1.0 < t.drop then
+            peer.s_drops <- peer.s_drops + 1
+          else begin
+            deliver peer payload;
+            if t.dup > 0. && Prng.float t.rng 1.0 < t.dup then
+              deliver peer payload
+          end;
+          Ok ()
+        end
+
+let recv t =
+  if t.closed then Error `Closed
+  else
+    match Queue.take_opt t.inbound with
+    | None -> Ok None
+    | Some payload ->
+        t.s_received <- t.s_received + 1;
+        Ok (Some payload)
+
+include Transport.Defaults (struct
+  type nonrec t = t
+
+  let now = now
+  let idle = idle
+  let pump = pump
+  let try_send = try_send
+  let recv = recv
+end)
+
+let close t = t.closed <- true
+let sent t = t.s_sent
+let received t = t.s_received
+let drops t = t.s_drops

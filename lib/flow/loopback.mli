@@ -1,0 +1,70 @@
+(** In-memory loopback transport: a connected pair over a bare
+    simulation engine.
+
+    No machine, no memory model, no NIC — just two queues and the
+    virtual clock, which makes it the fast deterministic substrate for
+    exercising the layers above ({!Window_layer}, {!Retrans_layer}) and
+    the conformance suite itself. Semantics mirror FLIPC's optimistic
+    transport: a message that finds the peer's inbound queue full is
+    {e discarded}, not refused — and optional seeded fault injection
+    (drop / duplicate probability, deterministic per seed) stands in
+    for a lossy interconnect.
+
+    Both sides must be driven from processes of the same engine;
+    {!Transport.S.idle} advances the clock with {!Flipc_sim.Engine.delay}. *)
+
+type t
+
+(** Satisfies {!Transport.S}. *)
+
+val capacity : t -> int
+val now : t -> Flipc_sim.Vtime.t
+val idle : t -> unit
+val pump : t -> (unit, Transport.error) result
+val try_send : t -> Bytes.t -> (unit, Transport.error) result
+
+val send :
+  t -> deadline:Flipc_sim.Vtime.t -> Bytes.t -> (unit, Transport.error) result
+
+val recv : t -> (Bytes.t option, Transport.error) result
+
+val recv_deadline :
+  t -> deadline:Flipc_sim.Vtime.t -> (Bytes.t, Transport.error) result
+
+val close : t -> unit
+
+(** [create_pair engine ()] builds two connected ends.
+
+    @param capacity per-message payload limit (default 2048 bytes)
+    @param depth inbound queue depth per side; an arriving message
+      beyond it is discarded, like FLIPC's no-posted-buffer case
+      (default 64)
+    @param idle_ns virtual time burned per {!idle} poll (default 50)
+    @param drop probability an outbound message is silently lost
+      (default 0.)
+    @param dup probability an outbound message is delivered twice
+      (default 0.)
+    @param seed PRNG seed for the fault process (default 0; same seed,
+      same fault pattern) *)
+val create_pair :
+  ?capacity:int ->
+  ?depth:int ->
+  ?idle_ns:int ->
+  ?drop:float ->
+  ?dup:float ->
+  ?seed:int ->
+  Flipc_sim.Engine.t ->
+  unit ->
+  t * t
+
+(** {1 Counters} *)
+
+(** Messages accepted from this side's sender. *)
+val sent : t -> int
+
+(** Messages delivered to this side's receiver. *)
+val received : t -> int
+
+(** Inbound messages discarded at this side: queue full (optimistic
+    discard) or injected wire loss on the way here. *)
+val drops : t -> int

@@ -358,14 +358,18 @@ let pump s =
   absorb_acks s;
   check_retransmit s
 
-let send s payload =
+let send_deadline s ?deadline payload =
   if Bytes.length payload > capacity s.s_api then
     invalid_arg "Retrans.send: payload exceeds channel capacity";
+  let expired () =
+    match deadline with None -> false | Some d -> Engine.now s.sim >= d
+  in
   let rec wait_window () =
     match pump s with
     | Error `Timeout -> Error `Timeout
     | Ok () ->
         if Queue.length s.inflight < s.cfg.window then Ok ()
+        else if expired () then Error `Timeout
         else begin
           Mem_port.instr (Api.port s.s_api) s.cfg.spin_ns;
           wait_window ()
@@ -396,7 +400,7 @@ let send s payload =
               s.inflight;
             Ok ()
         | `Backpressure -> (
-            if stalls >= s.cfg.max_retries then Error `Timeout
+            if stalls >= s.cfg.max_retries || expired () then Error `Timeout
             else
               match pump s with
               | Error `Timeout -> Error `Timeout
@@ -406,8 +410,9 @@ let send s payload =
       in
       xmit 0
 
-let flush s ~timeout_ns =
-  let deadline = Engine.now s.sim + timeout_ns in
+let send s payload = send_deadline s payload
+
+let flush_deadline s ~deadline =
   let rec loop () =
     if Queue.is_empty s.inflight then Ok ()
     else if Engine.now s.sim > deadline then Error `Timeout
@@ -419,6 +424,8 @@ let flush s ~timeout_ns =
           loop ()
   in
   loop ()
+
+let flush s ~timeout_ns = flush_deadline s ~deadline:(Engine.now s.sim + timeout_ns)
 
 let in_flight s = Queue.length s.inflight
 let acked s = s.s_acked

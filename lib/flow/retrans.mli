@@ -106,14 +106,29 @@ val create_sender :
     Raises [Invalid_argument] if the payload exceeds [capacity]. *)
 val send : sender -> Bytes.t -> (unit, [ `Timeout ]) result
 
+(** [send_deadline t ?deadline payload] is [send] with an additional
+    absolute virtual-time bound: while waiting for window space or for
+    local backpressure to clear, [`Timeout] is reported as soon as the
+    virtual clock reaches [deadline] — even if the protocol's own
+    retry budget ([max_retries]) is not yet exhausted. Without
+    [deadline] it is exactly [send]. *)
+val send_deadline :
+  sender -> ?deadline:int -> Bytes.t -> (unit, [ `Timeout ]) result
+
 (** [pump t] absorbs acknowledgements and fires due retransmissions
     without sending anything new; call it while waiting on other work.
     [`Timeout] under the same conditions as [send]. *)
 val pump : sender -> (unit, [ `Timeout ]) result
 
 (** [flush t ~timeout_ns] pumps until every queued message is
-    acknowledged, or [timeout_ns] of virtual time elapse. *)
+    acknowledged, or [timeout_ns] of virtual time elapse. (Relative
+    convenience form of {!flush_deadline}.) *)
 val flush : sender -> timeout_ns:int -> (unit, [ `Timeout ]) result
+
+(** [flush_deadline t ~deadline] pumps until every queued message is
+    acknowledged or the virtual clock passes [deadline] (absolute,
+    virtual ns). *)
+val flush_deadline : sender -> deadline:int -> (unit, [ `Timeout ]) result
 
 val in_flight : sender -> int
 

@@ -1,0 +1,94 @@
+(** Exactly-once, in-order delivery as a functor over any
+    {!Transport.S}.
+
+    The recovery discipline of {!Retrans} — selective repeat with a
+    SACK bitmap, cumulative acknowledgements, exponential RTO backoff
+    — restructured as a stackable layer
+    over a single duplex connection. [Retrans_layer (Channel_transport)]
+    is the "Retrans-under-Channel" stack: exactly-once delivery with
+    the channel layer's automatic buffer management underneath, no
+    endpoint-pair plumbing in sight. Stacking over {!Window_layer}
+    composes retransmission with credit flow control.
+
+    Data and acknowledgement frames share the connection, distinguished
+    by a one-byte tag ({!capacity} is the base's minus five: tag plus a
+    4-byte sequence number). Both directions are independent instances
+    of the protocol: each side keeps sender state (in-flight window,
+    retransmission timer) and receiver state (expected sequence,
+    out-of-order buffer).
+
+    A send whose oldest in-flight frame exhausts [max_retries]
+    retransmission rounds reports [`Peer_dead] — the peer is presumed
+    unreachable — distinct from [`Timeout], which only ever means "your
+    deadline passed". *)
+
+type config = {
+  window : int;  (** max unacknowledged messages in flight (<= 64) *)
+  rto_ns : int;  (** initial retransmission timeout (virtual ns) *)
+  max_rto_ns : int;  (** exponential-backoff cap *)
+  ack_every : int;  (** acknowledge every n in-order deliveries *)
+  max_retries : int;  (** retransmission rounds before [`Peer_dead] *)
+}
+
+(** [window = 8], [rto_ns = 1ms], [max_rto_ns = 8ms], [ack_every = 1],
+    [max_retries = 30]. *)
+val default_config : config
+
+module Make (T : Transport.S) : sig
+  type t
+
+  (** Satisfies {!Transport.S}. *)
+
+  val capacity : t -> int
+  val now : t -> Flipc_sim.Vtime.t
+  val idle : t -> unit
+
+  (** Absorbs acknowledgements, delivers arriving data into the
+      in-order queue, fires due retransmissions. [`Peer_dead] when the
+      oldest in-flight frame has exhausted its retry budget. *)
+  val pump : t -> (unit, Transport.error) result
+
+  val try_send : t -> Bytes.t -> (unit, Transport.error) result
+
+  val send :
+    t ->
+    deadline:Flipc_sim.Vtime.t ->
+    Bytes.t ->
+    (unit, Transport.error) result
+
+  (** Exactly-once, in-order. *)
+  val recv : t -> (Bytes.t option, Transport.error) result
+
+  val recv_deadline :
+    t -> deadline:Flipc_sim.Vtime.t -> (Bytes.t, Transport.error) result
+
+  val close : t -> unit
+
+  (** [create conn ()] wraps a connected base transport; both ends must
+      be wrapped with the same [config]. *)
+  val create : T.t -> ?config:config -> unit -> t
+
+  (** [flush t ~deadline] pumps until every queued message is
+      acknowledged or the virtual clock passes [deadline]. *)
+  val flush :
+    t -> deadline:Flipc_sim.Vtime.t -> (unit, Transport.error) result
+
+  (** {1 Counters} *)
+
+  val in_flight : t -> int
+
+  (** Highest cumulative sequence acknowledged by the peer. *)
+  val acked : t -> int
+
+  (** In-order messages delivered to the application. *)
+  val delivered : t -> int
+
+  (** Frames discarded as already delivered or already buffered. *)
+  val duplicates : t -> int
+
+  (** Data frames retransmitted. *)
+  val retransmits : t -> int
+
+  (** Out-of-order frames currently buffered for selective repeat. *)
+  val ooo_held : t -> int
+end

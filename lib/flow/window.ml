@@ -217,21 +217,28 @@ let send s buf =
   done;
   do_send s buf
 
-let send_timeout s ?(max_spins = 100_000) buf =
+let send_deadline s ~deadline buf =
   absorb_credits s;
-  let rec wait spins =
+  let rec wait () =
     if credits_available s > 0 then begin
       do_send s buf;
       Ok ()
     end
-    else if spins >= max_spins then Error `Timeout
+    else if Api.now s.s_api >= deadline then Error `Timeout
     else begin
       Mem_port.instr (Api.port s.s_api) 10;
       absorb_credits s;
-      wait (spins + 1)
+      wait ()
     end
   in
-  wait 0
+  wait ()
+
+(* Deprecated spin-count variant: each legacy spin polled once and burned
+   10 instructions, so the equivalent budget is [max_spins * 10 *
+   instr_ns] of virtual time from now. *)
+let send_timeout s ?(max_spins = 100_000) buf =
+  let deadline = Api.now s.s_api + (max_spins * 10 * Api.instr_ns s.s_api) in
+  send_deadline s ~deadline buf
 
 let try_send s buf =
   absorb_credits s;

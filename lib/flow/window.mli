@@ -71,9 +71,19 @@ val create_sender :
     {!send_timeout} when that is possible. *)
 val send : sender -> Flipc.Api.buffer -> unit
 
-(** [send_timeout s buf] is [send] with a bounded wait: after [max_spins]
-    credit polls (default 100_000) without an available credit it returns
-    [`Timeout] instead of spinning forever. *)
+(** [send_deadline s ~deadline buf] is [send] with a bounded wait: it
+    polls for credit until the virtual clock ({!Flipc.Api.now}) reaches
+    [deadline] (absolute, virtual ns), then returns [`Timeout] instead
+    of spinning forever. *)
+val send_deadline :
+  sender -> deadline:int -> Flipc.Api.buffer -> (unit, [ `Timeout ]) result
+
+(** [send_timeout s buf] is the deprecated spin-count variant of
+    {!send_deadline}: [max_spins] (default 100_000) legacy credit polls
+    are converted to the equivalent virtual-time budget
+    ([max_spins * 10 * instr_ns] from now), so the actual duration
+    depends on the node's cost model. New code should state a deadline
+    directly. *)
 val send_timeout :
   sender -> ?max_spins:int -> Flipc.Api.buffer -> (unit, [ `Timeout ]) result
 

@@ -1,0 +1,227 @@
+module Sim = Flipc_sim.Engine
+module Vtime = Flipc_sim.Vtime
+module Mailbox = Flipc_sim.Sync.Mailbox
+module Machine = Flipc.Machine
+module Api = Flipc.Api
+module Config = Flipc.Config
+module Monitor = Flipc_obs.Monitor
+module Transport = Flipc_flow.Transport
+module CT = Flipc_flow.Channel_transport
+module WL = Flipc_flow.Window_layer.Make (CT)
+module RC = Flipc_flow.Retrans_layer.Make (CT)
+module RW = Flipc_flow.Retrans_layer.Make (WL)
+
+type stack =
+  | Bare_channel
+  | Window_over_channel
+  | Retrans_over_channel
+  | Retrans_over_window
+
+let stack_name = function
+  | Bare_channel -> "channel"
+  | Window_over_channel -> "window/channel"
+  | Retrans_over_channel -> "retrans/channel"
+  | Retrans_over_window -> "retrans/window/channel"
+
+type result = {
+  expected : int;
+  delivered : int;
+  retransmits : int;
+  corrupt_leaks : int;
+  transport_drops : int;
+  watchdogs_expired : int;
+  monitor_violations : int;
+  clean : bool;
+}
+
+(* Verified payloads: deterministic per (flow, index) so the receiver
+   needs no side channel to detect corruption or misordering. *)
+let payload_of ~flow ~idx ~bytes =
+  Bytes.init bytes (fun j -> Char.chr (((flow * 131) + (idx * 31) + j) land 0xff))
+
+let terr = function
+  | Ok v -> v
+  | Error e -> failwith ("Stackflow: " ^ Transport.error_to_string e)
+
+(* The generic flow driver: everything below is written once against
+   {!Transport.S} and reused by every composition. The [rx_done] /
+   [tx_done] flags are simulation-harness knowledge, not protocol: the
+   sender keeps the protocol machine turning (retransmissions, acks)
+   until the receiver attests it has everything, and the receiver
+   lingers re-acknowledging duplicates until the sender has stood
+   down — a dropped final ack must not strand either side. *)
+type shared = { mutable rx_done : bool; mutable tx_done : bool }
+
+module Drive (T : Transport.S) = struct
+  let tx conn ~wd ~stall ~messages ~flow ~bytes ~pace_ns ~attempt_ns ~shared =
+    for i = 1 to messages do
+      let rec push () =
+        match
+          T.send conn ~deadline:(T.now conn + attempt_ns)
+            (payload_of ~flow ~idx:i ~bytes)
+        with
+        | Ok () -> Monitor.Watchdog.progress wd
+        | Error `Timeout ->
+            if Monitor.Watchdog.expired wd then stall wd;
+            push ()
+        | Error e -> failwith ("Stackflow: " ^ Transport.error_to_string e)
+      in
+      push ();
+      Sim.delay pace_ns
+    done;
+    while not shared.rx_done do
+      terr (T.pump conn);
+      if Monitor.Watchdog.expired wd then stall wd;
+      T.idle conn
+    done;
+    shared.tx_done <- true
+
+  let rx conn ~wd ~stall ~messages ~flow ~bytes ~on_delivered ~on_leak ~shared
+      =
+    let got = ref 0 in
+    while !got < messages do
+      match T.recv conn with
+      | Ok (Some p) ->
+          Monitor.Watchdog.progress wd;
+          incr got;
+          if not (Bytes.equal p (payload_of ~flow ~idx:!got ~bytes)) then
+            on_leak ();
+          on_delivered ()
+      | Ok None ->
+          if Monitor.Watchdog.expired wd then stall wd;
+          T.idle conn
+      | Error e -> failwith ("Stackflow: " ^ Transport.error_to_string e)
+    done;
+    shared.rx_done <- true;
+    Monitor.Watchdog.progress wd;
+    while (not shared.tx_done) && not (Monitor.Watchdog.expired wd) do
+      (match T.recv conn with Ok _ -> () | Error _ -> shared.tx_done <- true);
+      T.idle conn
+    done
+end
+
+let run ?(stack = Retrans_over_channel) ?fault ?fault_links
+    ?(cost = Flipc_memsim.Cost_model.paragon) ?(rto_ns = 200_000)
+    ?(pace_ns = 25_000) ?(budget = Vtime.ms 50) ?(window = 6)
+    ?(payload_bytes = 32) ~kind ~nodes ~messages () =
+  if nodes < 2 then invalid_arg "Stackflow: nodes < 2";
+  if messages < 1 then invalid_arg "Stackflow: messages < 1";
+  let config =
+    {
+      (Flipc_flow.Provision.config_for ~base:Config.default ~buffers:16) with
+      Config.frame_checksum = true;
+    }
+  in
+  let machine = Machine.create ~config ~cost ?fault ?fault_links kind () in
+  let mon = Machine.attach_monitor machine in
+  let sim = Machine.sim machine in
+  let rcfg =
+    {
+      Flipc_flow.Retrans_layer.default_config with
+      Flipc_flow.Retrans_layer.rto_ns;
+      max_rto_ns = 8 * rto_ns;
+    }
+  in
+  let half = nodes / 2 in
+  let delivered = ref 0
+  and retransmits = ref 0
+  and corrupt_leaks = ref 0
+  and transport_drops = ref 0
+  and stalled = ref 0 in
+  let stall wd =
+    failwith
+      (Printf.sprintf "watchdog '%s' expired" (Monitor.Watchdog.name wd))
+  in
+  let attempt_ns = 4 * rto_ns in
+  (* One driver per composition; the existential packs the wrapped
+     connection type with its driver and retransmit counter so the
+     per-flow wiring below stays stack-agnostic. *)
+  let drive : type a.
+      (module Transport.S with type t = a) ->
+      wrap:(CT.t -> a) ->
+      retrans_of:(a -> int) ->
+      unit =
+   fun (module T) ~wrap ~retrans_of ->
+    let module D = Drive (T) in
+    for flow = 0 to nodes - 1 do
+      let src = flow and dst = (flow + half) mod nodes in
+      let src_addr = Mailbox.create () and dst_addr = Mailbox.create () in
+      let wname dir = Printf.sprintf "stack-%d-%s" flow dir in
+      let shared = { rx_done = false; tx_done = false } in
+      Machine.spawn_app ~name:(wname "rx") ~cpu:1 machine ~node:dst
+        (fun api ->
+          let base = terr (CT.create api ~pool:4 ~depth:8 ()) in
+          Mailbox.put dst_addr (CT.address base);
+          terr (CT.connect base (Mailbox.take src_addr));
+          let conn = wrap base in
+          let wd = Monitor.Watchdog.create ~budget ~sim ~name:(wname "rx") () in
+          let bytes = min payload_bytes (T.capacity conn) in
+          D.rx conn ~wd ~stall ~messages ~flow ~bytes
+            ~on_delivered:(fun () -> incr delivered)
+            ~on_leak:(fun () -> incr corrupt_leaks)
+            ~shared;
+          transport_drops := !transport_drops + CT.drops base);
+      Machine.spawn_app ~name:(wname "tx") ~cpu:0 machine ~node:src
+        (fun api ->
+          let base = terr (CT.create api ~pool:4 ~depth:8 ()) in
+          Mailbox.put src_addr (CT.address base);
+          terr (CT.connect base (Mailbox.take dst_addr));
+          let conn = wrap base in
+          let wd = Monitor.Watchdog.create ~budget ~sim ~name:(wname "tx") () in
+          let bytes = min payload_bytes (T.capacity conn) in
+          Fun.protect
+            ~finally:(fun () ->
+              retransmits := !retransmits + retrans_of conn;
+              transport_drops := !transport_drops + CT.drops base)
+            (fun () ->
+              D.tx conn ~wd ~stall ~messages ~flow ~bytes ~pace_ns ~attempt_ns
+                ~shared))
+    done
+  in
+  (match stack with
+  | Bare_channel ->
+      drive (module CT) ~wrap:(fun c -> c) ~retrans_of:(fun _ -> 0)
+  | Window_over_channel ->
+      drive
+        (module WL)
+        ~wrap:(fun c -> WL.create c ~window ())
+        ~retrans_of:(fun _ -> 0)
+  | Retrans_over_channel ->
+      drive
+        (module RC)
+        ~wrap:(fun c -> RC.create c ~config:rcfg ())
+        ~retrans_of:RC.retransmits
+  | Retrans_over_window ->
+      drive
+        (module RW)
+        ~wrap:(fun c -> RW.create (WL.create c ~window ()) ~config:rcfg ())
+        ~retrans_of:RW.retransmits);
+  (* A Process_failure kills exactly one flow process; keep running so
+     the other flows finish and the cell reports how far it got. *)
+  let rec run_all stopping =
+    match
+      if stopping then Machine.stop_engines machine;
+      Machine.run machine
+    with
+    | () -> if not stopping then run_all true
+    | exception Sim.Process_failure (_, _) ->
+        incr stalled;
+        run_all stopping
+  in
+  run_all false;
+  let expected = nodes * messages in
+  let violations = List.length (Monitor.violations mon) in
+  let clean =
+    Monitor.clean mon && !stalled = 0 && !delivered = expected
+    && !corrupt_leaks = 0
+  in
+  {
+    expected;
+    delivered = !delivered;
+    retransmits = !retransmits;
+    corrupt_leaks = !corrupt_leaks;
+    transport_drops = !transport_drops;
+    watchdogs_expired = !stalled;
+    monitor_violations = violations;
+    clean;
+  }

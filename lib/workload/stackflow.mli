@@ -1,0 +1,72 @@
+(** Layered-stack soak flows: all-to-all traffic over a composed
+    {!Flipc_flow.Transport} stack, with exactly-once verification.
+
+    Where {!Flipc_flow.Retrans} soaks exercise the endpoint-pair
+    modules, this workload drives the {e stacked} implementations —
+    {!Flipc_flow.Channel_transport} at the base with
+    {!Flipc_flow.Retrans_layer} / {!Flipc_flow.Window_layer} functors
+    above — through a faulted machine: node [i] streams [messages]
+    verified payloads to node [(i + n/2) mod n], every node both
+    sending and receiving, with an invariant monitor attached and a
+    virtual-time watchdog per flow.
+
+    Receivers check every delivered payload against the pattern the
+    sender wrote and require strict in-order, exactly-once delivery;
+    [corrupt_leaks] counts mismatches (must stay zero — the frame
+    checksum turns wire corruption into loss, and the reliability
+    layer recovers loss). *)
+
+(** Which composition to run. [Bare_channel] and [Window_over_channel]
+    give no delivery guarantee under faults — run them on clean
+    fabrics; the [Retrans_*] stacks must deliver exactly-once under
+    any fault mix. *)
+type stack =
+  | Bare_channel
+  | Window_over_channel
+  | Retrans_over_channel
+  | Retrans_over_window
+
+val stack_name : stack -> string
+
+type result = {
+  expected : int;
+  delivered : int;
+  retransmits : int;  (** 0 for stacks without a retransmission layer *)
+  corrupt_leaks : int;  (** delivered payloads that failed verification *)
+  transport_drops : int;  (** optimistic discards at base receive endpoints *)
+  watchdogs_expired : int;
+  monitor_violations : int;
+  clean : bool;
+      (** all delivered, nothing corrupt, no stall, monitor clean *)
+}
+
+(** [run ~kind ~nodes ~messages ()] builds the machine (frame checksum
+    on), runs [nodes] flows over the chosen [stack] and returns the
+    tally.
+
+    @param stack default [Retrans_over_channel]
+    @param fault fabric-wide fault injection (default none)
+    @param fault_links per-link fault overrides
+    @param cost memory cost model (default paragon)
+    @param rto_ns retransmission timeout for the retrans layer
+      (default 200us; set above the fabric round trip)
+    @param pace_ns inter-message virtual delay per sender (default 25us)
+    @param budget per-flow watchdog budget (default 50ms)
+    @param window window size for the window layer (default 6)
+    @param payload_bytes verified payload size (default 32, clamped to
+      the stack's capacity) *)
+val run :
+  ?stack:stack ->
+  ?fault:Flipc_net.Faulty.config ->
+  ?fault_links:Flipc_net.Faulty.links ->
+  ?cost:Flipc_memsim.Cost_model.t ->
+  ?rto_ns:int ->
+  ?pace_ns:int ->
+  ?budget:Flipc_sim.Vtime.t ->
+  ?window:int ->
+  ?payload_bytes:int ->
+  kind:Flipc.Machine.fabric_kind ->
+  nodes:int ->
+  messages:int ->
+  unit ->
+  result

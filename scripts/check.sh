@@ -210,6 +210,36 @@ else
   grep -q '"clean":true}$' "$obs_tmp/soak_matrix.json"
 fi
 
+echo "== layered transport gate =="
+# The TRANSPORT abstraction: one functorized conformance suite runs
+# unchanged against the in-memory loopback transport and the channel
+# stacks over a faulted mesh fabric (test_transport covers both
+# harnesses, including exactly-once for the reliable compositions).
+# Then the stack matrix drives every Stackflow composition all-to-all
+# through the fault scenarios it promises to survive; --assert-clean
+# exits 1 on any lost/duplicated/corrupt delivery, invariant violation
+# or watchdog expiry.
+dune exec test/test_transport.exe -- -c >/dev/null
+dune exec bin/flipc_cli.exe -- stack --assert-clean --fault-seed 31 \
+  --out "$obs_tmp/stack.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('$obs_tmp/stack.json'))
+assert doc['clean'], 'stack matrix reported an unclean cell'
+stacks = {c['stack'] for c in doc['cells']}
+assert stacks == {'channel', 'window/channel', 'retrans/channel',
+                  'retrans/window/channel'}, f'missing compositions: {stacks}'
+retrans_cells = [c for c in doc['cells'] if c['stack'] == 'retrans/channel']
+assert len(retrans_cells) == 6, 'retrans stack did not sweep all scenarios'
+faulted = [c for c in retrans_cells if c['scenario'] != 'clean']
+assert all(c['retransmits'] > 0 for c in faulted), \
+    'a faulted cell exercised no retransmission'
+"
+else
+  grep -q '"clean":true}$' "$obs_tmp/stack.json"
+fi
+
 echo "== format =="
 if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt

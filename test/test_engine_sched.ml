@@ -16,7 +16,9 @@ module Api = Flipc.Api
 module Machine = Flipc.Machine
 module Msg_engine = Flipc.Msg_engine
 module Endpoint_kind = Flipc.Endpoint_kind
+module Endpoint_group = Flipc.Endpoint_group
 module Nameservice = Flipc.Nameservice
+module Rt_semaphore = Flipc_rt.Rt_semaphore
 
 let ok = function
   | Ok v -> v
@@ -104,6 +106,85 @@ let no_lost_wakeup_prop =
         s0.Msg_engine.parks >= 1 || List.for_all (fun g -> g = 0) gaps
       in
       !got = total && parked_enough)
+
+(* ------------------------------------------------------------------ *)
+(* Group membership has its own lost-wakeup window, one level above the
+   doorbell: a message deposited on an endpoint *before* it joins a
+   group posts (and a waiter consumes) the shared semaphore while no
+   member can surface the buffer, so a thread blocked in
+   [receive_any_wait] would sleep forever on traffic that is already
+   here. [Endpoint_group.add] closes it with one spurious post; this
+   property races the add against delivery at varying offsets, from
+   "add long before the message lands" to "message waits in the queue
+   well before the add". Every interleaving must deliver everything. *)
+
+let group_add_no_lost_wakeup_prop =
+  QCheck.Test.make ~name:"group add: no lost wakeup for early deposits"
+    ~count:15
+    QCheck.(pair (int_bound 40) (int_range 1 3))
+    (fun (add_delay_units, total) ->
+      let machine =
+        Machine.create (Machine.Mesh { cols = 2; rows = 1 }) ()
+      in
+      let ns = Machine.names machine in
+      let got = ref 0 in
+      let deadline = Flipc_sim.Vtime.ms 20 in
+      let sem = Rt_semaphore.create (Machine.sched (Machine.node machine 1)) in
+      Machine.spawn_app machine ~node:1 (fun api ->
+          let group = Endpoint_group.create ~semaphore:sem api in
+          (* The group starts with one silent member, so the waiter below
+             is genuinely parked on the semaphore (scanning an empty but
+             non-empty-membered group) when the race fires. *)
+          let quiet =
+            ok
+              (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv
+                 ~semaphore:sem ())
+          in
+          ok (Api.post_receive api quiet (ok (Api.allocate_buffer api)));
+          Endpoint_group.add group quiet;
+          let late =
+            ok
+              (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv
+                 ~semaphore:sem ())
+          in
+          for _ = 1 to total do
+            ok (Api.post_receive api late (ok (Api.allocate_buffer api)))
+          done;
+          Nameservice.register ns "late" (Api.address api late);
+          ignore
+            (Machine.spawn_thread machine ~node:1 ~priority:5 (fun thr api ->
+                 ignore api;
+                 for _ = 1 to total do
+                   let ep, buf = Endpoint_group.receive_any_wait group thr in
+                   ignore (ep : Api.endpoint);
+                   ignore (buf : Api.buffer);
+                   incr got
+                 done)
+              : Flipc_rt.Sched.thread);
+          (* The racing add: anywhere from before the first delivery to
+             long after every message is sitting in [late]'s queue. *)
+          if add_delay_units > 0 then
+            Sim.delay (add_delay_units * Flipc_sim.Vtime.us 5);
+          Endpoint_group.add group late);
+      Machine.spawn_app machine ~node:0 (fun api ->
+          let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+          Api.connect api ep (Nameservice.lookup ns "late");
+          let buf = ok (Api.allocate_buffer api) in
+          for _ = 1 to total do
+            ok (Api.send api ep buf);
+            let rec reclaim () =
+              match Api.reclaim api ep with
+              | Some _ -> ()
+              | None ->
+                  Mem_port.instr (Api.port api) 5;
+                  reclaim ()
+            in
+            reclaim ()
+          done);
+      Machine.run ~until:deadline machine;
+      Machine.stop_engines machine;
+      Machine.run machine;
+      !got = total)
 
 (* ------------------------------------------------------------------ *)
 (* Epoch invalidation: endpoint-set and priority changes rebuild the
@@ -246,6 +327,7 @@ let () =
       ( "doorbell",
         [
           QCheck_alcotest.to_alcotest no_lost_wakeup_prop;
+          QCheck_alcotest.to_alcotest group_add_no_lost_wakeup_prop;
           Alcotest.test_case "full-scan equivalence" `Quick
             test_full_scan_equivalence;
         ] );

@@ -318,6 +318,62 @@ let test_group_remove_and_drops () =
       ok (Api.send api ep (ok (Api.allocate_buffer api))));
   finish machine
 
+(* Regression: removing a member below the round-robin cursor must shift
+   the cursor with the compacted array. The buggy remove left [next]
+   pointing one slot past the member whose fair turn was due, so after
+   consuming from ep0 and removing it, the next scan started at ep2 and
+   ep1 lost its turn even with a message waiting. *)
+let test_group_remove_cursor () =
+  let machine = mesh2 () in
+  let addr_box = Mailbox.create () in
+  let sent_box = Mailbox.create () in
+  Machine.spawn_app machine ~node:1 (fun api ->
+      let group = Endpoint_group.create api in
+      let eps =
+        Array.init 3 (fun _ ->
+            let ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Recv ()) in
+            Endpoint_group.add group ep;
+            ok (Api.post_receive api ep (ok (Api.allocate_buffer api)));
+            ep)
+      in
+      Array.iter (fun ep -> Mailbox.put addr_box (Api.address api ep)) eps;
+      (* Wait until all three deposits are in their queues, so every scan
+         below sees a message on every member and the cursor alone decides
+         which endpoint is served. *)
+      Mailbox.take sent_box;
+      Sim.delay (Flipc_sim.Vtime.us 500);
+      let expect label ep =
+        match Endpoint_group.receive_any group with
+        | None -> Alcotest.fail (label ^ ": nothing receivable")
+        | Some (got, buf) ->
+            ignore (buf : Api.buffer);
+            check label (Api.endpoint_index ep) (Api.endpoint_index got)
+      in
+      expect "first scan serves ep0" eps.(0);
+      (* Cursor now sits on ep1. Removing ep0 compacts the array: ep1
+         shifts into slot 0 and the cursor must follow it there. *)
+      Endpoint_group.remove group eps.(0);
+      expect "ep1 keeps its turn after remove" eps.(1);
+      expect "then ep2" eps.(2));
+  Machine.spawn_app machine ~node:0 (fun api ->
+      let send_ep = ok (Api.allocate_endpoint api ~kind:Endpoint_kind.Send ()) in
+      let targets = List.init 3 (fun _ -> Mailbox.take addr_box) in
+      let buf = ok (Api.allocate_buffer api) in
+      List.iter
+        (fun target ->
+          ok (Api.send_to api send_ep buf target);
+          let rec reclaim () =
+            match Api.reclaim api send_ep with
+            | Some _ -> ()
+            | None ->
+                Mem_port.instr (Api.port api) 5;
+                reclaim ()
+          in
+          reclaim ())
+        targets;
+      Mailbox.put sent_box ());
+  finish machine
+
 (* Wait-freedom: an application that stalls forever in the middle of an
    operation cannot stop the engine from serving other endpoints. *)
 let test_engine_wait_freedom () =
@@ -711,6 +767,8 @@ let () =
             test_endpoint_free_reuse;
           Alcotest.test_case "group remove & drops" `Quick
             test_group_remove_and_drops;
+          Alcotest.test_case "group remove keeps cursor fair" `Quick
+            test_group_remove_cursor;
         ] );
       ( "robustness",
         [
