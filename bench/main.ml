@@ -1132,14 +1132,20 @@ let fault_sweep () =
           let payload = Bytes.create 8 in
           Bytes.set_int64_le payload 0
             (Int64.of_int (Sim.now (Machine.sim machine)));
-          (match Retrans.send s payload with
+          let deadline =
+            Sim.now (Machine.sim machine) + Flipc_sim.Vtime.ms 100
+          in
+          (match Retrans.send_deadline s ~deadline payload with
           | Ok () -> ()
           | Error `Timeout -> failwith "fault_sweep: sender timed out");
           (* Pace the offered load so the sweep measures transport and
              recovery latency, not window queueing. *)
           Sim.delay gap_ns
         done;
-        (match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.ms 100) with
+        let deadline =
+          Sim.now (Machine.sim machine) + Flipc_sim.Vtime.ms 100
+        in
+        (match Retrans.flush_deadline s ~deadline with
         | Ok () -> ()
         | Error `Timeout -> failwith "fault_sweep: flush timed out");
         retrans := Retrans.retransmits s);
@@ -1940,15 +1946,30 @@ let doctor_overhead () =
   let v_off, h_off, _, _, _ = run `Off in
   let v_tr, h_tr, e_tr, _, _ = run `Trace in
   let v_mon, h_mon, e_mon, viol, _ = run `Monitor in
+  let file_size path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
   let capture_path = Filename.temp_file "flipc_doctor_overhead" ".trace" in
   let v_cap, h_cap, e_cap, _, _ = run (`Capture capture_path) in
+  let jsonl_bytes = file_size capture_path in
   Sys.remove capture_path;
+  (* Same sink, binary frame codec (selected by the .ftrace suffix):
+     identical event stream, so the byte ratio is a pure codec figure. *)
+  let binary_path = Filename.temp_file "flipc_doctor_overhead" ".ftrace" in
+  let v_bin, h_bin, e_bin, _, _ = run (`Capture binary_path) in
+  let binary_bytes = file_size binary_path in
+  Sys.remove binary_path;
+  let shrink = float_of_int jsonl_bytes /. float_of_int (max 1 binary_bytes) in
   let v_ser, h_ser, e_ser, _, win = run `Series in
   let windows, series_json =
     match win with Some (n, j) -> (n, j) | None -> (0, Json.Null)
   in
   let identical =
-    v_off = v_tr && v_off = v_mon && v_off = v_cap && v_off = v_ser
+    v_off = v_tr && v_off = v_mon && v_off = v_cap && v_off = v_bin
+    && v_off = v_ser
   in
   let t =
     Table.create
@@ -1969,10 +1990,13 @@ let doctor_overhead () =
   row "tracing" v_tr h_tr e_tr;
   row "tracing+monitors" v_mon h_mon e_mon;
   row "capture sink" v_cap h_cap e_cap;
+  row "capture (binary)" v_bin h_bin e_bin;
   row "series tap" v_ser h_ser e_ser;
   Table.print t;
-  Fmt.pr "disabled path zero virtual cost (timelines bit-identical): %b@.@."
+  Fmt.pr "disabled path zero virtual cost (timelines bit-identical): %b@."
     identical;
+  Fmt.pr "capture bytes: jsonl=%d binary=%d (%.1fx smaller)@.@." jsonl_bytes
+    binary_bytes shrink;
   let mode name v h e extra =
     ( name,
       Json.Obj
@@ -1993,7 +2017,10 @@ let doctor_overhead () =
             mode "tracing" v_tr h_tr e_tr [];
             mode "monitors" v_mon h_mon e_mon
               [ ("monitor_violations", Json.Int viol) ];
-            mode "capture" v_cap h_cap e_cap [];
+            mode "capture" v_cap h_cap e_cap
+              [ ("capture_jsonl_bytes", Json.Int jsonl_bytes) ];
+            mode "capture_binary" v_bin h_bin e_bin
+              [ ("capture_binary_bytes", Json.Int binary_bytes) ];
             mode "series" v_ser h_ser e_ser
               [
                 ("series_window_count", Json.Int windows);
@@ -2003,6 +2030,9 @@ let doctor_overhead () =
       (* An Int, not a Bool: bench_diff.sh gates numeric leaves only, and
          this one must never regress below 1. *)
       ("virtual_identical", Json.Int (if identical then 1 else 0));
+      (* JSONL bytes / binary bytes for the same event stream;
+         bench_diff.sh holds every "shrink" leaf at >= 4.0. *)
+      ("binary_capture_shrink", Json.Float shrink);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -70,7 +70,10 @@ let capture_out =
   let doc =
     "Write a persistent flight-data capture of the run to $(docv): compact \
      JSONL, one self-describing event per line with virtual timestamps \
-     preserved, replayable offline with $(b,flipc doctor --replay)."
+     preserved — or, when $(docv) ends in $(b,.ftrace), the versioned \
+     binary frame format (several times smaller, same fidelity). Either \
+     form is replayable offline with $(b,flipc doctor --replay), which \
+     auto-detects the format."
   in
   Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"FILE" ~doc)
 
@@ -509,12 +512,18 @@ let faults_cmd =
               let p = Bytes.create bytes in
               Bytes.set_int64_le p 0
                 (Int64.of_int (Sim.now (Machine.sim machine)));
-              (match Retrans.send s p with
+              let deadline =
+                Sim.now (Machine.sim machine) + Flipc_sim.Vtime.s 2
+              in
+              (match Retrans.send_deadline s ~deadline p with
               | Ok () -> ()
               | Error `Timeout -> failwith "sender timed out: peer unreachable?");
               Sim.delay (4 * rto_ns / 32)
             done;
-            match Retrans.flush s ~timeout_ns:(Flipc_sim.Vtime.s 1) with
+            let deadline =
+              Sim.now (Machine.sim machine) + Flipc_sim.Vtime.s 1
+            in
+            match Retrans.flush_deadline s ~deadline with
             | Ok () -> ()
             | Error `Timeout -> failwith "flush timed out: peer unreachable?");
         s_stats := (Retrans.retransmits s, Retrans.ack_drops s));
@@ -1172,6 +1181,20 @@ let doctor_cmd =
              report — byte-for-byte in $(b,--json) mode — as the run that \
              wrote the capture.")
   in
+  let against_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--replay) CANDIDATE: load a second capture as the \
+             baseline and report the cross-run diff instead of a single \
+             diagnosis — monitor-violation keys added/removed, per-stage \
+             latency quantile deltas, per-site median latency shifts and \
+             event-count deltas. Under $(b,--assert-clean), exit 1 when \
+             the candidate adds any violation key the baseline did not \
+             have.")
+  in
   (* One report body for both modes: the live run passes its measured
      context, a replay echoes the context stored in the capture trailer;
      everything diagnostic (spans, verdicts, monitor state) is
@@ -1315,11 +1338,39 @@ let doctor_cmd =
           ~stalled:(Json.member "stalled" summary = Some (Json.Bool true))
           ~stall_report:None ~spans ~mon
   in
-  let run trace replay flows msgs drop dup reorder seed assert_clean json_out =
+  let diff_run ~cand_path ~base_path ~json_out ~assert_clean =
+    let module Replay = Flipc_obs.Replay in
+    let module Diff = Flipc_obs.Diff in
+    let load side path =
+      match Replay.load path with
+      | Ok c -> c
+      | Error e ->
+          Fmt.epr "flipc doctor: cannot load %s capture %s: %s@." side path e;
+          exit 2
+    in
+    let cand = load "candidate" cand_path in
+    let base = load "baseline" base_path in
+    let d = Diff.compare_runs ~base ~cand in
+    if json_out then print_endline (Json.to_string (Diff.json d))
+    else Fmt.pr "@[<v>%a@]@." Diff.pp d;
+    if assert_clean && Diff.regressions d > 0 then begin
+      if not json_out then
+        Fmt.epr "flipc doctor: %d violation key(s) added vs baseline@."
+          (Diff.regressions d);
+      exit 1
+    end
+  in
+  let run trace replay against flows msgs drop dup reorder seed assert_clean
+      json_out =
     with_trace trace @@ fun () ->
-    match replay with
-    | Some path -> replay_run path ~json_out ~assert_clean
-    | None ->
+    match (replay, against) with
+    | Some cand, Some base ->
+        diff_run ~cand_path:cand ~base_path:base ~json_out ~assert_clean
+    | None, Some _ ->
+        Fmt.epr "flipc doctor: --against requires --replay CANDIDATE@.";
+        exit 2
+    | Some path, None -> replay_run path ~json_out ~assert_clean
+    | None, None ->
     if flows < 1 || flows > 8 then begin
       Fmt.epr "flipc doctor: --flows must be in [1,8]@.";
       exit 2
@@ -1475,13 +1526,15 @@ let doctor_cmd =
      online invariant monitors and progress watchdogs attached, then report \
      spans, retransmission branches and the invariant verdict. \
      $(b,--assert-clean) turns it into a CI health gate; $(b,--capture) \
-     writes a flight-data file that $(b,--replay) re-diagnoses offline."
+     writes a flight-data file (binary when it ends in $(b,.ftrace)) that \
+     $(b,--replay) re-diagnoses offline, and $(b,--against) diffs two \
+     captures."
   in
   Cmd.v
     (Cmd.info "doctor" ~doc)
     Term.(
-      const run $ obs_out $ replay_arg $ flows_arg $ msgs $ drop $ dup
-      $ reorder $ seed $ assert_clean $ json_flag)
+      const run $ obs_out $ replay_arg $ against_arg $ flows_arg $ msgs $ drop
+      $ dup $ reorder $ seed $ assert_clean $ json_flag)
 
 (* --- soakmatrix --- *)
 
@@ -2214,10 +2267,33 @@ let metrics_cmd =
     in
     Arg.(value & opt (some int) None & info [ "series" ] ~docv:"US" ~doc)
   in
-  let run trace json_out prom payload exchanges series_us =
+  let alerts_arg =
+    let doc =
+      "Evaluate the alert rules in $(docv) (JSON; same grammar as \
+       $(b,flipc alert)) over the series windows and report the firings. \
+       Each firing is also emitted into the event stream as a typed \
+       alert_fired event, so it lands in any $(b,--capture) file. Implies \
+       a series tap (window size from $(b,--series), default 100 us)."
+    in
+    Arg.(value & opt (some string) None & info [ "alerts" ] ~docv:"RULES" ~doc)
+  in
+  let run trace json_out prom payload exchanges series_us alerts_path =
     with_trace trace @@ fun () ->
+    let module Alert = Flipc_obs.Alert in
     let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
     let obs = Machine.obs machine in
+    let alert =
+      Option.map
+        (fun path ->
+          match Alert.load_rules path with
+          | Error e ->
+              Fmt.epr "flipc metrics: %s@." e;
+              exit 2
+          | Ok rules ->
+              let interval = Vtime.us (Option.value series_us ~default:100) in
+              Alert.attach ~rules ~interval obs)
+        alerts_path
+    in
     let series =
       Option.map
         (fun us -> Series.attach ~interval:(Vtime.us us) obs)
@@ -2228,6 +2304,7 @@ let metrics_cmd =
         ~exchanges ()
     in
     Option.iter Series.sample series;
+    Option.iter Alert.sample alert;
     let snap = Metrics.snapshot (Obs.metrics obs) in
     let lat = Obs.latency obs in
     if prom then print_string (Series.prom_of_snapshot snap)
@@ -2245,9 +2322,12 @@ let metrics_cmd =
                  ("metrics", Metrics.snapshot_json snap);
                  ("latency", Latency.json lat);
                ]
+              @ (match series with
+                | Some s -> [ ("series", Series.json s) ]
+                | None -> [])
               @
-              match series with
-              | Some s -> [ ("series", Series.json s) ]
+              match alert with
+              | Some a -> [ ("alerts", Alert.json a) ]
               | None -> [])))
     else begin
       Fmt.pr "pingpong on a 2x1 mesh: %d exchanges of %dB messages@."
@@ -2255,10 +2335,13 @@ let metrics_cmd =
       Fmt.pr "aggregate one-way: %.2f us@.@." r.Pingpong.aggregate_one_way_us;
       Fmt.pr "metrics registry snapshot:@.%a@." Metrics.pp_snapshot snap;
       Fmt.pr "per-message latency breakdown:@.%a" Latency.pp lat;
-      match series with
+      (match series with
       | Some s ->
           Fmt.pr "@.series: %d window(s) sampled (use --json for contents)@."
             (Series.window_count s)
+      | None -> ());
+      match alert with
+      | Some a -> Fmt.pr "@.@[<v>%a@]@." Alert.pp_report a
       | None -> ()
     end
   in
@@ -2266,13 +2349,110 @@ let metrics_cmd =
     "Run a short ping-pong workload and dump the machine's metrics-registry \
      snapshot and per-message latency breakdown (deterministic for a fixed \
      configuration). $(b,--prom) switches to Prometheus text exposition; \
-     $(b,--series) adds windowed time-series output."
+     $(b,--series) adds windowed time-series output; $(b,--alerts) \
+     evaluates a declarative rule set over the windows."
   in
   Cmd.v
     (Cmd.info "metrics" ~doc)
     Term.(
       const run $ obs_out $ json_flag $ prom_flag $ payload $ exchanges
-      $ series_us)
+      $ series_us $ alerts_arg)
+
+(* --- alert --- *)
+
+let alert_cmd =
+  let module Alert = Flipc_obs.Alert in
+  let module Series = Flipc_obs.Series in
+  let module Json = Flipc_obs.Json in
+  let module Vtime = Flipc_sim.Vtime in
+  let rules_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:
+            "Alert rule set: a JSON document {\"rules\": [...]} where each \
+             rule has a \"name\", a \"kind\" (rate_band, counter_zero or \
+             quantile_ceiling) and kind-specific fields (see DESIGN.md, \
+             section 18).")
+  in
+  let interval_us =
+    Arg.(
+      value & opt int 100
+      & info [ "interval" ] ~docv:"US"
+          ~doc:"Series window size in virtual microseconds.")
+  in
+  let json_flag =
+    let doc = "Emit one machine-readable JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let expect_fire =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-fire" ] ~docv:"RULE"
+          ~doc:
+            "Invert the gate: exit 0 only when rule $(docv) fired at least \
+             once — a self-test that the tripwire actually trips.")
+  in
+  let run trace rules_path interval_us json_out expect payload exchanges =
+    with_trace trace @@ fun () ->
+    let rules =
+      match Alert.load_rules rules_path with
+      | Ok r -> r
+      | Error e ->
+          Fmt.epr "flipc alert: %s@." e;
+          exit 2
+    in
+    let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+    let obs = Machine.obs machine in
+    let a = Alert.attach ~rules ~interval:(Vtime.us interval_us) obs in
+    let r =
+      Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:payload
+        ~exchanges ()
+    in
+    Alert.sample a;
+    let fired = Alert.fired a in
+    if json_out then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("workload", Json.String "pingpong");
+                ("exchanges", Json.Int r.Pingpong.exchanges);
+                ("rules", Json.Int (List.length rules));
+                ( "windows",
+                  Json.Int (Series.window_count (Alert.series a)) );
+                ("fired", Alert.json a);
+                ("clean", Json.Bool (fired = []));
+              ]))
+    else begin
+      Fmt.pr "flipc alert: %d rule(s) over %d window(s) of a pingpong run@."
+        (List.length rules)
+        (Series.window_count (Alert.series a));
+      Fmt.pr "@[<v>%a@]@." Alert.pp_report a
+    end;
+    match expect with
+    | Some rule ->
+        if not (List.exists (fun f -> f.Alert.a_rule = rule) fired) then begin
+          if not json_out then
+            Fmt.epr "flipc alert: expected rule %S to fire; it did not@." rule;
+          exit 1
+        end
+    | None -> if fired <> [] then exit 1
+  in
+  let doc =
+    "Run the deterministic ping-pong workload with a declarative alert rule \
+     set attached to windowed telemetry, report every firing, and exit 1 if \
+     any rule fired — a CI tripwire over live metrics. Firings are also \
+     emitted as typed events, so they land in $(b,--capture) files and \
+     survive $(b,flipc doctor --replay)."
+  in
+  Cmd.v
+    (Cmd.info "alert" ~doc)
+    Term.(
+      const run $ obs_out $ rules_arg $ interval_us $ json_flag $ expect_fire
+      $ payload $ exchanges)
 
 (* --- engine --- *)
 
@@ -2448,6 +2628,6 @@ let () =
             latency_cmd; sweep_cmd; compare_cmd; streams_cmd; rpc_cmd; kkt_cmd;
             throughput_cmd; firehose_cmd; bulk_cmd; faults_cmd; retrans_cmd;
             doctor_cmd; soakmatrix_cmd; stack_cmd;
-            trace_cmd; metrics_cmd;
+            trace_cmd; metrics_cmd; alert_cmd;
             engine_cmd; info_cmd;
           ]))

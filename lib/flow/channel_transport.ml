@@ -14,8 +14,8 @@ let chan_err : Channel.error -> Transport.error = function
   | `No_buffer -> `No_buffer
   | #Api.error as e -> `Api e
 
-let create api ?pool ?depth () =
-  match Channel.create_rx api ?depth () with
+let create api ?pool ?depth ?semaphore () =
+  match Channel.create_rx api ?depth ?semaphore () with
   | Error e -> Error (chan_err e)
   | Ok rx -> Ok { api; rx; pool; tx = None; closed = false }
 

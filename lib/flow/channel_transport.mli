@@ -40,9 +40,18 @@ val close : t -> unit
 (** [create api ()] allocates the receive half; the connection sends
     nothing (and reports [`Closed] from send operations) until
     {!connect}. [pool] sizes the transmit buffer pool, [depth] the
-    posted receive queue (both default 4, as in {!Flipc.Channel}). *)
+    posted receive queue (both default 4, as in {!Flipc.Channel}).
+    [semaphore] attaches a real-time wakeup semaphore to the receive
+    endpoint, making the connection eligible for a
+    {!Transport.Group.recv_any_wait} group built on the same
+    semaphore. *)
 val create :
-  Flipc.Api.t -> ?pool:int -> ?depth:int -> unit -> (t, Transport.error) result
+  Flipc.Api.t ->
+  ?pool:int ->
+  ?depth:int ->
+  ?semaphore:Flipc_rt.Rt_semaphore.t ->
+  unit ->
+  (t, Transport.error) result
 
 (** The receive half's address, to hand to the peer. *)
 val address : t -> Flipc.Address.t

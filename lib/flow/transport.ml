@@ -66,10 +66,26 @@ module Defaults (C : CORE) = struct
 end
 
 module Group (T : S) = struct
-  type t = { mutable members : T.t array; mutable next : int }
+  type t = {
+    mutable members : T.t array;
+    mutable next : int;
+    sem : Flipc_rt.Rt_semaphore.t option;
+  }
 
-  let create () = { members = [||]; next = 0 }
-  let add t conn = t.members <- Array.append t.members [| conn |]
+  let create ?semaphore () = { members = [||]; next = 0; sem = semaphore }
+  let semaphore t = t.sem
+
+  let add t conn =
+    t.members <- Array.append t.members [| conn |];
+    (* Close the lost-wakeup window (same rule as
+       [Endpoint_group.add]): traffic deposited on [conn] before it
+       joined already consumed its post while no scan could surface
+       it. One spurious post makes every blocked waiter rescan; the
+       Mesa-style wait loop absorbs it when the scan comes up empty. *)
+    match t.sem with
+    | Some sem -> Flipc_rt.Rt_semaphore.post sem
+    | None -> ()
+
   let length t = Array.length t.members
 
   let remove t conn =
@@ -127,4 +143,26 @@ module Group (T : S) = struct
           end
     in
     loop ()
+
+  (* Blocking receive-any over the rt semaphore: instead of burning
+     idle polls, the calling scheduler thread sleeps until an engine
+     posts the shared semaphore (every member's receive endpoint must
+     be allocated with it — [Channel_transport.create ?semaphore]).
+     Wakeups are hints, not tokens: a post can predate membership or
+     belong to a message another consumer already took, so each wake
+     triggers a full fair rescan and an empty scan simply waits
+     again. *)
+  let recv_any_wait t thr =
+    match t.sem with
+    | None -> invalid_arg "Transport.Group.recv_any_wait: no group semaphore"
+    | Some sem ->
+        let rec loop () =
+          match recv_any t with
+          | Ok (Some hit) -> Ok hit
+          | Error e -> Error e
+          | Ok None ->
+              Flipc_rt.Rt_semaphore.wait sem thr;
+              loop ()
+        in
+        loop ()
 end

@@ -118,9 +118,21 @@ end
 module Group (T : S) : sig
   type t
 
-  val create : unit -> t
+  (** [create ?semaphore ()] makes an empty group. With [semaphore],
+      {!recv_any_wait} can block a scheduler thread on it instead of
+      polling — every member's receive path must then be wired to post
+      the {e same} semaphore (e.g. [Channel_transport.create
+      ~semaphore]); the group cannot verify this through an abstract
+      transport, so it is the caller's contract. *)
+  val create : ?semaphore:Flipc_rt.Rt_semaphore.t -> unit -> t
 
-  (** Membership is by physical identity of the connection value. *)
+  (** The wakeup semaphore the group was created with, if any. *)
+  val semaphore : t -> Flipc_rt.Rt_semaphore.t option
+
+  (** Membership is by physical identity of the connection value.
+      Adding posts the group semaphore once (if present) so waiters
+      rescan — a message deposited before the member joined has
+      already consumed its post. *)
   val add : t -> T.t -> unit
 
   (** Removing keeps the round-robin cursor pointing at the member that
@@ -141,4 +153,12 @@ module Group (T : S) : sig
       member there is no clock to wait on). *)
   val recv_any_deadline :
     t -> deadline:Flipc_sim.Vtime.t -> (T.t * Bytes.t, error) result
+
+  (** Blocking {!recv_any} over the group semaphore: the scheduler
+      thread sleeps (priority-ordered wakeup, no polling) until an
+      engine posts it, then rescans fairly; spurious wakeups loop back
+      to sleep. Raises [Invalid_argument] if the group has no
+      semaphore. Only callable from a {!Flipc_rt.Sched} thread. *)
+  val recv_any_wait :
+    t -> Flipc_rt.Sched.thread -> (T.t * Bytes.t, error) result
 end

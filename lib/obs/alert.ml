@@ -1,0 +1,226 @@
+type quantile = P50 | P99
+
+type rule_kind =
+  | Rate_band of { counter : string; min : float option; max : float option }
+  | Counter_zero of { counter : string }
+  | Quantile_ceiling of { histo : string; q : quantile; ceiling : float }
+
+type rule = { r_name : string; r_kind : rule_kind }
+
+type fired = {
+  a_rule : string;
+  a_window_start : int;
+  a_window_end : int;
+  a_value : float;
+  a_detail : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rule parsing.                                                       *)
+
+let num = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let rule_of_json i doc =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Error (Printf.sprintf "rule %d: %s" i s)) fmt
+  in
+  let str k = Option.bind (Json.member k doc) Json.to_str in
+  let flt k = Option.bind (Json.member k doc) num in
+  match str "name" with
+  | None -> fail "missing \"name\""
+  | Some r_name -> (
+      match str "kind" with
+      | None -> fail "missing \"kind\""
+      | Some "rate_band" -> (
+          match str "counter" with
+          | None -> fail "rate_band needs \"counter\""
+          | Some counter -> (
+              match (flt "min", flt "max") with
+              | None, None -> fail "rate_band needs \"min\" and/or \"max\""
+              | min, max -> Ok { r_name; r_kind = Rate_band { counter; min; max } }))
+      | Some "counter_zero" -> (
+          match str "counter" with
+          | None -> fail "counter_zero needs \"counter\""
+          | Some counter -> Ok { r_name; r_kind = Counter_zero { counter } })
+      | Some "quantile_ceiling" -> (
+          match (str "histo", flt "ceiling") with
+          | None, _ -> fail "quantile_ceiling needs \"histo\""
+          | _, None -> fail "quantile_ceiling needs \"ceiling\""
+          | Some histo, Some ceiling -> (
+              match str "q" with
+              | None | Some "p99" ->
+                  Ok { r_name; r_kind = Quantile_ceiling { histo; q = P99; ceiling } }
+              | Some "p50" ->
+                  Ok { r_name; r_kind = Quantile_ceiling { histo; q = P50; ceiling } }
+              | Some q -> fail "unknown quantile %S (want \"p50\"/\"p99\")" q))
+      | Some k -> fail "unknown rule kind %S" k)
+
+let rules_of_json doc =
+  match Json.member "rules" doc with
+  | Some (Json.List rules) ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: rest -> (
+            match rule_of_json i r with
+            | Ok rule -> go (i + 1) (rule :: acc) rest
+            | Error _ as e -> e)
+      in
+      go 0 [] rules
+  | _ -> Error "rules document needs a \"rules\" list"
+
+let load_rules path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          match Json.of_string (really_input_string ic n) with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok doc -> rules_of_json doc)
+
+(* ------------------------------------------------------------------ *)
+(* Window evaluation.                                                  *)
+
+let window_field section name w =
+  Option.bind (Json.member section w) (Json.member name)
+
+let window_bounds w =
+  let b k =
+    match Option.bind (Json.member k w) Json.to_int with Some v -> v | None -> 0
+  in
+  (b "start_ns", b "end_ns")
+
+let eval_rule w rule =
+  let w_start, w_end = window_bounds w in
+  let fire value detail =
+    Some
+      {
+        a_rule = rule.r_name;
+        a_window_start = w_start;
+        a_window_end = w_end;
+        a_value = value;
+        a_detail = detail;
+      }
+  in
+  match rule.r_kind with
+  | Rate_band { counter; min; max } -> (
+      match
+        Option.bind (window_field "counters" counter w) (fun c ->
+            Option.bind (Json.member "rate_per_s" c) num)
+      with
+      | None -> None (* counter not registered in this run: skip *)
+      | Some rate ->
+          let below = match min with Some m -> rate < m | None -> false in
+          let above = match max with Some m -> rate > m | None -> false in
+          if below || above then
+            fire rate
+              (Printf.sprintf "%s rate %.6g/s outside [%s, %s] in [%d, %d)ns"
+                 counter rate
+                 (match min with Some m -> Printf.sprintf "%.6g" m | None -> "-inf")
+                 (match max with Some m -> Printf.sprintf "%.6g" m | None -> "+inf")
+                 w_start w_end)
+          else None)
+  | Counter_zero { counter } -> (
+      match
+        Option.bind (window_field "counters" counter w) (fun c ->
+            Option.bind (Json.member "delta" c) Json.to_int)
+      with
+      | Some 0 -> None
+      | Some delta ->
+          fire (float_of_int delta)
+            (Printf.sprintf "%s advanced by %d (must stay 0) in [%d, %d)ns"
+               counter delta w_start w_end)
+      | None -> (
+          (* Engine invariant probes (corrupt_frames, drops, ...) export
+             as gauges; a must-stay-zero rule reads either section. *)
+          match Option.bind (window_field "gauges" counter w) num with
+          | None | Some 0. -> None
+          | Some v ->
+              fire v
+                (Printf.sprintf "%s = %.6g (must stay 0) in [%d, %d)ns"
+                   counter v w_start w_end)))
+  | Quantile_ceiling { histo; q; ceiling } -> (
+      match window_field "histos" histo w with
+      | None -> None
+      | Some h -> (
+          match Option.bind (Json.member "count_delta" h) Json.to_int with
+          | None | Some 0 -> None (* no fresh observations: stale quantile *)
+          | Some _ -> (
+              let qname = match q with P50 -> "p50" | P99 -> "p99" in
+              match Option.bind (Json.member qname h) num with
+              | None -> None
+              | Some v ->
+                  if v > ceiling then
+                    fire v
+                      (Printf.sprintf "%s %s %.6g exceeds ceiling %.6g in [%d, %d)ns"
+                         histo qname v ceiling w_start w_end)
+                  else None)))
+
+let eval_window ~rules w = List.filter_map (eval_rule w) rules
+
+(* ------------------------------------------------------------------ *)
+(* The attached engine: a Series tap whose close hook runs the rules   *)
+(* and fires typed events back into the stream.                        *)
+
+type t = {
+  rules : rule list;
+  series : Series.t;
+  mutable firings : fired list; (* newest first *)
+}
+
+let attach ~rules ?interval ?capacity obs =
+  let rec t =
+    lazy
+      {
+        rules;
+        series =
+          Series.attach ?interval ?capacity
+            ~on_window:(fun w ->
+              let self = Lazy.force t in
+              List.iter
+                (fun f ->
+                  self.firings <- f :: self.firings;
+                  (* Into the trace: the capture and any monitor see the
+                     alert at the window boundary that tripped it. *)
+                  Obs.event obs
+                    (Event.Alert_fired
+                       { node = 0; rule = f.a_rule; detail = f.a_detail }))
+                (eval_window ~rules w))
+            obs;
+        firings = [];
+      }
+  in
+  Lazy.force t
+
+let series t = t.series
+let sample t = Series.sample t.series
+let fired t = List.rev t.firings
+let clean t = t.firings = []
+
+let json t =
+  Json.List
+    (List.map
+       (fun f ->
+         Json.Obj
+           [
+             ("rule", Json.String f.a_rule);
+             ("window_start_ns", Json.Int f.a_window_start);
+             ("window_end_ns", Json.Int f.a_window_end);
+             ("value", Json.Float f.a_value);
+             ("detail", Json.String f.a_detail);
+           ])
+       (fired t))
+
+let pp_report fmt t =
+  match fired t with
+  | [] -> Format.fprintf fmt "alerts: clean (%d rules)@." (List.length t.rules)
+  | firings ->
+      Format.fprintf fmt "alerts: %d firing(s)@." (List.length firings);
+      List.iter
+        (fun f -> Format.fprintf fmt "  [%s] %s@." f.a_rule f.a_detail)
+        firings

@@ -1,0 +1,97 @@
+(** Declarative alerting over {!Series} windows.
+
+    Turns the windowed telemetry tap into a standing tripwire: each
+    closed window is checked against a rule set, and every violation is
+    recorded {e and} fired back into the event stream as a typed
+    {!Event.Alert_fired} — so alerts land in the trace capture, survive
+    replay, and a CI gate can fail a run on them ([flipc alert],
+    [flipc metrics --alerts rules.json]).
+
+    {b Rule grammar} (JSON, see DESIGN.md §18):
+    {v
+    { "rules": [
+        { "name": "tx-rate", "kind": "rate_band",
+          "counter": "node0.engine.tx-frames", "min": 1.0, "max": 5e6 },
+        { "name": "no-drops", "kind": "counter_zero",
+          "counter": "node0.engine.corrupt-frames" },
+        { "name": "p99-slo", "kind": "quantile_ceiling",
+          "histo": "lat.total.us", "q": "p99", "ceiling": 500.0 } ] }
+    v}
+
+    - [rate_band]: the counter's per-window [rate_per_s] must stay in
+      [[min, max]] (either bound optional, at least one required); a
+      window where the counter is absent is skipped.
+    - [counter_zero]: the counter's per-window [delta] must be 0. When
+      the name is not a registered counter it is looked up among the
+      gauges instead (engine invariant probes — [corrupt_frames],
+      [drops], [rx_truncations] — export as gauges) and the gauge value
+      itself must be 0.
+    - [quantile_ceiling]: the histogram's current [p50]/[p99] must not
+      exceed [ceiling]; windows with no new observations
+      ([count_delta = 0]) are skipped, so a stale quantile cannot
+      re-fire forever. *)
+
+type quantile = P50 | P99
+
+type rule_kind =
+  | Rate_band of { counter : string; min : float option; max : float option }
+  | Counter_zero of { counter : string }
+  | Quantile_ceiling of { histo : string; q : quantile; ceiling : float }
+
+type rule = { r_name : string; r_kind : rule_kind }
+
+(** One firing: the rule, the window it tripped on, the observed value
+    and a human-readable sentence. *)
+type fired = {
+  a_rule : string;
+  a_window_start : int;  (** ns *)
+  a_window_end : int;  (** ns *)
+  a_value : float;
+  a_detail : string;
+}
+
+type t
+
+(** {1 Rule parsing} *)
+
+(** Parse a [{"rules": [...]}] document; [Error] names the first bad
+    rule. *)
+val rules_of_json : Json.t -> (rule list, string) result
+
+(** [load_rules path] reads and parses a rules file. *)
+val load_rules : string -> (rule list, string) result
+
+(** {1 Evaluation} *)
+
+(** [eval_window ~rules w] checks one {!Series} window (the JSON shape
+    {!Series.json} documents) and returns the firings, rule order. *)
+val eval_window : rules:rule list -> Json.t -> fired list
+
+(** [attach ~rules obs] registers a {!Series} tap (same [interval] /
+    [capacity] defaults) whose window-close hook evaluates the rules;
+    each firing is recorded and emitted as {!Event.Alert_fired} into
+    [obs]'s event stream. *)
+val attach :
+  rules:rule list ->
+  ?interval:Flipc_sim.Vtime.t ->
+  ?capacity:int ->
+  Obs.t ->
+  t
+
+(** The underlying series tap (for [Series.json] etc.). *)
+val series : t -> Series.t
+
+(** Flush the current partial window through the rules (end of run). *)
+val sample : t -> unit
+
+(** Firings so far, oldest first. *)
+val fired : t -> fired list
+
+(** No rule has fired. *)
+val clean : t -> bool
+
+(** Firings as a JSON list (one object per firing). *)
+val json : t -> Json.t
+
+(** Human report: one line per firing, or an all-clear. *)
+val pp_report : Format.formatter -> t -> unit

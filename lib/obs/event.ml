@@ -72,6 +72,7 @@ type t =
   | Bulk_chunk of { node : int; transfer : int; offset : int; len : int; mid : int }
   | Bulk_complete of { node : int; transfer : int; mid : int }
   | Bulk_cancel of { node : int; transfer : int; mid : int }
+  | Alert_fired of { node : int; rule : string; detail : string }
 
 let drop_reason_name = function
   | No_posted_buffer -> "no_posted_buffer"
@@ -116,6 +117,7 @@ let name = function
   | Bulk_chunk _ -> "bulk_chunk"
   | Bulk_complete _ -> "bulk_complete"
   | Bulk_cancel _ -> "bulk_cancel"
+  | Alert_fired { rule; _ } -> "alert:" ^ rule
 
 (* Stable wire discriminator: unlike [name] it never depends on payload
    ([Frame_tx] is always "frame_tx", [Note] is always "note"), so a
@@ -146,6 +148,7 @@ let kind = function
   | Bulk_chunk _ -> "bulk_chunk"
   | Bulk_complete _ -> "bulk_complete"
   | Bulk_cancel _ -> "bulk_cancel"
+  | Alert_fired _ -> "alert_fired"
 
 let node = function
   | Send_enqueued { node; _ }
@@ -172,7 +175,8 @@ let node = function
   | Bulk_start { node; _ }
   | Bulk_chunk { node; _ }
   | Bulk_complete { node; _ }
-  | Bulk_cancel { node; _ } -> node
+  | Bulk_cancel { node; _ }
+  | Alert_fired { node; _ } -> node
 
 let mid = function
   | Send_enqueued { mid; _ }
@@ -195,7 +199,7 @@ let mid = function
   | Bulk_cancel { mid; _ } ->
       if mid > 0 then Some mid else None
   | Doorbell _ | Ack_tx _ | Credit_grant _ | Drops_read _ | Engine_park _
-  | Engine_wake _ | Note _ ->
+  | Engine_wake _ | Note _ | Alert_fired _ ->
       None
 
 let args = function
@@ -272,6 +276,8 @@ let args = function
       ]
   | Bulk_complete { transfer; mid; _ } | Bulk_cancel { transfer; mid; _ } ->
       [ ("transfer", Json.Int transfer); ("mid", Json.Int mid) ]
+  | Alert_fired { rule; detail; _ } ->
+      [ ("rule", Json.String rule); ("detail", Json.String detail) ]
 
 (* ------------------------------------------------------------------ *)
 (* Self-describing trace records: kind + node + the variant's fields.  *)
@@ -431,6 +437,8 @@ let of_json doc =
         Bulk_complete { node; transfer = int "transfer"; mid = int "mid" }
     | "bulk_cancel" ->
         Bulk_cancel { node; transfer = int "transfer"; mid = int "mid" }
+    | "alert_fired" ->
+        Alert_fired { node; rule = str "rule"; detail = str "detail" }
     | k -> fail "unknown event kind %S" k
   with
   | ev -> Ok ev

@@ -105,6 +105,8 @@ type t =
       (** the data-receiving side accepted one fragment *)
   | Bulk_complete of { node : int; transfer : int; mid : int }
   | Bulk_cancel of { node : int; transfer : int; mid : int }
+  | Alert_fired of { node : int; rule : string; detail : string }
+      (** an {!Alert} rule tripped on a closed {!Series} window *)
 
 val drop_reason_name : drop_reason -> string
 val fault_kind_name : fault_kind -> string

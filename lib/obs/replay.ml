@@ -66,7 +66,28 @@ let parse_line ~lineno line state =
                   Error
                     (Printf.sprintf "line %d: not a trace record" lineno))))
 
-let load path =
+let load_binary path =
+  match Codec.read_file path with
+  | Error _ as e -> e
+  | Ok d ->
+      Ok
+        {
+          version = Codec.format_version;
+          meta = d.Codec.d_meta;
+          records =
+            List.map
+              (fun r ->
+                {
+                  r_ts = Vtime.ns r.Codec.c_ts;
+                  r_pid = r.Codec.c_pid;
+                  r_ev = r.Codec.c_ev;
+                })
+              d.Codec.d_records;
+          machines = d.Codec.d_machines;
+          summary = d.Codec.d_summary;
+        }
+
+let load_jsonl path =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic ->
@@ -99,6 +120,11 @@ let load path =
                     machines;
                     summary;
                   })
+
+(* One loader for both capture formats: binary files announce
+   themselves with the codec magic; anything else is treated as the
+   JSONL format (whose own header check rejects non-traces). *)
+let load path = if Codec.is_binary path then load_binary path else load_jsonl path
 
 (* File order is global emission order; the stable re-sort by timestamp
    mirrors what [Causal.spans] does to live rings, so span construction

@@ -11,9 +11,11 @@
 type record = { r_ts : Flipc_sim.Vtime.t; r_pid : int; r_ev : Event.t }
 type t
 
-(** [load path] parses a capture; [Error] carries the first offending
-    line. Unknown trailing fields are ignored; version mismatches are
-    errors. *)
+(** [load path] parses a capture, auto-detecting the format: files
+    starting with {!Codec.magic} decode as binary [.ftrace] captures,
+    anything else parses as JSONL. [Error] carries the first offending
+    line (JSONL) or byte offset (binary). Unknown trailing fields are
+    ignored; version mismatches are errors in both formats. *)
 val load : string -> (t, string) result
 
 val version : t -> int

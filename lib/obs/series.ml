@@ -25,6 +25,7 @@ type t = {
   mutable w_start : int; (* ns, start of the open window *)
   mutable prev : (string * probe_val) list; (* snapshot at last close *)
   windows : Json.t Ring.t;
+  on_window : Json.t -> unit;
 }
 
 let prev_counter prev name =
@@ -92,17 +93,22 @@ let close_window t ~w_end =
         | _ -> None)
       cur
   in
-  Ring.push t.windows
-    (Json.Obj
-       [
-         ("start_ns", Json.Int t.w_start);
-         ("end_ns", Json.Int w_end);
-         ("counters", Json.Obj counters);
-         ("gauges", Json.Obj gauges);
-         ("histos", Json.Obj histos);
-       ]);
+  let window =
+    Json.Obj
+      [
+        ("start_ns", Json.Int t.w_start);
+        ("end_ns", Json.Int w_end);
+        ("counters", Json.Obj counters);
+        ("gauges", Json.Obj gauges);
+        ("histos", Json.Obj histos);
+      ]
+  in
+  Ring.push t.windows window;
   t.prev <- cur;
-  t.w_start <- w_end
+  t.w_start <- w_end;
+  (* After state is rolled forward, so a hook that emits events (the
+     alert engine firing into the trace) re-enters a fresh window. *)
+  t.on_window window
 
 (* Windows close lazily on the first event past a boundary, so a quiet
    stretch folds into one window spanning several intervals (window
@@ -113,7 +119,8 @@ let roll t now =
   if elapsed >= t.interval then
     close_window t ~w_end:(t.w_start + t.interval * (elapsed / t.interval))
 
-let attach ?(interval = Vtime.us 100) ?(capacity = 512) obs =
+let attach ?(interval = Vtime.us 100) ?(capacity = 512)
+    ?(on_window = fun _ -> ()) obs =
   let t =
     {
       obs;
@@ -121,6 +128,7 @@ let attach ?(interval = Vtime.us 100) ?(capacity = 512) obs =
       w_start = Vtime.to_ns (Obs.now obs);
       prev = probe_snapshot (Obs.metrics obs);
       windows = Ring.create ~capacity;
+      on_window;
     }
   in
   Obs.add_watcher obs (fun now _ev -> roll t now);

@@ -17,9 +17,17 @@ type t
 
 (** [attach obs] registers the tap. [interval] is the window width in
     virtual time (default 100 us); [capacity] bounds retained windows
-    (default 512, drop-oldest). Registering the watcher makes
-    {!Obs.tracing} true. *)
-val attach : ?interval:Flipc_sim.Vtime.t -> ?capacity:int -> Obs.t -> t
+    (default 512, drop-oldest). [on_window] runs once per closed window
+    with its JSON (after the window is pushed and the next one opened,
+    so the hook may itself emit events — {!Alert} fires typed alert
+    events from here). Registering the watcher makes {!Obs.tracing}
+    true. *)
+val attach :
+  ?interval:Flipc_sim.Vtime.t ->
+  ?capacity:int ->
+  ?on_window:(Json.t -> unit) ->
+  Obs.t ->
+  t
 
 (** Close the current partial window at the machine's current virtual
     time (no-op if nothing has elapsed). *)

@@ -1,7 +1,9 @@
 module Vtime = Flipc_sim.Vtime
 
+type mode = Jsonl of out_channel | Binary of Codec.encoder
+
 type t = {
-  oc : out_channel;
+  mode : mode;
   path : string;
   mutable machines : Obs.t list; (* newest first *)
   mutable events : int;
@@ -11,28 +13,45 @@ type t = {
 
 let format_version = 1
 
-let create ?(meta = []) ~path () =
-  let oc = open_out path in
-  Json.to_channel oc
-    (Json.Obj
-       [ ("flipc_trace", Json.Int format_version); ("meta", Json.Obj meta) ]);
-  {
-    oc;
-    path;
-    machines = [];
-    events = 0;
-    summary = None;
-    closed = false;
-  }
+let binary_suffix = ".ftrace"
+
+let create ?(meta = []) ?format ~path () =
+  let binary =
+    match format with
+    | Some `Binary -> true
+    | Some `Jsonl -> false
+    | None -> Filename.check_suffix path binary_suffix
+  in
+  let oc = open_out_bin path in
+  let mode =
+    if binary then begin
+      let enc = Codec.to_channel oc in
+      Codec.write_meta enc meta;
+      Binary enc
+    end
+    else begin
+      Json.to_channel oc
+        (Json.Obj
+           [ ("flipc_trace", Json.Int format_version); ("meta", Json.Obj meta) ]);
+      Jsonl oc
+    end
+  in
+  { mode; path; machines = []; events = 0; summary = None; closed = false }
 
 let record t ~now ~pid ev =
   if not t.closed then begin
-    let fields =
-      match Event.to_json ev with Json.Obj f -> f | other -> [ ("ev", other) ]
-    in
-    Json.to_channel t.oc
-      (Json.Obj
-         (("t", Json.Int (Vtime.to_ns now)) :: ("pid", Json.Int pid) :: fields));
+    (match t.mode with
+    | Jsonl oc ->
+        let fields =
+          match Event.to_json ev with
+          | Json.Obj f -> f
+          | other -> [ ("ev", other) ]
+        in
+        Json.to_channel oc
+          (Json.Obj
+             (("t", Json.Int (Vtime.to_ns now)) :: ("pid", Json.Int pid)
+             :: fields))
+    | Binary enc -> Codec.write_event enc ~now ~pid ev);
     t.events <- t.events + 1
   end
 
@@ -59,21 +78,26 @@ let close t =
     let machines =
       List.sort (fun a b -> compare (Obs.id a) (Obs.id b)) t.machines
     in
-    Json.to_channel t.oc
-      (Json.Obj
-         (( "machines",
-            Json.List
-              (List.map
-                 (fun o ->
-                   Json.Obj
-                     [
-                       ("pid", Json.Int (Obs.id o));
-                       ("label", Json.String (Obs.label o));
-                     ])
-                 machines) )
-         ::
-         (match t.summary with
-         | None -> []
-         | Some s -> [ ("summary", s) ])));
-    close_out t.oc
+    let labelled = List.map (fun o -> (Obs.id o, Obs.label o)) machines in
+    match t.mode with
+    | Jsonl oc ->
+        Json.to_channel oc
+          (Json.Obj
+             (( "machines",
+                Json.List
+                  (List.map
+                     (fun (pid, label) ->
+                       Json.Obj
+                         [
+                           ("pid", Json.Int pid); ("label", Json.String label);
+                         ])
+                     labelled) )
+             ::
+             (match t.summary with
+             | None -> []
+             | Some s -> [ ("summary", s) ])));
+        close_out oc
+    | Binary enc ->
+        Codec.write_trailer enc ~machines:labelled ~summary:t.summary;
+        close_out (Codec.channel enc)
   end

@@ -19,15 +19,30 @@
     Attaching first spills the machine's current ring contents, then
     streams every subsequent event through a watcher — so attaching at
     creation captures everything regardless of ring wrap, and a mid-run
-    attach captures the retained tail plus the whole future. *)
+    attach captures the retained tail plus the whole future.
+
+    {b Binary captures.} A path ending in [.ftrace] (or an explicit
+    [~format:`Binary]) selects the compact {!Codec} binary format
+    instead of JSONL: same header/records/trailer structure, one
+    length-prefixed frame per event, ~8x smaller. {!Replay.load}
+    auto-detects either format, so downstream tooling is unaffected. *)
 
 type t
 
 (** The trace format version written in the header line. *)
 val format_version : int
 
-(** [create ~path ()] opens [path] and writes the versioned header. *)
-val create : ?meta:(string * Json.t) list -> path:string -> unit -> t
+(** The path suffix that selects the binary format by default. *)
+val binary_suffix : string
+
+(** [create ~path ()] opens [path] and writes the versioned header.
+    [format] overrides the suffix-based format choice. *)
+val create :
+  ?meta:(string * Json.t) list ->
+  ?format:[ `Jsonl | `Binary ] ->
+  path:string ->
+  unit ->
+  t
 
 (** [attach t obs] spills [obs]'s retained ring, then streams its
     future events (registers a watcher, making {!Obs.tracing} true).

@@ -27,10 +27,13 @@
 # Two absolute rules hold on the candidate alone, so they bind even
 # when the baseline predates the experiment: any leaf containing
 # "speedup" must be >= 2.0 (the batching ablation's contract in
-# BENCH_firehose.json), and any doorbell-mode "idle_loads_per_iter"
+# BENCH_firehose.json), any doorbell-mode "idle_loads_per_iter"
 # leaf must be <= 8.0 — the work-proportional engine's idle iteration
 # touches a constant number of words no matter how many endpoints are
-# configured (BENCH_engine_scan.json sweeps to 16384 to prove it).
+# configured (BENCH_engine_scan.json sweeps to 16384 to prove it) —
+# and any leaf containing "shrink" must be >= 4.0: the binary flight
+# recorder's compression contract (BENCH_doctor_overhead.json records
+# jsonl_bytes / binary_bytes for the same capture).
 #
 # A BASELINE file that does not exist yet is not an error: the
 # candidate is new, so the diff passes with a notice and the
@@ -181,6 +184,19 @@ if idle_failures:
     print(
         f"bench_diff: {len(idle_failures)} doorbell idle_loads_per_iter "
         f"leaves above the flat-idle bound",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+shrink_failures = [
+    (k, v) for k, v in cand.items() if "shrink" in k.lower() and v < 4.0
+]
+if shrink_failures:
+    for k, v in shrink_failures:
+        print(f"{k}: {v:.2f} < 4.0  <-- BINARY CAPTURE SHRINK BELOW CONTRACT")
+    print(
+        f"bench_diff: {len(shrink_failures)} 'shrink' leaves below the "
+        f"4.0x binary-capture contract",
         file=sys.stderr,
     )
     sys.exit(1)

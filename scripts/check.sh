@@ -163,6 +163,29 @@ cmp "$obs_tmp/doctor.json" "$obs_tmp/doctor_replay.json" || {
   echo "doctor replay diverged from the live report" >&2
   exit 1
 }
+# Same scenario through the binary flight recorder (.ftrace selects the
+# compact codec): the replayed report must again be byte-for-byte the
+# live one, and the binary capture must honour the >= 4x size contract.
+dune exec bin/flipc_cli.exe -- doctor --assert-clean --json \
+  --capture "$obs_tmp/doctor.ftrace" >"$obs_tmp/doctor_bin.json"
+dune exec bin/flipc_cli.exe -- doctor --assert-clean --json \
+  --replay "$obs_tmp/doctor.ftrace" >"$obs_tmp/doctor_bin_replay.json"
+cmp "$obs_tmp/doctor_bin.json" "$obs_tmp/doctor_bin_replay.json" || {
+  echo "binary-capture replay diverged from the live report" >&2
+  exit 1
+}
+jsonl_bytes=$(wc -c <"$obs_tmp/doctor.trace")
+binary_bytes=$(wc -c <"$obs_tmp/doctor.ftrace")
+[ $((4 * binary_bytes)) -le "$jsonl_bytes" ] || {
+  echo "binary capture not 4x smaller: $binary_bytes vs $jsonl_bytes bytes" >&2
+  exit 1
+}
+# Cross-run diffing: a capture diffed against itself must report zero
+# regressions under --assert-clean (mixed formats on purpose — the two
+# sides replay through different codecs into the same report).
+dune exec bin/flipc_cli.exe -- doctor --assert-clean --json \
+  --replay "$obs_tmp/doctor.ftrace" --against "$obs_tmp/doctor.trace" \
+  >"$obs_tmp/doctor_diff.json"
 QCHECK_SEED=12 dune exec test/test_soak.exe >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 -c "
@@ -174,9 +197,50 @@ assert doc['monitor_violations'] == 0, 'invariant monitor fired'
 assert not doc['stalled'], 'a progress watchdog expired'
 assert doc['spans_traced'] > 0, 'causal tracing captured nothing'
 assert doc['monitor_events_seen'] > 0, 'monitors saw no events'
+diff = json.load(open('$obs_tmp/doctor_diff.json'))
+assert diff['violations_added'] == 0, 'self-diff invented a regression'
+assert diff['sites'], 'cross-run diff aligned no message sites'
 "
 else
   grep -q '"clean":true' "$obs_tmp/doctor.json"
+  grep -q '"violations_added":0' "$obs_tmp/doctor_diff.json"
+fi
+
+echo "== alert gate =="
+# Declarative alerting as a CI primitive: a rules file holding the
+# engine's must-stay-zero invariants (corrupt frames, transport drops)
+# must come back clean on a healthy run — `flipc alert` exits 1 on any
+# firing. The second cell inverts the polarity as a self-test of the
+# tripwire: a rule that sends-must-be-zero obviously fires under
+# traffic, and --expect-fire turns that firing into the passing case
+# (exit 1 if the alert pipeline ever stops detecting it).
+cat >"$obs_tmp/rules.json" <<'RULES'
+{"rules": [
+  {"name": "no-corrupt-frames", "kind": "counter_zero",
+   "counter": "node0.engine.corrupt_frames"},
+  {"name": "no-drops", "kind": "counter_zero",
+   "counter": "node0.engine.drops"}
+]}
+RULES
+dune exec bin/flipc_cli.exe -- alert --rules "$obs_tmp/rules.json" \
+  --exchanges 40 --json >"$obs_tmp/alert.json"
+cat >"$obs_tmp/tripwire.json" <<'RULES'
+{"rules": [
+  {"name": "sends-happened", "kind": "counter_zero",
+   "counter": "node0.engine.sends"}
+]}
+RULES
+dune exec bin/flipc_cli.exe -- alert --rules "$obs_tmp/tripwire.json" \
+  --exchanges 40 --expect-fire sends-happened >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "
+import json
+doc = json.load(open('$obs_tmp/alert.json'))
+assert doc['clean'], 'alert gate fired on a healthy run'
+assert doc['rules'] == 2 and doc['windows'] > 0, 'alert gate evaluated nothing'
+"
+else
+  grep -q '"clean":true' "$obs_tmp/alert.json"
 fi
 
 echo "== soak matrix gate =="

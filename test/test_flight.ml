@@ -31,6 +31,9 @@ module Monitor = Flipc_obs.Monitor
 module Sink = Flipc_obs.Sink
 module Replay = Flipc_obs.Replay
 module Series = Flipc_obs.Series
+module Codec = Flipc_obs.Codec
+module Alert = Flipc_obs.Alert
+module Diff = Flipc_obs.Diff
 module Summary = Flipc_stats.Summary
 module Pingpong = Flipc_workload.Pingpong
 
@@ -215,6 +218,8 @@ let all_events =
     Event.Bulk_chunk { node = 1; transfer = 2; offset = 0; len = 1024; mid = 5 };
     Event.Bulk_complete { node = 1; transfer = 2; mid = 5 };
     Event.Bulk_cancel { node = 0; transfer = 2; mid = 5 };
+    Event.Alert_fired
+      { node = 0; rule = "p99-slo"; detail = "lat p99 9.1 exceeds 5" };
   ]
 
 let test_event_json_roundtrip () =
@@ -607,6 +612,503 @@ let test_bulk_cancel_live () =
   check_bool "streaming started before cancel" true (List.mem "bulk_chunk" kinds);
   check_bool "no chunk after cancel reached the monitor" true (Monitor.clean mon)
 
+(* --- binary trace codec --- *)
+
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rewrite path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let test_codec_event_roundtrip_all () =
+  List.iteri
+    (fun i ev ->
+      let prev_ts = i * 1_000 in
+      (* Deltas in both directions: a mid-run attach spills an older
+         ring behind already-streamed events, so ts can go backwards. *)
+      let ts = if i mod 2 = 0 then prev_ts + 123_456 else prev_ts - 7 in
+      let buf = Buffer.create 64 in
+      Codec.encode_event buf ~prev_ts ~ts ~pid:i ev;
+      let s = Buffer.contents buf in
+      match Codec.decode_event s ~pos:0 ~prev_ts with
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" (Event.kind ev) e)
+      | Ok (r, next) ->
+          check_bool (Event.kind ev) true
+            (r.Codec.c_ev = ev && r.Codec.c_ts = ts && r.Codec.c_pid = i);
+          check "frame consumed exactly" (String.length s) next)
+    all_events
+
+(* Arbitrary events across every constructor, with ints spanning the
+   full word (max_int/min_int survive the zigzag) and string payloads up
+   to 64 KiB. *)
+let codec_event_gen =
+  let open QCheck.Gen in
+  let gi =
+    frequency
+      [ (6, int_range 0 4096); (1, oneofl [ 0; 1; -1; max_int; min_int ]) ]
+  in
+  let gs =
+    frequency
+      [
+        (6, small_string ~gen:printable);
+        (1, string_size ~gen:printable (return 65_536));
+      ]
+  in
+  let reason =
+    oneofl
+      [
+        Event.No_posted_buffer; Event.Bad_destination; Event.Corrupt_slot;
+        Event.Corrupt_frame; Event.Forbidden_destination;
+      ]
+  in
+  let fk =
+    oneofl
+      [
+        Event.Fault_drop; Event.Fault_duplicate; Event.Fault_reorder;
+        Event.Fault_jitter; Event.Fault_corrupt;
+      ]
+  in
+  let bop = oneofl [ Event.Bulk_put; Event.Bulk_get ] in
+  int_range 0 25 >>= fun k ->
+  array_size (return 6) gi >>= fun a ->
+  pair gs gs >>= fun (s1, s2) ->
+  bool >>= fun b ->
+  reason >>= fun reason ->
+  fk >>= fun fk ->
+  bop >>= fun op ->
+  return
+    (match k with
+    | 0 ->
+        Event.Send_enqueued
+          { node = a.(0); ep = a.(1); dst_node = a.(2); dst_ep = a.(3); mid = a.(4) }
+    | 1 -> Event.Doorbell { node = a.(0); ep = a.(1) }
+    | 2 ->
+        Event.Engine_tx
+          { node = a.(0); ep = a.(1); dst_node = a.(2); dst_ep = a.(3); mid = a.(4) }
+    | 3 -> Event.Wire_rx { node = a.(0); ep = a.(1); mid = a.(2) }
+    | 4 -> Event.Deposit { node = a.(0); ep = a.(1); mid = a.(2) }
+    | 5 -> Event.Recv_dequeued { node = a.(0); ep = a.(1); mid = a.(2) }
+    | 6 -> Event.Drop { node = a.(0); ep = a.(1); mid = a.(2); reason }
+    | 7 ->
+        Event.Frame_tx
+          { node = a.(0); ep = a.(1); seq = a.(2); mid = a.(3); retransmit = b }
+    | 8 -> Event.Frame_deliver { node = a.(0); ep = a.(1); seq = a.(2); mid = a.(3) }
+    | 9 -> Event.Ack_tx { node = a.(0); ep = a.(1); cum = a.(2); sacked = a.(3) }
+    | 10 -> Event.Credit_grant { node = a.(0); ep = a.(1); count = a.(2) }
+    | 11 ->
+        Event.Window_send
+          {
+            node = a.(0); ep = a.(1); mid = a.(2); sent = a.(3);
+            granted = a.(4); window = a.(5);
+          }
+    | 12 -> Event.Drops_read { node = a.(0); ep = a.(1); count = a.(2) }
+    | 13 -> Event.Engine_park { node = a.(0); idle = a.(1) }
+    | 14 -> Event.Engine_wake { node = a.(0) }
+    | 15 -> Event.Fault { node = a.(0); kind = fk; mid = a.(1) }
+    | 16 -> Event.Note { node = a.(0); tag = s1; detail = s2 }
+    | 17 ->
+        Event.Kkt_call { node = a.(0); dst_node = a.(1); id = a.(2); mid = a.(3) }
+    | 18 -> Event.Kkt_dispatch { node = a.(0); id = a.(1); valid = b; mid = a.(2) }
+    | 19 ->
+        Event.Kkt_reply { node = a.(0); dst_node = a.(1); id = a.(2); mid = a.(3) }
+    | 20 -> Event.Kkt_complete { node = a.(0); id = a.(1); mid = a.(2) }
+    | 21 ->
+        Event.Bulk_start
+          {
+            node = a.(0); dst_node = a.(1); transfer = a.(2); op;
+            total = a.(3); mid = a.(4);
+          }
+    | 22 ->
+        Event.Bulk_chunk
+          { node = a.(0); transfer = a.(1); offset = a.(2); len = a.(3); mid = a.(4) }
+    | 23 -> Event.Bulk_complete { node = a.(0); transfer = a.(1); mid = a.(2) }
+    | 24 -> Event.Bulk_cancel { node = a.(0); transfer = a.(1); mid = a.(2) }
+    | _ -> Event.Alert_fired { node = a.(0); rule = s1; detail = s2 })
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~name:"codec: decode-of-encode identity" ~count:300
+    (QCheck.make
+       ~print:(fun (ev, prev_ts, delta, pid) ->
+         Printf.sprintf "%s prev_ts=%d delta=%d pid=%d" (Event.kind ev)
+           prev_ts delta pid)
+       QCheck.Gen.(
+         codec_event_gen >>= fun ev ->
+         int_range 0 (1 lsl 40) >>= fun prev_ts ->
+         int_range (-1_000_000) 1_000_000 >>= fun delta ->
+         int_range 0 255 >>= fun pid -> return (ev, prev_ts, delta, pid)))
+    (fun (ev, prev_ts, delta, pid) ->
+      let ts = prev_ts + delta in
+      let buf = Buffer.create 64 in
+      Codec.encode_event buf ~prev_ts ~ts ~pid ev;
+      match Codec.decode_event (Buffer.contents buf) ~pos:0 ~prev_ts with
+      | Error _ -> false
+      | Ok (r, next) ->
+          r.Codec.c_ev = ev && r.Codec.c_ts = ts && r.Codec.c_pid = pid
+          && next = Buffer.length buf)
+
+let test_codec_rejects_corrupt () =
+  (* Every strict prefix of a valid frame must fail, never mis-decode:
+     the length prefix and the strict varint/string readers catch any
+     cut point. *)
+  let ev = Event.Note { node = 3; tag = "tag"; detail = "detail" } in
+  let buf = Buffer.create 64 in
+  Codec.encode_event buf ~prev_ts:0 ~ts:42 ~pid:1 ev;
+  let s = Buffer.contents buf in
+  for len = 0 to String.length s - 1 do
+    match Codec.decode_event (String.sub s 0 len) ~pos:0 ~prev_ts:0 with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "decoded a %d-byte prefix" len)
+  done;
+  (* An unknown constructor tag. The frame layout is frozen (format
+     version 1): len byte, opcode, pid, ts delta, tag at offset 4. *)
+  let tagless = Bytes.of_string s in
+  Bytes.set tagless 4 '\xff';
+  (match Codec.decode_event (Bytes.to_string tagless) ~pos:0 ~prev_ts:0 with
+  | Error e -> check_bool "unknown tag reported" true (contains ~needle:"tag" e)
+  | Ok _ -> Alcotest.fail "accepted an unknown event tag")
+
+let test_codec_file_roundtrip_and_errors () =
+  let path = Filename.temp_file "flipc_flight" ".ftrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out_bin path in
+  let e = Codec.to_channel oc in
+  Codec.write_meta e [ ("source", Json.String "test") ];
+  List.iteri
+    (fun i ev -> Codec.write_event e ~now:(Vtime.us i) ~pid:(i mod 3) ev)
+    all_events;
+  Codec.write_trailer e
+    ~machines:[ (0, "m0"); (2, "m2") ]
+    ~summary:(Some (Json.Obj [ ("ok", Json.Bool true) ]));
+  close_out oc;
+  check_bool "is_binary sniffs the magic" true (Codec.is_binary path);
+  (match Codec.read_file path with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      check_bool "meta" true (d.Codec.d_meta = [ ("source", Json.String "test") ]);
+      check "records" (List.length all_events) (List.length d.Codec.d_records);
+      check_bool "events identical, in order" true
+        (List.map (fun r -> r.Codec.c_ev) d.Codec.d_records = all_events);
+      check_bool "delta-coded timestamps recovered" true
+        (List.mapi (fun i _ -> Vtime.us i) all_events
+        = List.map (fun r -> r.Codec.c_ts) d.Codec.d_records);
+      check_bool "pids recovered" true
+        (List.mapi (fun i _ -> i mod 3) all_events
+        = List.map (fun r -> r.Codec.c_pid) d.Codec.d_records);
+      check_bool "machines" true (d.Codec.d_machines = [ (0, "m0"); (2, "m2") ]);
+      check_bool "summary" true
+        (d.Codec.d_summary = Some (Json.Obj [ ("ok", Json.Bool true) ])));
+  let s = read_whole path in
+  rewrite path (String.sub s 0 (String.length s - 1));
+  (match Codec.read_file path with
+  | Error e -> check_bool "truncation reported" true (contains ~needle:"truncated" e)
+  | Ok _ -> Alcotest.fail "accepted a truncated capture");
+  rewrite path (s ^ "\x07garbage");
+  (match Codec.read_file path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage");
+  rewrite path ("FTRC\x63" ^ String.sub s 5 (String.length s - 5));
+  (match Codec.read_file path with
+  | Error e -> check_bool "version mismatch reported" true (contains ~needle:"version" e)
+  | Ok _ -> Alcotest.fail "accepted a future binary version");
+  rewrite path ("NOPE" ^ String.sub s 4 (String.length s - 4));
+  check_bool "is_binary rejects bad magic" false (Codec.is_binary path);
+  match Codec.read_file path with
+  | Error e -> check_bool "magic reported" true (contains ~needle:"magic" e)
+  | Ok _ -> Alcotest.fail "accepted a capture without magic"
+
+(* The same live run through both sink formats: the binary capture must
+   replay to the identical record stream and span digest, several times
+   smaller on disk. *)
+let test_binary_capture_matches_jsonl () =
+  with_temp_trace @@ fun jsonl_path ->
+  let bin_path = Filename.temp_file "flipc_flight" ".ftrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove bin_path with Sys_error _ -> ())
+  @@ fun () ->
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  let js = Sink.create ~path:jsonl_path () in
+  let bs = Sink.create ~path:bin_path () in
+  Sink.attach js obs;
+  Sink.attach bs obs;
+  ignore
+    (Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:64 ~exchanges:40
+       ()
+      : Pingpong.result);
+  Sink.close js;
+  Sink.close bs;
+  check "both sinks saw every event" (Sink.events_written js)
+    (Sink.events_written bs);
+  check_bool "binary at least 4x smaller" true
+    (4 * file_size bin_path <= file_size jsonl_path);
+  match (Replay.load jsonl_path, Replay.load bin_path) with
+  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Ok a, Ok b ->
+      let flat c =
+        List.map
+          (fun r -> (r.Replay.r_ts, r.Replay.r_pid, r.Replay.r_ev))
+          (Replay.records c)
+      in
+      check_bool "identical record streams" true (flat a = flat b);
+      check_bool "identical span digests" true
+        (span_digest (Replay.spans a) = span_digest (Replay.spans b));
+      check_bool "identical machine labels" true
+        (Replay.machines a = Replay.machines b)
+
+(* --- alert rules over series windows --- *)
+
+let rules_doc =
+  Json.Obj
+    [
+      ( "rules",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.String "tx-band");
+                ("kind", Json.String "rate_band");
+                ("counter", Json.String "tx.frames");
+                ("min", Json.Float 100.);
+                ("max", Json.Float 1000.);
+              ];
+            Json.Obj
+              [
+                ("name", Json.String "no-drops");
+                ("kind", Json.String "counter_zero");
+                ("counter", Json.String "rx.drops");
+              ];
+            Json.Obj
+              [
+                ("name", Json.String "p99-slo");
+                ("kind", Json.String "quantile_ceiling");
+                ("histo", Json.String "lat.us");
+                ("q", Json.String "p99");
+                ("ceiling", Json.Float 50.);
+              ];
+          ] );
+    ]
+
+let test_alert_rules_parse () =
+  (match Alert.rules_of_json rules_doc with
+  | Error e -> Alcotest.fail e
+  | Ok rules ->
+      check "three rules" 3 (List.length rules);
+      check_bool "names kept in order" true
+        (List.map (fun r -> r.Alert.r_name) rules
+        = [ "tx-band"; "no-drops"; "p99-slo" ]));
+  List.iter
+    (fun (what, doc) ->
+      match Alert.rules_of_json doc with
+      | Ok _ -> Alcotest.fail ("accepted " ^ what)
+      | Error e ->
+          check_bool (what ^ " names the rule") true
+            (contains ~needle:"rule" e || contains ~needle:"rules" e))
+    [
+      ("no rules list", Json.Obj [ ("rules", Json.Int 3) ]);
+      ( "unknown kind",
+        Json.Obj
+          [
+            ( "rules",
+              Json.List
+                [
+                  Json.Obj
+                    [ ("name", Json.String "x"); ("kind", Json.String "nope") ];
+                ] );
+          ] );
+      ( "rate_band without bounds",
+        Json.Obj
+          [
+            ( "rules",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("name", Json.String "x");
+                      ("kind", Json.String "rate_band");
+                      ("counter", Json.String "c");
+                    ];
+                ] );
+          ] );
+    ]
+
+let window ~counters ~gauges ~histos =
+  Json.Obj
+    [
+      ("start_ns", Json.Int 0);
+      ("end_ns", Json.Int 1_000_000);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histos", Json.Obj histos);
+    ]
+
+let counter_entry ~delta ~rate =
+  Json.Obj [ ("delta", Json.Int delta); ("rate_per_s", Json.Float rate) ]
+
+let histo_entry ~count_delta ~p99 =
+  Json.Obj [ ("count_delta", Json.Int count_delta); ("p99", Json.Float p99) ]
+
+let test_alert_eval_window () =
+  let rules =
+    match Alert.rules_of_json rules_doc with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let names w = List.map (fun f -> f.Alert.a_rule) (Alert.eval_window ~rules w) in
+  (* All quiet: rate inside the band, drops zero, p99 under the SLO. *)
+  check_bool "clean window" true
+    (names
+       (window
+          ~counters:
+            [
+              ("tx.frames", counter_entry ~delta:500 ~rate:500.);
+              ("rx.drops", counter_entry ~delta:0 ~rate:0.);
+            ]
+          ~gauges:[]
+          ~histos:[ ("lat.us", histo_entry ~count_delta:10 ~p99:20.) ])
+    = []);
+  (* Rate below the band and a nonzero drop delta. *)
+  check_bool "low rate + drops fire" true
+    (names
+       (window
+          ~counters:
+            [
+              ("tx.frames", counter_entry ~delta:3 ~rate:3.);
+              ("rx.drops", counter_entry ~delta:2 ~rate:2.);
+            ]
+          ~gauges:[] ~histos:[])
+    = [ "tx-band"; "no-drops" ]);
+  (* Quantile over the ceiling fires; with count_delta = 0 the stale
+     quantile is skipped. *)
+  check_bool "p99 breach fires" true
+    (names
+       (window ~counters:[] ~gauges:[]
+          ~histos:[ ("lat.us", histo_entry ~count_delta:5 ~p99:99.) ])
+    = [ "p99-slo" ]);
+  check_bool "stale quantile skipped" true
+    (names
+       (window ~counters:[] ~gauges:[]
+          ~histos:[ ("lat.us", histo_entry ~count_delta:0 ~p99:99.) ])
+    = []);
+  (* Absent counter: rate_band skips, but a counter_zero rule falls back
+     to the gauges (engine probes export that way). *)
+  check_bool "gauge fallback fires counter_zero" true
+    (names
+       (window ~counters:[]
+          ~gauges:[ ("rx.drops", Json.Float 4.) ]
+          ~histos:[])
+    = [ "no-drops" ]);
+  check_bool "zero gauge stays quiet" true
+    (names
+       (window ~counters:[] ~gauges:[ ("rx.drops", Json.Int 0) ] ~histos:[])
+    = [])
+
+(* Live: an attached alert engine fires into the event stream, so the
+   firing lands in the trace ring and in any capture. *)
+let test_alert_attach_fires_into_trace () =
+  let machine = Machine.create (Machine.Mesh { cols = 2; rows = 1 }) () in
+  let obs = Machine.obs machine in
+  Tracer.enable (Obs.tracer obs);
+  let rules =
+    match
+      Alert.rules_of_json
+        (Json.Obj
+           [
+             ( "rules",
+               Json.List
+                 [
+                   Json.Obj
+                     [
+                       ("name", Json.String "sends-happened");
+                       ("kind", Json.String "counter_zero");
+                       ("counter", Json.String "node0.engine.sends");
+                     ];
+                   Json.Obj
+                     [
+                       ("name", Json.String "no-corruption");
+                       ("kind", Json.String "counter_zero");
+                       ("counter", Json.String "node0.engine.corrupt_frames");
+                     ];
+                 ] );
+           ])
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let a = Alert.attach ~rules ~interval:(Vtime.us 100) obs in
+  ignore
+    (Pingpong.run ~machine ~node_a:0 ~node_b:1 ~payload_bytes:64 ~exchanges:40
+       ()
+      : Pingpong.result);
+  Alert.sample a;
+  let fired = Alert.fired a in
+  check_bool "the tripwire trips" true (fired <> []);
+  check_bool "only the expected rule" true
+    (List.for_all (fun f -> f.Alert.a_rule = "sends-happened") fired);
+  check_bool "clean rule is clean" false (Alert.clean a);
+  let alert_kinds =
+    List.filter (fun k -> k = "alert_fired") (traced_kinds obs)
+  in
+  check "every firing entered the event stream" (List.length fired)
+    (List.length alert_kinds)
+
+(* --- cross-run capture diffing --- *)
+
+(* Two synthetic captures: the candidate drops one extra flow and emits
+   an orphan KKT completion (a monitor violation the baseline lacks). *)
+let write_synthetic_capture path ~flows ~dropped ~orphan =
+  let sim = Sim.create () in
+  let obs = Obs.create ~tracing:true ~sim () in
+  let sink = Sink.create ~path () in
+  Sink.attach sink obs;
+  for mid = 1 to flows do
+    emit_flow obs ~mid ~dropped:(List.mem mid dropped)
+  done;
+  if orphan then
+    Obs.event obs (Event.Kkt_complete { node = 0; id = 99; mid = 0 });
+  Sink.close sink
+
+let test_diff_finds_added_violation () =
+  with_temp_trace @@ fun base_path ->
+  with_temp_trace @@ fun cand_path ->
+  write_synthetic_capture base_path ~flows:6 ~dropped:[ 2 ] ~orphan:false;
+  write_synthetic_capture cand_path ~flows:6 ~dropped:[ 2; 5 ] ~orphan:true;
+  match (Replay.load base_path, Replay.load cand_path) with
+  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Ok base, Ok cand ->
+      let d = Diff.compare_runs ~base ~cand in
+      check "orphan completion is the one regression" 1 (Diff.regressions d);
+      let text = Format.asprintf "%a" Diff.pp d in
+      check_bool "report names the added violation" true
+        (contains ~needle:"ADDED" text
+        && contains ~needle:"kkt.no_reply_without_request" text);
+      (* The reverse comparison sees it as removed, not added. *)
+      let r = Diff.compare_runs ~base:cand ~cand:base in
+      check "reverse direction is clean" 0 (Diff.regressions r);
+      (match Diff.json d with
+      | Json.Obj fields ->
+          check_bool "json carries the gate counter" true
+            (List.assoc_opt "violations_added" fields = Some (Json.Int 1))
+      | j -> Alcotest.fail ("diff json not an object: " ^ Json.to_string j));
+      (* Same capture against itself: fully clean, zero deltas. *)
+      let s = Diff.compare_runs ~base ~cand:base in
+      check "self-diff has no regressions" 0 (Diff.regressions s);
+      let self_text = Format.asprintf "%a" Diff.pp s in
+      check_bool "self-diff reports no violation change" true
+        (contains ~needle:"no change" self_text)
+
 (* --- time-series tap and Prometheus exposition --- *)
 
 let test_series_windows () =
@@ -721,6 +1223,31 @@ let () =
             test_kkt_events_live;
           Alcotest.test_case "bulk transfers traced" `Quick test_bulk_events_live;
           Alcotest.test_case "bulk cancel" `Quick test_bulk_cancel_live;
+        ] );
+      ( "binary-codec",
+        [
+          Alcotest.test_case "event frame roundtrip, all constructors" `Quick
+            test_codec_event_roundtrip_all;
+          QCheck_alcotest.to_alcotest codec_roundtrip_prop;
+          Alcotest.test_case "rejects truncation and unknown tags" `Quick
+            test_codec_rejects_corrupt;
+          Alcotest.test_case "file roundtrip, trailer, and errors" `Quick
+            test_codec_file_roundtrip_and_errors;
+          Alcotest.test_case "binary capture = jsonl capture" `Quick
+            test_binary_capture_matches_jsonl;
+        ] );
+      ( "alerts",
+        [
+          Alcotest.test_case "rule grammar parses and rejects" `Quick
+            test_alert_rules_parse;
+          Alcotest.test_case "window evaluation" `Quick test_alert_eval_window;
+          Alcotest.test_case "attached engine fires into the trace" `Quick
+            test_alert_attach_fires_into_trace;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "added violation is a regression" `Quick
+            test_diff_finds_added_violation;
         ] );
       ( "series",
         [

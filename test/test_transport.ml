@@ -501,6 +501,71 @@ let test_group_over_reliable () =
   Alcotest.(check int)
     "exactly-once per member (1)" per_sender (RLoop.delivered r1)
 
+(* Blocking receive-any on a machine: a scheduler thread sleeps on the
+   group semaphore (no polling), two channel transports wired to the
+   same semaphore fan into it. The second member joins only after its
+   traffic has already been deposited — the add's spurious post must
+   wake the sleeping waiter (the lost-wakeup window recv_any_wait
+   inherits from Endpoint_group). *)
+module Rt_semaphore = Flipc_rt.Rt_semaphore
+module GCT = Transport.Group (CT)
+
+let test_group_recv_any_wait () =
+  let config =
+    Flipc_flow.Provision.config_for ~base:Config.default ~buffers:16
+  in
+  let machine =
+    Machine.create ~config (Machine.Mesh { cols = 2; rows = 1 }) ()
+  in
+  let addr0 = Mailbox.create () and addr1 = Mailbox.create () in
+  let per_sender = 6 in
+  let hits0 = ref 0 and hits1 = ref 0 in
+  Machine.spawn_app ~name:"fan-in" machine ~node:1 (fun api ->
+      let sem = Rt_semaphore.create (Machine.sched (Machine.node machine 1)) in
+      let c0 = terr (CT.create api ~pool:4 ~depth:8 ~semaphore:sem ()) in
+      let c1 = terr (CT.create api ~pool:4 ~depth:8 ~semaphore:sem ()) in
+      Mailbox.put addr0 (CT.address c0);
+      Mailbox.put addr1 (CT.address c1);
+      let g = GCT.create ~semaphore:sem () in
+      GCT.add g c0;
+      ignore
+        (Machine.spawn_thread machine ~node:1 ~priority:5 (fun thr _api ->
+             (match GCT.recv_any_wait (GCT.create ()) thr with
+             | exception Invalid_argument _ -> ()
+             | _ -> Alcotest.fail "recv_any_wait without a semaphore");
+             for _ = 1 to 2 * per_sender do
+               let conn, payload = terr (GCT.recv_any_wait g thr) in
+               check_bool "payload intact" true (Bytes.length payload = 4);
+               if conn == c0 then incr hits0
+               else if conn == c1 then incr hits1
+               else Alcotest.fail "delivery from an unknown member"
+             done)
+          : Flipc_rt.Sched.thread);
+      (* By now both senders have long finished: c1's messages sit in
+         its queue with the semaphore posts already consumed. *)
+      Engine.delay (Vtime.ms 2);
+      GCT.add g c1);
+  let spawn_tx node mbox =
+    Machine.spawn_app ~name:(Printf.sprintf "tx-%d" node) machine ~node:0
+      (fun api ->
+        let c = terr (CT.create api ~pool:4 ~depth:8 ()) in
+        terr (CT.connect c (Mailbox.take mbox));
+        for i = 1 to per_sender do
+          terr
+            (CT.send c
+               ~deadline:(Engine.now (Machine.sim machine) + Vtime.s 1)
+               (Bytes.make 4 (Char.chr (64 + node + i))))
+        done)
+  in
+  spawn_tx 0 addr0;
+  spawn_tx 1 addr1;
+  Machine.run ~until:(Vtime.ms 50) machine;
+  Machine.stop_engines machine;
+  Machine.run machine;
+  Alcotest.(check int) "member 0 drained" per_sender !hits0;
+  Alcotest.(check int) "late member drained despite early traffic"
+    per_sender !hits1
+
 let () =
   Alcotest.run "transport"
     [
@@ -519,5 +584,7 @@ let () =
             test_group_remove_cursor;
           Alcotest.test_case "receive-any over reliable stacks" `Quick
             test_group_over_reliable;
+          Alcotest.test_case "blocking receive-any on the rt semaphore" `Quick
+            test_group_recv_any_wait;
         ] );
     ]
